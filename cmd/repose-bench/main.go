@@ -1,0 +1,93 @@
+// Command repose-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repose-bench -exp table4 -scale 0.015625 -partitions 64 -k 100
+//	repose-bench -exp all -csv out/
+//
+// Each experiment prints the same rows/series the paper reports;
+// EXPERIMENTS.md records how the shapes compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repose/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.ExperimentIDs, ", ")+") or 'all'")
+		scale      = flag.Float64("scale", 1.0/512, "dataset cardinality scale relative to the paper")
+		partitions = flag.Int("partitions", 8, "number of global partitions")
+		workers    = flag.Int("workers", 0, "parallelism cap (0 = GOMAXPROCS)")
+		k          = flag.Int("k", 10, "top-k result size")
+		queries    = flag.Int("queries", 5, "queries averaged per measurement")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper datasets)")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		verbose    = flag.Bool("v", false, "stream progress")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:      *scale,
+		Partitions: *partitions,
+		Workers:    *workers,
+		K:          *k,
+		Queries:    *queries,
+		Verbose:    *verbose,
+		Out:        os.Stderr,
+	}
+	var subset []string
+	if *datasets != "" {
+		subset = strings.Split(*datasets, ",")
+	}
+
+	ids := experiments.ExperimentIDs
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		runner, ok := experiments.Runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "repose-bench: unknown experiment %q (have: %s)\n",
+				id, strings.Join(experiments.ExperimentIDs, ", "))
+			os.Exit(2)
+		}
+		table, err := runner(cfg, subset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repose-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := table.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, table); err != nil {
+				fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, table *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := table.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,114 @@
+// Command repose-query builds an index over a CSV dataset (or a
+// generated synthetic one) and answers ad-hoc top-k queries.
+//
+// Usage:
+//
+//	repose-query -data rides.csv -measure Frechet -k 5 -qid 17
+//	repose-query -dataset T-drive -scale 0.002 -k 10 -qid 3
+//
+// The query is the dataset trajectory with id -qid (dropped from the
+// candidates when -exclude-self is set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repose"
+	"repose/internal/dataset"
+	"repose/internal/dist"
+	"repose/internal/geo"
+)
+
+func main() {
+	var (
+		data        = flag.String("data", "", "CSV dataset path (id,x1,y1,x2,y2,...)")
+		dsName      = flag.String("dataset", "", "generate a synthetic dataset instead of -data")
+		scale       = flag.Float64("scale", 1.0/512, "synthetic dataset scale")
+		measureName = flag.String("measure", "Hausdorff", "Hausdorff|Frechet|DTW|LCSS|EDR|ERP")
+		k           = flag.Int("k", 10, "result size")
+		qid         = flag.Int("qid", 0, "query trajectory id")
+		delta       = flag.Float64("delta", 0, "grid cell side δ (0 = span/64)")
+		partitions  = flag.Int("partitions", 0, "partitions (0 = one per core)")
+		excludeSelf = flag.Bool("exclude-self", false, "drop the query trajectory from results")
+	)
+	flag.Parse()
+
+	m, err := dist.ParseMeasure(*measureName)
+	if err != nil {
+		fail(err)
+	}
+	ds, err := loadData(*data, *dsName, *scale)
+	if err != nil {
+		fail(err)
+	}
+	var query *geo.Trajectory
+	for _, tr := range ds {
+		if tr.ID == *qid {
+			query = tr
+			break
+		}
+	}
+	if query == nil {
+		fail(fmt.Errorf("query id %d not in dataset (%d trajectories)", *qid, len(ds)))
+	}
+
+	start := time.Now()
+	idx, err := repose.Build(ds, repose.Options{
+		Measure:    m,
+		Delta:      *delta,
+		Partitions: *partitions,
+	})
+	if err != nil {
+		fail(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("built index: %d trajectories, %d partitions, %.2f MB, %v\n",
+		st.Trajectories, st.Partitions, float64(st.IndexBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
+
+	kk := *k
+	if *excludeSelf {
+		kk++
+	}
+	start = time.Now()
+	res, err := idx.Search(query, kk)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("top-%d by %v for trajectory %d (%d points) in %v:\n",
+		*k, m, query.ID, len(query.Points), elapsed.Round(time.Microsecond))
+	shown := 0
+	for _, r := range res {
+		if *excludeSelf && r.ID == query.ID {
+			continue
+		}
+		shown++
+		fmt.Printf("%3d. trajectory %-8d distance %.6f\n", shown, r.ID, r.Dist)
+		if shown == *k {
+			break
+		}
+	}
+}
+
+func loadData(path, name string, scale float64) ([]*geo.Trajectory, error) {
+	switch {
+	case path != "":
+		return dataset.Load(path)
+	case name != "":
+		spec, err := dataset.ByName(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.Generate(spec), nil
+	default:
+		return nil, fmt.Errorf("one of -data or -dataset is required")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "repose-query: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Command repose-worker runs one cluster worker process. The driver
+// (repose.BuildCluster or the examples/distributed program) ships it
+// partitions over TCP and broadcasts queries to it.
+//
+// Usage:
+//
+//	repose-worker -addr 127.0.0.1:7701 &
+//	repose-worker -addr 127.0.0.1:7702 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repose"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7701", "listen address (host:port, :0 for ephemeral)")
+	flag.Parse()
+
+	log.SetPrefix("repose-worker: ")
+	err := repose.ServeWorker(*addr, func(bound string) {
+		fmt.Printf("listening on %s\n", bound)
+	})
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,10 @@
+package repose
+
+import "runtime"
+
+// defaultPartitions returns the default global partition count: one
+// per available core, mirroring the paper's setup where each of the
+// 64 cluster cores processes one of the 64 default partitions.
+func defaultPartitions() int {
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,66 @@
+// Distributed: run a multi-worker REPOSE cluster over TCP on one
+// machine — the paper's Spark deployment in miniature. Worker
+// services own partitions; the driver ships them trajectories at
+// build time and broadcasts queries; local top-k results are merged
+// at the driver (Section V-C).
+//
+// This example starts the workers in-process for self-containment;
+// in a real deployment each would be a `repose-worker` process on its
+// own machine.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repose"
+	"repose/internal/dataset"
+)
+
+func main() {
+	const numWorkers = 4
+	ready := make(chan string, numWorkers)
+	for i := 0; i < numWorkers; i++ {
+		go func() {
+			// ":0" picks an ephemeral port, reported via the callback.
+			if err := repose.ServeWorker("127.0.0.1:0", func(addr string) { ready <- addr }); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	addrs := make([]string, numWorkers)
+	for i := range addrs {
+		addrs[i] = <-ready
+	}
+	fmt.Printf("started %d workers: %v\n", numWorkers, addrs)
+
+	spec, err := dataset.ByName("T-drive", 1.0/256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dataset.Generate(spec)
+
+	start := time.Now()
+	cluster, err := repose.BuildCluster(ds, repose.Options{Partitions: 16}, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	st := cluster.Stats()
+	fmt.Printf("distributed build: %d trajectories over %d partitions on %d workers in %v\n",
+		st.Trajectories, st.Partitions, numWorkers, time.Since(start).Round(time.Millisecond))
+
+	query := ds[41]
+	start = time.Now()
+	res, err := cluster.Search(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed top-5 for trajectory %d in %v:\n", query.ID, time.Since(start).Round(time.Microsecond))
+	for rank, r := range res {
+		fmt.Printf("  %d. trajectory %d, distance %.5f\n", rank+1, r.ID, r.Dist)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a REPOSE index over synthetic trajectories and
+// run a top-k similarity query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repose"
+)
+
+func main() {
+	// Make a small fleet of noisy trajectories along a few routes.
+	rng := rand.New(rand.NewSource(42))
+	var fleet []*repose.Trajectory
+	for id := 0; id < 500; id++ {
+		route := float64(id % 5)
+		tr := &repose.Trajectory{ID: id}
+		for s := 0; s < 20; s++ {
+			tr.Points = append(tr.Points, repose.Point{
+				X: float64(s)*0.5 + rng.NormFloat64()*0.1,
+				Y: route*2 + rng.NormFloat64()*0.1,
+			})
+		}
+		fleet = append(fleet, tr)
+	}
+
+	// Build a distributed index with default settings (Hausdorff
+	// distance, heterogeneous partitioning, one partition per core).
+	idx, err := repose.Build(fleet, repose.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("indexed %d trajectories in %d partitions (%.1f KB) in %v\n",
+		st.Trajectories, st.Partitions, float64(st.IndexBytes)/1024, st.BuildTime.Round(1000))
+
+	// A fresh trajectory along route 2: which existing ones match?
+	query := &repose.Trajectory{ID: -1}
+	for s := 0; s < 20; s++ {
+		query.Points = append(query.Points, repose.Point{X: float64(s) * 0.5, Y: 4.0})
+	}
+	results, err := idx.Search(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-5 most similar trajectories:")
+	for rank, r := range results {
+		fmt.Printf("  %d. trajectory %d (route %d), Hausdorff distance %.4f\n",
+			rank+1, r.ID, r.ID%5, r.Dist)
+	}
+}

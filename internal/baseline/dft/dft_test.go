@@ -1,0 +1,143 @@
+package dft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
+	ds := make([]*geo.Trajectory, n)
+	for i := range ds {
+		cx := float64(rng.Intn(4)) * 2
+		pts := make([]geo.Point, 1+rng.Intn(10))
+		for j := range pts {
+			pts[j] = geo.Point{X: cx + rng.Float64(), Y: rng.Float64() * 8}
+		}
+		ds[i] = &geo.Trajectory{ID: i, Points: pts}
+	}
+	return ds
+}
+
+func bruteForce(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
+	h := topk.New(k)
+	for _, tr := range ds {
+		h.Push(tr.ID, dist.Distance(m, q, tr.Points, p))
+	}
+	return h.Results()
+}
+
+func TestSupported(t *testing.T) {
+	want := map[dist.Measure]bool{dist.Hausdorff: true, dist.Frechet: true, dist.DTW: true}
+	for _, m := range dist.Measures() {
+		if Supported(m) != want[m] {
+			t.Errorf("Supported(%v) = %v", m, Supported(m))
+		}
+	}
+	if _, err := Build(Config{Measure: dist.LCSS}, nil); err == nil {
+		t.Error("LCSS build should fail")
+	}
+	if _, err := Build(Config{Measure: dist.ERP}, nil); err == nil {
+		t.Error("ERP build should fail")
+	}
+}
+
+// TestSearchMatchesBruteForce: DFT must return a correct top-k (same
+// distance profile as brute force) for all supported measures.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := dist.Params{}
+	for trial := 0; trial < 10; trial++ {
+		ds := randomDataset(rng, 120)
+		q := randomDataset(rng, 1)[0]
+		for _, m := range []dist.Measure{dist.Hausdorff, dist.Frechet, dist.DTW} {
+			x, err := Build(Config{Measure: m, Params: p, C: 5, Seed: int64(trial)}, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, 12} {
+				got := x.Search(q.Points, k)
+				want := bruteForce(m, p, ds, q.Points, k)
+				if len(got) != len(want) {
+					t.Fatalf("%v k=%d: len %d want %d", m, k, len(got), len(want))
+				}
+				for i := range got {
+					if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+						t.Fatalf("%v k=%d trial %d rank %d: dist %v want %v",
+							m, k, trial, i, got[i].Dist, want[i].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSmallPartitionDegeneratesToScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := randomDataset(rng, 8)
+	q := randomDataset(rng, 1)[0]
+	x, err := Build(Config{Measure: dist.Hausdorff, C: 5}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := x.Search(q.Points, 3) // C*k = 15 > 8 → scan
+	want := bruteForce(dist.Hausdorff, dist.Params{}, ds, q.Points, 3)
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	x, err := Build(Config{Measure: dist.Frechet}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 3); got != nil {
+		t.Errorf("empty partition = %v", got)
+	}
+	ds := randomDataset(rand.New(rand.NewSource(7)), 5)
+	x, _ = Build(Config{Measure: dist.Frechet}, ds)
+	if got := x.Search(nil, 3); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	// Single-point trajectories index as degenerate segments.
+	single := []*geo.Trajectory{{ID: 0, Points: []geo.Point{{X: 1, Y: 1}}}}
+	x, _ = Build(Config{Measure: dist.Hausdorff}, single)
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 1); len(got) != 1 || got[0].Dist != 0 {
+		t.Errorf("single point = %v", got)
+	}
+}
+
+// TestDualIndexSpaceOverhead: DFT's index must be substantially
+// larger than zero and dominated by segment duplication — the Table
+// IV observation that motivates REPOSE's smaller footprint.
+func TestDualIndexSpaceOverhead(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := randomDataset(rng, 200)
+	x, _ := Build(Config{Measure: dist.Hausdorff}, ds)
+	if x.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes should be positive")
+	}
+	nsegs := 0
+	for _, tr := range ds {
+		nsegs += len(tr.Points) - 1
+		if len(tr.Points) == 1 {
+			nsegs++
+		}
+	}
+	if x.SizeBytes() < nsegs*36 {
+		t.Errorf("size %d smaller than raw segment storage %d", x.SizeBytes(), nsegs*36)
+	}
+	if x.Len() != 200 {
+		t.Errorf("Len = %d", x.Len())
+	}
+}

@@ -1,0 +1,170 @@
+package dita
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
+	ds := make([]*geo.Trajectory, n)
+	for i := range ds {
+		cx := float64(rng.Intn(4)) * 2
+		m := 1 + rng.Intn(12)
+		pts := make([]geo.Point, m)
+		for j := range pts {
+			pts[j] = geo.Point{X: cx + rng.Float64(), Y: rng.Float64() * 8}
+		}
+		ds[i] = &geo.Trajectory{ID: i, Points: pts}
+	}
+	return ds
+}
+
+func bruteForce(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
+	h := topk.New(k)
+	for _, tr := range ds {
+		h.Push(tr.ID, dist.Distance(m, q, tr.Points, p))
+	}
+	return h.Results()
+}
+
+func TestSupported(t *testing.T) {
+	want := map[dist.Measure]bool{dist.Frechet: true, dist.DTW: true, dist.LCSS: true, dist.EDR: true}
+	for _, m := range dist.Measures() {
+		if Supported(m) != want[m] {
+			t.Errorf("Supported(%v) = %v", m, Supported(m))
+		}
+	}
+	if _, err := Build(Config{Measure: dist.Hausdorff}, nil); err == nil {
+		t.Error("Hausdorff build should fail (Table IV '/')")
+	}
+	if _, err := Build(Config{Measure: dist.ERP}, nil); err == nil {
+		t.Error("ERP build should fail")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := dist.Params{Epsilon: 0.5}
+	for trial := 0; trial < 8; trial++ {
+		ds := randomDataset(rng, 130)
+		q := randomDataset(rng, 1)[0]
+		for _, m := range []dist.Measure{dist.Frechet, dist.DTW, dist.LCSS, dist.EDR} {
+			x, err := Build(Config{Measure: m, Params: p, NL: 8, PivotSize: 3, C: 4}, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 6, 15} {
+				got := x.Search(q.Points, k)
+				want := bruteForce(m, p, ds, q.Points, k)
+				if len(got) != len(want) {
+					t.Fatalf("%v k=%d: len %d want %d", m, k, len(got), len(want))
+				}
+				for i := range got {
+					if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+						t.Fatalf("%v k=%d trial %d rank %d: dist %v want %v",
+							m, k, trial, i, got[i].Dist, want[i].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPivotSequence(t *testing.T) {
+	// A sharp corner should be selected as a pivot.
+	tr := &geo.Trajectory{Points: []geo.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 5}, {X: 2, Y: 6},
+	}}
+	seq := pivotSequence(tr, 1)
+	if len(seq) != 3 {
+		t.Fatalf("seq len = %d", len(seq))
+	}
+	if seq[0] != (geo.Point{X: 0, Y: 0}) || seq[1] != (geo.Point{X: 2, Y: 6}) {
+		t.Errorf("first/last wrong: %v", seq[:2])
+	}
+	if seq[2] != (geo.Point{X: 2, Y: 0}) {
+		t.Errorf("corner pivot = %v, want (2,0)", seq[2])
+	}
+	// Single point duplicates into first/last.
+	one := &geo.Trajectory{Points: []geo.Point{{X: 3, Y: 3}}}
+	seq = pivotSequence(one, 4)
+	if len(seq) != 2 || seq[0] != seq[1] {
+		t.Errorf("single-point seq = %v", seq)
+	}
+	// Two points: no interior pivots.
+	two := &geo.Trajectory{Points: []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}}
+	if got := pivotSequence(two, 4); len(got) != 2 {
+		t.Errorf("two-point seq = %v", got)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	x, err := Build(Config{Measure: dist.Frechet}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 3); got != nil {
+		t.Errorf("empty partition = %v", got)
+	}
+	ds := randomDataset(rand.New(rand.NewSource(10)), 5)
+	x, _ = Build(Config{Measure: dist.DTW}, ds)
+	if got := x.Search(nil, 3); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 99); len(got) != 5 {
+		t.Errorf("k>N returned %d", len(got))
+	}
+}
+
+func TestTrieStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := randomDataset(rng, 500)
+	x, err := Build(Config{Measure: dist.Frechet, NL: 8, PivotSize: 2}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumNodes() == 0 {
+		t.Error("expected trie nodes")
+	}
+	if x.SizeBytes() <= 0 {
+		t.Error("SizeBytes should be positive")
+	}
+	if x.Len() != 500 {
+		t.Errorf("Len = %d", x.Len())
+	}
+}
+
+// TestPruningReducesCandidates: for Frechet, the range query at a
+// small radius should return far fewer candidates than the partition.
+func TestPruningReducesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds := randomDataset(rng, 400)
+	x, _ := Build(Config{Measure: dist.Frechet, NL: 8, PivotSize: 2}, ds)
+	q := []geo.Point{{X: 0.5, Y: 0.5}, {X: 0.6, Y: 1.0}}
+	small := x.candidates(q, 0.5)
+	all := x.candidates(q, 1e9)
+	if len(all) != 400 {
+		t.Fatalf("full radius returned %d", len(all))
+	}
+	if len(small) >= len(all) {
+		t.Errorf("no pruning: %d of %d", len(small), len(all))
+	}
+	// Soundness: every trajectory within 0.5 must be a candidate.
+	in := map[int32]bool{}
+	for _, tid := range small {
+		in[tid] = true
+	}
+	for _, tr := range ds {
+		if dist.FrechetDist(q, tr.Points) <= 0.5 && !in[int32(tr.ID)] {
+			t.Errorf("trajectory %d within radius but pruned", tr.ID)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package ls implements the brute-force linear-scan baseline (LS in
+// the paper's experiments): the distance between the query and every
+// trajectory in the partition is computed and the best k retained.
+package ls
+
+import (
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+// Index is a partition of trajectories scanned exhaustively.
+type Index struct {
+	measure dist.Measure
+	params  dist.Params
+	trajs   []*geo.Trajectory
+}
+
+// Build retains the partition's trajectories. Every measure is
+// supported.
+func Build(m dist.Measure, p dist.Params, part []*geo.Trajectory) *Index {
+	return &Index{measure: m, params: p, trajs: part}
+}
+
+// Search scans the partition, cutting off each distance computation
+// at the running top-k threshold where the measure supports early
+// abandoning.
+func (x *Index) Search(q []geo.Point, k int) []topk.Item {
+	if k <= 0 || len(q) == 0 || len(x.trajs) == 0 {
+		return nil
+	}
+	h := topk.New(k)
+	for _, tr := range x.trajs {
+		h.Push(tr.ID, dist.DistanceBounded(x.measure, q, tr.Points, x.params, h.Threshold()))
+	}
+	return h.Results()
+}
+
+// Len returns the number of trajectories in the partition.
+func (x *Index) Len() int { return len(x.trajs) }
+
+// SizeBytes is 0: LS keeps no index structure beyond the data.
+func (x *Index) SizeBytes() int { return 0 }

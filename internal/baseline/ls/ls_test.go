@@ -1,0 +1,67 @@
+package ls
+
+import (
+	"math/rand"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
+	ds := make([]*geo.Trajectory, n)
+	for i := range ds {
+		pts := make([]geo.Point, 1+rng.Intn(10))
+		for j := range pts {
+			pts[j] = geo.Point{X: rng.Float64() * 8, Y: rng.Float64() * 8}
+		}
+		ds[i] = &geo.Trajectory{ID: i, Points: pts}
+	}
+	return ds
+}
+
+func TestScanAllMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randomDataset(rng, 60)
+	q := randomDataset(rng, 1)[0]
+	p := dist.Params{Epsilon: 0.5, Gap: geo.Point{}}
+	for _, m := range dist.Measures() {
+		x := Build(m, p, ds)
+		got := x.Search(q.Points, 7)
+		want := topk.New(7)
+		for _, tr := range ds {
+			want.Push(tr.ID, dist.Distance(m, q.Points, tr.Points, p))
+		}
+		w := want.Results()
+		if len(got) != len(w) {
+			t.Fatalf("%v: len %d want %d", m, len(got), len(w))
+		}
+		for i := range got {
+			if got[i].Dist != w[i].Dist {
+				t.Fatalf("%v: rank %d dist %v want %v", m, i, got[i].Dist, w[i].Dist)
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	x := Build(dist.Hausdorff, dist.Params{}, nil)
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 3); got != nil {
+		t.Errorf("empty partition = %v", got)
+	}
+	if x.Len() != 0 || x.SizeBytes() != 0 {
+		t.Error("empty index stats wrong")
+	}
+	ds := randomDataset(rand.New(rand.NewSource(2)), 3)
+	x = Build(dist.Frechet, dist.Params{}, ds)
+	if got := x.Search(nil, 3); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	if got := x.Search([]geo.Point{{X: 1, Y: 1}}, 10); len(got) != 3 {
+		t.Errorf("k>N returned %d", len(got))
+	}
+}

@@ -1,0 +1,171 @@
+// Package bits provides a bitset with constant-time rank and
+// logarithmic select, the substrate for the succinct RP-Trie layout
+// (Section III-B, "Succinct trie structure", after SuRF).
+package bits
+
+import "math/bits"
+
+const (
+	wordBits = 64
+	// rankBlockWords is the number of 64-bit words per rank
+	// directory entry. 8 words = 512 bits per block.
+	rankBlockWords = 8
+)
+
+// Set is an append-only bitset with a rank directory. Bits are
+// appended with PushBit/PushWord; Rank and Select become available
+// after Seal (or are computed on demand if the set was sealed).
+type Set struct {
+	words  []uint64
+	n      int      // number of valid bits
+	ranks  []uint32 // ones before each block, built by Seal
+	sealed bool
+}
+
+// NewSet returns an empty bitset with capacity hint nbits.
+func NewSet(nbits int) *Set {
+	return &Set{words: make([]uint64, 0, (nbits+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of bits in the set.
+func (s *Set) Len() int { return s.n }
+
+// PushBit appends one bit.
+func (s *Set) PushBit(b bool) {
+	if s.sealed {
+		panic("bits: push after Seal")
+	}
+	w := s.n / wordBits
+	if w == len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	if b {
+		s.words[w] |= 1 << uint(s.n%wordBits)
+	}
+	s.n++
+}
+
+// PushN appends n copies of bit b.
+func (s *Set) PushN(b bool, n int) {
+	for i := 0; i < n; i++ {
+		s.PushBit(b)
+	}
+}
+
+// Get returns bit i.
+func (s *Set) Get(i int) bool {
+	if i < 0 || i >= s.n {
+		panic("bits: index out of range")
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// SetBit sets bit i to 1. Valid only before Seal.
+func (s *Set) SetBit(i int) {
+	if s.sealed {
+		panic("bits: SetBit after Seal")
+	}
+	if i < 0 || i >= s.n {
+		panic("bits: index out of range")
+	}
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Seal builds the rank directory. After Seal the set is immutable.
+func (s *Set) Seal() {
+	if s.sealed {
+		return
+	}
+	nblocks := (len(s.words) + rankBlockWords - 1) / rankBlockWords
+	s.ranks = make([]uint32, nblocks+1)
+	var total uint32
+	for b := 0; b < nblocks; b++ {
+		s.ranks[b] = total
+		end := (b + 1) * rankBlockWords
+		if end > len(s.words) {
+			end = len(s.words)
+		}
+		for _, w := range s.words[b*rankBlockWords : end] {
+			total += uint32(bits.OnesCount64(w))
+		}
+	}
+	s.ranks[nblocks] = total
+	s.sealed = true
+}
+
+// Rank1 returns the number of 1-bits in positions [0, i); i may equal
+// Len. The set must be sealed.
+func (s *Set) Rank1(i int) int {
+	if !s.sealed {
+		panic("bits: Rank1 before Seal")
+	}
+	if i < 0 || i > s.n {
+		panic("bits: rank index out of range")
+	}
+	w := i / wordBits
+	block := w / rankBlockWords
+	r := int(s.ranks[block])
+	for j := block * rankBlockWords; j < w; j++ {
+		r += bits.OnesCount64(s.words[j])
+	}
+	if rem := uint(i % wordBits); rem != 0 {
+		r += bits.OnesCount64(s.words[w] & (1<<rem - 1))
+	}
+	return r
+}
+
+// Rank0 returns the number of 0-bits in positions [0, i).
+func (s *Set) Rank0(i int) int { return i - s.Rank1(i) }
+
+// Ones returns the total number of 1-bits.
+func (s *Set) Ones() int {
+	if !s.sealed {
+		panic("bits: Ones before Seal")
+	}
+	return int(s.ranks[len(s.ranks)-1])
+}
+
+// Select1 returns the position of the (j+1)-th 1-bit (0-based j), or
+// -1 if there are not that many. The set must be sealed.
+func (s *Set) Select1(j int) int {
+	if !s.sealed {
+		panic("bits: Select1 before Seal")
+	}
+	if j < 0 || j >= s.Ones() {
+		return -1
+	}
+	// Binary search the rank directory for the block.
+	lo, hi := 0, len(s.ranks)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s.ranks[mid]) <= j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	block := lo - 1
+	r := int(s.ranks[block])
+	for w := block * rankBlockWords; w < len(s.words); w++ {
+		c := bits.OnesCount64(s.words[w])
+		if r+c > j {
+			// The target bit is inside word w.
+			return w*wordBits + selectInWord(s.words[w], j-r)
+		}
+		r += c
+	}
+	return -1
+}
+
+// selectInWord returns the position of the (j+1)-th set bit in w.
+func selectInWord(w uint64, j int) int {
+	for i := 0; i < j; i++ {
+		w &= w - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// SizeBytes returns the approximate in-memory footprint.
+func (s *Set) SizeBytes() int {
+	return len(s.words)*8 + len(s.ranks)*4 + 24
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+// BatchReport describes a batch execution (Section V-A discusses
+// batch search as the workload homogeneous partitioning targets; this
+// engine serves batches by scheduling (query, partition) tasks over
+// one shared worker pool, so partition-level load imbalance shows up
+// directly in the makespan).
+type BatchReport struct {
+	Makespan  time.Duration   // wall time for the whole batch
+	PerQuery  []time.Duration // per-query completion time (from batch start)
+	TotalWork time.Duration   // summed partition compute
+}
+
+// SearchBatch answers all queries, each over all partitions, using
+// the engine's worker budget. Results are indexed like queries.
+func (c *Local) SearchBatch(queries [][]geo.Point, k int) ([][]topk.Item, BatchReport, error) {
+	report := BatchReport{PerQuery: make([]time.Duration, len(queries))}
+	if len(queries) == 0 {
+		return nil, report, nil
+	}
+	nq, np := len(queries), len(c.indexes)
+	locals := make([][][]topk.Item, nq)
+	for qi := range locals {
+		locals[qi] = make([][]topk.Item, np)
+	}
+	workDur := make([][]time.Duration, nq)
+	for qi := range workDur {
+		workDur[qi] = make([]time.Duration, np)
+	}
+	done := make([][]time.Time, nq)
+	for qi := range done {
+		done[qi] = make([]time.Time, np)
+	}
+
+	type task struct{ qi, pi int }
+	tasks := make(chan task)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				t0 := time.Now()
+				locals[tk.qi][tk.pi] = c.indexes[tk.pi].Search(queries[tk.qi], k)
+				now := time.Now()
+				workDur[tk.qi][tk.pi] = now.Sub(t0)
+				done[tk.qi][tk.pi] = now
+			}
+		}()
+	}
+	for qi := 0; qi < nq; qi++ {
+		for pi := 0; pi < np; pi++ {
+			tasks <- task{qi, pi}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	report.Makespan = time.Since(start)
+
+	out := make([][]topk.Item, nq)
+	for qi := range out {
+		out[qi] = topk.Merge(k, locals[qi]...)
+		var last time.Time
+		for pi := 0; pi < np; pi++ {
+			report.TotalWork += workDur[qi][pi]
+			if done[qi][pi].After(last) {
+				last = done[qi][pi]
+			}
+		}
+		report.PerQuery[qi] = last.Sub(start)
+	}
+	return out, report, nil
+}
+
+// Indexes exposes the partition indexes (read-only use).
+func (c *Local) Indexes() []LocalIndex { return c.indexes }
+
+// RadiusSearcher is the optional range-query capability of a local
+// index. rptrie.Trie implements it; the baselines and the succinct
+// layout do not.
+type RadiusSearcher interface {
+	SearchRadius(q []geo.Point, radius float64) []topk.Item
+}
+
+// SearchRadius returns every trajectory within radius of q, merged
+// across partitions and sorted ascending by (distance, id). It fails
+// if any partition's index lacks range support.
+func (c *Local) SearchRadius(q []geo.Point, radius float64) ([]topk.Item, error) {
+	locals := make([][]topk.Item, len(c.indexes))
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	for i, idx := range c.indexes {
+		rs, ok := idx.(RadiusSearcher)
+		if !ok {
+			return nil, fmt.Errorf("cluster: partition %d index (%T) does not support radius search", i, idx)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, rs RadiusSearcher) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			locals[i] = rs.SearchRadius(q, radius)
+		}(i, rs)
+	}
+	wg.Wait()
+	var out []topk.Item
+	for _, l := range locals {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}

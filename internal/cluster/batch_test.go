@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+
+	"repose/internal/dataset"
+	"repose/internal/geo"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	ds, parts, spec := testWorld(t, 250, 6)
+	eng, err := BuildLocal(spec, parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(ds, 8, 5)
+	qpts := make([][]geo.Point, len(queries))
+	for i, q := range queries {
+		qpts[i] = q.Points
+	}
+	batch, report, err := eng.SearchBatch(qpts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, q := range queries {
+		want, err := eng.Search(q.Points, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: len %d want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("query %d rank %d: %+v vs %+v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+	if report.Makespan <= 0 || report.TotalWork <= 0 {
+		t.Errorf("report = %+v", report)
+	}
+	if len(report.PerQuery) != len(queries) {
+		t.Errorf("per-query times = %d", len(report.PerQuery))
+	}
+	for _, d := range report.PerQuery {
+		if d <= 0 || d > report.Makespan {
+			t.Errorf("per-query completion %v outside (0, %v]", d, report.Makespan)
+		}
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	_, parts, spec := testWorld(t, 50, 2)
+	eng, err := BuildLocal(spec, parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, report, err := eng.SearchBatch(nil, 5)
+	if err != nil || out != nil {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+	if report.Makespan != 0 {
+		t.Errorf("empty makespan = %v", report.Makespan)
+	}
+}
+
+// TestSearchBatchConcurrentSafety runs a batch with the race detector
+// in mind: many queries over shared read-only indexes.
+func TestSearchBatchConcurrentSafety(t *testing.T) {
+	ds, parts, spec := testWorld(t, 150, 8)
+	eng, err := BuildLocal(spec, parts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Queries(ds, 30, 7)
+	qpts := make([][]geo.Point, len(queries))
+	for i, q := range queries {
+		qpts[i] = q.Points
+	}
+	if _, _, err := eng.SearchBatch(qpts, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.Indexes()); got != 8 {
+		t.Errorf("Indexes len = %d", got)
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+// Local runs all partitions in one process, one goroutine per
+// partition up to a worker cap — the single-machine stand-in for the
+// paper's 16-node Spark cluster (each of the 64 cores processes one
+// of the 64 default partitions).
+type Local struct {
+	indexes   []LocalIndex
+	workers   int
+	buildTime time.Duration
+}
+
+// QueryReport describes one distributed query's execution.
+type QueryReport struct {
+	Wall           time.Duration   // end-to-end wall time
+	PartitionTimes []time.Duration // per-partition local search time
+	MaxPartition   time.Duration   // slowest partition (the straggler)
+	SumPartition   time.Duration   // total compute across partitions
+}
+
+// imbalance returns the straggler ratio MaxPartition/mean; 1.0 is a
+// perfectly balanced query.
+func (r QueryReport) Imbalance() float64 {
+	if len(r.PartitionTimes) == 0 || r.SumPartition == 0 {
+		return 1
+	}
+	mean := float64(r.SumPartition) / float64(len(r.PartitionTimes))
+	return float64(r.MaxPartition) / mean
+}
+
+// BuildLocal builds one index per partition in parallel. workers ≤ 0
+// uses GOMAXPROCS.
+func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &Local{indexes: make([]LocalIndex, len(parts)), workers: workers}
+	start := time.Now()
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, part []*geo.Trajectory) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			idx, err := spec.BuildLocal(part)
+			if err != nil {
+				errs[i] = fmt.Errorf("partition %d: %w", i, err)
+				return
+			}
+			c.indexes[i] = idx
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.buildTime = time.Since(start)
+	return c, nil
+}
+
+// Search broadcasts the query to every partition and merges the local
+// top-k results (the collect step of Section V-C).
+func (c *Local) Search(q []geo.Point, k int) ([]topk.Item, error) {
+	items, _, err := c.SearchDetailed(q, k)
+	return items, err
+}
+
+// SearchDetailed is Search plus a per-partition timing report.
+func (c *Local) SearchDetailed(q []geo.Point, k int) ([]topk.Item, QueryReport, error) {
+	report := QueryReport{PartitionTimes: make([]time.Duration, len(c.indexes))}
+	locals := make([][]topk.Item, len(c.indexes))
+	start := time.Now()
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	for i, idx := range c.indexes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, idx LocalIndex) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			locals[i] = idx.Search(q, k)
+			report.PartitionTimes[i] = time.Since(t0)
+		}(i, idx)
+	}
+	wg.Wait()
+	merged := topk.Merge(k, locals...)
+	report.Wall = time.Since(start)
+	for _, d := range report.PartitionTimes {
+		report.SumPartition += d
+		if d > report.MaxPartition {
+			report.MaxPartition = d
+		}
+	}
+	return merged, report, nil
+}
+
+// BuildTime returns the wall time of index construction.
+func (c *Local) BuildTime() time.Duration { return c.buildTime }
+
+// NumPartitions returns the partition count.
+func (c *Local) NumPartitions() int { return len(c.indexes) }
+
+// Len returns the total number of indexed trajectories.
+func (c *Local) Len() int {
+	n := 0
+	for _, idx := range c.indexes {
+		n += idx.Len()
+	}
+	return n
+}
+
+// IndexSizeBytes sums the index footprints across partitions.
+func (c *Local) IndexSizeBytes() int {
+	sz := 0
+	for _, idx := range c.indexes {
+		sz += idx.SizeBytes()
+	}
+	return sz
+}

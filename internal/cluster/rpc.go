@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+// The RPC transport simulates the paper's multi-node deployment on
+// one machine: worker processes own partitions, the driver ships
+// trajectories + an IndexSpec at build time and broadcasts queries,
+// and each worker returns its merged local top-k. Everything is
+// stdlib net/rpc with gob encoding.
+
+// BuildArgs ships one partition to a worker.
+type BuildArgs struct {
+	PartitionID  int
+	Spec         IndexSpec
+	Trajectories []*geo.Trajectory
+}
+
+// BuildReply reports the built partition index.
+type BuildReply struct {
+	SizeBytes  int
+	Len        int
+	BuildNanos int64
+}
+
+// SearchArgs broadcasts a query; each worker searches every partition
+// it owns.
+type SearchArgs struct {
+	Query []geo.Point
+	K     int
+}
+
+// SearchReply carries a worker's merged local top-k and per-partition
+// timings.
+type SearchReply struct {
+	Items      []topk.Item
+	PartNanos  map[int]int64
+	Partitions []int
+}
+
+// ClearArgs empties a worker between experiments.
+type ClearArgs struct{}
+
+// Worker is the RPC service hosted by a worker process.
+type Worker struct {
+	mu      sync.Mutex
+	indexes map[int]LocalIndex
+}
+
+// NewWorker returns an empty worker service.
+func NewWorker() *Worker {
+	return &Worker{indexes: make(map[int]LocalIndex)}
+}
+
+// Build constructs the index for one partition.
+func (w *Worker) Build(args *BuildArgs, reply *BuildReply) error {
+	start := time.Now()
+	idx, err := args.Spec.BuildLocal(args.Trajectories)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.indexes[args.PartitionID] = idx
+	w.mu.Unlock()
+	reply.SizeBytes = idx.SizeBytes()
+	reply.Len = idx.Len()
+	reply.BuildNanos = time.Since(start).Nanoseconds()
+	return nil
+}
+
+// Search answers the query over all partitions this worker owns and
+// merges them into one local top-k.
+func (w *Worker) Search(args *SearchArgs, reply *SearchReply) error {
+	w.mu.Lock()
+	indexes := make(map[int]LocalIndex, len(w.indexes))
+	for id, idx := range w.indexes {
+		indexes[id] = idx
+	}
+	w.mu.Unlock()
+	if len(indexes) == 0 {
+		return errors.New("cluster: worker has no partitions")
+	}
+	reply.PartNanos = make(map[int]int64, len(indexes))
+	var lists [][]topk.Item
+	for id, idx := range indexes {
+		t0 := time.Now()
+		lists = append(lists, idx.Search(args.Query, args.K))
+		reply.PartNanos[id] = time.Since(t0).Nanoseconds()
+		reply.Partitions = append(reply.Partitions, id)
+	}
+	reply.Items = topk.Merge(args.K, lists...)
+	return nil
+}
+
+// Clear drops all partitions.
+func (w *Worker) Clear(_ *ClearArgs, _ *struct{}) error {
+	w.mu.Lock()
+	w.indexes = make(map[int]LocalIndex)
+	w.mu.Unlock()
+	return nil
+}
+
+// Ping checks liveness.
+func (w *Worker) Ping(_ *struct{}, ok *bool) error {
+	*ok = true
+	return nil
+}
+
+// Serve accepts RPC connections on ln until the listener closes.
+// It always returns a non-nil error (from Accept).
+func Serve(ln net.Listener, w *Worker) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", w); err != nil {
+		return err
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Remote is the driver side of the multi-process engine.
+type Remote struct {
+	clients   []*rpc.Client
+	addrs     []string
+	owner     map[int]int // partition → client index
+	buildTime time.Duration
+	sizeBytes int
+	count     int
+}
+
+// BuildRemote dials the worker addresses, deals partitions round-
+// robin across them, and builds all partition indexes in parallel.
+func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Remote, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	r := &Remote{owner: make(map[int]int), addrs: addrs}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		r.clients = append(r.clients, c)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(parts))
+	replies := make([]BuildReply, len(parts))
+	for pid, part := range parts {
+		ci := pid % len(r.clients)
+		r.owner[pid] = ci
+		wg.Add(1)
+		go func(pid, ci int, part []*geo.Trajectory) {
+			defer wg.Done()
+			args := &BuildArgs{PartitionID: pid, Spec: spec, Trajectories: part}
+			errs[pid] = r.clients[ci].Call("Worker.Build", args, &replies[pid])
+		}(pid, ci, part)
+	}
+	wg.Wait()
+	for pid, err := range errs {
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("cluster: build partition %d: %w", pid, err)
+		}
+	}
+	for _, rep := range replies {
+		r.sizeBytes += rep.SizeBytes
+		r.count += rep.Len
+	}
+	r.buildTime = time.Since(start)
+	return r, nil
+}
+
+// Search broadcasts the query to all workers and merges their local
+// top-k results.
+func (r *Remote) Search(q []geo.Point, k int) ([]topk.Item, error) {
+	items, _, err := r.SearchDetailed(q, k)
+	return items, err
+}
+
+// SearchDetailed is Search plus a per-partition timing report.
+func (r *Remote) SearchDetailed(q []geo.Point, k int) ([]topk.Item, QueryReport, error) {
+	start := time.Now()
+	args := &SearchArgs{Query: q, K: k}
+	replies := make([]SearchReply, len(r.clients))
+	errs := make([]error, len(r.clients))
+	var wg sync.WaitGroup
+	for i, c := range r.clients {
+		wg.Add(1)
+		go func(i int, c *rpc.Client) {
+			defer wg.Done()
+			errs[i] = c.Call("Worker.Search", args, &replies[i])
+		}(i, c)
+	}
+	wg.Wait()
+	var report QueryReport
+	var lists [][]topk.Item
+	for i, err := range errs {
+		if err != nil {
+			return nil, report, fmt.Errorf("cluster: search on %s: %w", r.addrs[i], err)
+		}
+		lists = append(lists, replies[i].Items)
+		for _, nanos := range replies[i].PartNanos {
+			d := time.Duration(nanos)
+			report.PartitionTimes = append(report.PartitionTimes, d)
+			report.SumPartition += d
+			if d > report.MaxPartition {
+				report.MaxPartition = d
+			}
+		}
+	}
+	report.Wall = time.Since(start)
+	return topk.Merge(k, lists...), report, nil
+}
+
+// BuildTime returns the wall time of the distributed build.
+func (r *Remote) BuildTime() time.Duration { return r.buildTime }
+
+// Len returns the total number of indexed trajectories.
+func (r *Remote) Len() int { return r.count }
+
+// IndexSizeBytes sums the reported index footprints.
+func (r *Remote) IndexSizeBytes() int { return r.sizeBytes }
+
+// NumPartitions returns the partition count.
+func (r *Remote) NumPartitions() int { return len(r.owner) }
+
+// Close releases all client connections.
+func (r *Remote) Close() {
+	for _, c := range r.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	r.clients = nil
+}

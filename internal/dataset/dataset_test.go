@@ -1,0 +1,216 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestPaperSpecsScale(t *testing.T) {
+	full := PaperSpecs(1)
+	if len(full) != 7 {
+		t.Fatalf("expected 7 datasets, got %d", len(full))
+	}
+	if full[0].Name != "T-drive" || full[0].Cardinality != 356228 {
+		t.Errorf("T-drive spec = %+v", full[0])
+	}
+	scaled := PaperSpecs(1.0 / 64)
+	for i := range scaled {
+		if scaled[i].Cardinality >= full[i].Cardinality && full[i].Cardinality > 50*64 {
+			t.Errorf("%s did not scale: %d", scaled[i].Name, scaled[i].Cardinality)
+		}
+		if scaled[i].Cardinality < 50 {
+			t.Errorf("%s below floor: %d", scaled[i].Name, scaled[i].Cardinality)
+		}
+	}
+	// scale <= 0 means full size.
+	if PaperSpecs(0)[0].Cardinality != 356228 {
+		t.Error("scale 0 should mean full size")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Xian", 0.01)
+	if err != nil || s.Name != "Xian" {
+		t.Errorf("ByName = %+v, %v", s, err)
+	}
+	if _, err := ByName("Atlantis", 1); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	spec := Spec{Name: "test", Cardinality: 300, AvgLen: 40, SpanX: 2, SpanY: 1, Hotspots: 8, Seed: 9}
+	ds := Generate(spec)
+	if len(ds) != 300 {
+		t.Fatalf("cardinality = %d", len(ds))
+	}
+	region := spec.Region()
+	totalLen := 0
+	ids := map[int]bool{}
+	for _, tr := range ds {
+		if len(tr.Points) < MinLen || len(tr.Points) > MaxLen {
+			t.Fatalf("trajectory %d has %d points", tr.ID, len(tr.Points))
+		}
+		totalLen += len(tr.Points)
+		if ids[tr.ID] {
+			t.Fatalf("duplicate id %d", tr.ID)
+		}
+		ids[tr.ID] = true
+		for _, p := range tr.Points {
+			if !region.Contains(p) {
+				t.Fatalf("point %v outside region %v", p, region)
+			}
+		}
+	}
+	avg := float64(totalLen) / float64(len(ds))
+	if math.Abs(avg-40) > 10 {
+		t.Errorf("avg length = %v, want ≈40", avg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Cardinality: 50, AvgLen: 20, SpanX: 1, SpanY: 1, Hotspots: 4, Seed: 5}
+	a := Generate(spec)
+	b := Generate(spec)
+	for i := range a {
+		if len(a[i].Points) != len(b[i].Points) {
+			t.Fatalf("run mismatch at %d", i)
+		}
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				t.Fatalf("point mismatch at %d,%d", i, j)
+			}
+		}
+	}
+	spec.Seed = 6
+	c := Generate(spec)
+	same := true
+	for i := range a {
+		for j := range a[i].Points {
+			if j < len(c[i].Points) && a[i].Points[j] != c[i].Points[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestGenerateHotspotSkew: density near the top hotspot should exceed
+// the uniform expectation.
+func TestGenerateHotspotSkew(t *testing.T) {
+	spec := Spec{Cardinality: 400, AvgLen: 20, SpanX: 10, SpanY: 10, Hotspots: 10, Seed: 77}
+	ds := Generate(spec)
+	// Compare the start-point count in the densest 3x3-unit cell
+	// against the uniform expectation.
+	best := 0
+	counts := map[[2]int]int{}
+	for _, tr := range ds {
+		p := tr.Points[0]
+		key := [2]int{int(p.X / 3), int(p.Y / 3)}
+		counts[key]++
+		if counts[key] > best {
+			best = counts[key]
+		}
+	}
+	uniform := float64(len(ds)) / (16.0 / 1.44) // ~#cells
+	if float64(best) < 2*uniform {
+		t.Errorf("densest cell %d, uniform expectation %.1f — no skew", best, uniform)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	spec := Spec{Cardinality: 100, AvgLen: 15, SpanX: 1, SpanY: 1, Hotspots: 3, Seed: 1}
+	ds := Generate(spec)
+	qs := Queries(ds, 10, 42)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	seen := map[int]bool{}
+	for _, q := range qs {
+		if seen[q.ID] {
+			t.Errorf("duplicate query %d", q.ID)
+		}
+		seen[q.ID] = true
+	}
+	// Clones: mutating a query must not affect the dataset.
+	qs[0].Points[0].X = -999
+	for _, tr := range ds {
+		if tr.ID == qs[0].ID && tr.Points[0].X == -999 {
+			t.Error("Queries did not clone")
+		}
+	}
+	// n > len clamps.
+	if got := Queries(ds, 1000, 1); len(got) != 100 {
+		t.Errorf("clamped queries = %d", len(got))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	spec := Spec{Cardinality: 30, AvgLen: 12, SpanX: 1, SpanY: 1, Hotspots: 3, Seed: 2}
+	ds := Generate(spec)
+	var buf bytes.Buffer
+	if err := Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ds) {
+		t.Fatalf("round trip len %d want %d", len(back), len(ds))
+	}
+	for i := range ds {
+		if back[i].ID != ds[i].ID || len(back[i].Points) != len(ds[i].Points) {
+			t.Fatalf("trajectory %d mismatch", i)
+		}
+		for j := range ds[i].Points {
+			if math.Abs(back[i].Points[j].X-ds[i].Points[j].X) > 1e-12 {
+				t.Fatalf("point %d,%d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("1,2.0\n")); err == nil {
+		t.Error("odd coordinate count should fail")
+	}
+	if _, err := Read(bytes.NewBufferString("x,1,2\n")); err == nil {
+		t.Error("bad id should fail")
+	}
+	if _, err := Read(bytes.NewBufferString("1,a,2\n")); err == nil {
+		t.Error("bad x should fail")
+	}
+	if _, err := Read(bytes.NewBufferString("1,2,b\n")); err == nil {
+		t.Error("bad y should fail")
+	}
+	// Blank lines are skipped.
+	ds, err := Read(bytes.NewBufferString("\n1,2,3\n\n"))
+	if err != nil || len(ds) != 1 {
+		t.Errorf("blank lines: %v, %v", ds, err)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.csv")
+	spec := Spec{Cardinality: 20, AvgLen: 12, SpanX: 1, SpanY: 1, Hotspots: 3, Seed: 3}
+	ds := Generate(spec)
+	if err := Save(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 20 {
+		t.Fatalf("loaded %d", len(back))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repose/internal/geo"
+)
+
+// Write streams trajectories as CSV, one line per trajectory:
+//
+//	id,x1,y1,x2,y2,...
+func Write(w io.Writer, ds []*geo.Trajectory) error {
+	bw := bufio.NewWriter(w)
+	for _, tr := range ds {
+		if _, err := fmt.Fprintf(bw, "%d", tr.ID); err != nil {
+			return err
+		}
+		for _, p := range tr.Points {
+			if _, err := fmt.Fprintf(bw, ",%g,%g", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the CSV format produced by Write.
+func Read(r io.Reader) ([]*geo.Trajectory, error) {
+	var ds []*geo.Trajectory
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields)%2 != 1 {
+			return nil, fmt.Errorf("dataset: line %d: even field count %d", line, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad id: %v", line, err)
+		}
+		tr := &geo.Trajectory{ID: id}
+		for i := 1; i < len(fields); i += 2 {
+			x, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad x: %v", line, err)
+			}
+			y, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad y: %v", line, err)
+			}
+			tr.Points = append(tr.Points, geo.Point{X: x, Y: y})
+		}
+		ds = append(ds, tr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Save writes ds to a CSV file.
+func Save(path string, ds []*geo.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a CSV file produced by Save.
+func Load(path string) ([]*geo.Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{Scale: 1.0 / 4096, Partitions: 4, K: 3, Queries: 2}
+}
+
+func TestTable4Tiny(t *testing.T) {
+	tab, err := Table4(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 metrics × 3 measures × 4 algorithms rows.
+	if len(tab.Rows) != 36 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// DITA under Hausdorff must be "/" (Table IV).
+	found := false
+	for _, row := range tab.Rows {
+		if row[1] == "Hausdorff" && row[2] == "DITA" {
+			found = true
+			if row[3] != "/" {
+				t.Errorf("DITA Hausdorff cell = %q, want /", row[3])
+			}
+		}
+		if row[1] == "LCSS" {
+			t.Error("unexpected measure row")
+		}
+	}
+	if !found {
+		t.Error("missing DITA Hausdorff row")
+	}
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REPOSE") {
+		t.Error("printed table lacks REPOSE")
+	}
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Metric,Distance,Algorithm") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestTable5Tiny(t *testing.T) {
+	tab, err := Table5(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(table5Deltas["T-drive"]) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable6Tiny(t *testing.T) {
+	tab, err := Table6(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(table6Nps) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable7Tiny(t *testing.T) {
+	tab, err := Table7(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 2 measures × 3 strategies
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable8And9Tiny(t *testing.T) {
+	tab8, err := Table8(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab8.Rows) != 6 {
+		t.Fatalf("table8 rows = %d", len(tab8.Rows))
+	}
+	tab9, err := Table9(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab9.Rows) != 6 {
+		t.Fatalf("table9 rows = %d", len(tab9.Rows))
+	}
+}
+
+func TestFig6Tiny(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Fig6(cfg, []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hausdorff: REPOSE, DFT, LS; Frechet: +DITA → 7 series, but k
+	// values beyond the dataset size are dropped; at least the k=1
+	// points must exist for each series.
+	series := map[string]bool{}
+	for _, row := range tab.Rows {
+		series[row[1]+"/"+row[2]] = true
+	}
+	if len(series) != 7 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	tab, err := Fig7(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The optimized trie must not have more nodes than the
+	// unoptimized one.
+	var optNodes, basicNodes string
+	for _, row := range tab.Rows {
+		if row[1] == "Optimized" {
+			optNodes = row[2]
+		} else {
+			basicNodes = row[2]
+		}
+	}
+	if optNodes == "" || basicNodes == "" {
+		t.Fatal("missing rows")
+	}
+	if len(optNodes) > len(basicNodes) {
+		t.Errorf("optimized nodes %s > basic %s", optNodes, basicNodes)
+	}
+}
+
+func TestFig8Tiny(t *testing.T) {
+	tab, err := Fig8(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 series × 5 scales.
+	if len(tab.Rows) != 35 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig9Tiny(t *testing.T) {
+	tab, err := Fig9(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 28 { // 7 series × 4 partition counts
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRunnersRegistry(t *testing.T) {
+	if len(Runners) != len(ExperimentIDs) {
+		t.Fatalf("registry size %d vs %d ids", len(Runners), len(ExperimentIDs))
+	}
+	for _, id := range ExperimentIDs {
+		if Runners[id] == nil {
+			t.Errorf("missing runner %q", id)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale <= 0 || c.Partitions <= 0 || c.K <= 0 || c.Queries <= 0 || c.Out == nil {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Table5(tinyConfig(), []string{"Atlantis"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}

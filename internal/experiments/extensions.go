@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"repose/internal/cluster"
+	"repose/internal/dataset"
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/partition"
+)
+
+// The runners in this file go beyond the paper's evaluation: a batch
+// (concurrent) workload study grounded in the Section V-A discussion,
+// and a measure-coverage table for LCSS/EDR/ERP, which the paper
+// supports but never benchmarks (its Section IX future work).
+
+// BatchStudy measures batch makespan under the three partitioning
+// strategies, for a uniform batch and a skewed batch (all queries
+// from one hot region — the ride-hailing example of Section V-A).
+// Homogeneous partitioning leaves most partitions idle on the skewed
+// batch; heterogeneous keeps every worker busy.
+func BatchStudy(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if datasets == nil {
+		datasets = []string{"Xian"}
+	}
+	e := newEnv(cfg)
+	t := &Table{
+		Title:  "Extension: batch workload makespan (ms) by partitioning strategy",
+		Header: []string{"Dataset", "Batch", "Heterogeneous", "Homogeneous", "Random"},
+	}
+	strategies := []partition.Strategy{
+		partition.Heterogeneous, partition.Homogeneous, partition.Random,
+	}
+	for _, name := range datasets {
+		ds, spec, err := e.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		// Uniform batch: random queries. Skewed batch: the queries
+		// most similar to one seed trajectory (a hot region).
+		uniform := dataset.Queries(ds, 2*cfg.Queries, 999)
+		seed := ds[0]
+		skewed := nearestTo(ds, seed, 2*cfg.Queries)
+		for _, batch := range []struct {
+			label   string
+			queries []*geo.Trajectory
+		}{{"uniform", uniform}, {"skewed", skewed}} {
+			row := []string{name, batch.label}
+			qpts := make([][]geo.Point, len(batch.queries))
+			for i, q := range batch.queries {
+				qpts[i] = q.Points
+			}
+			for _, s := range strategies {
+				cfg.logf("batch: %s %v %s", name, s, batch.label)
+				br, err := e.buildEngine(cluster.REPOSE, dist.Hausdorff, name, ds, spec, buildOpts{strategy: s})
+				if err != nil {
+					return nil, err
+				}
+				_, rep, err := br.eng.SearchBatch(qpts, cfg.K)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(rep.Makespan))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// nearestTo returns the n trajectories with the smallest Hausdorff
+// distance to seed (a cheap stand-in for "queries in a hot region").
+func nearestTo(ds []*geo.Trajectory, seed *geo.Trajectory, n int) []*geo.Trajectory {
+	type cand struct {
+		tr *geo.Trajectory
+		d  float64
+	}
+	cands := make([]cand, 0, len(ds))
+	for _, tr := range ds {
+		// Centroid distance is enough to pick a hot region.
+		cands = append(cands, cand{tr, tr.Centroid().Dist(seed.Centroid())})
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].d < cands[j-1].d; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]*geo.Trajectory, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].tr.Clone()
+	}
+	return out
+}
+
+// MeasureCoverage benchmarks REPOSE against LS on the three measures
+// the paper's evaluation never times (LCSS, EDR, ERP) — DFT and DITA
+// cannot run them at all.
+func MeasureCoverage(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if datasets == nil {
+		datasets = []string{"T-drive", "Xian"}
+	}
+	e := newEnv(cfg)
+	t := &Table{
+		Title:  "Extension: QT (ms) for the measures the paper leaves unbenchmarked",
+		Header: []string{"Distance", "Algorithm"},
+	}
+	t.Header = append(t.Header, datasets...)
+	for _, m := range []dist.Measure{dist.LCSS, dist.EDR, dist.ERP} {
+		for _, algo := range []cluster.Algorithm{cluster.REPOSE, cluster.LS} {
+			row := []string{m.String(), algo.String()}
+			for _, name := range datasets {
+				ds, spec, err := e.dataset(name)
+				if err != nil {
+					return nil, err
+				}
+				queries, err := e.queriesFor(name)
+				if err != nil {
+					return nil, err
+				}
+				cfg.logf("coverage: %s %v %v", name, m, algo)
+				br, err := e.buildEngine(algo, m, name, ds, spec, buildOpts{strategy: nativeStrategy(algo)})
+				if err != nil {
+					return nil, err
+				}
+				qt, err := avgQueryTime(br.eng, queries, cfg.K)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(qt))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestBatchStudyTiny(t *testing.T) {
+	tab, err := BatchStudy(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // uniform + skewed
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row = %v", row)
+		}
+	}
+}
+
+func TestMeasureCoverageTiny(t *testing.T) {
+	tab, err := MeasureCoverage(tinyConfig(), []string{"T-drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 3 measures × 2 algorithms
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range tab.Rows {
+		seen[row[0]] = true
+	}
+	for _, m := range []string{"LCSS", "EDR", "ERP"} {
+		if !seen[m] {
+			t.Errorf("missing measure %s", m)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repose/internal/cluster"
+	"repose/internal/dataset"
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/partition"
+	"repose/internal/rptrie"
+)
+
+// fig6Ks is the k sweep of Fig. 6.
+var fig6Ks = []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// Fig6 reproduces the k sensitivity curves: query time for all four
+// algorithms as k grows, on T-drive/Xi'an/OSM under Hausdorff and
+// Frechet.
+func Fig6(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if datasets == nil {
+		datasets = sweepDatasets
+	}
+	e := newEnv(cfg)
+	t := &Table{
+		Title:  "Fig. 6: query time (ms) when varying k",
+		Header: []string{"Dataset", "Distance", "Algorithm", "k", "QT"},
+	}
+	for _, name := range datasets {
+		ds, spec, err := e.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := e.queriesFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range sweepMeasures {
+			for _, algo := range table4Algorithms {
+				if !supports(algo, m) {
+					continue
+				}
+				cfg.logf("fig6: %s %v %v", name, m, algo)
+				br, err := e.buildEngine(algo, m, name, ds, spec, buildOpts{strategy: nativeStrategy(algo)})
+				if err != nil {
+					return nil, err
+				}
+				for _, k := range fig6Ks {
+					if k > len(ds) {
+						break
+					}
+					qt, err := avgQueryTime(br.eng, queries, k)
+					if err != nil {
+						return nil, err
+					}
+					t.Rows = append(t.Rows, []string{
+						name, m.String(), algo.String(), fmt.Sprintf("%d", k), fmtDur(qt),
+					})
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig7 reproduces the optimized-trie study: trie node count and query
+// time with and without z-value re-arrangement, on T-drive and OSM
+// (Hausdorff — the order-independent measure).
+func Fig7(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if datasets == nil {
+		datasets = []string{"T-drive", "OSM"}
+	}
+	e := newEnv(cfg)
+	t := &Table{
+		Title:  "Fig. 7: improvement by optimized trie (Hausdorff)",
+		Header: []string{"Dataset", "Trie", "Nodes", "QT (ms)"},
+	}
+	for _, name := range datasets {
+		ds, spec, err := e.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := e.queriesFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, optimized := range []bool{true, false} {
+			opt := optimized
+			cfg.logf("fig7: %s optimized=%v", name, opt)
+			br, err := e.buildEngine(cluster.REPOSE, dist.Hausdorff, name, ds, spec, buildOpts{
+				strategy: partition.Heterogeneous,
+				optimize: &opt,
+			})
+			if err != nil {
+				return nil, err
+			}
+			qt, err := avgQueryTime(br.eng, queries, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			nodes, err := countTrieNodes(name, spec, ds, dist.Hausdorff, opt)
+			if err != nil {
+				return nil, err
+			}
+			label := "Unoptimized"
+			if opt {
+				label = "Optimized"
+			}
+			t.Rows = append(t.Rows, []string{name, label, fmt.Sprintf("%d", nodes), fmtDur(qt)})
+		}
+	}
+	return t, nil
+}
+
+// countTrieNodes builds a single whole-dataset trie to report the
+// node-count reduction the way Fig. 7 does.
+func countTrieNodes(name string, spec dataset.Spec, ds []*geo.Trajectory, m dist.Measure, optimize bool) (int, error) {
+	g, err := grid.New(spec.Region(), paperDelta(name, m))
+	if err != nil {
+		return 0, err
+	}
+	trie, err := rptrie.Build(rptrie.Config{Measure: m, Grid: g, Optimize: optimize}, ds)
+	if err != nil {
+		return 0, err
+	}
+	return trie.NumNodes(), nil
+}
+
+// fig8Scales is the cardinality sweep of Fig. 8.
+var fig8Scales = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Fig8 reproduces the cardinality scaling study on OSM (the paper's
+// choice; datasets may override it for cheap smoke runs): query time
+// of all algorithms as the dataset grows.
+func Fig8(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	name := "OSM"
+	if len(datasets) > 0 {
+		name = datasets[0]
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 8: effect of dataset cardinality (%s)", name),
+		Header: []string{"Distance", "Algorithm", "Scale", "QT (ms)"},
+	}
+	fullSpec, err := dataset.ByName(name, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	full := dataset.Generate(fullSpec)
+	queries := dataset.Queries(full, cfg.Queries, 999)
+	e := newEnv(cfg)
+	for _, m := range sweepMeasures {
+		for _, algo := range table4Algorithms {
+			if !supports(algo, m) {
+				continue
+			}
+			for _, sc := range fig8Scales {
+				n := int(float64(len(full)) * sc)
+				if n < 1 {
+					n = 1
+				}
+				sub := full[:n]
+				cfg.logf("fig8: %v %v scale=%.1f (%d trajectories)", m, algo, sc, n)
+				br, err := e.buildEngine(algo, m, name, sub, fullSpec, buildOpts{strategy: nativeStrategy(algo)})
+				if err != nil {
+					return nil, err
+				}
+				qt, err := avgQueryTime(br.eng, queries, cfg.K)
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, []string{
+					m.String(), algo.String(), fmt.Sprintf("%.1f", sc), fmtDur(qt),
+				})
+			}
+		}
+	}
+	return t, nil
+}
+
+// fig9Partitions is the partition sweep of Fig. 9.
+var fig9Partitions = []int{16, 32, 48, 64}
+
+// Fig9 reproduces the partition-count study on OSM (overridable for
+// cheap smoke runs), reporting both the distributed wall time and the
+// summed per-partition compute.
+func Fig9(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	name := "OSM"
+	if len(datasets) > 0 {
+		name = datasets[0]
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 9: effect of the number of partitions (%s)", name),
+		Header: []string{"Distance", "Algorithm", "Partitions", "QT (ms)", "SumPartitionTime (ms)"},
+	}
+	e := newEnv(cfg)
+	ds, spec, err := e.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := e.queriesFor(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range sweepMeasures {
+		for _, algo := range table4Algorithms {
+			if !supports(algo, m) {
+				continue
+			}
+			for _, np := range fig9Partitions {
+				cfg.logf("fig9: %v %v partitions=%d", m, algo, np)
+				br, err := e.buildEngine(algo, m, name, ds, spec, buildOpts{
+					strategy:   nativeStrategy(algo),
+					partitions: np,
+				})
+				if err != nil {
+					return nil, err
+				}
+				var wall, sum time.Duration
+				for _, q := range queries {
+					_, rep, err := br.eng.SearchDetailed(q.Points, cfg.K)
+					if err != nil {
+						return nil, err
+					}
+					wall += rep.Wall
+					sum += rep.SumPartition
+				}
+				nq := time.Duration(len(queries))
+				t.Rows = append(t.Rows, []string{
+					m.String(), algo.String(), fmt.Sprintf("%d", np),
+					fmtDur(wall / nq), fmtDur(sum / nq),
+				})
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repose/internal/cluster"
+	"repose/internal/dist"
+)
+
+// sweepDatasets are the datasets the parameter studies report
+// (Tables V and VI, Figs. 6-7).
+var sweepDatasets = []string{"T-drive", "Xian", "OSM"}
+
+// sweepMeasures are the measures the parameter studies report.
+var sweepMeasures = []dist.Measure{dist.Hausdorff, dist.Frechet}
+
+// table5Deltas mirrors the δ columns of Table V per dataset.
+var table5Deltas = map[string][]float64{
+	"T-drive": {0.01, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+	"Xian":    {0.005, 0.010, 0.015, 0.020, 0.025, 0.030, 0.035},
+	"OSM":     {0.1, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0},
+}
+
+// Table5 reproduces the δ sensitivity study: REPOSE query time as the
+// grid cell side varies, for Hausdorff and Frechet.
+func Table5(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if datasets == nil {
+		datasets = sweepDatasets
+	}
+	e := newEnv(cfg)
+	t := &Table{
+		Title:  "Table V: query time (ms) when varying δ",
+		Header: []string{"Dataset", "delta", "QT-Hausdorff", "QT-Frechet"},
+	}
+	for _, name := range datasets {
+		ds, spec, err := e.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := e.queriesFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, delta := range table5Deltas[name] {
+			row := []string{name, fmt.Sprintf("%g", delta)}
+			for _, m := range sweepMeasures {
+				cfg.logf("table5: %s δ=%g %v", name, delta, m)
+				br, err := e.buildEngine(cluster.REPOSE, m, name, ds, spec, buildOpts{
+					strategy: nativeStrategy(cluster.REPOSE),
+					delta:    delta,
+				})
+				if err != nil {
+					return nil, err
+				}
+				qt, err := avgQueryTime(br.eng, queries, cfg.K)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(qt))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// table6Nps mirrors the Np column of Table VI.
+var table6Nps = []int{1, 3, 5, 7, 9, 11}
+
+// Table6 reproduces the pivot-count sensitivity study: REPOSE query
+// time as Np varies.
+func Table6(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if datasets == nil {
+		datasets = sweepDatasets
+	}
+	e := newEnv(cfg)
+	t := &Table{
+		Title:  "Table VI: query time (ms) when varying Np",
+		Header: []string{"Dataset", "Np", "QT-Hausdorff", "QT-Frechet"},
+	}
+	for _, name := range datasets {
+		ds, spec, err := e.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := e.queriesFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, np := range table6Nps {
+			row := []string{name, fmt.Sprintf("%d", np)}
+			for _, m := range sweepMeasures {
+				cfg.logf("table6: %s Np=%d %v", name, np, m)
+				br, err := e.buildEngine(cluster.REPOSE, m, name, ds, spec, buildOpts{
+					strategy: nativeStrategy(cluster.REPOSE),
+					np:       np,
+				})
+				if err != nil {
+					return nil, err
+				}
+				qt, err := avgQueryTime(br.eng, queries, cfg.K)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(qt))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

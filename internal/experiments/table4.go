@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"repose/internal/baseline/dft"
+	"repose/internal/baseline/dita"
+	"repose/internal/cluster"
+	"repose/internal/dist"
+)
+
+// table4Datasets are the seven datasets of Table III/IV in paper
+// order.
+var table4Datasets = []string{"SF", "Porto", "Rome", "T-drive", "Xian", "Chengdu", "OSM"}
+
+// table4Measures are the measures Table IV reports.
+var table4Measures = []dist.Measure{dist.Hausdorff, dist.Frechet, dist.DTW}
+
+// table4Algorithms in paper row order.
+var table4Algorithms = []cluster.Algorithm{cluster.REPOSE, cluster.DITA, cluster.DFT, cluster.LS}
+
+// supports mirrors Table IV's "/" cells: which algorithm supports
+// which measure.
+func supports(algo cluster.Algorithm, m dist.Measure) bool {
+	switch algo {
+	case cluster.DFT:
+		return dft.Supported(m)
+	case cluster.DITA:
+		return dita.Supported(m)
+	default:
+		return true
+	}
+}
+
+// Table4 reproduces the performance overview: query time (QT, ms),
+// index size (IS, MB), and index construction time (IT, ms) for every
+// algorithm × measure × dataset. Datasets may be restricted to keep
+// runs tractable; nil means all seven.
+func Table4(cfg Config, datasets []string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if datasets == nil {
+		datasets = table4Datasets
+	}
+	e := newEnv(cfg)
+	t := &Table{
+		Title:  "Table IV: performance overview (QT ms / IS MB / IT ms)",
+		Header: append([]string{"Metric", "Distance", "Algorithm"}, datasets...),
+	}
+
+	type cell struct{ qt, is, it string }
+	results := make(map[string]cell)
+
+	for _, name := range datasets {
+		ds, spec, err := e.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := e.queriesFor(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range table4Measures {
+			for _, algo := range table4Algorithms {
+				key := name + "/" + m.String() + "/" + algo.String()
+				if !supports(algo, m) {
+					results[key] = cell{"/", "/", "/"}
+					continue
+				}
+				cfg.logf("table4: %s %v %v", name, m, algo)
+				br, err := e.buildEngine(algo, m, name, ds, spec, buildOpts{strategy: nativeStrategy(algo)})
+				if err != nil {
+					return nil, err
+				}
+				qt, err := avgQueryTime(br.eng, queries, cfg.K)
+				if err != nil {
+					return nil, err
+				}
+				is := "/"
+				it := "/"
+				if algo != cluster.LS {
+					is = fmtBytes(br.sizeBytes)
+					it = fmtDur(br.buildTime)
+				}
+				results[key] = cell{qt: fmtDur(qt), is: is, it: it}
+			}
+		}
+	}
+
+	for _, metric := range []string{"QT (ms)", "IS (MB)", "IT (ms)"} {
+		for _, m := range table4Measures {
+			for _, algo := range table4Algorithms {
+				row := []string{metric, m.String(), algo.String()}
+				for _, name := range datasets {
+					c := results[name+"/"+m.String()+"/"+algo.String()]
+					switch metric {
+					case "QT (ms)":
+						row = append(row, c.qt)
+					case "IS (MB)":
+						row = append(row, c.is)
+					default:
+						row = append(row, c.it)
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,203 @@
+// Package grid implements the regular l×l grid that REPOSE lays over
+// the enclosing square region A (Section III-A). Each cell has a
+// unique z-value and a reference point (the cell center). The grid
+// converts trajectories into reference trajectories: the sequences of
+// z-values their points traverse.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repose/internal/geo"
+	"repose/internal/zorder"
+)
+
+// Cell is one grid cell: its z-value, its reference point (center),
+// and its extent.
+type Cell struct {
+	Z      uint64
+	Center geo.Point
+	Rect   geo.Rect
+}
+
+// Grid partitions a square region with side U into 2^Bits × 2^Bits
+// cells of side Delta = U / 2^Bits.
+type Grid struct {
+	Origin geo.Point // min corner of the enclosing square A
+	U      float64   // side length of A
+	Delta  float64   // effective cell side length δ
+	Bits   int       // cells per axis = 1<<Bits
+}
+
+// New builds a grid over region (which is squared up if necessary)
+// with the requested cell side length delta. Following the paper,
+// the number of cells per axis l = U/δ must be a power of two, so the
+// effective Delta is U / 2^⌈log2(U/δ)⌉ ≤ delta.
+func New(region geo.Rect, delta float64) (*Grid, error) {
+	if region.IsEmpty() {
+		return nil, errors.New("grid: empty region")
+	}
+	if delta <= 0 {
+		return nil, errors.New("grid: delta must be positive")
+	}
+	u := math.Max(region.Max.X-region.Min.X, region.Max.Y-region.Min.Y)
+	if u <= 0 {
+		return nil, errors.New("grid: region has no extent")
+	}
+	bits := 1
+	for float64(int64(1)<<uint(bits))*delta < u && bits < zorder.MaxBits {
+		bits++
+	}
+	l := float64(int64(1) << uint(bits))
+	return &Grid{
+		Origin: region.Min,
+		U:      u,
+		Delta:  u / l,
+		Bits:   bits,
+	}, nil
+}
+
+// NewWithBits builds a grid with an explicit resolution of bits bits
+// per axis (2^bits cells per axis).
+func NewWithBits(region geo.Rect, bits int) (*Grid, error) {
+	if region.IsEmpty() {
+		return nil, errors.New("grid: empty region")
+	}
+	if bits < 1 || bits > zorder.MaxBits {
+		return nil, fmt.Errorf("grid: bits %d out of range [1, %d]", bits, zorder.MaxBits)
+	}
+	u := math.Max(region.Max.X-region.Min.X, region.Max.Y-region.Min.Y)
+	if u <= 0 {
+		return nil, errors.New("grid: region has no extent")
+	}
+	l := float64(int64(1) << uint(bits))
+	return &Grid{Origin: region.Min, U: u, Delta: u / l, Bits: bits}, nil
+}
+
+// Side returns the number of cells per axis.
+func (g *Grid) Side() int { return 1 << uint(g.Bits) }
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return 1 << uint(2*g.Bits) }
+
+// coords returns the cell coordinates of p, clamped into the grid.
+// Clamping matters for query trajectories that stray outside A.
+func (g *Grid) coords(p geo.Point) (uint32, uint32) {
+	max := int64(g.Side() - 1)
+	cx := int64(math.Floor((p.X - g.Origin.X) / g.Delta))
+	cy := int64(math.Floor((p.Y - g.Origin.Y) / g.Delta))
+	cx = min64(max64(cx, 0), max)
+	cy = min64(max64(cy, 0), max)
+	return uint32(cx), uint32(cy)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ZOf returns the z-value of the cell containing p.
+func (g *Grid) ZOf(p geo.Point) uint64 {
+	cx, cy := g.coords(p)
+	return zorder.Encode(cx, cy, g.Bits)
+}
+
+// CellOf returns the cell containing p.
+func (g *Grid) CellOf(p geo.Point) Cell { return g.CellByZ(g.ZOf(p)) }
+
+// CellByZ reconstructs the cell with the given z-value.
+func (g *Grid) CellByZ(z uint64) Cell {
+	cx, cy := zorder.Decode(z, g.Bits)
+	minp := geo.Point{
+		X: g.Origin.X + float64(cx)*g.Delta,
+		Y: g.Origin.Y + float64(cy)*g.Delta,
+	}
+	maxp := geo.Point{X: minp.X + g.Delta, Y: minp.Y + g.Delta}
+	return Cell{
+		Z:      z,
+		Center: geo.Point{X: minp.X + g.Delta/2, Y: minp.Y + g.Delta/2},
+		Rect:   geo.Rect{Min: minp, Max: maxp},
+	}
+}
+
+// Reference converts a trajectory into its reference trajectory: the
+// sequence of z-values of the cells its points traverse, with runs of
+// consecutive identical z-values collapsed to one. (Collapsing is why
+// reference trajectories grow longer as δ shrinks — cf. the Table V
+// discussion in the paper.)
+func (g *Grid) Reference(t *geo.Trajectory) []uint64 {
+	if len(t.Points) == 0 {
+		return nil
+	}
+	zs := make([]uint64, 0, len(t.Points))
+	var last uint64
+	for i, p := range t.Points {
+		z := g.ZOf(p)
+		if i == 0 || z != last {
+			zs = append(zs, z)
+			last = z
+		}
+	}
+	return zs
+}
+
+// ReferencePoints maps a z-value sequence to the corresponding
+// reference points (cell centers).
+func (g *Grid) ReferencePoints(zs []uint64) []geo.Point {
+	pts := make([]geo.Point, len(zs))
+	for i, z := range zs {
+		pts[i] = g.CellByZ(z).Center
+	}
+	return pts
+}
+
+// ReferenceTrajectory returns the reference trajectory of t as a
+// trajectory over reference points, preserving t's ID (Definition 4).
+func (g *Grid) ReferenceTrajectory(t *geo.Trajectory) *geo.Trajectory {
+	return &geo.Trajectory{ID: t.ID, Points: g.ReferencePoints(g.Reference(t))}
+}
+
+// HalfDiagonal returns √2·δ/2, the maximum distance between a point
+// and the reference point of its cell. It appears in every bound of
+// Section IV.
+func (g *Grid) HalfDiagonal() float64 { return math.Sqrt2 * g.Delta / 2 }
+
+// CoarseKey encodes a trajectory at a coarser resolution (res bits
+// per axis, res ≤ Bits) as the collapsed sequence of coarse z-values.
+// The heterogeneous partitioner uses this as the geohash signature of
+// Section V-B: two trajectories cluster together iff their coarse
+// signatures are identical.
+func (g *Grid) CoarseKey(t *geo.Trajectory, res int) string {
+	if res < 1 {
+		res = 1
+	}
+	if res > g.Bits {
+		res = g.Bits
+	}
+	buf := make([]byte, 0, len(t.Points)*8)
+	var last uint64
+	first := true
+	for _, p := range t.Points {
+		z := zorder.AtResolution(g.ZOf(p), g.Bits, res)
+		if first || z != last {
+			// Append the 8-byte big-endian encoding of z.
+			for s := 56; s >= 0; s -= 8 {
+				buf = append(buf, byte(z>>uint(s)))
+			}
+			last = z
+			first = false
+		}
+	}
+	return string(buf)
+}

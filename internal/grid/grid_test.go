@@ -1,0 +1,218 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repose/internal/geo"
+)
+
+func unitRegion() geo.Rect {
+	return geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+}
+
+func TestNewRoundsToPowerOfTwo(t *testing.T) {
+	g, err := New(unitRegion(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Side() != 8 {
+		t.Errorf("Side = %d, want 8", g.Side())
+	}
+	if g.Delta != 1.0 {
+		t.Errorf("Delta = %v, want 1", g.Delta)
+	}
+	// delta=0.9 forces 16 cells per axis, effective delta = 0.5.
+	g2, err := New(unitRegion(), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Side() != 16 || g2.Delta != 0.5 {
+		t.Errorf("Side = %d Delta = %v, want 16, 0.5", g2.Side(), g2.Delta)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(geo.EmptyRect(), 1); err == nil {
+		t.Error("expected error for empty region")
+	}
+	if _, err := New(unitRegion(), 0); err == nil {
+		t.Error("expected error for zero delta")
+	}
+	if _, err := New(unitRegion(), -2); err == nil {
+		t.Error("expected error for negative delta")
+	}
+	if _, err := NewWithBits(unitRegion(), 0); err == nil {
+		t.Error("expected error for zero bits")
+	}
+	if _, err := NewWithBits(unitRegion(), 99); err == nil {
+		t.Error("expected error for excessive bits")
+	}
+}
+
+// TestPaperRunningExample reproduces Fig. 1: an 8×8 grid over [0,8)².
+// τq's points (0.5,6.5), (2.5,6.5), (4.5,6.5) sit in cells with
+// coordinates (0,6), (2,6), (4,6).
+func TestPaperRunningExample(t *testing.T) {
+	g, err := NewWithBits(unitRegion(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &geo.Trajectory{Points: []geo.Point{{X: 0.5, Y: 6.5}, {X: 2.5, Y: 6.5}, {X: 4.5, Y: 6.5}}}
+	zs := g.Reference(q)
+	if len(zs) != 3 {
+		t.Fatalf("reference length = %d, want 3", len(zs))
+	}
+	// Centers must equal the sample points themselves (they were
+	// chosen at cell centers).
+	for i, p := range g.ReferencePoints(zs) {
+		if p != q.Points[i] {
+			t.Errorf("reference point %d = %v, want %v", i, p, q.Points[i])
+		}
+	}
+}
+
+func TestCellOfCenterRoundTrip(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	f := func(px, py float64) bool {
+		p := geo.Point{X: math.Mod(math.Abs(px), 8), Y: math.Mod(math.Abs(py), 8)}
+		c := g.CellOf(p)
+		if !c.Rect.Contains(p) {
+			return false
+		}
+		// Center is within half-diagonal of any point in the cell.
+		return p.Dist(c.Center) <= g.HalfDiagonal()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampOutside(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	// Points outside the region clamp to edge cells rather than panic.
+	c := g.CellOf(geo.Point{X: -5, Y: 100})
+	if c.Rect.Min.X != 0 {
+		t.Errorf("x clamp: %v", c)
+	}
+	if c.Rect.Max.Y != 8 {
+		t.Errorf("y clamp: %v", c)
+	}
+	c2 := g.CellOf(geo.Point{X: 8.0, Y: 8.0}) // exactly max corner
+	if c2.Rect.Max.X != 8 || c2.Rect.Max.Y != 8 {
+		t.Errorf("max corner clamp: %v", c2)
+	}
+}
+
+func TestReferenceCollapsesDuplicates(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	tr := &geo.Trajectory{Points: []geo.Point{
+		{X: 0.5, Y: 0.5}, {X: 0.6, Y: 0.6}, {X: 0.7, Y: 0.2}, // same cell (0,0)
+		{X: 1.5, Y: 0.5}, // cell (1,0)
+		{X: 0.5, Y: 0.5}, // back to (0,0): kept, only consecutive collapse
+	}}
+	zs := g.Reference(tr)
+	if len(zs) != 3 {
+		t.Fatalf("reference length = %d, want 3 (%v)", len(zs), zs)
+	}
+	if zs[0] != zs[2] {
+		t.Error("revisited cell should reappear")
+	}
+	if zs[0] == zs[1] {
+		t.Error("distinct cells must differ")
+	}
+}
+
+func TestReferenceEmpty(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	if got := g.Reference(&geo.Trajectory{}); got != nil {
+		t.Errorf("empty reference = %v", got)
+	}
+}
+
+func TestReferenceTrajectoryKeepsID(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	tr := &geo.Trajectory{ID: 42, Points: []geo.Point{{X: 1, Y: 1}, {X: 5, Y: 5}}}
+	ref := g.ReferenceTrajectory(tr)
+	if ref.ID != 42 {
+		t.Errorf("ID = %d", ref.ID)
+	}
+	if len(ref.Points) != 2 {
+		t.Errorf("len = %d", len(ref.Points))
+	}
+}
+
+func TestHalfDiagonal(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	want := math.Sqrt2 * 1.0 / 2
+	if math.Abs(g.HalfDiagonal()-want) > 1e-12 {
+		t.Errorf("HalfDiagonal = %v, want %v", g.HalfDiagonal(), want)
+	}
+}
+
+// TestHalfDiagonalBoundsReferenceError checks the key inequality
+// behind every bound in the paper: d(p, reference(p)) ≤ √2δ/2.
+func TestHalfDiagonalBoundsReferenceError(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 4)
+	f := func(px, py float64) bool {
+		p := geo.Point{X: math.Mod(math.Abs(px), 8), Y: math.Mod(math.Abs(py), 8)}
+		return p.Dist(g.CellOf(p).Center) <= g.HalfDiagonal()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarseKey(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	a := &geo.Trajectory{Points: []geo.Point{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 1.5}}}
+	b := &geo.Trajectory{Points: []geo.Point{{X: 0.9, Y: 0.9}, {X: 2.5, Y: 2.5}}}
+	// At the coarsest resolution both live in the same 4x4-quadrant
+	// sequence, so keys collide.
+	if g.CoarseKey(a, 1) != g.CoarseKey(b, 1) {
+		t.Error("coarse keys should match at res 1")
+	}
+	// At full resolution they differ (different cell sequences).
+	if g.CoarseKey(a, 3) == g.CoarseKey(b, 3) {
+		t.Error("keys should differ at res 3")
+	}
+	// res is clamped.
+	if g.CoarseKey(a, 0) != g.CoarseKey(a, 1) {
+		t.Error("res clamps to 1")
+	}
+	if g.CoarseKey(a, 99) != g.CoarseKey(a, 3) {
+		t.Error("res clamps to Bits")
+	}
+}
+
+func TestCoarseKeyDistinguishesDirection(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	ab := &geo.Trajectory{Points: []geo.Point{{X: 0.5, Y: 0.5}, {X: 7.5, Y: 7.5}}}
+	ba := &geo.Trajectory{Points: []geo.Point{{X: 7.5, Y: 7.5}, {X: 0.5, Y: 0.5}}}
+	if g.CoarseKey(ab, 3) == g.CoarseKey(ba, 3) {
+		t.Error("reversed trajectories should have different keys")
+	}
+}
+
+func TestNumCells(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 3)
+	if g.NumCells() != 64 {
+		t.Errorf("NumCells = %d, want 64", g.NumCells())
+	}
+}
+
+func TestCellByZCoversGridExactly(t *testing.T) {
+	g, _ := NewWithBits(unitRegion(), 2)
+	var area float64
+	for z := uint64(0); z < uint64(g.NumCells()); z++ {
+		c := g.CellByZ(z)
+		area += c.Rect.Area()
+		if c.Z != z {
+			t.Errorf("CellByZ(%d).Z = %d", z, c.Z)
+		}
+	}
+	if math.Abs(area-64) > 1e-9 {
+		t.Errorf("total cell area = %v, want 64", area)
+	}
+}

@@ -1,0 +1,230 @@
+// Package partition implements REPOSE's global partitioning
+// (Section V): the heterogeneous strategy that spreads similar
+// trajectories across partitions, plus the homogeneous and random
+// strategies used as comparison points (Table VII), and an STR
+// partitioner used by the DFT and DITA baselines.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repose/internal/geo"
+	"repose/internal/grid"
+)
+
+// Strategy selects a global partitioning method.
+type Strategy int
+
+// The partitioning strategies of Table VII.
+const (
+	Heterogeneous Strategy = iota // similar trajectories spread across partitions
+	Homogeneous                   // similar trajectories grouped in one partition
+	Random                        // uniform random assignment
+)
+
+var strategyNames = [...]string{"Heterogeneous", "Homogeneous", "Random"}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s < 0 || int(s) >= len(strategyNames) {
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+	return strategyNames[s]
+}
+
+// Assign maps each trajectory of ds to a partition in
+// [0, numPartitions). The slice is parallel to ds.
+func Assign(s Strategy, ds []*geo.Trajectory, g *grid.Grid, numPartitions int, seed int64) ([]int, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("partition: numPartitions %d must be positive", numPartitions)
+	}
+	if len(ds) == 0 {
+		return nil, nil
+	}
+	switch s {
+	case Heterogeneous:
+		return assignHeterogeneous(ds, g, numPartitions), nil
+	case Homogeneous:
+		return assignHomogeneous(ds, g, numPartitions), nil
+	case Random:
+		return assignRandom(ds, numPartitions, seed), nil
+	default:
+		return nil, fmt.Errorf("partition: unknown strategy %d", int(s))
+	}
+}
+
+// cluster groups trajectories by their coarse geohash signature
+// (Section V-B, after SOM-TC): starting at the grid's full
+// resolution, the granularity is coarsened until roughly N/NG
+// clusters remain, so that an average cluster has about one member
+// per partition.
+func clusterTrajectories(ds []*geo.Trajectory, g *grid.Grid, numPartitions int) [][]int {
+	target := len(ds) / numPartitions
+	if target < 1 {
+		target = 1
+	}
+	var best map[string][]int
+	for res := g.Bits; res >= 1; res-- {
+		m := make(map[string][]int)
+		for i, tr := range ds {
+			key := g.CoarseKey(tr, res)
+			m[key] = append(m[key], i)
+		}
+		best = m
+		if len(m) <= target {
+			break
+		}
+	}
+	// Deterministic cluster order: by key.
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(best))
+	for _, k := range keys {
+		members := best[k]
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// assignHeterogeneous sorts trajectories by (cluster, id) and deals
+// them round-robin, so each cluster's members land in different
+// partitions and every partition receives a similar mix.
+func assignHeterogeneous(ds []*geo.Trajectory, g *grid.Grid, numPartitions int) []int {
+	clusters := clusterTrajectories(ds, g, numPartitions)
+	assign := make([]int, len(ds))
+	i := 0
+	for _, members := range clusters {
+		for _, idx := range members {
+			assign[idx] = i % numPartitions
+			i++
+		}
+	}
+	return assign
+}
+
+// assignHomogeneous keeps each cluster within a single partition,
+// assigning whole clusters (largest first) to the least-loaded
+// partition so partition cardinalities stay balanced even though
+// their contents are homogeneous.
+func assignHomogeneous(ds []*geo.Trajectory, g *grid.Grid, numPartitions int) []int {
+	clusters := clusterTrajectories(ds, g, numPartitions)
+	order := make([]int, len(clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := clusters[order[a]], clusters[order[b]]
+		if len(ca) != len(cb) {
+			return len(ca) > len(cb)
+		}
+		return order[a] < order[b]
+	})
+	assign := make([]int, len(ds))
+	load := make([]int, numPartitions)
+	for _, ci := range order {
+		p := 0
+		for j := 1; j < numPartitions; j++ {
+			if load[j] < load[p] {
+				p = j
+			}
+		}
+		for _, idx := range clusters[ci] {
+			assign[idx] = p
+		}
+		load[p] += len(clusters[ci])
+	}
+	return assign
+}
+
+// assignRandom shuffles and deals, giving equal partition sizes with
+// random composition.
+func assignRandom(ds []*geo.Trajectory, numPartitions int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(ds))
+	assign := make([]int, len(ds))
+	for i, idx := range perm {
+		assign[idx] = i % numPartitions
+	}
+	return assign
+}
+
+// Split materializes the partitions from an assignment.
+func Split(ds []*geo.Trajectory, assign []int, numPartitions int) [][]*geo.Trajectory {
+	parts := make([][]*geo.Trajectory, numPartitions)
+	for i, tr := range ds {
+		p := assign[i]
+		parts[p] = append(parts[p], tr)
+	}
+	return parts
+}
+
+// STRAssign partitions by Sort-Tile-Recursive on representative
+// points: items are sorted into vertical slices by x, then each slice
+// is cut by y. DFT applies it to segment centroids and DITA to
+// trajectory first points, which is how both group spatially close
+// items into the same partition.
+func STRAssign(centers []geo.Point, numPartitions int) []int {
+	n := len(centers)
+	assign := make([]int, n)
+	if n == 0 || numPartitions <= 1 {
+		return assign
+	}
+	slices := intSqrtCeil(numPartitions)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := centers[idx[a]], centers[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	perSlice := (n + slices - 1) / slices
+	p := 0
+	for s := 0; s < slices; s++ {
+		lo := s * perSlice
+		if lo >= n {
+			break
+		}
+		hi := lo + perSlice
+		if hi > n {
+			hi = n
+		}
+		sl := idx[lo:hi]
+		sort.Slice(sl, func(a, b int) bool {
+			pa, pb := centers[sl[a]], centers[sl[b]]
+			if pa.Y != pb.Y {
+				return pa.Y < pb.Y
+			}
+			return pa.X < pb.X
+		})
+		// Cut the slice into runs, cycling through partitions.
+		tilesInSlice := (numPartitions + slices - 1) / slices
+		perTile := (len(sl) + tilesInSlice - 1) / tilesInSlice
+		if perTile < 1 {
+			perTile = 1
+		}
+		for j, id := range sl {
+			tile := j / perTile
+			assign[id] = (p + tile) % numPartitions
+		}
+		p += tilesInSlice
+	}
+	return assign
+}
+
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,285 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repose/internal/geo"
+	"repose/internal/grid"
+)
+
+func testGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.NewWithBits(geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// clusteredDataset: groups of near-identical trajectories, so the
+// geohash clustering has clear structure.
+func clusteredDataset(rng *rand.Rand, groups, perGroup int) []*geo.Trajectory {
+	var ds []*geo.Trajectory
+	id := 0
+	for c := 0; c < groups; c++ {
+		x0 := rng.Float64() * 7
+		y0 := rng.Float64() * 7
+		for m := 0; m < perGroup; m++ {
+			tr := &geo.Trajectory{ID: id}
+			id++
+			for s := 0; s < 5; s++ {
+				tr.Points = append(tr.Points, geo.Point{
+					X: x0 + float64(s)*0.15 + rng.Float64()*0.01,
+					Y: y0 + rng.Float64()*0.01,
+				})
+			}
+			ds = append(ds, tr)
+		}
+	}
+	return ds
+}
+
+func partitionSizes(assign []int, np int) []int {
+	sizes := make([]int, np)
+	for _, p := range assign {
+		sizes[p]++
+	}
+	return sizes
+}
+
+func TestAssignErrors(t *testing.T) {
+	g := testGrid(t)
+	ds := clusteredDataset(rand.New(rand.NewSource(1)), 2, 2)
+	if _, err := Assign(Heterogeneous, ds, g, 0, 1); err == nil {
+		t.Error("numPartitions=0 should fail")
+	}
+	if _, err := Assign(Strategy(99), ds, g, 4, 1); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	if got, err := Assign(Heterogeneous, nil, g, 4, 1); err != nil || got != nil {
+		t.Errorf("empty ds: %v, %v", got, err)
+	}
+}
+
+func TestAllStrategiesBalanceSizes(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(5))
+	ds := clusteredDataset(rng, 16, 25) // 400 trajectories
+	const np = 8
+	for _, s := range []Strategy{Heterogeneous, Homogeneous, Random} {
+		assign, err := Assign(s, ds, g, np, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(assign) != len(ds) {
+			t.Fatalf("%v: assign len %d", s, len(assign))
+		}
+		sizes := partitionSizes(assign, np)
+		min, max := sizes[0], sizes[0]
+		for _, sz := range sizes {
+			if sz < min {
+				min = sz
+			}
+			if sz > max {
+				max = sz
+			}
+		}
+		// Homogeneous keeps clusters whole, so imbalance up to a
+		// cluster size (25) is inherent; the others must be tight.
+		limit := 2
+		if s == Homogeneous {
+			limit = 26
+		}
+		if max-min > limit {
+			t.Errorf("%v: sizes %v (spread %d > %d)", s, sizes, max-min, limit)
+		}
+	}
+}
+
+// TestHeterogeneousSpreadsClusters: members of one cluster of
+// near-identical trajectories should land in distinct partitions.
+func TestHeterogeneousSpreadsClusters(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(6))
+	const np = 8
+	ds := clusteredDataset(rng, 10, np) // cluster size == partitions
+	assign, err := Assign(Heterogeneous, ds, g, np, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each group of 8 consecutive ids (one spatial cluster),
+	// count distinct partitions. Round-robin should give nearly all
+	// distinct (clusters may merge under coarse geohash, still fine).
+	distinctTotal := 0
+	for c := 0; c < 10; c++ {
+		seen := map[int]bool{}
+		for m := 0; m < np; m++ {
+			seen[assign[c*np+m]] = true
+		}
+		distinctTotal += len(seen)
+	}
+	// Perfect spreading gives 80; random assignment averages ~52.
+	if distinctTotal < 70 {
+		t.Errorf("heterogeneous spread too low: %d/80 distinct", distinctTotal)
+	}
+}
+
+// TestHomogeneousKeepsClustersTogether: members of one cluster should
+// (mostly) share a partition.
+func TestHomogeneousKeepsClustersTogether(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(7))
+	const np = 8
+	ds := clusteredDataset(rng, 10, np)
+	assign, err := Assign(Homogeneous, ds, g, np, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	together := 0
+	for c := 0; c < 10; c++ {
+		seen := map[int]bool{}
+		for m := 0; m < np; m++ {
+			seen[assign[c*np+m]] = true
+		}
+		if len(seen) == 1 {
+			together++
+		}
+	}
+	if together < 8 {
+		t.Errorf("only %d/10 clusters kept together", together)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	g := testGrid(t)
+	ds := clusteredDataset(rand.New(rand.NewSource(8)), 5, 10)
+	a1, _ := Assign(Random, ds, g, 4, 42)
+	a2, _ := Assign(Random, ds, g, 4, 42)
+	a3, _ := Assign(Random, ds, g, 4, 43)
+	same, diff := true, false
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			same = false
+		}
+		if a1[i] != a3[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed should reproduce")
+	}
+	if !diff {
+		t.Error("different seed should differ")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	g := testGrid(t)
+	ds := clusteredDataset(rand.New(rand.NewSource(9)), 4, 5)
+	assign, _ := Assign(Random, ds, g, 3, 1)
+	parts := Split(ds, assign, 3)
+	total := 0
+	for p, part := range parts {
+		for _, tr := range part {
+			if assign[tr.ID] != p {
+				t.Errorf("trajectory %d in wrong partition", tr.ID)
+			}
+		}
+		total += len(part)
+	}
+	if total != len(ds) {
+		t.Errorf("split lost trajectories: %d of %d", total, len(ds))
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Heterogeneous.String() != "Heterogeneous" || Strategy(9).String() != "Strategy(9)" {
+		t.Error("String misbehaves")
+	}
+}
+
+func TestSTRAssignBalancedAndLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 1000
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	const np = 9
+	assign := STRAssign(pts, np)
+	sizes := partitionSizes(assign, np)
+	for p, sz := range sizes {
+		if sz == 0 {
+			t.Errorf("partition %d empty: %v", p, sizes)
+		}
+	}
+	// Locality: average intra-partition pairwise distance should be
+	// clearly below the global average.
+	avgAll, nAll := 0.0, 0
+	avgIn, nIn := 0.0, 0
+	for i := 0; i < 400; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		d := pts[a].Dist(pts[b])
+		avgAll += d
+		nAll++
+		if assign[a] == assign[b] {
+			avgIn += d
+			nIn++
+		}
+	}
+	if nIn == 0 {
+		t.Skip("no intra-partition samples")
+	}
+	if avgIn/float64(nIn) > 0.8*(avgAll/float64(nAll)) {
+		t.Errorf("STR not local: intra %v vs overall %v", avgIn/float64(nIn), avgAll/float64(nAll))
+	}
+}
+
+func TestSTRAssignEdgeCases(t *testing.T) {
+	if got := STRAssign(nil, 4); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	one := STRAssign([]geo.Point{{X: 1, Y: 1}}, 1)
+	if len(one) != 1 || one[0] != 0 {
+		t.Errorf("single = %v", one)
+	}
+	// More partitions than points: all assignments valid.
+	few := STRAssign([]geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}, 10)
+	for _, p := range few {
+		if p < 0 || p >= 10 {
+			t.Errorf("out of range partition %d", p)
+		}
+	}
+}
+
+// TestHeterogeneousBetterQueryBalance is the load-balancing claim of
+// Section V-B in miniature: with a skewed query, the spread of
+// relevant trajectories across partitions should be far more even
+// under heterogeneous partitioning than homogeneous.
+func TestHeterogeneousBetterQueryBalance(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(11))
+	const np = 8
+	ds := clusteredDataset(rng, 16, 32)
+	het, _ := Assign(Heterogeneous, ds, g, np, 1)
+	hom, _ := Assign(Homogeneous, ds, g, np, 1)
+	// "Relevant" = the first cluster (trajectories 0..31): how evenly
+	// are they spread?
+	spread := func(assign []int) float64 {
+		counts := make([]float64, np)
+		for i := 0; i < 32; i++ {
+			counts[assign[i]]++
+		}
+		mean := 32.0 / np
+		varsum := 0.0
+		for _, c := range counts {
+			varsum += (c - mean) * (c - mean)
+		}
+		return math.Sqrt(varsum / np)
+	}
+	if spread(het) >= spread(hom) {
+		t.Errorf("heterogeneous stddev %v >= homogeneous %v", spread(het), spread(hom))
+	}
+}

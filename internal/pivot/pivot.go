@@ -1,0 +1,129 @@
+// Package pivot implements pivot-trajectory selection and the
+// pivot-based pruning bound of Section IV-D.
+//
+// Pivots apply only to metric measures (Hausdorff, Frechet, ERP). The
+// paper's Eq. 5 mixes the triangle-inequality interval with an
+// absolute value that is not a valid lower bound when dqp < HR.max;
+// we use the classical interval form instead (see DESIGN.md):
+//
+//	LBp = max_i max(0, dqp[i] − HR[i].Max, HR[i].Min − dqp[i]),
+//
+// where HR[i] is the (min,max) range of distances from the i-th pivot
+// to the actual trajectories in a subtree. Storing distances to the
+// actual trajectories (rather than to their reference trajectories
+// plus a √2δ/2 slack) keeps the bound valid for ERP, whose distance
+// to a reference trajectory is not bounded by the cell half-diagonal.
+package pivot
+
+import (
+	"math"
+	"math/rand"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+)
+
+// Range is a closed distance interval [Min, Max].
+type Range struct {
+	Min, Max float64
+}
+
+// EmptyRange returns the identity element for Extend/Union.
+func EmptyRange() Range {
+	return Range{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// IsEmpty reports whether no distance has been recorded.
+func (r Range) IsEmpty() bool { return r.Min > r.Max }
+
+// Extend widens r to include d.
+func (r Range) Extend(d float64) Range {
+	return Range{Min: math.Min(r.Min, d), Max: math.Max(r.Max, d)}
+}
+
+// Union widens r to cover s.
+func (r Range) Union(s Range) Range {
+	if s.IsEmpty() {
+		return r
+	}
+	if r.IsEmpty() {
+		return s
+	}
+	return Range{Min: math.Min(r.Min, s.Min), Max: math.Max(r.Max, s.Max)}
+}
+
+// DefaultGroups is the number m of random candidate groups sampled by
+// Select, following the practical method of Skopal et al. adopted by
+// the paper.
+const DefaultGroups = 10
+
+// Select chooses np pivot trajectories from ds: it samples `groups`
+// random groups of np trajectories, scores each group by the sum of
+// pairwise distances, and returns the group with the largest score
+// (Section III-B). Selection is deterministic for a given seed.
+func Select(ds []*geo.Trajectory, np, groups int, m dist.Measure, p dist.Params, seed int64) []*geo.Trajectory {
+	if np <= 0 || len(ds) == 0 {
+		return nil
+	}
+	if np >= len(ds) {
+		np = len(ds)
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var best []*geo.Trajectory
+	bestScore := math.Inf(-1)
+	for g := 0; g < groups; g++ {
+		cand := sampleWithoutReplacement(rng, ds, np)
+		score := 0.0
+		for i := 0; i < len(cand); i++ {
+			for j := i + 1; j < len(cand); j++ {
+				score += dist.Distance(m, cand[i].Points, cand[j].Points, p)
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+func sampleWithoutReplacement(rng *rand.Rand, ds []*geo.Trajectory, n int) []*geo.Trajectory {
+	idx := rng.Perm(len(ds))[:n]
+	out := make([]*geo.Trajectory, n)
+	for i, j := range idx {
+		out[i] = ds[j]
+	}
+	return out
+}
+
+// Distances computes the exact distances from query q to each pivot.
+// It is the O(Np·m·n) preprocessing step of Section IV-D, performed
+// once per query.
+func Distances(q []geo.Point, pivots []*geo.Trajectory, m dist.Measure, p dist.Params) []float64 {
+	out := make([]float64, len(pivots))
+	for i, pv := range pivots {
+		out[i] = dist.Distance(m, q, pv.Points, p)
+	}
+	return out
+}
+
+// LowerBound evaluates LBp for a node with pivot ranges hr given the
+// query-to-pivot distances dqp. Empty ranges contribute nothing.
+func LowerBound(dqp []float64, hr []Range) float64 {
+	lb := 0.0
+	for i := range hr {
+		if i >= len(dqp) || hr[i].IsEmpty() {
+			continue
+		}
+		if v := dqp[i] - hr[i].Max; v > lb {
+			lb = v
+		}
+		if v := hr[i].Min - dqp[i]; v > lb {
+			lb = v
+		}
+	}
+	return lb
+}

@@ -1,0 +1,192 @@
+package pivot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+)
+
+func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
+	ds := make([]*geo.Trajectory, n)
+	for i := range ds {
+		pts := make([]geo.Point, 2+rng.Intn(8))
+		for j := range pts {
+			pts[j] = geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		ds[i] = &geo.Trajectory{ID: i, Points: pts}
+	}
+	return ds
+}
+
+func TestRange(t *testing.T) {
+	r := EmptyRange()
+	if !r.IsEmpty() {
+		t.Error("EmptyRange should be empty")
+	}
+	r = r.Extend(3)
+	r = r.Extend(1)
+	r = r.Extend(5)
+	if r.Min != 1 || r.Max != 5 {
+		t.Errorf("range = %+v", r)
+	}
+	u := r.Union(Range{Min: 0.5, Max: 2})
+	if u.Min != 0.5 || u.Max != 5 {
+		t.Errorf("union = %+v", u)
+	}
+	if got := r.Union(EmptyRange()); got != r {
+		t.Errorf("union with empty = %+v", got)
+	}
+	if got := EmptyRange().Union(r); got != r {
+		t.Errorf("empty union = %+v", got)
+	}
+}
+
+func TestSelectBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randomDataset(rng, 50)
+	p := dist.Params{}
+	pivots := Select(ds, 5, DefaultGroups, dist.Hausdorff, p, 42)
+	if len(pivots) != 5 {
+		t.Fatalf("len = %d", len(pivots))
+	}
+	// Distinct trajectories.
+	seen := map[int]bool{}
+	for _, pv := range pivots {
+		if seen[pv.ID] {
+			t.Errorf("duplicate pivot %d", pv.ID)
+		}
+		seen[pv.ID] = true
+	}
+	// Deterministic for same seed.
+	again := Select(ds, 5, DefaultGroups, dist.Hausdorff, p, 42)
+	for i := range pivots {
+		if pivots[i].ID != again[i].ID {
+			t.Error("selection not deterministic")
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := randomDataset(rng, 3)
+	p := dist.Params{}
+	if got := Select(ds, 0, 5, dist.Hausdorff, p, 1); got != nil {
+		t.Errorf("np=0 should give nil, got %v", got)
+	}
+	if got := Select(nil, 3, 5, dist.Hausdorff, p, 1); got != nil {
+		t.Errorf("empty ds should give nil, got %v", got)
+	}
+	// np larger than dataset clamps.
+	if got := Select(ds, 10, 5, dist.Hausdorff, p, 1); len(got) != 3 {
+		t.Errorf("clamped selection len = %d", len(got))
+	}
+	// groups < 1 clamps to 1.
+	if got := Select(ds, 2, 0, dist.Hausdorff, p, 1); len(got) != 2 {
+		t.Errorf("groups=0 selection len = %d", len(got))
+	}
+}
+
+// TestSelectPrefersSpread: with one tight cluster and a few far
+// outliers, the max-pairwise-distance-sum group must include at
+// least one outlier — an all-cluster group scores near zero. (The
+// sum criterion does not guarantee *all* pivots are outliers: a
+// group of two cluster members plus the farthest outlier can
+// outscore the all-outlier group.)
+func TestSelectPrefersSpread(t *testing.T) {
+	var ds []*geo.Trajectory
+	// 20 nearly identical trajectories at the origin.
+	for i := 0; i < 20; i++ {
+		ds = append(ds, &geo.Trajectory{ID: i, Points: []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}})
+	}
+	// 3 far-apart outliers.
+	for i := 0; i < 3; i++ {
+		x := float64(1000 * (i + 1))
+		ds = append(ds, &geo.Trajectory{ID: 20 + i, Points: []geo.Point{{X: x, Y: x}, {X: x + 1, Y: x}}})
+	}
+	pivots := Select(ds, 3, 400, dist.Hausdorff, dist.Params{}, 7)
+	outliers := 0
+	for _, pv := range pivots {
+		if pv.ID >= 20 {
+			outliers++
+		}
+	}
+	if outliers < 1 {
+		t.Errorf("expected at least one outlier pivot, got %d of 3", outliers)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	q := []geo.Point{{X: 0, Y: 0}}
+	pivots := []*geo.Trajectory{
+		{Points: []geo.Point{{X: 3, Y: 4}}},
+		{Points: []geo.Point{{X: 0, Y: 1}}},
+	}
+	d := Distances(q, pivots, dist.Hausdorff, dist.Params{})
+	if len(d) != 2 || math.Abs(d[0]-5) > 1e-9 || math.Abs(d[1]-1) > 1e-9 {
+		t.Errorf("distances = %v", d)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	hr := []Range{{Min: 2, Max: 4}}
+	cases := []struct {
+		dqp  float64
+		want float64
+	}{
+		{7, 3},     // query far beyond max: dqp − max
+		{0.5, 1.5}, // query inside min: min − dqp
+		{3, 0},     // query within range: no bound
+	}
+	for _, c := range cases {
+		if got := LowerBound([]float64{c.dqp}, hr); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LowerBound(%v) = %v, want %v", c.dqp, got, c.want)
+		}
+	}
+	// Multiple pivots: max over pivots.
+	hr2 := []Range{{Min: 2, Max: 4}, {Min: 10, Max: 12}}
+	if got := LowerBound([]float64{7, 20}, hr2); math.Abs(got-8) > 1e-9 {
+		t.Errorf("multi-pivot = %v, want 8", got)
+	}
+	// Empty ranges and missing dqp entries are ignored.
+	if got := LowerBound([]float64{7}, []Range{EmptyRange()}); got != 0 {
+		t.Errorf("empty range = %v", got)
+	}
+	if got := LowerBound(nil, hr); got != 0 {
+		t.Errorf("missing dqp = %v", got)
+	}
+}
+
+// TestLowerBoundSound verifies the triangle-inequality soundness of
+// LBp directly: for random metric datasets, LBp never exceeds the
+// true distance between the query and any subtree trajectory.
+func TestLowerBoundSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := dist.Params{Gap: geo.Point{}}
+	for trial := 0; trial < 60; trial++ {
+		ds := randomDataset(rng, 12)
+		q := randomDataset(rng, 1)[0]
+		for _, m := range []dist.Measure{dist.Hausdorff, dist.Frechet, dist.ERP} {
+			pivots := Select(ds, 3, 5, m, p, int64(trial))
+			dqp := Distances(q.Points, pivots, m, p)
+			// Build HR over a random subset (a "subtree").
+			sub := ds[:4+rng.Intn(8)]
+			hr := make([]Range, len(pivots))
+			for i := range hr {
+				hr[i] = EmptyRange()
+				for _, tr := range sub {
+					hr[i] = hr[i].Extend(dist.Distance(m, pivots[i].Points, tr.Points, p))
+				}
+			}
+			lbp := LowerBound(dqp, hr)
+			for _, tr := range sub {
+				exact := dist.Distance(m, q.Points, tr.Points, p)
+				if lbp > exact+1e-9 {
+					t.Fatalf("%v: LBp %v > exact %v", m, lbp, exact)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package rptrie
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/pivot"
+)
+
+// Persistence: a built trie round-trips through gob, preserving the
+// expensive build artifacts (pivot distance ranges, Dmax values) so a
+// restarted worker does not pay the O(N·L²·Np) construction cost
+// again. The format is a preorder node stream plus the indexed
+// trajectories.
+
+// wireHeader identifies the format.
+const wireMagic = "RPTRIE1"
+
+type wireConfig struct {
+	Measure    dist.Measure
+	Params     dist.Params
+	GridOrigin geo.Point
+	GridU      float64
+	GridBits   int
+	Pivots     []*geo.Trajectory
+	Optimize   bool
+	DisableLBt bool
+	DisableLBp bool
+}
+
+type wireNode struct {
+	Z          uint64
+	Children   int32
+	MinLen     int32
+	MaxLen     int32
+	MaxDepth   int32
+	HR         []pivot.Range
+	HasLeaf    bool
+	Tids       []int32
+	Dmax       float64
+	LeafMinLen int32
+	LeafMaxLen int32
+}
+
+type wireTrie struct {
+	Magic    string
+	Config   wireConfig
+	Nodes    []wireNode // preorder, root first
+	Trajs    []*geo.Trajectory
+	NumNodes int
+	NumLeafs int
+	MaxDepth int
+}
+
+// Save serializes the trie to w in the gob wire format readable by
+// ReadTrie. (Not named WriteTo: io.WriterTo's byte-count contract is
+// meaningless through gob.)
+func (t *Trie) Save(w io.Writer) error {
+	wt := wireTrie{
+		Magic: wireMagic,
+		Config: wireConfig{
+			Measure:    t.cfg.Measure,
+			Params:     t.cfg.Params,
+			GridOrigin: t.cfg.Grid.Origin,
+			GridU:      t.cfg.Grid.U,
+			GridBits:   t.cfg.Grid.Bits,
+			Pivots:     t.cfg.Pivots,
+			Optimize:   t.cfg.Optimize,
+			DisableLBt: t.cfg.DisableLBt,
+			DisableLBp: t.cfg.DisableLBp,
+		},
+		NumNodes: t.numNodes,
+		NumLeafs: t.numLeafs,
+		MaxDepth: t.maxDepth,
+	}
+	var flatten func(n *node)
+	flatten = func(n *node) {
+		wn := wireNode{
+			Z:        n.z,
+			Children: int32(len(n.children)),
+			MinLen:   int32(n.minLen),
+			MaxLen:   int32(n.maxLen),
+			MaxDepth: int32(n.maxDepthBelow),
+			HR:       n.hr,
+		}
+		if n.leaf != nil {
+			wn.HasLeaf = true
+			wn.Tids = n.leaf.tids
+			wn.Dmax = n.leaf.dmax
+			wn.LeafMinLen = int32(n.leaf.minLen)
+			wn.LeafMaxLen = int32(n.leaf.maxLen)
+		}
+		wt.Nodes = append(wt.Nodes, wn)
+		for _, c := range n.children {
+			flatten(c)
+		}
+	}
+	flatten(t.root)
+	wt.Trajs = make([]*geo.Trajectory, 0, len(t.trajs))
+	for _, tr := range t.trajs {
+		wt.Trajs = append(wt.Trajs, tr)
+	}
+	return gob.NewEncoder(w).Encode(&wt)
+}
+
+// ReadTrie deserializes a trie written by Save.
+func ReadTrie(r io.Reader) (*Trie, error) {
+	var wt wireTrie
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("rptrie: decode: %w", err)
+	}
+	if wt.Magic != wireMagic {
+		return nil, fmt.Errorf("rptrie: bad magic %q", wt.Magic)
+	}
+	if len(wt.Nodes) == 0 {
+		return nil, errors.New("rptrie: empty node stream")
+	}
+	g, err := grid.NewWithBits(geo.Rect{
+		Min: wt.Config.GridOrigin,
+		Max: geo.Point{X: wt.Config.GridOrigin.X + wt.Config.GridU, Y: wt.Config.GridOrigin.Y + wt.Config.GridU},
+	}, wt.Config.GridBits)
+	if err != nil {
+		return nil, fmt.Errorf("rptrie: grid: %w", err)
+	}
+	t := &Trie{
+		cfg: Config{
+			Measure:    wt.Config.Measure,
+			Params:     wt.Config.Params,
+			Grid:       g,
+			Pivots:     wt.Config.Pivots,
+			Optimize:   wt.Config.Optimize,
+			DisableLBt: wt.Config.DisableLBt,
+			DisableLBp: wt.Config.DisableLBp,
+		},
+		trajs:    make(map[int32]*geo.Trajectory, len(wt.Trajs)),
+		numNodes: wt.NumNodes,
+		numLeafs: wt.NumLeafs,
+		maxDepth: wt.MaxDepth,
+	}
+	for _, tr := range wt.Trajs {
+		t.trajs[int32(tr.ID)] = tr
+	}
+	pos := 0
+	var rebuild func() (*node, error)
+	rebuild = func() (*node, error) {
+		if pos >= len(wt.Nodes) {
+			return nil, errors.New("rptrie: truncated node stream")
+		}
+		wn := wt.Nodes[pos]
+		pos++
+		n := &node{
+			z:             wn.Z,
+			minLen:        int(wn.MinLen),
+			maxLen:        int(wn.MaxLen),
+			maxDepthBelow: int(wn.MaxDepth),
+			hr:            wn.HR,
+		}
+		if wn.HasLeaf {
+			n.leaf = &leafData{
+				tids:   wn.Tids,
+				dmax:   wn.Dmax,
+				minLen: int(wn.LeafMinLen),
+				maxLen: int(wn.LeafMaxLen),
+			}
+			for _, tid := range wn.Tids {
+				if _, ok := t.trajs[tid]; !ok {
+					return nil, fmt.Errorf("rptrie: leaf references unknown trajectory %d", tid)
+				}
+			}
+		}
+		for i := int32(0); i < wn.Children; i++ {
+			c, err := rebuild()
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, c)
+		}
+		return n, nil
+	}
+	root, err := rebuild()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(wt.Nodes) {
+		return nil, fmt.Errorf("rptrie: %d trailing nodes", len(wt.Nodes)-pos)
+	}
+	t.root = root
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package rptrie
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/pivot"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+	g, err := grid.NewWithBits(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dist.Params{Epsilon: 0.5, Gap: geo.Point{}}
+	ds := randomDataset(rng, 120)
+	pivots := pivot.Select(ds, 3, 5, dist.Hausdorff, p, 7)
+	for _, cfg := range []Config{
+		{Measure: dist.Hausdorff, Params: p, Grid: g, Pivots: pivots, Optimize: true},
+		{Measure: dist.Frechet, Params: p, Grid: g, Pivots: pivots},
+		{Measure: dist.LCSS, Params: p, Grid: g},
+	} {
+		orig, err := Build(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadTrie(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumNodes() != orig.NumNodes() || back.NumLeaves() != orig.NumLeaves() ||
+			back.MaxDepth() != orig.MaxDepth() || back.Len() != orig.Len() {
+			t.Fatalf("%v: stats differ after round trip", cfg.Measure)
+		}
+		// Restored trie satisfies every structural invariant.
+		validate(t, back)
+		// And answers identically, with identical work.
+		for trial := 0; trial < 5; trial++ {
+			q := randomDataset(rng, 1)[0]
+			got, gotStats := back.SearchWithStats(q.Points, 7)
+			want, wantStats := orig.SearchWithStats(q.Points, 7)
+			if len(got) != len(want) {
+				t.Fatalf("%v: result sizes differ", cfg.Measure)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v: result %d differs: %+v vs %+v", cfg.Measure, i, got[i], want[i])
+				}
+			}
+			if gotStats != wantStats {
+				t.Fatalf("%v: stats differ: %+v vs %+v", cfg.Measure, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+func TestPersistEmptyTrie(t *testing.T) {
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+	g, _ := grid.NewWithBits(region, 3)
+	orig, err := Build(Config{Measure: dist.Hausdorff, Grid: g}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrie(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := back.Search([]geo.Point{{X: 1, Y: 1}}, 3); res != nil {
+		t.Errorf("restored empty trie returned %v", res)
+	}
+}
+
+func TestReadTrieErrors(t *testing.T) {
+	if _, err := ReadTrie(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := ReadTrie(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Valid gob, wrong magic.
+	var buf bytes.Buffer
+	ds, _, g := paperDataset()
+	orig, err := Build(Config{Measure: dist.Hausdorff, Grid: g}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the magic string in place.
+	idx := bytes.Index(raw, []byte("RPTRIE1"))
+	if idx < 0 {
+		t.Fatal("magic not found in encoding")
+	}
+	raw[idx] = 'X'
+	if _, err := ReadTrie(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted magic should fail")
+	}
+}

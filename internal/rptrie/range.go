@@ -1,0 +1,82 @@
+package rptrie
+
+import (
+	"math"
+	"sort"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/pivot"
+	"repose/internal/topk"
+)
+
+// SearchRadius returns every indexed trajectory within distance
+// radius of q, ascending by (distance, id). It reuses the top-k
+// machinery with a fixed threshold instead of a shrinking dk — the
+// range-query primitive DITA builds its top-k on, provided here as an
+// extension (the paper's Section IX mentions range search only via
+// DITA).
+func (t *Trie) SearchRadius(q []geo.Point, radius float64) []topk.Item {
+	if len(q) == 0 || len(t.trajs) == 0 || radius < 0 {
+		return nil
+	}
+	var out []topk.Item
+
+	var dqp []float64
+	if t.cfg.Pivots != nil && !t.cfg.DisableLBp {
+		dqp = pivot.Distances(q, t.cfg.Pivots, t.cfg.Measure, t.cfg.Params)
+	}
+	b := dist.NewBounder(t.cfg.Measure, q, t.cfg.Grid.HalfDiagonal(), t.cfg.Params)
+	t.rangeWalk(t.root, b, q, radius, dqp, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// rangeWalk prunes subtrees whose bound exceeds radius and refines
+// surviving leaves. Depth-first: unlike top-k, range search gains
+// nothing from best-first ordering because the threshold is fixed.
+func (t *Trie) rangeWalk(n *node, b dist.Bounder, q []geo.Point, radius float64, dqp []float64, out *[]topk.Item) {
+	if dqp != nil && n.hr != nil && pivot.LowerBound(dqp, n.hr) > radius {
+		return
+	}
+	if n.leaf != nil {
+		lb := 0.0
+		if !t.cfg.DisableLBt {
+			lb = b.LBt(dist.LeafMeta{
+				NodeMeta: dist.NodeMeta{MinLen: n.leaf.minLen, MaxLen: n.leaf.maxLen},
+				Dmax:     n.leaf.dmax,
+			})
+		}
+		if lb <= radius {
+			for _, tid := range n.leaf.tids {
+				tr := t.trajs[tid]
+				d := dist.DistanceBounded(t.cfg.Measure, q, tr.Points, t.cfg.Params, radius)
+				if d <= radius && !math.IsInf(d, 1) {
+					*out = append(*out, topk.Item{ID: int(tid), Dist: d})
+				}
+			}
+		}
+	}
+	for i, c := range n.children {
+		var cb dist.Bounder
+		if i == len(n.children)-1 {
+			cb = b
+		} else {
+			cb = b.Clone()
+		}
+		cb.Extend(t.cfg.Grid.CellByZ(c.z))
+		if cb.LBo(t.nodeMeta(c)) > radius {
+			continue
+		}
+		t.rangeWalk(c, cb, q, radius, dqp, out)
+	}
+}
+
+func (t *Trie) nodeMeta(n *node) dist.NodeMeta {
+	return dist.NodeMeta{MinLen: n.minLen, MaxLen: n.maxLen, MaxDepthBelow: n.maxDepthBelow}
+}

@@ -1,0 +1,386 @@
+// Package rptrie implements the Reference Point Trie (RP-Trie), the
+// core index of REPOSE (Sections III and IV of the paper).
+//
+// Trajectories are discretized into reference trajectories (z-value
+// sequences) on a grid; the trie indexes those sequences. Leaves
+// record the ids of all trajectories sharing a reference trajectory,
+// the maximum distance Dmax from the reference trajectory to those
+// trajectories, and per-pivot distance ranges HR. Top-k queries
+// traverse the trie best-first, pruning with the one-side bound LBo,
+// the two-side bound LBt, and the pivot bound LBp.
+//
+// Two structural optimizations are provided: z-value re-arrangement
+// for order-independent measures (Section III-C) and a succinct
+// two-tier layout (bitmap upper levels, byte-serialized lower levels;
+// Section III-B).
+package rptrie
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/pivot"
+)
+
+// Config configures index construction. The zero value of the toggle
+// fields enables every optimization except re-arrangement, which is
+// only valid for order-independent measures and must be requested.
+type Config struct {
+	Measure dist.Measure
+	Params  dist.Params
+	Grid    *grid.Grid
+
+	// Pivots are the global pivot trajectories (Section III-B).
+	// Ignored for non-metric measures. Nil disables pivot pruning.
+	Pivots []*geo.Trajectory
+
+	// Optimize enables z-value re-arrangement (Section III-C).
+	// Build fails if set for an order-dependent measure.
+	Optimize bool
+
+	// DisableLBt and DisableLBp switch off the two-side and pivot
+	// bounds; used by the ablation benchmarks.
+	DisableLBt bool
+	DisableLBp bool
+}
+
+// node is a pointer-layout trie node. The root has no label. A node
+// may simultaneously have children and terminal (leaf) data — the
+// latter models the paper's '$' terminator for reference trajectories
+// that are prefixes of others.
+type node struct {
+	z        uint64
+	children []*node // sorted by z
+
+	// Subtree metadata for the bounds (see dist.NodeMeta).
+	minLen, maxLen int
+	maxDepthBelow  int
+
+	// hr[i] is the range of distances from pivot i to the actual
+	// trajectories in this subtree; nil when pivots are unused.
+	hr []pivot.Range
+
+	leaf *leafData
+}
+
+// leafData is the payload of a terminal node.
+type leafData struct {
+	tids   []int32
+	dmax   float64 // max distance from reference trajectory to members
+	minLen int     // member length range (original points)
+	maxLen int
+}
+
+// Trie is the built index together with the trajectories it covers
+// (the paper's RpTraj pairing of data and index).
+type Trie struct {
+	cfg      Config
+	root     *node
+	trajs    map[int32]*geo.Trajectory
+	numNodes int // excluding the root
+	numLeafs int
+	maxDepth int
+}
+
+// Build constructs an RP-Trie over ds. Trajectories must be non-empty
+// and have unique ids.
+func Build(cfg Config, ds []*geo.Trajectory) (*Trie, error) {
+	if cfg.Grid == nil {
+		return nil, errors.New("rptrie: nil grid")
+	}
+	if cfg.Optimize && !cfg.Measure.OrderIndependent() {
+		return nil, fmt.Errorf("rptrie: re-arrangement requires an order-independent measure, %v is not", cfg.Measure)
+	}
+	if !cfg.Measure.IsMetric() {
+		cfg.Pivots = nil
+	}
+	t := &Trie{
+		cfg:   cfg,
+		root:  &node{},
+		trajs: make(map[int32]*geo.Trajectory, len(ds)),
+	}
+	type refEntry struct {
+		tid int32
+		zs  []uint64
+	}
+	entries := make([]refEntry, 0, len(ds))
+	for _, tr := range ds {
+		if len(tr.Points) == 0 {
+			return nil, fmt.Errorf("rptrie: trajectory %d is empty", tr.ID)
+		}
+		tid := int32(tr.ID)
+		if _, dup := t.trajs[tid]; dup {
+			return nil, fmt.Errorf("rptrie: duplicate trajectory id %d", tr.ID)
+		}
+		t.trajs[tid] = tr
+		zs := cfg.Grid.Reference(tr)
+		if cfg.Optimize {
+			zs = dedupZ(zs)
+		}
+		entries = append(entries, refEntry{tid: tid, zs: zs})
+	}
+	if cfg.Optimize {
+		items := make([]hsItem, len(entries))
+		for i, e := range entries {
+			items[i] = hsItem{tid: e.tid, zs: e.zs}
+		}
+		t.buildOptimized(t.root, items)
+	} else {
+		// Insert in id order for determinism.
+		sort.Slice(entries, func(i, j int) bool { return entries[i].tid < entries[j].tid })
+		for _, e := range entries {
+			t.insert(e.tid, e.zs)
+		}
+	}
+	t.finalize(t.root, nil, 0)
+	return t, nil
+}
+
+// dedupZ removes duplicate z-values (not just consecutive runs) while
+// keeping first-occurrence order; step (1) of Section III-C.
+func dedupZ(zs []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(zs))
+	out := zs[:0:0]
+	for _, z := range zs {
+		if _, ok := seen[z]; ok {
+			continue
+		}
+		seen[z] = struct{}{}
+		out = append(out, z)
+	}
+	return out
+}
+
+// insert adds one reference trajectory to the basic trie.
+func (t *Trie) insert(tid int32, zs []uint64) {
+	cur := t.root
+	for _, z := range zs {
+		next := cur.child(z)
+		if next == nil {
+			next = &node{z: z}
+			cur.children = append(cur.children, next)
+			t.numNodes++
+		}
+		cur = next
+	}
+	if cur.leaf == nil {
+		cur.leaf = &leafData{}
+		t.numLeafs++
+	}
+	cur.leaf.tids = append(cur.leaf.tids, tid)
+}
+
+// child returns the child labeled z, or nil. Children are unsorted
+// during construction, sorted by finalize.
+func (n *node) child(z uint64) *node {
+	for _, c := range n.children {
+		if c.z == z {
+			return c
+		}
+	}
+	return nil
+}
+
+// hsItem is one trajectory in the greedy hitting-set construction:
+// its id and the residual set of z-values not yet consumed by the
+// path. zs is sorted ascending.
+type hsItem struct {
+	tid int32
+	zs  []uint64
+}
+
+// buildOptimized implements the greedy hitting-set algorithm of
+// Theorem 1 / Appendix B: at each level, repeatedly make the most
+// frequent remaining z-value a child and move every trajectory
+// containing it into that child's subtree.
+func (t *Trie) buildOptimized(parent *node, items []hsItem) {
+	for i := range items {
+		sort.Slice(items[i].zs, func(a, b int) bool { return items[i].zs[a] < items[i].zs[b] })
+	}
+	t.buildOptimizedSorted(parent, items)
+}
+
+func (t *Trie) buildOptimizedSorted(parent *node, items []hsItem) {
+	// Trajectories with no residual z-values terminate at parent.
+	rest := items[:0:0]
+	for _, it := range items {
+		if len(it.zs) == 0 {
+			if parent.leaf == nil {
+				parent.leaf = &leafData{}
+				t.numLeafs++
+			}
+			parent.leaf.tids = append(parent.leaf.tids, it.tid)
+		} else {
+			rest = append(rest, it)
+		}
+	}
+	items = rest
+	freq := make(map[uint64]int)
+	for _, it := range items {
+		for _, z := range it.zs {
+			freq[z]++
+		}
+	}
+	for len(items) > 0 {
+		// Most frequent z; ties break to the smallest z for
+		// determinism.
+		var best uint64
+		bestN := -1
+		for z, n := range freq {
+			if n > bestN || (n == bestN && z < best) {
+				best, bestN = z, n
+			}
+		}
+		child := &node{z: best}
+		parent.children = append(parent.children, child)
+		t.numNodes++
+
+		taken := items[:0:0]
+		remain := items[:0:0]
+		for _, it := range items {
+			if containsZ(it.zs, best) {
+				// Maintain the frequency table incrementally, as in
+				// Appendix B: C(Z) − C(Z_z1).
+				for _, z := range it.zs {
+					freq[z]--
+				}
+				it.zs = removeZ(it.zs, best)
+				taken = append(taken, it)
+			} else {
+				remain = append(remain, it)
+			}
+		}
+		t.buildOptimizedSorted(child, taken)
+		items = remain
+	}
+}
+
+func containsZ(zs []uint64, z uint64) bool {
+	i := sort.Search(len(zs), func(i int) bool { return zs[i] >= z })
+	return i < len(zs) && zs[i] == z
+}
+
+func removeZ(zs []uint64, z uint64) []uint64 {
+	out := make([]uint64, 0, len(zs)-1)
+	for _, v := range zs {
+		if v != z {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// finalize sorts children, computes leaf Dmax values, and aggregates
+// the subtree metadata (length ranges, depth, HR) bottom-up. path is
+// the z-value sequence from the root to n.
+func (t *Trie) finalize(n *node, path []uint64, depth int) {
+	if depth > t.maxDepth {
+		t.maxDepth = depth
+	}
+	sort.Slice(n.children, func(i, j int) bool { return n.children[i].z < n.children[j].z })
+
+	n.minLen = int(^uint(0) >> 1) // MaxInt
+	n.maxLen = 0
+	n.maxDepthBelow = 0
+	if t.cfg.Pivots != nil {
+		n.hr = make([]pivot.Range, len(t.cfg.Pivots))
+		for i := range n.hr {
+			n.hr[i] = pivot.EmptyRange()
+		}
+	}
+
+	if n.leaf != nil {
+		refPts := t.cfg.Grid.ReferencePoints(path)
+		n.leaf.minLen = int(^uint(0) >> 1)
+		for _, tid := range n.leaf.tids {
+			tr := t.trajs[tid]
+			l := len(tr.Points)
+			if l < n.leaf.minLen {
+				n.leaf.minLen = l
+			}
+			if l > n.leaf.maxLen {
+				n.leaf.maxLen = l
+			}
+			if t.cfg.Measure.IsMetric() {
+				d := dist.Distance(t.cfg.Measure, tr.Points, refPts, t.cfg.Params)
+				if d > n.leaf.dmax {
+					n.leaf.dmax = d
+				}
+			}
+			if t.cfg.Pivots != nil {
+				for i, pv := range t.cfg.Pivots {
+					d := dist.Distance(t.cfg.Measure, pv.Points, tr.Points, t.cfg.Params)
+					n.hr[i] = n.hr[i].Extend(d)
+				}
+			}
+		}
+		if n.leaf.minLen < n.minLen {
+			n.minLen = n.leaf.minLen
+		}
+		if n.leaf.maxLen > n.maxLen {
+			n.maxLen = n.leaf.maxLen
+		}
+	}
+
+	for _, c := range n.children {
+		childPath := make([]uint64, len(path)+1)
+		copy(childPath, path)
+		childPath[len(path)] = c.z
+		t.finalize(c, childPath, depth+1)
+		if c.minLen < n.minLen {
+			n.minLen = c.minLen
+		}
+		if c.maxLen > n.maxLen {
+			n.maxLen = c.maxLen
+		}
+		if d := c.maxDepthBelow + 1; d > n.maxDepthBelow {
+			n.maxDepthBelow = d
+		}
+		for i := range n.hr {
+			n.hr[i] = n.hr[i].Union(c.hr[i])
+		}
+	}
+}
+
+// NumNodes returns the number of trie nodes, excluding the root (the
+// count Fig. 7 reports).
+func (t *Trie) NumNodes() int { return t.numNodes }
+
+// NumLeaves returns the number of terminal nodes.
+func (t *Trie) NumLeaves() int { return t.numLeafs }
+
+// MaxDepth returns the deepest node's depth.
+func (t *Trie) MaxDepth() int { return t.maxDepth }
+
+// Len returns the number of indexed trajectories.
+func (t *Trie) Len() int { return len(t.trajs) }
+
+// Trajectory returns the indexed trajectory with the given id, or nil.
+func (t *Trie) Trajectory(id int) *geo.Trajectory { return t.trajs[int32(id)] }
+
+// Config returns the configuration the trie was built with.
+func (t *Trie) Config() Config { return t.cfg }
+
+// SizeBytes estimates the in-memory footprint of the index structure
+// (nodes, metadata, leaf payloads), excluding the raw trajectories.
+func (t *Trie) SizeBytes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		// label + slice headers + meta ints.
+		sz := 8 + 24 + 24 + 3*8 + 8
+		sz += len(n.children) * 8 // child pointers
+		sz += len(n.hr) * 16
+		if n.leaf != nil {
+			sz += 8 + 8 + 16 + len(n.leaf.tids)*4
+		}
+		for _, c := range n.children {
+			sz += walk(c)
+		}
+		return sz
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,232 @@
+package rptrie
+
+import (
+	"container/heap"
+	"math"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/pivot"
+	"repose/internal/topk"
+)
+
+// SearchStats summarizes the work one query performed.
+type SearchStats struct {
+	NodesExpanded     int // internal nodes popped and expanded
+	LeavesRefined     int // leaf entries popped and refined
+	ExactComputations int // full distance computations on trajectories
+	EntriesPushed     int // queue insertions
+}
+
+// searchNode abstracts trie navigation so the pointer layout and the
+// succinct layout share one best-first search implementation.
+type searchNode interface {
+	// visitChildren calls fn for each child in ascending z order.
+	visitChildren(fn func(z uint64, c searchNode))
+	// leafView returns the node's terminal payload, if any.
+	leafView() (lv leafView, ok bool)
+	// meta returns the subtree metadata for LBo.
+	meta() dist.NodeMeta
+	// hr returns the pivot distance ranges, or nil.
+	hr() []pivot.Range
+}
+
+// leafView exposes a terminal payload without committing to a layout.
+type leafView struct {
+	tids           []int32
+	dmax           float64
+	minLen, maxLen int
+}
+
+// ptrNode adapts *node to searchNode.
+type ptrNode struct{ n *node }
+
+func (p ptrNode) visitChildren(fn func(z uint64, c searchNode)) {
+	for _, c := range p.n.children {
+		fn(c.z, ptrNode{c})
+	}
+}
+
+func (p ptrNode) leafView() (leafView, bool) {
+	if p.n.leaf == nil {
+		return leafView{}, false
+	}
+	l := p.n.leaf
+	return leafView{tids: l.tids, dmax: l.dmax, minLen: l.minLen, maxLen: l.maxLen}, true
+}
+
+func (p ptrNode) meta() dist.NodeMeta {
+	return dist.NodeMeta{MinLen: p.n.minLen, MaxLen: p.n.maxLen, MaxDepthBelow: p.n.maxDepthBelow}
+}
+
+func (p ptrNode) hr() []pivot.Range { return p.n.hr }
+
+// Search returns the top-k most similar trajectories to the query
+// point sequence q (Algorithm 2). Results order ascending by
+// (distance, id); fewer than k results are returned only when the
+// index holds fewer than k trajectories. Under tied distances any
+// valid top-k set may be returned.
+func (t *Trie) Search(q []geo.Point, k int) []topk.Item {
+	res, _ := t.SearchWithStats(q, k)
+	return res
+}
+
+// SearchWithStats is Search, also reporting traversal statistics.
+func (t *Trie) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
+	s := searcher{cfg: t.cfg, trajs: t.trajs}
+	return s.run(ptrNode{t.root}, q, k)
+}
+
+// searcher is the layout-independent best-first top-k search.
+type searcher struct {
+	cfg   Config
+	trajs map[int32]*geo.Trajectory
+}
+
+func (s *searcher) run(root searchNode, q []geo.Point, k int) ([]topk.Item, SearchStats) {
+	var stats SearchStats
+	if k <= 0 || len(q) == 0 || len(s.trajs) == 0 {
+		return nil, stats
+	}
+	results := topk.New(k)
+
+	var dqp []float64
+	if s.cfg.Pivots != nil && !s.cfg.DisableLBp {
+		dqp = pivot.Distances(q, s.cfg.Pivots, s.cfg.Measure, s.cfg.Params)
+	}
+
+	pq := &entryQueue{}
+	rootBounder := dist.NewBounder(s.cfg.Measure, q, s.cfg.Grid.HalfDiagonal(), s.cfg.Params)
+	s.expand(root, rootBounder, pq, results, dqp, &stats)
+
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(entry)
+		dk := results.Threshold()
+		if e.lb >= dk {
+			// Every queued entry has lb ≥ e.lb ≥ dk, and lb
+			// lower-bounds the distance of every trajectory beneath
+			// it, so nothing better remains (Step 2 of Section IV-A).
+			break
+		}
+		if e.isLeaf {
+			stats.LeavesRefined++
+			s.refine(e.lv, q, results, &stats)
+			continue
+		}
+		stats.NodesExpanded++
+		s.expand(e.n, e.b, pq, results, dqp, &stats)
+	}
+	return results.Results(), stats
+}
+
+// expand pushes n's leaf entry (if any) and child entries whose
+// bounds do not already exceed the current threshold.
+func (s *searcher) expand(n searchNode, b dist.Bounder, pq *entryQueue, results *topk.Heap, dqp []float64, stats *SearchStats) {
+	dk := results.Threshold()
+
+	nhr := n.hr()
+	lbp := 0.0
+	if dqp != nil && nhr != nil {
+		lbp = pivot.LowerBound(dqp, nhr)
+	}
+
+	if lv, ok := n.leafView(); ok {
+		lb := lbp
+		if !s.cfg.DisableLBt {
+			meta := dist.LeafMeta{
+				NodeMeta: dist.NodeMeta{MinLen: lv.minLen, MaxLen: lv.maxLen},
+				Dmax:     lv.dmax,
+			}
+			lb = math.Max(lb, b.LBt(meta))
+		} else {
+			lb = math.Max(lb, b.LBo(n.meta()))
+		}
+		if lb < dk {
+			heap.Push(pq, entry{lb: lb, lv: lv, isLeaf: true})
+			stats.EntriesPushed++
+		}
+	}
+
+	// Count children first so the last child can take ownership of
+	// the bound state instead of cloning it.
+	nchild := 0
+	n.visitChildren(func(uint64, searchNode) { nchild++ })
+	i := 0
+	n.visitChildren(func(z uint64, c searchNode) {
+		i++
+		var cb dist.Bounder
+		if i == nchild {
+			cb = b
+		} else {
+			cb = b.Clone()
+		}
+		cb.Extend(s.cfg.Grid.CellByZ(z))
+
+		clbp := lbp
+		if chr := c.hr(); dqp != nil && chr != nil {
+			clbp = pivot.LowerBound(dqp, chr)
+		}
+		lb := math.Max(cb.LBo(c.meta()), clbp)
+		if lb < results.Threshold() {
+			heap.Push(pq, entry{lb: lb, n: c, b: cb})
+			stats.EntriesPushed++
+		}
+	})
+}
+
+// refine computes exact distances for a leaf's members, with
+// early-abandoning kernels (Hausdorff, Frechet, DTW) cut off at the
+// current threshold. While the result heap is not yet full the
+// threshold is +Inf, so no abandoned (+Inf) value can ever be
+// retained.
+func (s *searcher) refine(lv leafView, q []geo.Point, results *topk.Heap, stats *SearchStats) {
+	for _, tid := range lv.tids {
+		tr := s.trajs[tid]
+		stats.ExactComputations++
+		d := dist.DistanceBounded(s.cfg.Measure, q, tr.Points, s.cfg.Params, results.Threshold())
+		results.Push(int(tid), d)
+	}
+}
+
+// entry is one element of the best-first priority queue: either an
+// internal node with its bound state, or a leaf awaiting refinement.
+type entry struct {
+	lb     float64
+	n      searchNode
+	b      dist.Bounder // nil for leaf entries
+	lv     leafView
+	isLeaf bool
+	seq    int // FIFO tie-break for determinism
+}
+
+type entryQueue struct {
+	items []entry
+	seq   int
+}
+
+func (q *entryQueue) Len() int { return len(q.items) }
+
+func (q *entryQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.lb != b.lb {
+		return a.lb < b.lb
+	}
+	return a.seq < b.seq
+}
+
+func (q *entryQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *entryQueue) Push(x interface{}) {
+	e := x.(entry)
+	e.seq = q.seq
+	q.seq++
+	q.items = append(q.items, e)
+}
+
+func (q *entryQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	e := old[n-1]
+	q.items = old[:n-1]
+	return e
+}

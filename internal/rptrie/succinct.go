@@ -1,0 +1,461 @@
+package rptrie
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+
+	"repose/internal/bits"
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/pivot"
+	"repose/internal/topk"
+)
+
+// Succinct is the compressed two-tier layout of Section III-B: the
+// frequently accessed upper levels are encoded with rank-addressable
+// bitmaps (Bc marks which cells are children, Bt marks terminal
+// nodes — the paper's Bl state bitmap), concatenated in breadth-first
+// order; the sparse lower levels are serialized as byte sequences and
+// decoded lazily during traversal.
+//
+// Two pragmatic deviations from the paper's sketch, both documented
+// in DESIGN.md: the bitmap alphabet is the set of distinct z-values
+// that occur in the dense levels rather than all grid cells (the
+// grids in the experiments have up to 2^18 cells, which would dwarf
+// the trie itself), and HR ranges are stored as directed-rounded
+// float32 pairs (min down, max up) to halve their footprint without
+// compromising bound soundness.
+type Succinct struct {
+	cfg   Config
+	trajs map[int32]*geo.Trajectory
+
+	alphabet []uint64 // sorted distinct z-values of dense-level edges
+	levels   []*denseLevel
+	sparse   []int  // blob offsets of the sparse subtree roots
+	blob     []byte // serialized lower levels
+	leaves   []sLeaf
+	np       int // number of pivots
+
+	numNodes int
+	numLeafs int
+}
+
+type denseLevel struct {
+	n        int       // number of nodes in this level
+	bc       *bits.Set // n*A bits: child present at alphabet symbol
+	bt       *bits.Set // n bits: node has a terminal payload
+	leafBase int       // first terminal payload index for this level
+	meta     []denseMeta
+	hr       []float32 // n*np*2 floats, nil when np == 0
+}
+
+type denseMeta struct {
+	minLen, maxLen, maxDepth int32
+}
+
+type sLeaf struct {
+	tids           []int32
+	dmax           float64
+	minLen, maxLen int32
+}
+
+// denseBudgetBits caps the memory the dense tier may use; levels that
+// would exceed it spill into the sparse tier.
+const denseBudgetBits = 1 << 22
+
+// Compress converts a built pointer trie into the succinct layout.
+// The result answers queries identically to the source trie.
+func Compress(t *Trie) (*Succinct, error) {
+	if t == nil || t.root == nil {
+		return nil, errors.New("rptrie: nil trie")
+	}
+	s := &Succinct{
+		cfg:      t.cfg,
+		trajs:    t.trajs,
+		np:       len(t.cfg.Pivots),
+		numNodes: t.numNodes,
+		numLeafs: t.numLeafs,
+	}
+	if !t.cfg.Measure.IsMetric() {
+		s.np = 0
+	}
+
+	// BFS the trie, collecting nodes per level (level 0 = root).
+	levels := [][]*node{{t.root}}
+	for {
+		last := levels[len(levels)-1]
+		var next []*node
+		for _, n := range last {
+			next = append(next, n.children...)
+		}
+		if len(next) == 0 {
+			break
+		}
+		levels = append(levels, next)
+	}
+
+	// Choose F: the deepest prefix of levels whose dense encoding is
+	// no larger than the sparse encoding of the same nodes (the
+	// paper's premise is that the upper levels "consist of few
+	// nodes" — once a level fans out, bitmaps stop paying off) and
+	// fits an absolute budget. The alphabet covers the edges into
+	// levels 1..F, so it grows with F.
+	f := 0
+	alpha := map[uint64]struct{}{}
+	for cand := 1; cand <= len(levels); cand++ {
+		// Adding dense level cand-1 means encoding the nodes at
+		// depth cand-1 and admitting their child labels.
+		edges := 0
+		for _, n := range levels[cand-1] {
+			for _, c := range n.children {
+				alpha[c.z] = struct{}{}
+			}
+			edges += len(n.children)
+		}
+		a := len(alpha)
+		denseBits, sparseBytes := 0, 0
+		for l := 0; l < cand; l++ {
+			nl := len(levels[l])
+			denseBits += nl*a + nl
+			sparseBytes += nl * (5 + nPivots(t)*8)
+			for _, n := range levels[l] {
+				sparseBytes += len(n.children) * 5
+			}
+		}
+		if denseBits > denseBudgetBits || denseBits/8 > sparseBytes {
+			break
+		}
+		f = cand
+	}
+
+	// Rebuild the alphabet for the chosen F.
+	alpha = map[uint64]struct{}{}
+	for l := 0; l < f; l++ {
+		for _, n := range levels[l] {
+			for _, c := range n.children {
+				alpha[c.z] = struct{}{}
+			}
+		}
+	}
+	s.alphabet = make([]uint64, 0, len(alpha))
+	for z := range alpha {
+		s.alphabet = append(s.alphabet, z)
+	}
+	sort.Slice(s.alphabet, func(i, j int) bool { return s.alphabet[i] < s.alphabet[j] })
+	a := len(s.alphabet)
+
+	// Encode dense levels 0..F-1.
+	for l := 0; l < f; l++ {
+		nodes := levels[l]
+		dl := &denseLevel{
+			n:        len(nodes),
+			bc:       bits.NewSet(len(nodes) * a),
+			bt:       bits.NewSet(len(nodes)),
+			leafBase: len(s.leaves),
+			meta:     make([]denseMeta, len(nodes)),
+		}
+		if s.np > 0 {
+			dl.hr = make([]float32, 0, len(nodes)*s.np*2)
+		}
+		for i, n := range nodes {
+			base := dl.bc.Len()
+			dl.bc.PushN(false, a)
+			for _, c := range n.children {
+				sym := s.symbol(c.z)
+				dl.bc.SetBit(base + sym)
+			}
+			dl.bt.PushBit(n.leaf != nil)
+			if n.leaf != nil {
+				s.addLeaf(n.leaf)
+			}
+			dl.meta[i] = denseMeta{
+				minLen:   int32(n.minLen),
+				maxLen:   int32(n.maxLen),
+				maxDepth: int32(n.maxDepthBelow),
+			}
+			for j := 0; j < s.np; j++ {
+				dl.hr = append(dl.hr, f32Down(n.hr[j].Min), f32Up(n.hr[j].Max))
+			}
+		}
+		dl.bc.Seal()
+		dl.bt.Seal()
+		s.levels = append(s.levels, dl)
+	}
+
+	// Serialize the sparse tier: subtrees rooted at depth F, in BFS
+	// order of their roots (matching the rank addressing of the last
+	// dense level).
+	if f == 0 {
+		s.sparse = []int{0}
+		s.blob = s.encodeSparse(nil, t.root)
+	} else if f < len(levels) {
+		for _, root := range levels[f] {
+			s.sparse = append(s.sparse, len(s.blob))
+			s.blob = s.encodeSparse(s.blob, root)
+		}
+	}
+	return s, nil
+}
+
+// nPivots returns the effective pivot count of a trie's config.
+func nPivots(t *Trie) int {
+	if !t.cfg.Measure.IsMetric() {
+		return 0
+	}
+	return len(t.cfg.Pivots)
+}
+
+func (s *Succinct) symbol(z uint64) int {
+	i := sort.Search(len(s.alphabet), func(i int) bool { return s.alphabet[i] >= z })
+	return i
+}
+
+func (s *Succinct) addLeaf(l *leafData) int {
+	s.leaves = append(s.leaves, sLeaf{
+		tids:   l.tids,
+		dmax:   l.dmax,
+		minLen: int32(l.minLen),
+		maxLen: int32(l.maxLen),
+	})
+	return len(s.leaves) - 1
+}
+
+// encodeSparse appends n's DFS record to buf:
+//
+//	flags byte (bit0: hasLeaf)
+//	uvarint minLen, maxLen, maxDepthBelow
+//	np × (float32 min, float32 max)   — directed-rounded HR
+//	[hasLeaf] uvarint leaf payload index
+//	uvarint childCount
+//	childCount × (uvarint z, uvarint recLen, record)
+func (s *Succinct) encodeSparse(buf []byte, n *node) []byte {
+	var flags byte
+	if n.leaf != nil {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(n.minLen))
+	buf = binary.AppendUvarint(buf, uint64(n.maxLen))
+	buf = binary.AppendUvarint(buf, uint64(n.maxDepthBelow))
+	for j := 0; j < s.np; j++ {
+		buf = appendF32(buf, f32Down(n.hr[j].Min))
+		buf = appendF32(buf, f32Up(n.hr[j].Max))
+	}
+	if n.leaf != nil {
+		buf = binary.AppendUvarint(buf, uint64(s.addLeaf(n.leaf)))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(n.children)))
+	for _, c := range n.children {
+		child := s.encodeSparse(nil, c)
+		buf = binary.AppendUvarint(buf, c.z)
+		buf = binary.AppendUvarint(buf, uint64(len(child)))
+		buf = append(buf, child...)
+	}
+	return buf
+}
+
+func appendF32(buf []byte, v float32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+}
+
+// f32Down converts to float32 rounding toward −Inf so interval
+// minima never increase.
+func f32Down(v float64) float32 {
+	f := float32(v)
+	if float64(f) > v {
+		f = math.Nextafter32(f, float32(math.Inf(-1)))
+	}
+	return f
+}
+
+// f32Up converts to float32 rounding toward +Inf so interval maxima
+// never decrease.
+func f32Up(v float64) float32 {
+	f := float32(v)
+	if float64(f) < v {
+		f = math.Nextafter32(f, float32(math.Inf(1)))
+	}
+	return f
+}
+
+// Search answers a top-k query on the succinct layout; results are
+// identical to the source trie's.
+func (s *Succinct) Search(q []geo.Point, k int) []topk.Item {
+	res, _ := s.SearchWithStats(q, k)
+	return res
+}
+
+// SearchWithStats is Search with traversal statistics.
+func (s *Succinct) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
+	sr := searcher{cfg: s.cfg, trajs: s.trajs}
+	return sr.run(s.rootRef(), q, k)
+}
+
+func (s *Succinct) rootRef() searchNode {
+	if len(s.levels) > 0 {
+		return denseRef{s: s, level: 0, idx: 0}
+	}
+	return sparseRef{s: s, off: 0}
+}
+
+// NumNodes returns the node count inherited from the source trie.
+func (s *Succinct) NumNodes() int { return s.numNodes }
+
+// NumLeaves returns the leaf count inherited from the source trie.
+func (s *Succinct) NumLeaves() int { return s.numLeafs }
+
+// Len returns the number of indexed trajectories.
+func (s *Succinct) Len() int { return len(s.trajs) }
+
+// DenseLevels returns the number of bitmap-encoded upper levels.
+func (s *Succinct) DenseLevels() int { return len(s.levels) }
+
+// SizeBytes reports the in-memory footprint of the index structure,
+// excluding the raw trajectories.
+func (s *Succinct) SizeBytes() int {
+	sz := len(s.blob) + len(s.alphabet)*8 + len(s.sparse)*8
+	for _, dl := range s.levels {
+		sz += dl.bc.SizeBytes() + dl.bt.SizeBytes()
+		sz += len(dl.meta)*12 + len(dl.hr)*4
+	}
+	for _, l := range s.leaves {
+		sz += 24 + len(l.tids)*4
+	}
+	return sz
+}
+
+// denseRef navigates the bitmap tier.
+type denseRef struct {
+	s     *Succinct
+	level int32
+	idx   int32
+}
+
+func (r denseRef) visitChildren(fn func(z uint64, c searchNode)) {
+	s := r.s
+	dl := s.levels[r.level]
+	a := len(s.alphabet)
+	base := int(r.idx) * a
+	r0 := dl.bc.Rank1(base)
+	r1 := dl.bc.Rank1(base + a)
+	for rank := r0; rank < r1; rank++ {
+		pos := dl.bc.Select1(rank)
+		z := s.alphabet[pos-base]
+		if int(r.level)+1 < len(s.levels) {
+			fn(z, denseRef{s: s, level: r.level + 1, idx: int32(rank)})
+		} else {
+			fn(z, sparseRef{s: s, off: s.sparse[rank]})
+		}
+	}
+}
+
+func (r denseRef) leafView() (leafView, bool) {
+	dl := r.s.levels[r.level]
+	if !dl.bt.Get(int(r.idx)) {
+		return leafView{}, false
+	}
+	l := r.s.leaves[dl.leafBase+dl.bt.Rank1(int(r.idx))]
+	return leafView{tids: l.tids, dmax: l.dmax, minLen: int(l.minLen), maxLen: int(l.maxLen)}, true
+}
+
+func (r denseRef) meta() dist.NodeMeta {
+	m := r.s.levels[r.level].meta[r.idx]
+	return dist.NodeMeta{MinLen: int(m.minLen), MaxLen: int(m.maxLen), MaxDepthBelow: int(m.maxDepth)}
+}
+
+func (r denseRef) hr() []pivot.Range {
+	s := r.s
+	if s.np == 0 {
+		return nil
+	}
+	dl := s.levels[r.level]
+	out := make([]pivot.Range, s.np)
+	base := int(r.idx) * s.np * 2
+	for j := 0; j < s.np; j++ {
+		out[j] = pivot.Range{
+			Min: float64(dl.hr[base+2*j]),
+			Max: float64(dl.hr[base+2*j+1]),
+		}
+	}
+	return out
+}
+
+// sparseRef navigates the byte-serialized tier; off is the record's
+// offset in s.blob.
+type sparseRef struct {
+	s   *Succinct
+	off int
+}
+
+// decodeHeader parses the fixed part of a record and returns the
+// parsed fields along with the offset of the child list.
+func (r sparseRef) decodeHeader() (flags byte, meta dist.NodeMeta, hrOff int, leafIdx int, childrenOff int) {
+	b := r.s.blob
+	p := r.off
+	flags = b[p]
+	p++
+	v, n := binary.Uvarint(b[p:])
+	meta.MinLen = int(v)
+	p += n
+	v, n = binary.Uvarint(b[p:])
+	meta.MaxLen = int(v)
+	p += n
+	v, n = binary.Uvarint(b[p:])
+	meta.MaxDepthBelow = int(v)
+	p += n
+	hrOff = p
+	p += r.s.np * 8
+	leafIdx = -1
+	if flags&1 != 0 {
+		v, n = binary.Uvarint(b[p:])
+		leafIdx = int(v)
+		p += n
+	}
+	return flags, meta, hrOff, leafIdx, p
+}
+
+func (r sparseRef) visitChildren(fn func(z uint64, c searchNode)) {
+	b := r.s.blob
+	_, _, _, _, p := r.decodeHeader()
+	count, n := binary.Uvarint(b[p:])
+	p += n
+	for i := uint64(0); i < count; i++ {
+		z, n := binary.Uvarint(b[p:])
+		p += n
+		recLen, n := binary.Uvarint(b[p:])
+		p += n
+		fn(z, sparseRef{s: r.s, off: p})
+		p += int(recLen)
+	}
+}
+
+func (r sparseRef) leafView() (leafView, bool) {
+	_, _, _, leafIdx, _ := r.decodeHeader()
+	if leafIdx < 0 {
+		return leafView{}, false
+	}
+	l := r.s.leaves[leafIdx]
+	return leafView{tids: l.tids, dmax: l.dmax, minLen: int(l.minLen), maxLen: int(l.maxLen)}, true
+}
+
+func (r sparseRef) meta() dist.NodeMeta {
+	_, meta, _, _, _ := r.decodeHeader()
+	return meta
+}
+
+func (r sparseRef) hr() []pivot.Range {
+	if r.s.np == 0 {
+		return nil
+	}
+	b := r.s.blob
+	_, _, hrOff, _, _ := r.decodeHeader()
+	out := make([]pivot.Range, r.s.np)
+	for j := 0; j < r.s.np; j++ {
+		lo := math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j:]))
+		hi := math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j+4:]))
+		out[j] = pivot.Range{Min: float64(lo), Max: float64(hi)}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package rptrie
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/pivot"
+)
+
+// TestSuccinctMatchesPointerTrie: the succinct layout must answer
+// every query identically to the trie it was compressed from.
+func TestSuccinctMatchesPointerTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+	g, err := grid.NewWithBits(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dist.Params{Epsilon: 0.5, Gap: geo.Point{X: 0, Y: 0}}
+	for trial := 0; trial < 6; trial++ {
+		ds := randomDataset(rng, 100)
+		queries := randomDataset(rng, 5)
+		for _, m := range dist.Measures() {
+			pivots := pivot.Select(ds, 3, 5, m, p, 11)
+			cfgs := []Config{
+				{Measure: m, Params: p, Grid: g},
+				{Measure: m, Params: p, Grid: g, Pivots: pivots},
+			}
+			if m.OrderIndependent() {
+				cfgs = append(cfgs, Config{Measure: m, Params: p, Grid: g, Optimize: true, Pivots: pivots})
+			}
+			for ci, cfg := range cfgs {
+				trie, err := Build(cfg, ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				suc, err := Compress(trie)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi, q := range queries {
+					for _, k := range []int{1, 7} {
+						got := suc.Search(q.Points, k)
+						ctx := fmt.Sprintf("%v cfg %d q %d k %d", m, ci, qi, k)
+						assertTopK(t, ctx, m, p, ds, q.Points, k, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSuccinctSmallerThanPointer: compression should reduce the
+// footprint on a realistic dataset.
+func TestSuccinctSmallerThanPointer(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+	g, _ := grid.NewWithBits(region, 5)
+	ds := randomDataset(rng, 500)
+	trie, err := Build(Config{Measure: dist.Hausdorff, Grid: g}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suc, err := Compress(trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suc.SizeBytes() >= trie.SizeBytes() {
+		t.Errorf("succinct %d bytes >= pointer %d bytes", suc.SizeBytes(), trie.SizeBytes())
+	}
+	if suc.NumNodes() != trie.NumNodes() || suc.NumLeaves() != trie.NumLeaves() {
+		t.Error("node counts should carry over")
+	}
+	if suc.Len() != trie.Len() {
+		t.Error("Len should carry over")
+	}
+	if suc.DenseLevels() == 0 {
+		t.Error("expected at least one dense level")
+	}
+}
+
+func TestSuccinctEmptyTrie(t *testing.T) {
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+	g, _ := grid.NewWithBits(region, 3)
+	trie, err := Build(Config{Measure: dist.Hausdorff, Grid: g}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suc, err := Compress(trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := suc.Search([]geo.Point{{X: 1, Y: 1}}, 3); res != nil {
+		t.Errorf("empty succinct search = %v", res)
+	}
+}
+
+func TestCompressNil(t *testing.T) {
+	if _, err := Compress(nil); err == nil {
+		t.Error("expected error for nil trie")
+	}
+}
+
+// TestSuccinctPaperExample: the running example answers correctly
+// through the succinct layout too.
+func TestSuccinctPaperExample(t *testing.T) {
+	ds, q, g := paperDataset()
+	trie, err := Build(Config{Measure: dist.Hausdorff, Grid: g}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suc, err := Compress(trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := suc.Search(q.Points, 2)
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 4 {
+		t.Errorf("top-2 = %v, want ids [1 4]", res)
+	}
+}
+
+func TestDirectedRounding(t *testing.T) {
+	vals := []float64{0, 1, math.Pi, 1e-40, 1e30, -math.Pi, 0.1, 1.0000000001}
+	for _, v := range vals {
+		if float64(f32Down(v)) > v {
+			t.Errorf("f32Down(%v) = %v rounded up", v, f32Down(v))
+		}
+		if float64(f32Up(v)) < v {
+			t.Errorf("f32Up(%v) = %v rounded down", v, f32Up(v))
+		}
+	}
+	if !math.IsInf(float64(f32Down(math.Inf(1))), 1) {
+		t.Error("f32Down(+Inf) should stay +Inf")
+	}
+	if !math.IsInf(float64(f32Up(math.Inf(-1))), -1) {
+		t.Error("f32Up(-Inf) should stay -Inf")
+	}
+}
+
+// TestSuccinctStatsComparable: traversal statistics should be in the
+// same ballpark as the pointer trie (identical pruning decisions
+// except for float32 HR rounding, which can only weaken LBp
+// slightly).
+func TestSuccinctStatsComparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+	g, _ := grid.NewWithBits(region, 4)
+	ds := randomDataset(rng, 300)
+	trie, _ := Build(Config{Measure: dist.Hausdorff, Grid: g}, ds)
+	suc, _ := Compress(trie)
+	q := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 1.5}}
+	_, st1 := trie.SearchWithStats(q, 10)
+	_, st2 := suc.SearchWithStats(q, 10)
+	if st1.ExactComputations != st2.ExactComputations {
+		t.Errorf("exact computations differ: %d vs %d (no pivots in play)",
+			st1.ExactComputations, st2.ExactComputations)
+	}
+}

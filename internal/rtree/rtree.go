@@ -1,0 +1,265 @@
+// Package rtree provides an immutable STR-bulk-loaded R-tree over
+// rectangles. It is the indexing substrate of the DFT baseline, which
+// indexes trajectory segment MBRs (Xie, Li, Phillips, PVLDB'17).
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repose/internal/geo"
+)
+
+// Item is an indexed rectangle with an opaque identifier (for DFT, a
+// segment index).
+type Item struct {
+	Rect geo.Rect
+	ID   int32
+}
+
+// DefaultFanout is the default maximum number of entries per node.
+const DefaultFanout = 16
+
+// Tree is an immutable R-tree. Build one with BulkLoad.
+type Tree struct {
+	root   *node
+	count  int
+	fanout int
+}
+
+type node struct {
+	rect     geo.Rect
+	children []*node // nil for leaves
+	items    []Item  // nil for internal nodes
+}
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive
+// packing. fanout ≤ 0 selects DefaultFanout. The input slice is not
+// retained.
+func BulkLoad(items []Item, fanout int) *Tree {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{count: len(items), fanout: fanout}
+	if len(items) == 0 {
+		t.root = &node{rect: geo.EmptyRect()}
+		return t
+	}
+	leaves := packLeaves(append([]Item(nil), items...), fanout)
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level, fanout)
+	}
+	t.root = level[0]
+	return t
+}
+
+// packLeaves tiles items into leaf nodes of up to fanout entries.
+func packLeaves(items []Item, fanout int) []*node {
+	n := len(items)
+	nLeaves := (n + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	perSlice := nSlices * fanout
+
+	sort.Slice(items, func(i, j int) bool {
+		ci, cj := items[i].Rect.Center(), items[j].Rect.Center()
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+	var leaves []*node
+	for s := 0; s < n; s += perSlice {
+		hi := s + perSlice
+		if hi > n {
+			hi = n
+		}
+		sl := items[s:hi]
+		sort.Slice(sl, func(i, j int) bool {
+			ci, cj := sl[i].Rect.Center(), sl[j].Rect.Center()
+			if ci.Y != cj.Y {
+				return ci.Y < cj.Y
+			}
+			return ci.X < cj.X
+		})
+		for o := 0; o < len(sl); o += fanout {
+			e := o + fanout
+			if e > len(sl) {
+				e = len(sl)
+			}
+			leaf := &node{items: sl[o:e:e], rect: geo.EmptyRect()}
+			for _, it := range leaf.items {
+				leaf.rect = leaf.rect.Union(it.Rect)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packNodes groups a level of nodes into parents with the same STR
+// discipline.
+func packNodes(level []*node, fanout int) []*node {
+	n := len(level)
+	nParents := (n + fanout - 1) / fanout
+	nSlices := int(math.Ceil(math.Sqrt(float64(nParents))))
+	perSlice := nSlices * fanout
+
+	sort.Slice(level, func(i, j int) bool {
+		ci, cj := level[i].rect.Center(), level[j].rect.Center()
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+	var parents []*node
+	for s := 0; s < n; s += perSlice {
+		hi := s + perSlice
+		if hi > n {
+			hi = n
+		}
+		sl := level[s:hi]
+		sort.Slice(sl, func(i, j int) bool {
+			ci, cj := sl[i].rect.Center(), sl[j].rect.Center()
+			if ci.Y != cj.Y {
+				return ci.Y < cj.Y
+			}
+			return ci.X < cj.X
+		})
+		for o := 0; o < len(sl); o += fanout {
+			e := o + fanout
+			if e > len(sl) {
+				e = len(sl)
+			}
+			p := &node{children: sl[o:e:e], rect: geo.EmptyRect()}
+			for _, c := range p.children {
+				p.rect = p.rect.Union(c.rect)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.count }
+
+// Bounds returns the MBR of all items.
+func (t *Tree) Bounds() geo.Rect { return t.root.rect }
+
+// Search visits every item whose rectangle intersects r. The visit
+// function returns false to stop early; Search reports whether the
+// traversal ran to completion.
+func (t *Tree) Search(r geo.Rect, visit func(Item) bool) bool {
+	return searchNode(t.root, r, visit)
+}
+
+func searchNode(n *node, r geo.Rect, visit func(Item) bool) bool {
+	if !n.rect.Intersects(r) {
+		return true
+	}
+	if n.children == nil {
+		for _, it := range n.items {
+			if it.Rect.Intersects(r) {
+				if !visit(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, r, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchWithin visits every item whose rectangle lies within dist of
+// point p (rectangle min-distance).
+func (t *Tree) SearchWithin(p geo.Point, dist float64, visit func(Item) bool) bool {
+	return searchWithin(t.root, p, dist, visit)
+}
+
+func searchWithin(n *node, p geo.Point, dist float64, visit func(Item) bool) bool {
+	if n.rect.IsEmpty() || n.rect.DistPoint(p) > dist {
+		return true
+	}
+	if n.children == nil {
+		for _, it := range n.items {
+			if it.Rect.DistPoint(p) <= dist {
+				if !visit(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchWithin(c, p, dist, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinDist returns the smallest rectangle min-distance from p to any
+// item, or +Inf for an empty tree. It is a best-first nearest-MBR
+// search.
+func (t *Tree) MinDist(p geo.Point) float64 {
+	best := math.Inf(1)
+	minDistNode(t.root, p, &best)
+	return best
+}
+
+func minDistNode(n *node, p geo.Point, best *float64) {
+	if n.rect.IsEmpty() || n.rect.DistPoint(p) >= *best {
+		return
+	}
+	if n.children == nil {
+		for _, it := range n.items {
+			if d := it.Rect.DistPoint(p); d < *best {
+				*best = d
+			}
+		}
+		return
+	}
+	// Visit nearer children first for tighter pruning.
+	type cd struct {
+		c *node
+		d float64
+	}
+	order := make([]cd, 0, len(n.children))
+	for _, c := range n.children {
+		order = append(order, cd{c, c.rect.DistPoint(p)})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	for _, o := range order {
+		minDistNode(o.c, p, best)
+	}
+}
+
+// Height returns the number of levels (1 for a leaf-only tree).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; n.children != nil; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// SizeBytes estimates the in-memory footprint.
+func (t *Tree) SizeBytes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		sz := 32 + 24 + 24 // rect + two slice headers
+		sz += len(n.items) * 40
+		sz += len(n.children) * 8
+		for _, c := range n.children {
+			sz += walk(c)
+		}
+		return sz
+	}
+	return walk(t.root)
+}

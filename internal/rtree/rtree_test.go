@@ -1,0 +1,194 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repose/internal/geo"
+)
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		items[i] = Item{
+			ID: int32(i),
+			Rect: geo.Rect{
+				Min: geo.Point{X: x, Y: y},
+				Max: geo.Point{X: x + rng.Float64()*2, Y: y + rng.Float64()*2},
+			},
+		}
+	}
+	return items
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := BulkLoad(nil, 0)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("bounds should be empty")
+	}
+	if !math.IsInf(tr.MinDist(geo.Point{X: 1, Y: 1}), 1) {
+		t.Error("MinDist on empty should be +Inf")
+	}
+	found := false
+	tr.Search(geo.Rect{Min: geo.Point{}, Max: geo.Point{X: 200, Y: 200}}, func(Item) bool {
+		found = true
+		return true
+	})
+	if found {
+		t.Error("empty tree returned items")
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 500)
+	tr := BulkLoad(items, 8)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		q := geo.Rect{
+			Min: geo.Point{X: x, Y: y},
+			Max: geo.Point{X: x + rng.Float64()*20, Y: y + rng.Float64()*20},
+		}
+		want := map[int32]bool{}
+		for _, it := range items {
+			if it.Rect.Intersects(q) {
+				want[it.ID] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.Search(q, func(it Item) bool {
+			got[it.ID] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestSearchWithinMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomItems(rng, 400)
+	tr := BulkLoad(items, 10)
+	for trial := 0; trial < 50; trial++ {
+		p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		radius := rng.Float64() * 15
+		want := map[int32]bool{}
+		for _, it := range items {
+			if it.Rect.DistPoint(p) <= radius {
+				want[it.ID] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.SearchWithin(p, radius, func(it Item) bool {
+			got[it.ID] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestMinDistMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randomItems(rng, 300)
+	tr := BulkLoad(items, 6)
+	for trial := 0; trial < 100; trial++ {
+		p := geo.Point{X: rng.Float64()*140 - 20, Y: rng.Float64()*140 - 20}
+		want := math.Inf(1)
+		for _, it := range items {
+			if d := it.Rect.DistPoint(p); d < want {
+				want = d
+			}
+		}
+		got := tr.MinDist(p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MinDist(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randomItems(rng, 200)
+	tr := BulkLoad(items, 8)
+	seen := 0
+	completed := tr.Search(geo.Rect{Min: geo.Point{X: -10, Y: -10}, Max: geo.Point{X: 200, Y: 200}}, func(Item) bool {
+		seen++
+		return seen < 5
+	})
+	if completed {
+		t.Error("early-stopped traversal should report false")
+	}
+	if seen != 5 {
+		t.Errorf("visited %d items", seen)
+	}
+	seen = 0
+	completed = tr.SearchWithin(geo.Point{X: 50, Y: 50}, 100, func(Item) bool {
+		seen++
+		return false
+	})
+	if completed || seen != 1 {
+		t.Errorf("SearchWithin early stop: completed=%v seen=%d", completed, seen)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	it := Item{ID: 7, Rect: geo.Rect{Min: geo.Point{X: 1, Y: 1}, Max: geo.Point{X: 2, Y: 2}}}
+	tr := BulkLoad([]Item{it}, 4)
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Errorf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.MinDist(geo.Point{X: 5, Y: 2}); math.Abs(got-3) > 1e-9 {
+		t.Errorf("MinDist = %v", got)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	small := BulkLoad(randomItems(rng, 10), 4)
+	big := BulkLoad(randomItems(rng, 1000), 4)
+	if small.Height() >= big.Height() {
+		t.Errorf("heights: small %d, big %d", small.Height(), big.Height())
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Error("size should grow with items")
+	}
+}
+
+func TestBoundsCoverAllItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := randomItems(rng, 100)
+	tr := BulkLoad(items, 8)
+	b := tr.Bounds()
+	for _, it := range items {
+		if !b.Contains(it.Rect.Min) || !b.Contains(it.Rect.Max) {
+			t.Fatalf("bounds %v do not cover %v", b, it.Rect)
+		}
+	}
+}
+
+func TestInputSliceNotMutated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomItems(rng, 50)
+	first := items[0]
+	BulkLoad(items, 4)
+	if items[0] != first {
+		t.Error("BulkLoad reordered the caller's slice")
+	}
+}

@@ -1,0 +1,114 @@
+// Package topk provides the bounded result heap used throughout
+// REPOSE query processing: a max-heap holding the k best (smallest
+// distance) trajectories found so far, whose maximum is the pruning
+// threshold dk of Algorithm 2. Results order deterministically by
+// (distance, id).
+package topk
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Item is one candidate result.
+type Item struct {
+	ID   int
+	Dist float64
+}
+
+// less orders items by (Dist, ID); the heap keeps the *worst* item at
+// the top, so the heap comparator is the reverse of this.
+func less(a, b Item) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// Heap is a bounded max-heap of the current k best items. The zero
+// value is not usable; call New.
+type Heap struct {
+	k     int
+	items maxItems
+}
+
+// New returns a Heap retaining the k best items. k must be positive.
+func New(k int) *Heap {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Heap{k: k}
+}
+
+// K returns the heap's capacity.
+func (h *Heap) K() int { return h.k }
+
+// Len returns the number of items currently held.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Threshold returns dk: the distance of the k-th best item so far, or
+// +Inf while fewer than k items are held. A candidate with a lower
+// bound ≥ Threshold can be pruned.
+func (h *Heap) Threshold() float64 {
+	if len(h.items) < h.k {
+		return math.Inf(1)
+	}
+	return h.items[0].Dist
+}
+
+// Push offers an item and reports whether it was retained. NaN
+// distances are rejected.
+func (h *Heap) Push(id int, dist float64) bool {
+	if math.IsNaN(dist) {
+		return false
+	}
+	it := Item{ID: id, Dist: dist}
+	if len(h.items) < h.k {
+		heap.Push(&h.items, it)
+		return true
+	}
+	if !less(it, h.items[0]) {
+		return false
+	}
+	h.items[0] = it
+	heap.Fix(&h.items, 0)
+	return true
+}
+
+// Results returns the retained items sorted ascending by
+// (distance, id). The heap remains usable afterwards.
+func (h *Heap) Results() []Item {
+	out := make([]Item, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Merge combines any number of (not necessarily sorted) result lists
+// into the global top-k, as the master does with per-partition local
+// results (Section V-C).
+func Merge(k int, lists ...[]Item) []Item {
+	h := New(k)
+	for _, l := range lists {
+		for _, it := range l {
+			h.Push(it.ID, it.Dist)
+		}
+	}
+	return h.Results()
+}
+
+// maxItems implements heap.Interface as a max-heap by (Dist, ID).
+type maxItems []Item
+
+func (m maxItems) Len() int            { return len(m) }
+func (m maxItems) Less(i, j int) bool  { return less(m[j], m[i]) }
+func (m maxItems) Swap(i, j int)       { m[i], m[j] = m[j], m[i] }
+func (m *maxItems) Push(x interface{}) { *m = append(*m, x.(Item)) }
+func (m *maxItems) Pop() interface{} {
+	old := *m
+	n := len(old)
+	it := old[n-1]
+	*m = old[:n-1]
+	return it
+}

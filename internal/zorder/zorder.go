@@ -1,0 +1,78 @@
+// Package zorder implements the Z-order (Morton) space-filling curve
+// used to discretize trajectories (Section III-A of the REPOSE paper).
+//
+// A cell of an l×l grid with (binary) horizontal coordinate x and
+// vertical coordinate y has the z-value obtained by interleaving the
+// bits of x and y most-significant first, with the horizontal bit
+// leading. This matches the paper's Example 2: x=010, y=101 yields
+// z = 011001.
+package zorder
+
+// MaxBits is the maximum number of bits per coordinate. Two
+// interleaved 31-bit coordinates fit in a uint64 with room to spare.
+const MaxBits = 31
+
+// Encode interleaves x and y into a z-value using bits bits per
+// coordinate. Bits of x occupy the even positions counted from the
+// most significant end (positions 2i+1 from the LSB side for bit i of
+// x), so that the leading bit of the z-value is the leading bit of x.
+//
+// Encode panics if bits is out of range or a coordinate does not fit.
+func Encode(x, y uint32, bits int) uint64 {
+	if bits < 1 || bits > MaxBits {
+		panic("zorder: bits out of range")
+	}
+	if bits < 32 && (x >= 1<<uint(bits) || y >= 1<<uint(bits)) {
+		panic("zorder: coordinate out of range")
+	}
+	return interleave(uint64(x))<<1 | interleave(uint64(y))
+}
+
+// Decode splits a z-value produced with the given bit width back into
+// its x and y coordinates.
+func Decode(z uint64, bits int) (x, y uint32) {
+	if bits < 1 || bits > MaxBits {
+		panic("zorder: bits out of range")
+	}
+	x = uint32(deinterleave(z >> 1))
+	y = uint32(deinterleave(z))
+	mask := uint32(1<<uint(bits) - 1)
+	return x & mask, y & mask
+}
+
+// interleave spreads the low 32 bits of v so that bit i moves to bit
+// 2i (even positions), using the standard mask-and-shift network.
+func interleave(v uint64) uint64 {
+	v &= 0xFFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// deinterleave collects the even bits of v back into a compact value,
+// inverting interleave.
+func deinterleave(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}
+
+// Parent returns the z-value of the cell one resolution level coarser
+// that contains the cell z (each level drops the trailing bit pair).
+func Parent(z uint64) uint64 { return z >> 2 }
+
+// AtResolution coarsens z from bits bits per coordinate down to res
+// bits per coordinate. It panics if res > bits.
+func AtResolution(z uint64, bits, res int) uint64 {
+	if res > bits {
+		panic("zorder: res exceeds bits")
+	}
+	return z >> uint(2*(bits-res))
+}

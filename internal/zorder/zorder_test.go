@@ -1,0 +1,156 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExample2 pins the paper's convention: horizontal 010 and
+// vertical 101 interleave to 011001.
+func TestPaperExample2(t *testing.T) {
+	got := Encode(0b010, 0b101, 3)
+	if got != 0b011001 {
+		t.Errorf("Encode(010, 101, 3) = %06b, want 011001", got)
+	}
+}
+
+func TestEncodeDecodeSmall(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		bits int
+		z    uint64
+	}{
+		{0, 0, 1, 0b00},
+		{1, 0, 1, 0b10},
+		{0, 1, 1, 0b01},
+		{1, 1, 1, 0b11},
+		{0b11, 0b00, 2, 0b1010},
+		{0b00, 0b11, 2, 0b0101},
+	}
+	for _, c := range cases {
+		if got := Encode(c.x, c.y, c.bits); got != c.z {
+			t.Errorf("Encode(%b, %b, %d) = %b, want %b", c.x, c.y, c.bits, got, c.z)
+		}
+		x, y := Decode(c.z, c.bits)
+		if x != c.x || y != c.y {
+			t.Errorf("Decode(%b, %d) = (%b, %b), want (%b, %b)", c.z, c.bits, x, y, c.x, c.y)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(x, y uint32) bool {
+		const bits = 16
+		x &= 1<<bits - 1
+		y &= 1<<bits - 1
+		gx, gy := Decode(Encode(x, y, bits), bits)
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripMaxBits(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= 1<<MaxBits - 1
+		y &= 1<<MaxBits - 1
+		gx, gy := Decode(Encode(x, y, MaxBits), MaxBits)
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotoneWithinRow verifies a basic locality fact: along a single
+// row (fixed y), increasing x never decreases the z-value restricted
+// to the x bits; and the full curve visits each cell exactly once.
+func TestUniquenessExhaustive(t *testing.T) {
+	const bits = 4
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<bits; x++ {
+		for y := uint32(0); y < 1<<bits; y++ {
+			z := Encode(x, y, bits)
+			if z >= 1<<(2*bits) {
+				t.Fatalf("z-value %d out of range for %d bits", z, bits)
+			}
+			if seen[z] {
+				t.Fatalf("duplicate z-value %d", z)
+			}
+			seen[z] = true
+		}
+	}
+	if len(seen) != 1<<(2*bits) {
+		t.Fatalf("got %d distinct z-values", len(seen))
+	}
+}
+
+func TestParent(t *testing.T) {
+	// Cell (x=5, y=3) at 3 bits has parent (x=2, y=1) at 2 bits.
+	z := Encode(5, 3, 3)
+	p := Parent(z)
+	want := Encode(2, 1, 2)
+	if p != want {
+		t.Errorf("Parent = %b, want %b", p, want)
+	}
+}
+
+func TestAtResolution(t *testing.T) {
+	z := Encode(0b1011, 0b0110, 4)
+	got := AtResolution(z, 4, 2)
+	want := Encode(0b10, 0b01, 2)
+	if got != want {
+		t.Errorf("AtResolution = %b, want %b", got, want)
+	}
+	if AtResolution(z, 4, 4) != z {
+		t.Error("AtResolution at same res should be identity")
+	}
+}
+
+func TestAtResolutionConsistentWithParent(t *testing.T) {
+	f := func(x, y uint32) bool {
+		const bits = 10
+		x &= 1<<bits - 1
+		y &= 1<<bits - 1
+		z := Encode(x, y, bits)
+		p := z
+		for i := 0; i < 3; i++ {
+			p = Parent(p)
+		}
+		return p == AtResolution(z, bits, bits-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePanics(t *testing.T) {
+	assertPanics(t, "bits=0", func() { Encode(0, 0, 0) })
+	assertPanics(t, "bits too big", func() { Encode(0, 0, MaxBits+1) })
+	assertPanics(t, "x out of range", func() { Encode(4, 0, 2) })
+	assertPanics(t, "decode bits", func() { Decode(0, 0) })
+	assertPanics(t, "res > bits", func() { AtResolution(0, 2, 3) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestZOrderAdjacency pins the familiar N-shaped traversal of a 2x2
+// block: (0,0) (0,1) (1,0) (1,1) in z-value order 0,1,2,3 means
+// y varies fastest in the low bit.
+func TestZOrderAdjacency(t *testing.T) {
+	order := []struct{ x, y uint32 }{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i, c := range order {
+		if got := Encode(c.x, c.y, 1); got != uint64(i) {
+			t.Errorf("Encode(%d,%d) = %d, want %d", c.x, c.y, got, i)
+		}
+	}
+}

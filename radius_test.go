@@ -1,0 +1,70 @@
+package repose
+
+import (
+	"math"
+	"testing"
+
+	"repose/internal/dist"
+)
+
+func TestSearchRadiusPublicAPI(t *testing.T) {
+	ds := testData(t, 150)
+	idx, err := Build(ds, Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds[12]
+	const radius = 0.4
+	got, err := idx.SearchRadius(q, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force reference.
+	want := map[int]float64{}
+	for _, tr := range ds {
+		if d := dist.HausdorffDist(q.Points, tr.Points); d <= radius {
+			want[tr.ID] = d
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		w, ok := want[r.ID]
+		if !ok {
+			t.Fatalf("unexpected id %d", r.ID)
+		}
+		if math.Abs(r.Dist-w) > 1e-9 {
+			t.Fatalf("id %d dist %v want %v", r.ID, r.Dist, w)
+		}
+		if i > 0 && got[i-1].Dist > r.Dist {
+			t.Fatal("results unsorted")
+		}
+	}
+	// The query itself is always inside any radius.
+	if len(got) == 0 || got[0].ID != q.ID || got[0].Dist != 0 {
+		t.Errorf("self match missing: %+v", got)
+	}
+}
+
+func TestSearchRadiusErrors(t *testing.T) {
+	ds := testData(t, 60)
+	idx, err := Build(ds, Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.SearchRadius(nil, 1); err == nil {
+		t.Error("nil query should fail")
+	}
+	if _, err := idx.SearchRadius(ds[0], -1); err == nil {
+		t.Error("negative radius should fail")
+	}
+	// Succinct indexes decline range search.
+	suc, err := Build(ds, Options{Partitions: 2, Succinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := suc.SearchRadius(ds[0], 1); err == nil {
+		t.Error("succinct radius search should fail")
+	}
+}

@@ -1,0 +1,327 @@
+// Package repose is a distributed in-memory framework for top-k
+// trajectory similarity search, reproducing "REPOSE: Distributed
+// Top-k Trajectory Similarity Search with Local Reference Point
+// Tries" (ICDE 2021).
+//
+// Trajectories are discretized onto a Z-order grid and organized in
+// per-partition Reference Point Tries (RP-Tries) searched best-first
+// with one-side, two-side, and pivot-based lower bounds. A
+// heterogeneous global partitioning strategy spreads similar
+// trajectories across partitions so every core contributes to every
+// query. Six similarity measures are supported: Hausdorff, Frechet,
+// DTW, LCSS, EDR, and ERP.
+//
+// Quick start:
+//
+//	idx, err := repose.Build(trajectories, repose.Options{Measure: repose.Hausdorff})
+//	results, err := idx.Search(query, 10)
+package repose
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repose/internal/cluster"
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/partition"
+	"repose/internal/pivot"
+	"repose/internal/topk"
+)
+
+// Point is a trajectory sample point.
+type Point = geo.Point
+
+// Trajectory is a time-ordered point sequence with an id.
+type Trajectory = geo.Trajectory
+
+// Measure identifies a similarity measure.
+type Measure = dist.Measure
+
+// The supported similarity measures.
+const (
+	Hausdorff = dist.Hausdorff
+	Frechet   = dist.Frechet
+	DTW       = dist.DTW
+	LCSS      = dist.LCSS
+	EDR       = dist.EDR
+	ERP       = dist.ERP
+)
+
+// Result is one search hit: a trajectory id and its distance to the
+// query, ascending by (distance, id).
+type Result = topk.Item
+
+// Strategy selects the global partitioning strategy.
+type Strategy = partition.Strategy
+
+// The available partitioning strategies.
+const (
+	Heterogeneous = partition.Heterogeneous
+	Homogeneous   = partition.Homogeneous
+	Random        = partition.Random
+)
+
+// Options configures Build. The zero value picks the paper's
+// defaults: Hausdorff distance, heterogeneous partitioning, one
+// partition per core, δ = span/64, Np = 5 pivots, and the trie
+// optimizations enabled.
+type Options struct {
+	// Measure is the similarity measure (default Hausdorff).
+	Measure Measure
+
+	// Delta is the grid cell side δ. 0 derives span/64. Table V
+	// shows query time is sensitive to δ; tune it per dataset.
+	Delta float64
+
+	// Partitions is the number of global partitions (default: one
+	// per CPU, the paper's one-partition-per-core setup).
+	Partitions int
+
+	// Strategy is the global partitioning strategy (default
+	// Heterogeneous, Section V-B).
+	Strategy Strategy
+
+	// Pivots is the number of pivot trajectories Np (default 5;
+	// Table VI). Pivots apply only to metric measures. Negative
+	// disables pivot pruning.
+	Pivots int
+
+	// Epsilon is the matching threshold for LCSS and EDR
+	// (default: 1% of the region diameter).
+	Epsilon float64
+
+	// NoRearrange disables the z-value re-arrangement optimization
+	// (Section III-C); it is on by default for order-independent
+	// measures and ignored otherwise.
+	NoRearrange bool
+
+	// Succinct compresses each partition trie into the two-tier
+	// bitmap/byte-sequence layout (Section III-B).
+	Succinct bool
+
+	// Workers caps build/query parallelism (default GOMAXPROCS).
+	Workers int
+
+	// Seed drives pivot selection, sampling, and random
+	// partitioning (default 1).
+	Seed int64
+}
+
+// Index is a built distributed index (in-process engine).
+type Index struct {
+	eng    *cluster.Local
+	region geo.Rect
+	opts   Options
+}
+
+// Stats summarizes a built index.
+type Stats struct {
+	Trajectories int
+	Partitions   int
+	IndexBytes   int
+	BuildTime    time.Duration
+}
+
+// normalize fills option defaults against a dataset region.
+func (o Options) normalize(region geo.Rect) Options {
+	if o.Delta <= 0 {
+		span := region.Max.X - region.Min.X
+		if dy := region.Max.Y - region.Min.Y; dy > span {
+			span = dy
+		}
+		o.Delta = span / 64
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = defaultPartitions()
+	}
+	if o.Pivots == 0 {
+		o.Pivots = 5
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = dist.DefaultParams(region).Epsilon
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// spec converts options to the engine's index spec.
+func (o Options) spec(ds []*Trajectory, region geo.Rect) cluster.IndexSpec {
+	params := dist.Params{Epsilon: o.Epsilon, Gap: region.Min}
+	var pivots []*Trajectory
+	if o.Pivots > 0 && o.Measure.IsMetric() {
+		pivots = pivot.Select(ds, o.Pivots, pivot.DefaultGroups, o.Measure, params, o.Seed)
+	}
+	return cluster.IndexSpec{
+		Algorithm: cluster.REPOSE,
+		Measure:   o.Measure,
+		Params:    params,
+		Region:    region,
+		Delta:     o.Delta,
+		Pivots:    pivots,
+		Optimize:  !o.NoRearrange && o.Measure.OrderIndependent(),
+		Succinct:  o.Succinct,
+		Seed:      o.Seed,
+	}
+}
+
+// Build partitions ds and builds one RP-Trie per partition.
+func Build(ds []*Trajectory, opts Options) (*Index, error) {
+	if len(ds) == 0 {
+		return nil, errors.New("repose: empty dataset")
+	}
+	region := geo.EnclosingSquare(ds, 0)
+	opts = opts.normalize(region)
+	parts, err := partitionDataset(ds, opts, region)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cluster.BuildLocal(opts.spec(ds, region), parts, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{eng: eng, region: region, opts: opts}, nil
+}
+
+func partitionDataset(ds []*Trajectory, opts Options, region geo.Rect) ([][]*Trajectory, error) {
+	g, err := grid.New(region, opts.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("repose: %w", err)
+	}
+	assign, err := partition.Assign(opts.Strategy, ds, g, opts.Partitions, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("repose: %w", err)
+	}
+	return partition.Split(ds, assign, opts.Partitions), nil
+}
+
+// Search returns the k trajectories most similar to q.
+func (x *Index) Search(q *Trajectory, k int) ([]Result, error) {
+	if q == nil {
+		return nil, errors.New("repose: nil query")
+	}
+	return x.SearchPoints(q.Points, k)
+}
+
+// SearchPoints is Search on a raw point sequence.
+func (x *Index) SearchPoints(q []Point, k int) ([]Result, error) {
+	if len(q) == 0 {
+		return nil, errors.New("repose: empty query")
+	}
+	if k <= 0 {
+		return nil, errors.New("repose: k must be positive")
+	}
+	return x.eng.Search(q, k)
+}
+
+// SearchRadius returns every indexed trajectory within the given
+// distance of q, ascending by (distance, id) — the range-query
+// counterpart of Search. Not available on Succinct indexes.
+func (x *Index) SearchRadius(q *Trajectory, radius float64) ([]Result, error) {
+	if q == nil || len(q.Points) == 0 {
+		return nil, errors.New("repose: empty query")
+	}
+	if radius < 0 {
+		return nil, errors.New("repose: negative radius")
+	}
+	return x.eng.SearchRadius(q.Points, radius)
+}
+
+// Stats reports index statistics.
+func (x *Index) Stats() Stats {
+	return Stats{
+		Trajectories: x.eng.Len(),
+		Partitions:   x.eng.NumPartitions(),
+		IndexBytes:   x.eng.IndexSizeBytes(),
+		BuildTime:    x.eng.BuildTime(),
+	}
+}
+
+// Measureless helpers.
+
+// Distance computes the exact distance between two trajectories
+// under the given measure, using default parameters derived from the
+// pair's joint bounding region.
+func Distance(m Measure, a, b *Trajectory) float64 {
+	region := geo.EnclosingSquare([]*Trajectory{a, b}, 0)
+	p := dist.DefaultParams(region)
+	return dist.Distance(m, a.Points, b.Points, p)
+}
+
+// DistanceWith computes the exact distance with explicit LCSS/EDR ε
+// and ERP gap point.
+func DistanceWith(m Measure, a, b *Trajectory, epsilon float64, gap Point) float64 {
+	return dist.Distance(m, a.Points, b.Points, dist.Params{Epsilon: epsilon, Gap: gap})
+}
+
+// ClusterIndex is a built distributed index backed by worker
+// processes over TCP.
+type ClusterIndex struct {
+	remote *cluster.Remote
+	opts   Options
+}
+
+// BuildCluster ships the partitions to the given worker addresses
+// (host:port, one per worker process started with ServeWorker or the
+// repose-worker binary) and builds remotely.
+func BuildCluster(ds []*Trajectory, opts Options, workers []string) (*ClusterIndex, error) {
+	if len(ds) == 0 {
+		return nil, errors.New("repose: empty dataset")
+	}
+	region := geo.EnclosingSquare(ds, 0)
+	opts = opts.normalize(region)
+	parts, err := partitionDataset(ds, opts, region)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := cluster.BuildRemote(opts.spec(ds, region), parts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterIndex{remote: remote, opts: opts}, nil
+}
+
+// Search returns the k most similar trajectories, merging worker-
+// local results.
+func (c *ClusterIndex) Search(q *Trajectory, k int) ([]Result, error) {
+	if q == nil || len(q.Points) == 0 {
+		return nil, errors.New("repose: empty query")
+	}
+	if k <= 0 {
+		return nil, errors.New("repose: k must be positive")
+	}
+	return c.remote.Search(q.Points, k)
+}
+
+// Stats reports cluster index statistics.
+func (c *ClusterIndex) Stats() Stats {
+	return Stats{
+		Trajectories: c.remote.Len(),
+		Partitions:   c.remote.NumPartitions(),
+		IndexBytes:   c.remote.IndexSizeBytes(),
+		BuildTime:    c.remote.BuildTime(),
+	}
+}
+
+// Close releases the connections to the workers (the workers keep
+// running).
+func (c *ClusterIndex) Close() { c.remote.Close() }
+
+// ServeWorker runs a worker process serving the given address until
+// the listener fails. It reports the bound address through onReady
+// (useful with ":0") before blocking.
+func ServeWorker(addr string, onReady func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	return cluster.Serve(ln, cluster.NewWorker())
+}

@@ -1,0 +1,199 @@
+package repose
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repose/internal/dataset"
+	"repose/internal/dist"
+)
+
+func testData(t *testing.T, n int) []*Trajectory {
+	t.Helper()
+	return dataset.Generate(dataset.Spec{
+		Name: "t", Cardinality: n, AvgLen: 20, SpanX: 4, SpanY: 4, Hotspots: 5, Seed: 4,
+	})
+}
+
+func TestBuildAndSearchDefaults(t *testing.T) {
+	ds := testData(t, 200)
+	idx, err := Build(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds[17]
+	res, err := idx.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Searching for an indexed trajectory finds it at distance 0.
+	if res[0].ID != q.ID || res[0].Dist != 0 {
+		t.Errorf("self search top hit = %+v", res[0])
+	}
+	// Ascending distances.
+	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i].Dist < res[j].Dist }) {
+		// Equal distances permitted; verify non-decreasing.
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist < res[i-1].Dist {
+				t.Errorf("results not sorted: %v", res)
+			}
+		}
+	}
+	st := idx.Stats()
+	if st.Trajectories != 200 || st.Partitions <= 0 || st.IndexBytes <= 0 || st.BuildTime <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAllMeasuresEndToEnd(t *testing.T) {
+	ds := testData(t, 150)
+	q := ds[3]
+	for _, m := range dist.Measures() {
+		idx, err := Build(ds, Options{Measure: m, Partitions: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		res, err := idx.Search(q, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(res) != 3 {
+			t.Fatalf("%v: %d results", m, len(res))
+		}
+		// Verify reported distances are the true distances.
+		byID := map[int]*Trajectory{}
+		for _, tr := range ds {
+			byID[tr.ID] = tr
+		}
+		for _, r := range res {
+			want := DistanceWith(m, q, byID[r.ID], idx.opts.Epsilon, Point{X: idx.region.Min.X, Y: idx.region.Min.Y})
+			if math.Abs(r.Dist-want) > 1e-9 {
+				t.Errorf("%v: id %d dist %v want %v", m, r.ID, r.Dist, want)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ds := testData(t, 50)
+	idx, err := Build(ds, Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Search(nil, 3); err == nil {
+		t.Error("nil query should fail")
+	}
+	if _, err := idx.SearchPoints(nil, 3); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := idx.SearchPoints([]Point{{X: 1, Y: 1}}, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestOptionVariants(t *testing.T) {
+	ds := testData(t, 120)
+	q := ds[9]
+	base, err := Build(ds, Options{Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Search(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Options{
+		{Partitions: 3, Strategy: Homogeneous},
+		{Partitions: 3, Strategy: Random},
+		{Partitions: 3, NoRearrange: true},
+		{Partitions: 3, Succinct: true},
+		{Partitions: 3, Pivots: -1},
+		{Partitions: 3, Pivots: 2},
+		{Partitions: 5, Delta: 0.03},
+	}
+	for i, o := range variants {
+		idx, err := Build(ds, o)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		got, err := idx.Search(q, 7)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("variant %d: len %d want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if math.Abs(got[j].Dist-want[j].Dist) > 1e-9 {
+				t.Fatalf("variant %d rank %d: dist %v want %v", i, j, got[j].Dist, want[j].Dist)
+			}
+		}
+	}
+}
+
+func TestDistanceHelpers(t *testing.T) {
+	a := &Trajectory{ID: 1, Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}}
+	b := &Trajectory{ID: 2, Points: []Point{{X: 0, Y: 3}, {X: 1, Y: 3}}}
+	if got := Distance(Hausdorff, a, b); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Hausdorff = %v", got)
+	}
+	if got := DistanceWith(LCSS, a, b, 5, Point{}); got != 0 {
+		t.Errorf("LCSS with huge eps = %v", got)
+	}
+}
+
+func TestClusterIndexOverTCP(t *testing.T) {
+	ds := testData(t, 150)
+	// Start two workers on ephemeral ports.
+	ready := make(chan string, 2)
+	for i := 0; i < 2; i++ {
+		go ServeWorker("127.0.0.1:0", func(addr string) { ready <- addr })
+	}
+	addrs := []string{<-ready, <-ready}
+	ci, err := BuildCluster(ds, Options{Partitions: 4}, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ci.Close()
+	idx, err := Build(ds, Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds[33]
+	got, err := ci.Search(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := idx.Search(q, 6)
+	if len(got) != len(want) {
+		t.Fatalf("len %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+	st := ci.Stats()
+	if st.Trajectories != 150 || st.Partitions != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := ci.Search(nil, 3); err == nil {
+		t.Error("nil query should fail")
+	}
+	if _, err := ci.Search(q, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := BuildCluster(nil, Options{}, addrs); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
