@@ -1,0 +1,3 @@
+module repose
+
+go 1.21

@@ -1,14 +1,3 @@
-// Package cluster implements REPOSE's distributed in-memory engine
-// (Section V-C). The paper runs on Spark: a custom Partitioner
-// spreads trajectories, mapPartitions builds one local index per
-// partition (the RpTraj pairing of data and index), queries broadcast
-// to all partitions, and the master merges local top-k results.
-//
-// This package reproduces that dataflow with two interchangeable
-// transports: an in-process engine that runs partitions on goroutines
-// (Local), and a multi-process engine that ships partitions to worker
-// processes over net/rpc + gob (Remote) for multi-node simulation on
-// one machine.
 package cluster
 
 import (

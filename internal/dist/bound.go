@@ -1,0 +1,298 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+	"repose/internal/grid"
+)
+
+// NodeMeta summarizes a trie subtree for the one-side bound LBo:
+// the range of member trajectory lengths (in sample points) and the
+// number of trie levels below the node. MaxDepthBelow == 0 means the
+// node's path is the complete reference trajectory of every member —
+// the "complete" case in which the query-side bounds apply.
+type NodeMeta struct {
+	MinLen, MaxLen int
+	MaxDepthBelow  int
+}
+
+// LeafMeta summarizes a terminal node for the two-side bound LBt.
+// Dmax is the maximum distance from the leaf's reference trajectory
+// to its member trajectories; it is meaningful (non-zero) only for
+// metric measures.
+type LeafMeta struct {
+	NodeMeta
+	Dmax float64
+}
+
+// Bounder computes admissible lower bounds on the distance between a
+// fixed query and every trajectory stored beneath a trie node. It
+// accumulates the node's root path one cell at a time via Extend;
+// Clone forks the state at a branch so siblings extend independently
+// (the last sibling may take ownership of the parent's state instead).
+//
+// Admissibility contract: for every trajectory t in the subtree
+// (respectively leaf) described by meta, LBo(meta) ≤ Distance(m, q,
+// t, p) and LBt(meta) ≤ Distance(m, q, t, p). The per-measure
+// reasoning lives on (*bounder).LBo; the property tests in
+// bound_test.go enforce the contract on random inputs.
+//
+// Precondition: indexed trajectories lie inside the grid region, so
+// every sample point really is inside the cell its z-value names.
+// repose.Build guarantees this by deriving the region from
+// geo.EnclosingSquare over the dataset. (The grid clamps out-of-region
+// points into boundary cells, which would break the contract; queries
+// are never discretized, so they may stray freely.)
+type Bounder interface {
+	// Extend appends one grid cell to the accumulated path. O(|q|).
+	Extend(c grid.Cell)
+	// Clone returns an independent copy of the bound state.
+	Clone() Bounder
+	// LBo returns the one-side lower bound for a subtree.
+	LBo(meta NodeMeta) float64
+	// LBt returns the two-side lower bound for a terminal node.
+	LBt(meta LeafMeta) float64
+}
+
+// NewBounder returns a Bounder for queries q under measure m.
+// halfDiagonal is the grid's √2·δ/2 (Section IV); the implementation
+// uses exact point-to-cell-rectangle distances, which are never
+// looser than center-distance-minus-half-diagonal, so the parameter
+// only documents the grid geometry the bounds are relative to.
+func NewBounder(m Measure, q []geo.Point, halfDiagonal float64, p Params) Bounder {
+	_ = halfDiagonal // see doc comment: the rectangle distances subsume it
+	b := &bounder{m: m, q: q, p: p}
+	b.minD = make([]float64, len(q))
+	for i := range b.minD {
+		b.minD[i] = math.Inf(1)
+	}
+	if m == ERP {
+		b.gapD = make([]float64, len(q))
+		for i, pt := range q {
+			b.gapD[i] = pt.Dist(p.Gap)
+		}
+	}
+	return b
+}
+
+// bounder is the incremental bound state shared by all six measures.
+// Each Extend maintains every aggregate in O(|q|), so a root-to-node
+// descent costs O(depth·|q|) total instead of O(depth²·|q|) for
+// recomputation (see BenchmarkBounderIncremental).
+type bounder struct {
+	m Measure
+	q []geo.Point
+	p Params
+
+	// refPts is the path's reference trajectory prefix (cell
+	// centers), consumed by the metric two-side bound at leaves.
+	// Only maintained for metric measures; nil otherwise.
+	refPts []geo.Point
+
+	// minD[i] is the minimum distance from q[i] to any path cell;
+	// gapD[i] is d(q[i], Gap), precomputed for ERP.
+	minD []float64
+	gapD []float64
+
+	maxCellMin float64  // max over path cells of min_i d(q[i], cell)
+	sumCellMin float64  // Σ over path cells of min_i d(q[i], cell)
+	sumCellGap float64  // ERP: Σ of min(min_i d(q[i], cell), d(Gap, cell))
+	farCells   int      // LCSS/EDR: # path cells with min_i d(q[i], cell) > ε
+	firstCell  float64  // d(q[0], first path cell); order-dependent measures
+	lastCell   geo.Rect // most recent path cell
+	depth      int
+}
+
+func (b *bounder) Extend(c grid.Cell) {
+	cellMin := math.Inf(1)
+	for i, pt := range b.q {
+		d := c.Rect.DistPoint(pt)
+		if d < b.minD[i] {
+			b.minD[i] = d
+		}
+		if d < cellMin {
+			cellMin = d
+		}
+	}
+	if cellMin > b.maxCellMin {
+		b.maxCellMin = cellMin
+	}
+	b.sumCellMin += cellMin
+	switch b.m {
+	case ERP:
+		b.sumCellGap += math.Min(cellMin, c.Rect.DistPoint(b.p.Gap))
+	case LCSS, EDR:
+		if cellMin > b.p.Epsilon {
+			b.farCells++
+		}
+	}
+	if b.depth == 0 && len(b.q) > 0 {
+		b.firstCell = c.Rect.DistPoint(b.q[0])
+	}
+	b.lastCell = c.Rect
+	b.depth++
+	if b.m.IsMetric() {
+		b.refPts = append(b.refPts, c.Center)
+	}
+}
+
+func (b *bounder) Clone() Bounder {
+	nb := *b
+	nb.minD = append([]float64(nil), b.minD...)
+	nb.refPts = append([]geo.Point(nil), b.refPts...)
+	// gapD is immutable after construction and safely shared.
+	return &nb
+}
+
+// LBo computes the one-side bound. Why each case never exceeds the
+// exact distance to a member trajectory t of the subtree:
+//
+// Facts used throughout — (F1) t has a sample point inside every path
+// cell, and distinct path elements (runs) contain distinct sample
+// points; (F2) when meta.MaxDepthBelow == 0 the path is t's complete
+// reference trajectory, so every sample point of t lies in some path
+// cell; (F3) d(p, cell) ≤ d(p, x) for any point x inside the cell;
+// (F4) order-dependent measures are never built with z-value
+// re-arrangement, so the first (and, complete, the last) path cell
+// holds t's first (last) sample point.
+//
+//   - Hausdorff: by F1+F3, max over path cells of min_i d(q[i], cell)
+//     lower-bounds the directed distance t→q; complete, by F2+F3,
+//     max_i minD[i] lower-bounds the directed distance q→t. Both
+//     directions lower-bound the symmetric maximum.
+//   - Frechet: a coupling matches every point of both sequences, so
+//     the Hausdorff bound applies; it also always contains the pair
+//     (q[0], t[0]), adding firstCell by F4, and (q[m−1], t[n−1]),
+//     adding the last-cell distance when complete.
+//   - DTW: every point of t is matched at cost ≥ its min distance to
+//     q, and distinct path cells contribute distinct points (F1), so
+//     the cell-min sum is admissible; complete, each q[i] is matched
+//     at cost ≥ minD[i], giving the query-side sum. Each sum bounds
+//     the total independently, so their max is admissible.
+//   - LCSS: q[i] can ε-match a point of t only if minD[i] ≤ ε
+//     (complete, F2+F3). With R such query points, LCSS ≤ min(R, m,
+//     n), and distance = 1 − LCSS/min(m, n) ≥ 1 − R/min(m, MinLen)
+//     for every member length n ≥ MinLen. Incomplete: 0.
+//   - EDR: EDR ≥ |m − n| ≥ the length-gap bound; every far path cell
+//     (min_i d > ε) holds a point of t that costs ≥ 1 in any edit
+//     script (F1); complete, every far query point costs ≥ 1. A
+//     substitution can cover one far point from each side, so the
+//     counts are not summed — the max of the three terms is taken.
+//   - ERP: every point of t is either aligned (cost ≥ its min
+//     distance to q) or gapped (cost ≥ its distance to Gap), giving
+//     the per-cell min(cellMin, d(Gap, cell)) sum via F1+F3;
+//     complete, the symmetric query-side sum applies. Max of the two.
+func (b *bounder) LBo(meta NodeMeta) float64 {
+	if b.depth == 0 {
+		return 0
+	}
+	complete := meta.MaxDepthBelow == 0
+	switch b.m {
+	case Hausdorff:
+		lb := b.maxCellMin
+		if complete {
+			for _, d := range b.minD {
+				if d > lb {
+					lb = d
+				}
+			}
+		}
+		return lb
+	case Frechet:
+		lb := math.Max(b.maxCellMin, b.firstCell)
+		if complete {
+			for _, d := range b.minD {
+				if d > lb {
+					lb = d
+				}
+			}
+			if d := b.lastCell.DistPoint(b.q[len(b.q)-1]); d > lb {
+				lb = d
+			}
+		}
+		return lb
+	case DTW:
+		lb := math.Max(b.sumCellMin, b.firstCell)
+		if complete {
+			s := 0.0
+			for _, d := range b.minD {
+				s += d
+			}
+			if s > lb {
+				lb = s
+			}
+		}
+		return lb
+	case LCSS:
+		if !complete {
+			return 0
+		}
+		matchable := 0
+		for _, d := range b.minD {
+			if d <= b.p.Epsilon {
+				matchable++
+			}
+		}
+		denom := float64(min(len(b.q), meta.MinLen))
+		if denom <= 0 || float64(matchable) >= denom {
+			return 0
+		}
+		return 1 - float64(matchable)/denom
+	case EDR:
+		m := len(b.q)
+		lb := 0
+		if meta.MinLen > m {
+			lb = meta.MinLen - m
+		} else if meta.MaxLen < m {
+			lb = m - meta.MaxLen
+		}
+		if b.farCells > lb {
+			lb = b.farCells
+		}
+		if complete {
+			far := 0
+			for _, d := range b.minD {
+				if d > b.p.Epsilon {
+					far++
+				}
+			}
+			if far > lb {
+				lb = far
+			}
+		}
+		return float64(lb)
+	case ERP:
+		lb := b.sumCellGap
+		if complete {
+			s := 0.0
+			for i, d := range b.minD {
+				s += math.Min(d, b.gapD[i])
+			}
+			if s > lb {
+				lb = s
+			}
+		}
+		return lb
+	}
+	return 0
+}
+
+// LBt computes the two-side bound for a terminal node. A leaf's path
+// is always complete, so LBo with MaxDepthBelow forced to 0 applies;
+// metric measures additionally get the triangle-inequality bound
+// through the leaf's reference trajectory r: for every member t,
+// Distance(q, t) ≥ Distance(q, r) − Distance(r, t) ≥ Distance(q, r) −
+// Dmax (Section IV-C). The trie stores Dmax only for metric measures,
+// which is exactly when the triangle inequality holds.
+func (b *bounder) LBt(meta LeafMeta) float64 {
+	nm := meta.NodeMeta
+	nm.MaxDepthBelow = 0
+	lb := b.LBo(nm)
+	if b.m.IsMetric() && len(b.refPts) > 0 && len(b.q) > 0 {
+		if d := Distance(b.m, b.q, b.refPts, b.p) - meta.Dmax; d > lb {
+			lb = d
+		}
+	}
+	return lb
+}

@@ -1,0 +1,227 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repose/internal/geo"
+	"repose/internal/grid"
+)
+
+var boundRegion = geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+
+// refPath returns the reference cell sequence of tr on g.
+func refPath(g *grid.Grid, points []geo.Point) []uint64 {
+	return g.Reference(&geo.Trajectory{Points: points})
+}
+
+// memberSeq draws a random member trajectory, clamped into the grid
+// region: the bounds' precondition is that indexed trajectories lie
+// inside the region (repose.Build guarantees it via EnclosingSquare),
+// since the grid clamps out-of-region points into boundary cells they
+// are not actually inside. Queries carry no such precondition and the
+// tests leave them unclamped.
+func memberSeq(rng *rand.Rand, maxLen int) []geo.Point {
+	out := randomSeq(rng, maxLen)
+	for i, p := range out {
+		out[i] = geo.Point{
+			X: math.Min(math.Max(p.X, boundRegion.Min.X), boundRegion.Max.X),
+			Y: math.Min(math.Max(p.Y, boundRegion.Min.Y), boundRegion.Max.Y),
+		}
+	}
+	return out
+}
+
+// TestBounderAdmissibleQuick walks a bounder down the reference path
+// of a random trajectory and checks, at every prefix, that LBo never
+// exceeds the exact distance — the node-bound half of the
+// admissibility contract documented in doc.go. The trajectory stands
+// for a subtree member whose path passes through every prefix node.
+func TestBounderAdmissibleQuick(t *testing.T) {
+	f := func(seed int64, bitsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := grid.NewWithBits(boundRegion, int(bitsRaw)%4+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := memberSeq(rng, 10)
+		q := randomSeq(rng, 8)
+		zs := refPath(g, tr)
+		for _, m := range Measures() {
+			exact := Distance(m, q, tr, testParams)
+			b := NewBounder(m, q, g.HalfDiagonal(), testParams)
+			meta := NodeMeta{MinLen: len(tr), MaxLen: len(tr)}
+			for i, z := range zs {
+				b.Extend(g.CellByZ(z))
+				meta.MaxDepthBelow = len(zs) - 1 - i
+				if lb := b.LBo(meta); lb > exact+1e-9 {
+					t.Fatalf("%v: depth %d/%d LBo %v > exact %v", m, i+1, len(zs), lb, exact)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBounderAdmissibleRearrangedQuick repeats the walk with the path
+// cells deduplicated and shuffled, the shape the z-value
+// re-arrangement optimization produces. Only Hausdorff — the one
+// order-independent measure — is ever built that way.
+func TestBounderAdmissibleRearrangedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := grid.NewWithBits(boundRegion, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := memberSeq(rng, 10)
+		q := randomSeq(rng, 8)
+		seen := map[uint64]bool{}
+		var zs []uint64
+		for _, z := range refPath(g, tr) {
+			if !seen[z] {
+				seen[z] = true
+				zs = append(zs, z)
+			}
+		}
+		rng.Shuffle(len(zs), func(i, j int) { zs[i], zs[j] = zs[j], zs[i] })
+		exact := Distance(Hausdorff, q, tr, testParams)
+		b := NewBounder(Hausdorff, q, g.HalfDiagonal(), testParams)
+		meta := NodeMeta{MinLen: len(tr), MaxLen: len(tr)}
+		for i, z := range zs {
+			b.Extend(g.CellByZ(z))
+			meta.MaxDepthBelow = len(zs) - 1 - i
+			if lb := b.LBo(meta); lb > exact+1e-9 {
+				t.Fatalf("depth %d: LBo %v > exact %v", i+1, lb, exact)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// leafMembers samples trajectories whose reference trajectory is
+// exactly zs: one or more points inside each successive cell.
+func leafMembers(rng *rand.Rand, g *grid.Grid, zs []uint64, count int) [][]geo.Point {
+	members := make([][]geo.Point, count)
+	for i := range members {
+		var pts []geo.Point
+		for _, z := range zs {
+			r := g.CellByZ(z).Rect
+			for n := 1 + rng.Intn(2); n > 0; n-- {
+				pts = append(pts, geo.Point{
+					X: r.Min.X + rng.Float64()*(r.Max.X-r.Min.X),
+					Y: r.Min.Y + rng.Float64()*(r.Max.Y-r.Min.Y),
+				})
+			}
+		}
+		members[i] = pts
+	}
+	return members
+}
+
+// TestLeafBoundAdmissibleQuick builds synthetic leaves — several
+// trajectories sharing one reference trajectory — and checks that LBt
+// (including the metric Dmax term) never exceeds the exact distance
+// to any member: the leaf-bound half of the admissibility contract.
+func TestLeafBoundAdmissibleQuick(t *testing.T) {
+	f := func(seed int64, bitsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := grid.NewWithBits(boundRegion, int(bitsRaw)%4+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zs := refPath(g, memberSeq(rng, 8))
+		members := leafMembers(rng, g, zs, 1+rng.Intn(4))
+		refPts := g.ReferencePoints(zs)
+		q := randomSeq(rng, 8)
+		for _, m := range Measures() {
+			meta := LeafMeta{NodeMeta: NodeMeta{MinLen: math.MaxInt32, MaxLen: 0}}
+			for _, mem := range members {
+				meta.MinLen = min(meta.MinLen, len(mem))
+				meta.MaxLen = max(meta.MaxLen, len(mem))
+				if m.IsMetric() { // as rptrie's finalize does
+					meta.Dmax = math.Max(meta.Dmax, Distance(m, mem, refPts, testParams))
+				}
+			}
+			b := NewBounder(m, q, g.HalfDiagonal(), testParams)
+			for _, z := range zs {
+				b.Extend(g.CellByZ(z))
+			}
+			lb := b.LBt(meta)
+			for _, mem := range members {
+				if exact := Distance(m, q, mem, testParams); lb > exact+1e-9 {
+					t.Fatalf("%v: LBt %v > exact %v (|ref|=%d, Dmax=%v)",
+						m, lb, exact, len(zs), meta.Dmax)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBounderCloneIndependence: extending the original after a Clone
+// must not disturb the clone, and a cloned descent must produce
+// exactly the bounds a fresh descent does — the property the search
+// relies on when siblings share a parent's bound state.
+func TestBounderCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := grid.NewWithBits(boundRegion, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := memberSeq(rng, 10)
+	q := randomSeq(rng, 6)
+	zs := refPath(g, tr)
+	if len(zs) < 2 {
+		zs = append(zs, zs[0]^1)
+	}
+	for _, m := range Measures() {
+		meta := NodeMeta{MinLen: len(tr), MaxLen: len(tr)}
+		fresh := NewBounder(m, q, g.HalfDiagonal(), testParams)
+		half := len(zs) / 2
+		for _, z := range zs[:half] {
+			fresh.Extend(g.CellByZ(z))
+		}
+		clone := fresh.Clone()
+		before := clone.LBo(meta)
+		// Diverge the original; the clone must not move.
+		fresh.Extend(g.CellByZ(zs[len(zs)-1]))
+		if after := clone.LBo(meta); after != before {
+			t.Fatalf("%v: clone LBo changed %v → %v after original extended", m, before, after)
+		}
+		// The clone finishes the descent identically to a fresh walk.
+		for _, z := range zs[half:] {
+			clone.Extend(g.CellByZ(z))
+		}
+		direct := NewBounder(m, q, g.HalfDiagonal(), testParams)
+		for _, z := range zs {
+			direct.Extend(g.CellByZ(z))
+		}
+		if a, b := clone.LBo(meta), direct.LBo(meta); a != b {
+			t.Fatalf("%v: cloned descent LBo %v != fresh descent %v", m, a, b)
+		}
+	}
+}
+
+// TestBounderZeroDepth: before any Extend the bounder knows nothing
+// and must return the trivial bound.
+func TestBounderZeroDepth(t *testing.T) {
+	q := pts(1, 1, 2, 2)
+	for _, m := range Measures() {
+		b := NewBounder(m, q, 0.1, testParams)
+		if lb := b.LBo(NodeMeta{MinLen: 1, MaxLen: 5}); lb != 0 {
+			t.Errorf("%v: zero-depth LBo = %v", m, lb)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repose/internal/geo"
+)
+
+func pts(xy ...float64) []geo.Point {
+	out := make([]geo.Point, 0, len(xy)/2)
+	for i := 0; i < len(xy); i += 2 {
+		out = append(out, geo.Point{X: xy[i], Y: xy[i+1]})
+	}
+	return out
+}
+
+// randomSeq draws a short random walk, the same shape of data the
+// rptrie tests use.
+func randomSeq(rng *rand.Rand, maxLen int) []geo.Point {
+	n := 1 + rng.Intn(maxLen)
+	out := make([]geo.Point, n)
+	x, y := rng.Float64()*8, rng.Float64()*8
+	for i := range out {
+		out[i] = geo.Point{X: x, Y: y}
+		x += rng.NormFloat64() * 0.5
+		y += rng.NormFloat64() * 0.5
+	}
+	return out
+}
+
+var testParams = Params{Epsilon: 0.5, Gap: geo.Point{}}
+
+func TestKnownValues(t *testing.T) {
+	sqrt2 := math.Sqrt2
+	cases := []struct {
+		name string
+		m    Measure
+		a, b []geo.Point
+		want float64
+	}{
+		{"hausdorff", Hausdorff, pts(0, 0, 1, 0), pts(0, 1), sqrt2},
+		{"frechet", Frechet, pts(0, 0, 1, 0), pts(0, 1, 1, 1), 1},
+		{"frechet backtrack", Frechet, pts(0, 0, 2, 0, 0, 0), pts(0, 0), 2},
+		{"dtw", DTW, pts(0, 0, 1, 0), pts(0, 1, 1, 1), 2},
+		{"lcss", LCSS, pts(0, 0, 1, 0, 2, 0), pts(0, 0.1, 5, 5, 2, 0.1), 1.0 / 3},
+		{"edr", EDR, pts(0, 0, 1, 0, 2, 0), pts(0, 0.1, 5, 5, 2, 0.1), 1},
+		{"edr length gap", EDR, pts(0, 0), pts(0, 0, 0, 0, 0, 0), 2},
+		{"erp aligned", ERP, pts(1, 0), pts(1, 0), 0},
+		{"erp gap", ERP, pts(1, 0, 2, 0), pts(1, 0), 2},
+	}
+	for _, c := range cases {
+		p := Params{Epsilon: 0.2, Gap: geo.Point{}}
+		if got := Distance(c.m, c.a, c.b, p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Distance = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIdentityAndSymmetryQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSeq(rng, 12)
+		b := randomSeq(rng, 12)
+		for _, m := range Measures() {
+			if d := Distance(m, a, a, testParams); d != 0 {
+				t.Fatalf("%v: d(a,a) = %v", m, d)
+			}
+			ab := Distance(m, a, b, testParams)
+			ba := Distance(m, b, a, testParams)
+			if math.Abs(ab-ba) > 1e-9 {
+				t.Fatalf("%v: asymmetric %v vs %v", m, ab, ba)
+			}
+			if ab < 0 {
+				t.Fatalf("%v: negative distance %v", m, ab)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTriangleInequalityQuick spot-checks the property IsMetric
+// advertises, which both LBt and pivot pruning rely on.
+func TestTriangleInequalityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomSeq(rng, 10), randomSeq(rng, 10), randomSeq(rng, 10)
+		for _, m := range Measures() {
+			if !m.IsMetric() {
+				continue
+			}
+			ac := Distance(m, a, c, testParams)
+			ab := Distance(m, a, b, testParams)
+			bc := Distance(m, b, c, testParams)
+			if ac > ab+bc+1e-9 {
+				t.Fatalf("%v: d(a,c)=%v > d(a,b)+d(b,c)=%v", m, ac, ab+bc)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistanceBoundedContractQuick enforces the early-abandon
+// contract: the result equals the exact distance whenever the exact
+// distance is ≤ threshold, and any abandonment (+Inf) implies the
+// exact distance strictly exceeds the threshold. In particular
+// DistanceBounded ≥ threshold ⇒ Distance ≥ threshold.
+func TestDistanceBoundedContractQuick(t *testing.T) {
+	f := func(seed int64, frac float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSeq(rng, 12)
+		b := randomSeq(rng, 12)
+		for _, m := range Measures() {
+			exact := Distance(m, a, b, testParams)
+			// Thresholds below, around, and above the exact value.
+			scale := math.Abs(frac)
+			if scale > 4 {
+				scale = math.Mod(scale, 4)
+			}
+			for _, thr := range []float64{0, exact * scale, exact, exact + 0.1, math.Inf(1)} {
+				got := DistanceBounded(m, a, b, testParams, thr)
+				if exact <= thr && got != exact {
+					t.Fatalf("%v thr=%v: got %v, want exact %v", m, thr, got, exact)
+				}
+				if math.IsInf(got, 1) {
+					if exact <= thr {
+						t.Fatalf("%v thr=%v: abandoned but exact %v ≤ thr", m, thr, exact)
+					}
+				} else if got != exact {
+					t.Fatalf("%v thr=%v: finite non-exact %v (exact %v)", m, thr, got, exact)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	a := pts(1, 1, 2, 2)
+	for _, m := range Measures() {
+		if d := Distance(m, nil, nil, testParams); d != 0 {
+			t.Errorf("%v: d(∅,∅) = %v", m, d)
+		}
+		d := Distance(m, a, nil, testParams)
+		switch m {
+		case LCSS:
+			if d != 1 {
+				t.Errorf("LCSS: d(a,∅) = %v, want 1", d)
+			}
+		case EDR:
+			if d != 2 {
+				t.Errorf("EDR: d(a,∅) = %v, want 2", d)
+			}
+		case ERP:
+			want := a[0].Dist(testParams.Gap) + a[1].Dist(testParams.Gap)
+			if math.Abs(d-want) > 1e-12 {
+				t.Errorf("ERP: d(a,∅) = %v, want %v", d, want)
+			}
+		default:
+			if !math.IsInf(d, 1) {
+				t.Errorf("%v: d(a,∅) = %v, want +Inf", m, d)
+			}
+		}
+	}
+}
+
+func TestEarlyAbandonAbandons(t *testing.T) {
+	far := pts(100, 100, 101, 100, 102, 100)
+	near := pts(0, 0, 1, 0, 2, 0)
+	for _, m := range Measures() {
+		thr := 0.25 // below every measure's distance for these inputs
+		if got := DistanceBounded(m, near, far, testParams, thr); !math.IsInf(got, 1) {
+			exact := Distance(m, near, far, testParams)
+			if got != exact {
+				t.Errorf("%v: got %v, want exact %v or +Inf", m, got, exact)
+			}
+			if exact <= thr {
+				t.Errorf("%v: distance %v unexpectedly ≤ %v", m, exact, thr)
+			}
+		}
+	}
+}

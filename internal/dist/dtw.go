@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// dtwBounded computes sum-cost dynamic time warping:
+//
+//	c[i][j] = d(a_i, b_j) + min(c[i-1][j], c[i][j-1], c[i-1][j-1])
+//
+// Costs are non-negative, so c never decreases along a warping path
+// and the row-minimum is an admissible cutoff, as in frechetBounded.
+func dtwBounded(a, b []geo.Point, threshold float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == len(b) {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	n := len(b)
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+
+	acc := 0.0
+	for j, q := range b {
+		acc += a[0].Dist(q)
+		prev[j] = acc
+	}
+	if prev[0] > threshold { // every warping path contains (a[0], b[0])
+		return math.Inf(1)
+	}
+
+	for i := 1; i < len(a); i++ {
+		rowMin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			reach := prev[j]
+			if j > 0 {
+				reach = min(reach, prev[j-1], cur[j-1])
+			}
+			v := a[i].Dist(b[j]) + reach
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if rowMin > threshold {
+			return math.Inf(1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1]
+}

@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// edrBounded computes the edit distance on real sequences: aligned
+// pairs cost 0 when within ε and 1 otherwise, insertions and
+// deletions cost 1. The value is a non-negative integer count, so the
+// row-minimum cutoff of the other DP kernels applies.
+func edrBounded(a, b []geo.Point, epsilon, threshold float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return float64(len(a) + len(b))
+	}
+	m, n := len(a), len(b)
+	// EDR ≥ |m − n|: cheap pre-test before the O(mn) table.
+	if d := m - n; d > 0 && float64(d) > threshold || d < 0 && float64(-d) > threshold {
+		return math.Inf(1)
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= n; j++ {
+			sub := prev[j-1]
+			if a[i-1].Dist2(b[j-1]) > epsilon*epsilon {
+				sub++
+			}
+			cur[j] = min(sub, prev[j]+1, cur[j-1]+1)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if float64(rowMin) > threshold {
+			return math.Inf(1)
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[n])
+}

@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// erpBounded computes the edit distance with real penalty against the
+// gap point g: aligning a_i with b_j costs d(a_i, b_j); leaving a
+// point unaligned costs its distance to g. ERP is a metric for a
+// fixed gap. Costs are non-negative, so the row-minimum cutoff
+// applies.
+func erpBounded(a, b []geo.Point, gap geo.Point, threshold float64) float64 {
+	if len(a) == 0 {
+		s := 0.0
+		for _, q := range b {
+			s += q.Dist(gap)
+		}
+		return s
+	}
+	if len(b) == 0 {
+		s := 0.0
+		for _, p := range a {
+			s += p.Dist(gap)
+		}
+		return s
+	}
+	m, n := len(a), len(b)
+	gb := make([]float64, n) // d(b_j, gap)
+	for j, q := range b {
+		gb[j] = q.Dist(gap)
+	}
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		prev[j] = prev[j-1] + gb[j-1]
+	}
+	for i := 1; i <= m; i++ {
+		ga := a[i-1].Dist(gap)
+		cur[0] = prev[0] + ga
+		rowMin := cur[0]
+		for j := 1; j <= n; j++ {
+			v := min(
+				prev[j-1]+a[i-1].Dist(b[j-1]), // align
+				prev[j]+ga,                    // gap a_i
+				cur[j-1]+gb[j-1],              // gap b_j
+			)
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if rowMin > threshold {
+			return math.Inf(1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}

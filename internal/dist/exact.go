@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// Distance computes the exact distance between point sequences a and
+// b under measure m. Hausdorff, Frechet, and DTW ignore p; LCSS and
+// EDR read p.Epsilon; ERP reads p.Gap.
+func Distance(m Measure, a, b []geo.Point, p Params) float64 {
+	return DistanceBounded(m, a, b, p, math.Inf(1))
+}
+
+// DistanceBounded is Distance with early abandoning. It returns the
+// exact distance whenever that distance is ≤ threshold; otherwise it
+// may abandon the computation and return +Inf as soon as the partial
+// state proves the exact distance strictly exceeds threshold (it may
+// also run to completion and return the exact value). Callers
+// comparing the result against threshold therefore see exactly the
+// same accept/reject decisions they would with Distance.
+func DistanceBounded(m Measure, a, b []geo.Point, p Params, threshold float64) float64 {
+	switch m {
+	case Hausdorff:
+		return hausdorffBounded(a, b, threshold)
+	case Frechet:
+		return frechetBounded(a, b, threshold)
+	case DTW:
+		return dtwBounded(a, b, threshold)
+	case LCSS:
+		return lcssBounded(a, b, p.Epsilon, threshold)
+	case EDR:
+		return edrBounded(a, b, p.Epsilon, threshold)
+	case ERP:
+		return erpBounded(a, b, p.Gap, threshold)
+	}
+	panic("dist: unknown measure " + m.String())
+}
+
+// HausdorffDist returns the exact symmetric Hausdorff distance.
+func HausdorffDist(a, b []geo.Point) float64 {
+	return hausdorffBounded(a, b, math.Inf(1))
+}
+
+// FrechetDist returns the exact discrete Frechet distance.
+func FrechetDist(a, b []geo.Point) float64 {
+	return frechetBounded(a, b, math.Inf(1))
+}
+
+// DTWDist returns the exact dynamic time warping distance.
+func DTWDist(a, b []geo.Point) float64 {
+	return dtwBounded(a, b, math.Inf(1))
+}
+
+// LCSSDist returns the exact LCSS distance 1 − LCSS_ε/min(|a|,|b|).
+func LCSSDist(a, b []geo.Point, epsilon float64) float64 {
+	return lcssBounded(a, b, epsilon, math.Inf(1))
+}
+
+// EDRDist returns the exact edit distance on real sequences.
+func EDRDist(a, b []geo.Point, epsilon float64) float64 {
+	return edrBounded(a, b, epsilon, math.Inf(1))
+}
+
+// ERPDist returns the exact edit distance with real penalty.
+func ERPDist(a, b []geo.Point, gap geo.Point) float64 {
+	return erpBounded(a, b, gap, math.Inf(1))
+}

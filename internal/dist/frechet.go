@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// frechetBounded computes the discrete Frechet distance by the
+// standard O(|a|·|b|) dynamic program with two rolling rows:
+//
+//	c[i][j] = max(d(a_i, b_j), min(c[i-1][j], c[i][j-1], c[i-1][j-1]))
+//
+// Every monotone coupling crosses each row, and c never decreases
+// along a coupling, so the final value is ≥ the minimum of any row;
+// when that minimum exceeds threshold the computation abandons.
+func frechetBounded(a, b []geo.Point, threshold float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == len(b) {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	n := len(b)
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+
+	// First row: a[0] couples with every prefix of b, so c[0][j] is
+	// the running maximum of d(a[0], b[..j]).
+	acc := 0.0
+	for j, q := range b {
+		d := a[0].Dist(q)
+		if j == 0 || d > acc {
+			acc = d
+		}
+		prev[j] = acc
+	}
+	if prev[0] > threshold { // every coupling contains (a[0], b[0])
+		return math.Inf(1)
+	}
+
+	for i := 1; i < len(a); i++ {
+		rowMin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			reach := prev[j]
+			if j > 0 {
+				reach = min(reach, prev[j-1], cur[j-1])
+			}
+			v := max(a[i].Dist(b[j]), reach)
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if rowMin > threshold {
+			return math.Inf(1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1]
+}

@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// hausdorffBounded computes the symmetric Hausdorff distance
+// max(h(a→b), h(b→a)) with h(x→y) = max_{p∈x} min_{q∈y} d(p, q),
+// abandoning with +Inf once the running maximum provably exceeds
+// threshold.
+func hausdorffBounded(a, b []geo.Point, threshold float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == len(b) {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	h := directedHausdorff(a, b, 0, threshold)
+	if h > threshold {
+		return math.Inf(1)
+	}
+	h = directedHausdorff(b, a, h, threshold)
+	if h > threshold {
+		return math.Inf(1)
+	}
+	return h
+}
+
+// directedHausdorff raises run to max(run, h(a→b)). The inner scan
+// breaks as soon as a neighbor within run is found (it cannot raise
+// the maximum), and the whole computation abandons with +Inf once run
+// exceeds threshold — both standard exactness-preserving cutoffs.
+func directedHausdorff(a, b []geo.Point, run, threshold float64) float64 {
+	for _, p := range a {
+		best := math.Inf(1)
+		for _, q := range b {
+			if d := p.Dist2(q); d < best {
+				best = d
+				if best <= run*run {
+					break
+				}
+			}
+		}
+		if best > run*run {
+			run = math.Sqrt(best)
+			if run > threshold {
+				return math.Inf(1)
+			}
+		}
+	}
+	return run
+}

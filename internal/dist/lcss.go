@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// lcssBounded computes the LCSS distance 1 − L/min(m, n), where L is
+// the length of the longest common subsequence under ε-matching (two
+// points match iff their Euclidean distance is ≤ ε). The distance
+// lies in [0, 1]. After finishing row i, at most m−1−i further rows
+// can each add one match, which upper-bounds the achievable L and
+// lower-bounds the final distance — the abandon test.
+func lcssBounded(a, b []geo.Point, epsilon, threshold float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == len(b) {
+			return 0
+		}
+		return 1
+	}
+	m, n := len(a), len(b)
+	minmn := float64(min(m, n))
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 0; i < m; i++ {
+		rowMax := 0
+		for j := 0; j < n; j++ {
+			if a[i].Dist2(b[j]) <= epsilon*epsilon {
+				cur[j+1] = prev[j] + 1
+			} else {
+				cur[j+1] = max(prev[j+1], cur[j])
+			}
+			if cur[j+1] > rowMax {
+				rowMax = cur[j+1]
+			}
+		}
+		if reachable := float64(rowMax + m - 1 - i); reachable < minmn {
+			if 1-reachable/minmn > threshold {
+				return math.Inf(1)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return 1 - float64(prev[n])/minmn
+}

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"repose/internal/geo"
+)
+
+// Measure identifies one of the six supported similarity measures.
+// The zero value is Hausdorff, the paper's default.
+type Measure int
+
+// The supported measures, in the order the paper introduces them.
+const (
+	Hausdorff Measure = iota
+	Frechet
+	DTW
+	LCSS
+	EDR
+	ERP
+	numMeasures // sentinel; keep last
+)
+
+// Measures returns all supported measures in declaration order.
+func Measures() []Measure {
+	out := make([]Measure, numMeasures)
+	for i := range out {
+		out[i] = Measure(i)
+	}
+	return out
+}
+
+var measureNames = [numMeasures]string{
+	Hausdorff: "Hausdorff",
+	Frechet:   "Frechet",
+	DTW:       "DTW",
+	LCSS:      "LCSS",
+	EDR:       "EDR",
+	ERP:       "ERP",
+}
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	if m >= 0 && m < numMeasures {
+		return measureNames[m]
+	}
+	return fmt.Sprintf("Measure(%d)", int(m))
+}
+
+// ParseMeasure resolves a case-insensitive measure name.
+func ParseMeasure(s string) (Measure, error) {
+	for m, name := range measureNames {
+		if strings.EqualFold(s, name) {
+			return Measure(m), nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown measure %q (want one of %s)",
+		s, strings.Join(measureNames[:], ", "))
+}
+
+// IsMetric reports whether the measure satisfies the triangle
+// inequality, enabling the two-side bound LBt and pivot pruning
+// (Section IV-C/IV-D). Hausdorff and discrete Frechet are metrics on
+// point sets/sequences; ERP is a metric for a fixed gap point.
+func (m Measure) IsMetric() bool {
+	return m == Hausdorff || m == Frechet || m == ERP
+}
+
+// OrderIndependent reports whether the measure ignores the ordering
+// of sample points, making the z-value re-arrangement optimization of
+// Section III-C applicable. Only Hausdorff, which treats trajectories
+// as point sets, qualifies.
+func (m Measure) OrderIndependent() bool { return m == Hausdorff }
+
+// Params carries the per-measure parameters. Measures that do not use
+// a field ignore it, so one Params value can serve all six.
+type Params struct {
+	// Epsilon is the matching tolerance of LCSS and EDR: two points
+	// match iff their Euclidean distance is ≤ Epsilon.
+	Epsilon float64
+
+	// Gap is ERP's gap point g: the fixed reference against which
+	// unmatched points are charged d(·, g).
+	Gap geo.Point
+}
+
+// DefaultParams derives the paper's default parameters from a dataset
+// region: Epsilon is 1% of the region's diameter, and Gap is the
+// region's minimum corner.
+func DefaultParams(region geo.Rect) Params {
+	return Params{
+		Epsilon: region.Min.Dist(region.Max) * 0.01,
+		Gap:     region.Min,
+	}
+}

@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repose/internal/geo"
+)
+
+func TestMeasureEnum(t *testing.T) {
+	ms := Measures()
+	if len(ms) != 6 {
+		t.Fatalf("Measures() has %d entries", len(ms))
+	}
+	wantOrder := []Measure{Hausdorff, Frechet, DTW, LCSS, EDR, ERP}
+	for i, m := range ms {
+		if m != wantOrder[i] {
+			t.Errorf("Measures()[%d] = %v, want %v", i, m, wantOrder[i])
+		}
+	}
+	if Hausdorff != 0 {
+		t.Error("Hausdorff must be the zero value (the paper's default)")
+	}
+}
+
+func TestMeasureStringParseRoundTrip(t *testing.T) {
+	for _, m := range Measures() {
+		got, err := ParseMeasure(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMeasure(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	// Case-insensitive: the CLI flag help advertises mixed-case names.
+	if m, err := ParseMeasure("hausdorff"); err != nil || m != Hausdorff {
+		t.Errorf("ParseMeasure lowercase: %v, %v", m, err)
+	}
+	if m, err := ParseMeasure("dtw"); err != nil || m != DTW {
+		t.Errorf("ParseMeasure lowercase: %v, %v", m, err)
+	}
+	if _, err := ParseMeasure("cosine"); err == nil {
+		t.Error("unknown measure should fail to parse")
+	}
+	if s := Measure(99).String(); s != "Measure(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestMeasureClassification(t *testing.T) {
+	metric := map[Measure]bool{Hausdorff: true, Frechet: true, ERP: true}
+	orderFree := map[Measure]bool{Hausdorff: true}
+	for _, m := range Measures() {
+		if m.IsMetric() != metric[m] {
+			t.Errorf("%v.IsMetric() = %v", m, m.IsMetric())
+		}
+		if m.OrderIndependent() != orderFree[m] {
+			t.Errorf("%v.OrderIndependent() = %v", m, m.OrderIndependent())
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	region := geo.Rect{Min: geo.Point{X: 1, Y: 2}, Max: geo.Point{X: 4, Y: 6}}
+	p := DefaultParams(region)
+	if want := 0.05; math.Abs(p.Epsilon-want) > 1e-12 { // diameter 5, 1%
+		t.Errorf("Epsilon = %v, want %v", p.Epsilon, want)
+	}
+	if p.Gap != region.Min {
+		t.Errorf("Gap = %v, want %v", p.Gap, region.Min)
+	}
+}

@@ -1,0 +1,6 @@
+// Package partition implements REPOSE's global partitioning
+// (Section V): the heterogeneous strategy that spreads similar
+// trajectories across partitions, plus the homogeneous and random
+// strategies used as comparison points (Table VII), and an STR
+// partitioner used by the DFT and DITA baselines.
+package partition

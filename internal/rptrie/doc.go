@@ -1,0 +1,23 @@
+// Package rptrie implements the Reference Point Trie (RP-Trie), the
+// core index of REPOSE (Sections III and IV of the paper).
+//
+// Trajectories are discretized into reference trajectories (z-value
+// sequences) on a grid; the trie indexes those sequences. Leaves
+// record the ids of all trajectories sharing a reference trajectory,
+// the maximum distance Dmax from the reference trajectory to those
+// trajectories, and per-pivot distance ranges HR. Top-k queries
+// traverse the trie best-first (Algorithm 2), pruning with the
+// one-side bound LBo (Section IV-B), the two-side bound LBt
+// (Section IV-C), and the pivot bound LBp (Section IV-D); the bound
+// computations themselves live in repose/internal/dist (LBo/LBt) and
+// repose/internal/pivot (LBp).
+//
+// Two structural optimizations are provided: z-value re-arrangement
+// for order-independent measures via the greedy hitting-set
+// construction (Section III-C, Appendix B) and a succinct two-tier
+// layout — rank-addressable bitmaps for the dense upper levels,
+// lazily decoded byte sequences for the sparse lower levels
+// (Section III-B). Tries persist via Save/ReadTrie so a restarted
+// worker skips the construction cost; range search (SearchRadius) is
+// provided as an extension beyond the paper.
+package rptrie

@@ -1,18 +1,3 @@
-// Package rptrie implements the Reference Point Trie (RP-Trie), the
-// core index of REPOSE (Sections III and IV of the paper).
-//
-// Trajectories are discretized into reference trajectories (z-value
-// sequences) on a grid; the trie indexes those sequences. Leaves
-// record the ids of all trajectories sharing a reference trajectory,
-// the maximum distance Dmax from the reference trajectory to those
-// trajectories, and per-pivot distance ranges HR. Top-k queries
-// traverse the trie best-first, pruning with the one-side bound LBo,
-// the two-side bound LBt, and the pivot bound LBp.
-//
-// Two structural optimizations are provided: z-value re-arrangement
-// for order-independent measures (Section III-C) and a succinct
-// two-tier layout (bitmap upper levels, byte-serialized lower levels;
-// Section III-B).
 package rptrie
 
 import (

@@ -1,8 +1,3 @@
-// Package topk provides the bounded result heap used throughout
-// REPOSE query processing: a max-heap holding the k best (smallest
-// distance) trajectories found so far, whose maximum is the pruning
-// threshold dk of Algorithm 2. Results order deterministically by
-// (distance, id).
 package topk
 
 import (
