@@ -8,11 +8,13 @@
 package repose_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"repose"
 	"repose/internal/cluster"
 	"repose/internal/dataset"
 	"repose/internal/dist"
@@ -158,7 +160,26 @@ func benchQueries(b *testing.B, eng *cluster.Local, queries []*geo.Trajectory, k
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]
-		if _, err := eng.Search(q.Points, k); err != nil {
+		if _, _, err := eng.Search(context.Background(), q.Points, k, cluster.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearch times the public unified API end to end (Build +
+// Search on the local engine) — the smoke benchmark CI runs with
+// -benchtime=1x so the harness cannot rot.
+func BenchmarkSearch(b *testing.B) {
+	w := getWorld(b, "T-drive")
+	idx, err := repose.Build(w.ds, repose.Options{Partitions: 8, Delta: defaultDelta("T-drive")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.queries[i%len(w.queries)]
+		if _, err := idx.Search(ctx, q, benchK); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,19 +1,25 @@
 // Command repose-query builds an index over a CSV dataset (or a
-// generated synthetic one) and answers ad-hoc top-k queries.
+// generated synthetic one) and answers ad-hoc top-k queries. With
+// -workers it ships the partitions to running repose-worker processes
+// and queries them over TCP instead — the query surface is identical
+// either way.
 //
 // Usage:
 //
 //	repose-query -data rides.csv -measure Frechet -k 5 -qid 17
 //	repose-query -dataset T-drive -scale 0.002 -k 10 -qid 3
+//	repose-query -dataset Xian -workers 127.0.0.1:7701,127.0.0.1:7702 -qid 3
 //
 // The query is the dataset trajectory with id -qid (dropped from the
 // candidates when -exclude-self is set).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repose"
@@ -32,6 +38,8 @@ func main() {
 		qid         = flag.Int("qid", 0, "query trajectory id")
 		delta       = flag.Float64("delta", 0, "grid cell side δ (0 = span/64)")
 		partitions  = flag.Int("partitions", 0, "partitions (0 = one per core)")
+		workers     = flag.String("workers", "", "comma-separated worker addresses (empty = in-process)")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		excludeSelf = flag.Bool("exclude-self", false, "drop the query trajectory from results")
 	)
 	flag.Parse()
@@ -55,31 +63,45 @@ func main() {
 		fail(fmt.Errorf("query id %d not in dataset (%d trajectories)", *qid, len(ds)))
 	}
 
-	start := time.Now()
-	idx, err := repose.Build(ds, repose.Options{
+	opts := repose.Options{
 		Measure:    m,
 		Delta:      *delta,
 		Partitions: *partitions,
-	})
+	}
+	start := time.Now()
+	var idx *repose.Index
+	if *workers != "" {
+		idx, err = repose.BuildRemote(ds, opts, strings.Split(*workers, ","))
+	} else {
+		idx, err = repose.Build(ds, opts)
+	}
 	if err != nil {
 		fail(err)
 	}
+	defer idx.Close()
 	st := idx.Stats()
-	fmt.Printf("built index: %d trajectories, %d partitions, %.2f MB, %v\n",
-		st.Trajectories, st.Partitions, float64(st.IndexBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("built %s index: %d trajectories, %d partitions, %.2f MB, %v\n",
+		idx.Engine(), st.Trajectories, st.Partitions, float64(st.IndexBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
 
 	kk := *k
 	if *excludeSelf {
 		kk++
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var report repose.QueryReport
 	start = time.Now()
-	res, err := idx.Search(query, kk)
+	res, err := idx.Search(ctx, query, kk, repose.WithReport(&report))
 	if err != nil {
 		fail(err)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("top-%d by %v for trajectory %d (%d points) in %v:\n",
-		*k, m, query.ID, len(query.Points), elapsed.Round(time.Microsecond))
+	fmt.Printf("top-%d by %v for trajectory %d (%d points) in %v (straggler ratio %.2f):\n",
+		*k, m, query.ID, len(query.Points), elapsed.Round(time.Microsecond), report.Imbalance())
 	shown := 0
 	for _, r := range res {
 		if *excludeSelf && r.ID == query.ID {

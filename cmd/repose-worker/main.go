@@ -1,6 +1,7 @@
 // Command repose-worker runs one cluster worker process. The driver
-// (repose.BuildCluster or the examples/distributed program) ships it
-// partitions over TCP and broadcasts queries to it.
+// (repose.BuildRemote or the examples/distributed program) ships it
+// partitions over TCP and broadcasts queries to it. SIGINT/SIGTERM
+// shut it down cleanly by closing the listener.
 //
 // Usage:
 //
@@ -9,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repose"
 )
@@ -22,9 +27,15 @@ func main() {
 	flag.Parse()
 
 	log.SetPrefix("repose-worker: ")
-	err := repose.ServeWorker(*addr, func(bound string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := repose.ServeWorkerContext(ctx, *addr, func(bound string) {
 		fmt.Printf("listening on %s\n", bound)
 	})
+	if errors.Is(err, context.Canceled) {
+		log.Print("shutting down")
+		return
+	}
 	if err != nil {
 		log.Print(err)
 		os.Exit(1)

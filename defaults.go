@@ -1,10 +1,88 @@
 package repose
 
-import "runtime"
+import (
+	"errors"
+	"runtime"
+
+	"repose/internal/cluster"
+)
 
 // defaultPartitions returns the default global partition count: one
 // per available core, mirroring the paper's setup where each of the
 // 64 cluster cores processes one of the 64 default partitions.
 func defaultPartitions() int {
 	return runtime.GOMAXPROCS(0)
+}
+
+// Typed sentinel errors returned by the query methods; match them
+// with errors.Is. Context cancellation surfaces as the ctx's own
+// error (context.Canceled / context.DeadlineExceeded), wrapped.
+var (
+	// ErrEmptyQuery rejects a nil query or one without points.
+	ErrEmptyQuery = errors.New("repose: empty query")
+	// ErrBadK rejects a non-positive result size k.
+	ErrBadK = errors.New("repose: k must be positive")
+	// ErrBadRadius rejects a negative search radius.
+	ErrBadRadius = errors.New("repose: negative radius")
+	// ErrClosed rejects queries on a closed Index.
+	ErrClosed = errors.New("repose: index closed")
+	// ErrSuccinctUnsupported rejects SearchRadius on indexes built
+	// with Options.Succinct: the compressed layout shares the top-k
+	// search machinery but has no range-walk implementation.
+	ErrSuccinctUnsupported = errors.New("repose: radius search is not supported on succinct indexes")
+)
+
+// QueryOption modulates a single query without rebuilding the index;
+// pass any number to Search, SearchRadius, or SearchBatch. Options
+// behave identically on local and remote backends.
+type QueryOption func(*queryConfig)
+
+// queryConfig collects the applied options.
+type queryConfig struct {
+	report      *QueryReport
+	batchReport *BatchReport
+	partitions  []int
+	noPivots    bool
+}
+
+func applyQueryOptions(opts []QueryOption) queryConfig {
+	var qc queryConfig
+	for _, o := range opts {
+		o(&qc)
+	}
+	return qc
+}
+
+// cluster converts the applied options to the engine's query options.
+func (qc queryConfig) cluster() cluster.QueryOptions {
+	return cluster.QueryOptions{Partitions: qc.partitions, NoPivots: qc.noPivots}
+}
+
+// WithReport fills r with the query's execution report — wall time,
+// per-partition compute, and the straggler ratio r.Imbalance() — when
+// the query returns. Ignored by SearchBatch (use WithBatchReport).
+func WithReport(r *QueryReport) QueryOption {
+	return func(qc *queryConfig) { qc.report = r }
+}
+
+// WithBatchReport fills r with a batch's execution report — makespan,
+// per-query completion times, total work — when SearchBatch returns.
+// Ignored by the single-query methods (use WithReport).
+func WithBatchReport(r *BatchReport) QueryOption {
+	return func(qc *queryConfig) { qc.batchReport = r }
+}
+
+// WithPartitions restricts the query to the given partition ids
+// (deduplicated; out-of-range ids fail the query). Useful for
+// straggler diagnosis and partial re-queries.
+func WithPartitions(partitions ...int) QueryOption {
+	return func(qc *queryConfig) { qc.partitions = partitions }
+}
+
+// WithoutPivots disables the pivot lower bound (LBp) for this query,
+// including the up-front query-to-pivot distance computations — the
+// per-query form of the paper's pivot ablation. Results are
+// unchanged; only the pruning power differs.
+func WithoutPivots() QueryOption {
+	return func(qc *queryConfig) { qc.noPivots = true }
 }

@@ -4,6 +4,12 @@
 // build time and broadcasts queries; local top-k results are merged
 // at the driver (Section V-C).
 //
+// The returned index answers the exact same context-aware query
+// surface as an in-process one: Search, SearchRadius, and SearchBatch
+// all work identically, deadlines cancel straggler partitions
+// mid-scan on the workers, and WithReport observes per-partition
+// balance.
+//
 // This example starts the workers in-process for self-containment;
 // in a real deployment each would be a `repose-worker` process on its
 // own machine.
@@ -12,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,12 +28,16 @@ import (
 )
 
 func main() {
+	// Workers shut down when this context ends.
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+
 	const numWorkers = 4
 	ready := make(chan string, numWorkers)
 	for i := 0; i < numWorkers; i++ {
 		go func() {
 			// ":0" picks an ephemeral port, reported via the callback.
-			if err := repose.ServeWorker("127.0.0.1:0", func(addr string) { ready <- addr }); err != nil {
+			if err := repose.ServeWorkerContext(ctx, "127.0.0.1:0", func(addr string) { ready <- addr }); err != nil && ctx.Err() == nil {
 				log.Fatal(err)
 			}
 		}()
@@ -44,23 +55,44 @@ func main() {
 	ds := dataset.Generate(spec)
 
 	start := time.Now()
-	cluster, err := repose.BuildCluster(ds, repose.Options{Partitions: 16}, addrs)
+	idx, err := repose.BuildRemote(ds, repose.Options{Partitions: 16}, addrs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
-	st := cluster.Stats()
+	defer idx.Close()
+	st := idx.Stats()
 	fmt.Printf("distributed build: %d trajectories over %d partitions on %d workers in %v\n",
 		st.Trajectories, st.Partitions, numWorkers, time.Since(start).Round(time.Millisecond))
 
+	// A top-k query with a deadline: if a straggler partition held the
+	// query past the deadline, the driver would cancel it on the
+	// workers and return context.DeadlineExceeded.
 	query := ds[41]
-	start = time.Now()
-	res, err := cluster.Search(query, 5)
+	qctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	var report repose.QueryReport
+	res, err := idx.Search(qctx, query, 5, repose.WithReport(&report))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("distributed top-5 for trajectory %d in %v:\n", query.ID, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("distributed top-5 for trajectory %d in %v (straggler ratio %.2f):\n",
+		query.ID, report.Wall.Round(time.Microsecond), report.Imbalance())
 	for rank, r := range res {
 		fmt.Printf("  %d. trajectory %d, distance %.5f\n", rank+1, r.ID, r.Dist)
 	}
+
+	// The range query and the batch path work on the remote backend
+	// too — same methods, same results as an in-process index.
+	within, err := idx.SearchRadius(ctx, query, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d trajectories within radius 0.5 of trajectory %d\n", len(within), query.ID)
+
+	var batchRep repose.BatchReport
+	batch, err := idx.SearchBatch(ctx, ds[:8], 3, repose.WithBatchReport(&batchRep))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch of %d queries answered in %v\n", len(batch), batchRep.Makespan.Round(time.Microsecond))
 }

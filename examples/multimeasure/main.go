@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := idx.Search(query, k+1) // +1: skip the query itself
+		res, err := idx.Search(context.Background(), query, k+1) // +1: skip the query itself
 		if err != nil {
 			log.Fatal(err)
 		}

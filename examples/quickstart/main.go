@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -43,7 +44,7 @@ func main() {
 	for s := 0; s < 20; s++ {
 		query.Points = append(query.Points, repose.Point{X: float64(s) * 0.5, Y: 4.0})
 	}
-	results, err := idx.Search(query, 5)
+	results, err := idx.Search(context.Background(), query, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repose"
 	"repose/internal/dataset"
@@ -48,8 +50,12 @@ func main() {
 		request.Points[i].Y -= 0.0003
 	}
 
+	// An online matcher answers under a latency budget: the deadline
+	// cancels straggler partitions instead of blocking the request.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
 	const k = 5
-	matches, err := idx.Search(request, k)
+	matches, err := idx.Search(ctx, request, k)
 	if err != nil {
 		log.Fatal(err)
 	}

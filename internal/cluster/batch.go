@@ -1,8 +1,8 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -21,17 +21,27 @@ type BatchReport struct {
 	TotalWork time.Duration   // summed partition compute
 }
 
-// SearchBatch answers all queries, each over all partitions, using
-// the engine's worker budget. Results are indexed like queries.
-func (c *Local) SearchBatch(queries [][]geo.Point, k int) ([][]topk.Item, BatchReport, error) {
+// SearchBatch answers all queries, each over all selected partitions,
+// using the engine's worker budget. Results are indexed like queries.
+// Cancelling ctx stops in-flight partition scans and skips unstarted
+// tasks.
+func (c *Local) SearchBatch(ctx context.Context, queries [][]geo.Point, k int, opt QueryOptions) ([][]topk.Item, BatchReport, error) {
 	report := BatchReport{PerQuery: make([]time.Duration, len(queries))}
 	if len(queries) == 0 {
 		return nil, report, nil
 	}
-	nq, np := len(queries), len(c.indexes)
+	sel, err := selectPartitions(opt.Partitions, len(c.indexes))
+	if err != nil {
+		return nil, report, err
+	}
+	nq, np := len(queries), len(sel)
 	locals := make([][][]topk.Item, nq)
 	for qi := range locals {
 		locals[qi] = make([][]topk.Item, np)
+	}
+	taskErrs := make([][]error, nq)
+	for qi := range taskErrs {
+		taskErrs[qi] = make([]error, np)
 	}
 	workDur := make([][]time.Duration, nq)
 	for qi := range workDur {
@@ -42,7 +52,7 @@ func (c *Local) SearchBatch(queries [][]geo.Point, k int) ([][]topk.Item, BatchR
 		done[qi] = make([]time.Time, np)
 	}
 
-	type task struct{ qi, pi int }
+	type task struct{ qi, si int }
 	tasks := make(chan task)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -51,34 +61,53 @@ func (c *Local) SearchBatch(queries [][]geo.Point, k int) ([][]topk.Item, BatchR
 		go func() {
 			defer wg.Done()
 			for tk := range tasks {
+				if err := ctx.Err(); err != nil {
+					taskErrs[tk.qi][tk.si] = err
+					continue
+				}
 				t0 := time.Now()
-				locals[tk.qi][tk.pi] = c.indexes[tk.pi].Search(queries[tk.qi], k)
+				locals[tk.qi][tk.si], taskErrs[tk.qi][tk.si] =
+					searchOne(ctx, c.indexes[sel[tk.si]], queries[tk.qi], k, opt)
 				now := time.Now()
-				workDur[tk.qi][tk.pi] = now.Sub(t0)
-				done[tk.qi][tk.pi] = now
+				workDur[tk.qi][tk.si] = now.Sub(t0)
+				done[tk.qi][tk.si] = now
 			}
 		}()
 	}
 	for qi := 0; qi < nq; qi++ {
-		for pi := 0; pi < np; pi++ {
-			tasks <- task{qi, pi}
+		for si := 0; si < np; si++ {
+			tasks <- task{qi, si}
 		}
 	}
 	close(tasks)
 	wg.Wait()
 	report.Makespan = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, report, fmt.Errorf("cluster: batch search: %w", err)
+	}
+	for qi := range taskErrs {
+		for _, err := range taskErrs[qi] {
+			if err != nil {
+				return nil, report, err
+			}
+		}
+	}
 
 	out := make([][]topk.Item, nq)
 	for qi := range out {
 		out[qi] = topk.Merge(k, locals[qi]...)
 		var last time.Time
-		for pi := 0; pi < np; pi++ {
-			report.TotalWork += workDur[qi][pi]
-			if done[qi][pi].After(last) {
-				last = done[qi][pi]
+		for si := 0; si < np; si++ {
+			report.TotalWork += workDur[qi][si]
+			if done[qi][si].After(last) {
+				last = done[qi][si]
 			}
 		}
-		report.PerQuery[qi] = last.Sub(start)
+		if !last.IsZero() {
+			// An empty partition selection ran no tasks; leave the
+			// completion time zero instead of a negative duration.
+			report.PerQuery[qi] = last.Sub(start)
+		}
 	}
 	return out, report, nil
 }
@@ -91,38 +120,4 @@ func (c *Local) Indexes() []LocalIndex { return c.indexes }
 // layout do not.
 type RadiusSearcher interface {
 	SearchRadius(q []geo.Point, radius float64) []topk.Item
-}
-
-// SearchRadius returns every trajectory within radius of q, merged
-// across partitions and sorted ascending by (distance, id). It fails
-// if any partition's index lacks range support.
-func (c *Local) SearchRadius(q []geo.Point, radius float64) ([]topk.Item, error) {
-	locals := make([][]topk.Item, len(c.indexes))
-	sem := make(chan struct{}, c.workers)
-	var wg sync.WaitGroup
-	for i, idx := range c.indexes {
-		rs, ok := idx.(RadiusSearcher)
-		if !ok {
-			return nil, fmt.Errorf("cluster: partition %d index (%T) does not support radius search", i, idx)
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, rs RadiusSearcher) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			locals[i] = rs.SearchRadius(q, radius)
-		}(i, rs)
-	}
-	wg.Wait()
-	var out []topk.Item
-	for _, l := range locals {
-		out = append(out, l...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"repose/internal/dataset"
@@ -18,7 +19,7 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 	for i, q := range queries {
 		qpts[i] = q.Points
 	}
-	batch, report, err := eng.SearchBatch(qpts, 7)
+	batch, report, err := eng.SearchBatch(context.Background(), qpts, 7, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 		t.Fatalf("batch size %d", len(batch))
 	}
 	for i, q := range queries {
-		want, err := eng.Search(q.Points, 7)
+		want, _, err := eng.Search(context.Background(), q.Points, 7, QueryOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func TestSearchBatchEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, report, err := eng.SearchBatch(nil, 5)
+	out, report, err := eng.SearchBatch(context.Background(), nil, 5, QueryOptions{})
 	if err != nil || out != nil {
 		t.Errorf("empty batch: %v, %v", out, err)
 	}
@@ -80,7 +81,7 @@ func TestSearchBatchConcurrentSafety(t *testing.T) {
 	for i, q := range queries {
 		qpts[i] = q.Points
 	}
-	if _, _, err := eng.SearchBatch(qpts, 5); err != nil {
+	if _, _, err := eng.SearchBatch(context.Background(), qpts, 5, QueryOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(eng.Indexes()); got != 8 {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -40,6 +41,12 @@ func testWorld(t *testing.T, n, nparts int) ([]*geo.Trajectory, [][]*geo.Traject
 		Pivots:    pivots,
 	}
 	return ds, parts, idxSpec
+}
+
+// searchArgsV2 builds a current-protocol SearchArgs for direct worker
+// calls in tests.
+func searchArgsV2(q []geo.Point, k int) *SearchArgs {
+	return &SearchArgs{QueryHeader: QueryHeader{Version: ProtocolVersion}, Query: q, K: k}
 }
 
 func bruteForce(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
@@ -90,7 +97,7 @@ func TestLocalClusterAllAlgorithms(t *testing.T) {
 			t.Fatalf("%s: partitions %d", a.name, c.NumPartitions())
 		}
 		for _, query := range q {
-			got, rep, err := c.SearchDetailed(query.Points, 10)
+			got, rep, err := c.Search(context.Background(), query.Points, 10, QueryOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -166,11 +173,11 @@ func TestRemoteClusterMatchesLocal(t *testing.T) {
 		t.Fatalf("sizes differ: remote %d local %d", remote.IndexSizeBytes(), local.IndexSizeBytes())
 	}
 	for _, q := range dataset.Queries(ds, 4, 11) {
-		got, rep, err := remote.SearchDetailed(q.Points, 10)
+		got, rep, err := remote.Search(context.Background(), q.Points, 10, QueryOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, _ := local.Search(q.Points, 10)
+		want, _, _ := local.Search(context.Background(), q.Points, 10, QueryOptions{})
 		if len(got) != len(want) {
 			t.Fatalf("len %d want %d", len(got), len(want))
 		}
@@ -214,24 +221,24 @@ func TestWorkerClearAndPing(t *testing.T) {
 	}
 	// Empty worker search fails.
 	var rep SearchReply
-	if err := w.Search(&SearchArgs{Query: []geo.Point{{X: 1, Y: 1}}, K: 2}, &rep); err == nil {
+	if err := w.Search(searchArgsV2([]geo.Point{{X: 1, Y: 1}}, 2), &rep); err == nil {
 		t.Error("empty worker search should fail")
 	}
 	_, parts, spec := testWorld(t, 40, 2)
 	var brep BuildReply
-	if err := w.Build(&BuildArgs{PartitionID: 0, Spec: spec, Trajectories: parts[0]}, &brep); err != nil {
+	if err := w.Build(&BuildArgs{Version: ProtocolVersion, PartitionID: 0, Spec: spec, Trajectories: parts[0]}, &brep); err != nil {
 		t.Fatal(err)
 	}
 	if brep.Len != len(parts[0]) || brep.BuildNanos <= 0 {
 		t.Errorf("build reply %+v", brep)
 	}
-	if err := w.Search(&SearchArgs{Query: []geo.Point{{X: 1, Y: 1}}, K: 2}, &rep); err != nil {
+	if err := w.Search(searchArgsV2([]geo.Point{{X: 1, Y: 1}}, 2), &rep); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Clear(&ClearArgs{}, &struct{}{}); err != nil {
+	if err := w.Clear(&ClearArgs{Version: ProtocolVersion}, &struct{}{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Search(&SearchArgs{Query: []geo.Point{{X: 1, Y: 1}}, K: 2}, &rep); err == nil {
+	if err := w.Search(searchArgsV2([]geo.Point{{X: 1, Y: 1}}, 2), &rep); err == nil {
 		t.Error("search after clear should fail")
 	}
 }

@@ -5,8 +5,12 @@
 // to all partitions, and the master merges local top-k results.
 //
 // This package reproduces that dataflow with two interchangeable
-// transports: an in-process engine that runs partitions on goroutines
-// (Local), and a multi-process engine that ships partitions to worker
-// processes over net/rpc + gob (Remote) for multi-node simulation on
-// one machine.
+// transports behind one Engine interface: an in-process engine that
+// runs partitions on goroutines (Local), and a multi-process engine
+// that ships partitions to worker processes over net/rpc + gob
+// (Remote) for multi-node simulation on one machine. Every query
+// method takes a context — deadlines and cancellations stop partition
+// scans mid-flight on either transport; the wire protocol (v2)
+// carries per-query ids and deadlines so the driver can abort
+// straggler workers remotely.
 package cluster

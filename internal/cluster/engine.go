@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repose/internal/geo"
+	"repose/internal/rptrie"
+	"repose/internal/topk"
+)
+
+// Engine is the uniform driver-side query surface over the two
+// deployments: in-process partitions on goroutines (Local) and
+// partitions owned by worker processes over TCP (Remote). Every query
+// method takes a context — cancelling it or letting its deadline pass
+// stops partition scans mid-flight on both backends — and a
+// QueryOptions modulating the single query.
+type Engine interface {
+	// Search answers a distributed top-k query, merging per-partition
+	// local results (Section V-C), and reports its execution.
+	Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error)
+	// SearchRadius returns every trajectory within radius of q,
+	// ascending by (distance, id).
+	SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error)
+	// SearchBatch answers all queries, each over all selected
+	// partitions; results are indexed like queries.
+	SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt QueryOptions) ([][]topk.Item, BatchReport, error)
+	// Len returns the total number of indexed trajectories.
+	Len() int
+	// NumPartitions returns the global partition count.
+	NumPartitions() int
+	// IndexSizeBytes sums the index footprints across partitions.
+	IndexSizeBytes() int
+	// BuildTime returns the wall time of index construction.
+	BuildTime() time.Duration
+	// Close releases the engine's resources (for Remote, the worker
+	// connections; the workers themselves keep running).
+	Close() error
+}
+
+var (
+	_ Engine = (*Local)(nil)
+	_ Engine = (*Remote)(nil)
+)
+
+// QueryOptions modulates one query on either engine. The zero value
+// queries all partitions with every lower bound enabled.
+type QueryOptions struct {
+	// Partitions restricts the query to the given partition ids;
+	// nil or empty selects all of them.
+	Partitions []int
+	// NoPivots disables the pivot lower bound (LBp) for this query.
+	NoPivots bool
+}
+
+// selectPartitions resolves a partition subset against the engine's
+// partition count, deduplicating and rejecting out-of-range ids;
+// nil/empty selects every partition.
+func selectPartitions(subset []int, n int) ([]int, error) {
+	if len(subset) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	seen := make(map[int]bool, len(subset))
+	out := make([]int, 0, len(subset))
+	for _, p := range subset {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("cluster: partition %d out of range [0, %d)", p, n)
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// searchOne answers one partition-local top-k query honoring ctx and
+// opt. The rptrie layouts cancel mid-scan; the baseline indexes only
+// observe the context between partitions.
+func searchOne(ctx context.Context, idx LocalIndex, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, error) {
+	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots}
+	switch t := idx.(type) {
+	case *rptrie.Trie:
+		return t.SearchContext(ctx, q, k, sopt)
+	case *rptrie.Succinct:
+		return t.SearchContext(ctx, q, k, sopt)
+	default:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return idx.Search(q, k), nil
+	}
+}
+
+// radiusOne answers one partition-local range query. Indexes without
+// range support (the baselines and the succinct layout) are rejected,
+// naming the partition so mixed-index failures are diagnosable.
+func radiusOne(ctx context.Context, pi int, idx LocalIndex, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, error) {
+	if t, ok := idx.(*rptrie.Trie); ok {
+		return t.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots})
+	}
+	if rs, ok := idx.(RadiusSearcher); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return rs.SearchRadius(q, radius), nil
+	}
+	return nil, fmt.Errorf("cluster: partition %d index (%T) does not support radius search", pi, idx)
+}

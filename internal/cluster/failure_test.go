@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestWorkerDiesMidSession(t *testing.T) {
 	defer remote.Close()
 
 	q := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
-	if _, err := remote.Search(q, 5); err != nil {
+	if _, _, err := remote.Search(context.Background(), q, 5, QueryOptions{}); err != nil {
 		t.Fatalf("healthy search failed: %v", err)
 	}
 
@@ -73,10 +74,10 @@ func TestSearchErrorPropagatesFromWorker(t *testing.T) {
 	defer remote.Close()
 
 	// Sabotage: clear the worker's partitions out-of-band.
-	if err := w.Clear(&ClearArgs{}, &struct{}{}); err != nil {
+	if err := w.Clear(&ClearArgs{Version: ProtocolVersion}, &struct{}{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := remote.Search([]geo.Point{{X: 1, Y: 1}}, 3); err == nil {
+	if _, _, err := remote.Search(context.Background(), []geo.Point{{X: 1, Y: 1}}, 3, QueryOptions{}); err == nil {
 		t.Error("search against cleared worker should fail")
 	}
 }
@@ -100,7 +101,7 @@ func TestEmptyPartitionsTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Search(ds[0].Points, 5)
+	got, _, err := c.Search(context.Background(), ds[0].Points, 5, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,7 +29,7 @@ type QueryReport struct {
 	SumPartition   time.Duration   // total compute across partitions
 }
 
-// imbalance returns the straggler ratio MaxPartition/mean; 1.0 is a
+// Imbalance returns the straggler ratio MaxPartition/mean; 1.0 is a
 // perfectly balanced query.
 func (r QueryReport) Imbalance() float64 {
 	if len(r.PartitionTimes) == 0 || r.SumPartition == 0 {
@@ -36,6 +37,17 @@ func (r QueryReport) Imbalance() float64 {
 	}
 	mean := float64(r.SumPartition) / float64(len(r.PartitionTimes))
 	return float64(r.MaxPartition) / mean
+}
+
+// finish folds the per-partition timings into the aggregates.
+func (r *QueryReport) finish(start time.Time) {
+	r.Wall = time.Since(start)
+	for _, d := range r.PartitionTimes {
+		r.SumPartition += d
+		if d > r.MaxPartition {
+			r.MaxPartition = d
+		}
+	}
 }
 
 // BuildLocal builds one index per partition in parallel. workers ≤ 0
@@ -73,41 +85,86 @@ func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local,
 	return c, nil
 }
 
-// Search broadcasts the query to every partition and merges the local
-// top-k results (the collect step of Section V-C).
-func (c *Local) Search(q []geo.Point, k int) ([]topk.Item, error) {
-	items, _, err := c.SearchDetailed(q, k)
-	return items, err
+// localView wraps a subset of partition indexes as a Local sharing
+// the same query machinery; the RPC worker serves its owned
+// partitions through one.
+func localView(indexes []LocalIndex, workers int) *Local {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Local{indexes: indexes, workers: workers}
 }
 
-// SearchDetailed is Search plus a per-partition timing report.
-func (c *Local) SearchDetailed(q []geo.Point, k int) ([]topk.Item, QueryReport, error) {
-	report := QueryReport{PartitionTimes: make([]time.Duration, len(c.indexes))}
-	locals := make([][]topk.Item, len(c.indexes))
+// scatter fans one partition-local operation out over the selected
+// partitions under the worker cap, timing each partition. It returns
+// the per-partition result lists (indexed like the selection) and the
+// timing report; a cancelled ctx wins over per-partition errors.
+func (c *Local) scatter(ctx context.Context, opt QueryOptions, what string, fn func(pi int, idx LocalIndex) ([]topk.Item, error)) ([][]topk.Item, QueryReport, error) {
+	sel, err := selectPartitions(opt.Partitions, len(c.indexes))
+	if err != nil {
+		return nil, QueryReport{}, err
+	}
+	report := QueryReport{PartitionTimes: make([]time.Duration, len(sel))}
+	locals := make([][]topk.Item, len(sel))
+	errs := make([]error, len(sel))
 	start := time.Now()
 	sem := make(chan struct{}, c.workers)
 	var wg sync.WaitGroup
-	for i, idx := range c.indexes {
+	for si, pi := range sel {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, idx LocalIndex) {
+		go func(si, pi int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			locals[i] = idx.Search(q, k)
-			report.PartitionTimes[i] = time.Since(t0)
-		}(i, idx)
+			locals[si], errs[si] = fn(pi, c.indexes[pi])
+			report.PartitionTimes[si] = time.Since(t0)
+		}(si, pi)
 	}
 	wg.Wait()
-	merged := topk.Merge(k, locals...)
-	report.Wall = time.Since(start)
-	for _, d := range report.PartitionTimes {
-		report.SumPartition += d
-		if d > report.MaxPartition {
-			report.MaxPartition = d
+	report.finish(start)
+	if err := ctx.Err(); err != nil {
+		return nil, report, fmt.Errorf("cluster: %s: %w", what, err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, report, err
 		}
 	}
-	return merged, report, nil
+	return locals, report, nil
+}
+
+// Search broadcasts the query to every selected partition and merges
+// the local top-k results (the collect step of Section V-C). When ctx
+// is cancelled mid-query the partition scans stop early and ctx's
+// error is returned.
+func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	locals, report, err := c.scatter(ctx, opt, "search", func(_ int, idx LocalIndex) ([]topk.Item, error) {
+		return searchOne(ctx, idx, q, k, opt)
+	})
+	if err != nil {
+		return nil, report, err
+	}
+	return topk.Merge(k, locals...), report, nil
+}
+
+// SearchRadius returns every trajectory within radius of q, merged
+// across the selected partitions and sorted ascending by
+// (distance, id). It fails if any selected partition's index lacks
+// range support.
+func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	locals, report, err := c.scatter(ctx, opt, "radius search", func(pi int, idx LocalIndex) ([]topk.Item, error) {
+		return radiusOne(ctx, pi, idx, q, radius, opt)
+	})
+	if err != nil {
+		return nil, report, err
+	}
+	var out []topk.Item
+	for _, l := range locals {
+		out = append(out, l...)
+	}
+	topk.SortItems(out)
+	return out, report, nil
 }
 
 // BuildTime returns the wall time of index construction.
@@ -133,3 +190,7 @@ func (c *Local) IndexSizeBytes() int {
 	}
 	return sz
 }
+
+// Close implements Engine; the in-process engine holds no external
+// resources.
+func (c *Local) Close() error { return nil }

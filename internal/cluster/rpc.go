@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repose/internal/geo"
@@ -17,9 +21,40 @@ import (
 // trajectories + an IndexSpec at build time and broadcasts queries,
 // and each worker returns its merged local top-k. Everything is
 // stdlib net/rpc with gob encoding.
+//
+// Protocol v2 adds a version handshake, radius and batch search
+// endpoints, and per-query cancellation: every query carries a
+// salted unique ID plus an optional time budget, and the driver
+// fires Worker.Cancel for in-flight IDs when its context is
+// cancelled, so a straggler worker stops computing instead of
+// burning cores on an answer nobody is waiting for.
+
+// ProtocolVersion is the driver↔worker wire protocol version. The
+// worker rejects requests from a driver speaking a different version
+// rather than mis-decoding them.
+const ProtocolVersion = 2
+
+// checkVersion rejects a peer speaking a different protocol version.
+func checkVersion(v int) error {
+	if v != ProtocolVersion {
+		return fmt.Errorf("cluster: protocol version mismatch: peer speaks v%d, this build speaks v%d", v, ProtocolVersion)
+	}
+	return nil
+}
+
+// HandshakeArgs announces the driver's protocol version.
+type HandshakeArgs struct {
+	Version int
+}
+
+// HandshakeReply reports the worker's protocol version.
+type HandshakeReply struct {
+	Version int
+}
 
 // BuildArgs ships one partition to a worker.
 type BuildArgs struct {
+	Version      int
 	PartitionID  int
 	Spec         IndexSpec
 	Trajectories []*geo.Trajectory
@@ -32,37 +67,128 @@ type BuildReply struct {
 	BuildNanos int64
 }
 
-// SearchArgs broadcasts a query; each worker searches every partition
-// it owns.
+// QueryHeader is the common preamble of every v2 query RPC.
+type QueryHeader struct {
+	Version int
+	// ID identifies the query; Worker.Cancel aborts the in-flight
+	// query carrying it. Drivers salt their ids with random high
+	// bits so concurrent drivers sharing a worker do not collide.
+	// 0 means not cancellable.
+	ID uint64
+	// BudgetNanos is the time remaining until the driver context's
+	// deadline when the query was sent (0 = none, negative =
+	// already expired). A relative budget rather than an absolute
+	// timestamp: worker clocks may be skewed from the driver's. The
+	// worker aborts on its own once the budget is spent, even if
+	// the cancel RPC never arrives.
+	BudgetNanos int64
+	// Partitions restricts the query to these partition ids
+	// (deduplicated by the driver); the worker intersects it with
+	// the partitions it owns. nil = all.
+	Partitions []int
+}
+
+// SearchArgs broadcasts a top-k query.
 type SearchArgs struct {
-	Query []geo.Point
-	K     int
+	QueryHeader
+	Query    []geo.Point
+	K        int
+	NoPivots bool
 }
 
 // SearchReply carries a worker's merged local top-k and per-partition
-// timings.
+// timings keyed by partition id.
 type SearchReply struct {
 	Items      []topk.Item
 	PartNanos  map[int]int64
 	Partitions []int
 }
 
+// RadiusArgs broadcasts a range query.
+type RadiusArgs struct {
+	QueryHeader
+	Query    []geo.Point
+	Radius   float64
+	NoPivots bool
+}
+
+// RadiusReply carries every in-range trajectory of the worker's
+// partitions (each worker's list arrives sorted; the driver re-sorts
+// the concatenated global merge).
+type RadiusReply struct {
+	Items      []topk.Item
+	PartNanos  map[int]int64
+	Partitions []int
+}
+
+// SearchBatchArgs broadcasts a whole query batch.
+type SearchBatchArgs struct {
+	QueryHeader
+	Queries  [][]geo.Point
+	K        int
+	NoPivots bool
+}
+
+// SearchBatchReply carries the worker's per-query merged local top-k
+// lists, indexed like the queries. PerQueryNanos is each query's
+// completion offset from the worker's batch start (including
+// intra-worker queuing); the driver reports the max across workers,
+// so cross-worker RPC arrival skew is the only slack versus the
+// local engine's from-batch-start semantics.
+type SearchBatchReply struct {
+	Items          [][]topk.Item
+	PerQueryNanos  []int64
+	TotalWorkNanos int64
+}
+
+// CancelArgs aborts the in-flight query with the given id.
+type CancelArgs struct {
+	ID uint64
+}
+
 // ClearArgs empties a worker between experiments.
-type ClearArgs struct{}
+type ClearArgs struct {
+	Version int
+}
 
 // Worker is the RPC service hosted by a worker process.
 type Worker struct {
-	mu      sync.Mutex
-	indexes map[int]LocalIndex
+	mu       sync.Mutex
+	indexes  map[int]LocalIndex
+	inflight map[uint64]context.CancelFunc
+	// cancelled holds ids whose Worker.Cancel arrived before the
+	// query registered (net/rpc runs handlers concurrently, so the
+	// race is inherent); queryContext consumes the tombstone and
+	// starts the query already cancelled. cancelledQ bounds the set:
+	// a tombstone for a query that already finished is never
+	// consumed and must not accumulate.
+	cancelled  map[uint64]struct{}
+	cancelledQ []uint64
 }
+
+// maxPendingCancels bounds the early-cancel tombstone set.
+const maxPendingCancels = 1024
 
 // NewWorker returns an empty worker service.
 func NewWorker() *Worker {
-	return &Worker{indexes: make(map[int]LocalIndex)}
+	return &Worker{
+		indexes:   make(map[int]LocalIndex),
+		inflight:  make(map[uint64]context.CancelFunc),
+		cancelled: make(map[uint64]struct{}),
+	}
+}
+
+// Handshake verifies the driver and worker speak the same protocol.
+func (w *Worker) Handshake(args *HandshakeArgs, reply *HandshakeReply) error {
+	reply.Version = ProtocolVersion
+	return checkVersion(args.Version)
 }
 
 // Build constructs the index for one partition.
 func (w *Worker) Build(args *BuildArgs, reply *BuildReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
 	start := time.Now()
 	idx, err := args.Spec.BuildLocal(args.Trajectories)
 	if err != nil {
@@ -77,32 +203,182 @@ func (w *Worker) Build(args *BuildArgs, reply *BuildReply) error {
 	return nil
 }
 
-// Search answers the query over all partitions this worker owns and
-// merges them into one local top-k.
-func (w *Worker) Search(args *SearchArgs, reply *SearchReply) error {
+// view snapshots the worker's indexes for the selected partitions (in
+// ascending partition-id order) as a query-ready Local.
+func (w *Worker) view(subset []int) (*Local, []int, error) {
 	w.mu.Lock()
-	indexes := make(map[int]LocalIndex, len(w.indexes))
-	for id, idx := range w.indexes {
-		indexes[id] = idx
+	defer w.mu.Unlock()
+	if len(w.indexes) == 0 {
+		return nil, nil, errors.New("cluster: worker has no partitions")
+	}
+	var pids []int
+	if len(subset) == 0 {
+		for id := range w.indexes {
+			pids = append(pids, id)
+		}
+	} else {
+		// Defensive dedup: a duplicated id must not double-count a
+		// partition's results.
+		seen := make(map[int]bool, len(subset))
+		for _, id := range subset {
+			if _, ok := w.indexes[id]; ok && !seen[id] {
+				seen[id] = true
+				pids = append(pids, id)
+			}
+		}
+	}
+	sort.Ints(pids)
+	indexes := make([]LocalIndex, len(pids))
+	for i, id := range pids {
+		indexes[i] = w.indexes[id]
+	}
+	return localView(indexes, 0), pids, nil
+}
+
+// queryContext derives the query's context from the wire header and
+// registers it for Worker.Cancel. The returned stop func must be
+// called when the query finishes.
+func (w *Worker) queryContext(h QueryHeader) (context.Context, func()) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if h.BudgetNanos != 0 {
+		// A non-positive budget yields an already-expired context.
+		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(h.BudgetNanos))
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	if h.ID != 0 {
+		w.mu.Lock()
+		if _, early := w.cancelled[h.ID]; early {
+			// The cancel won the race with registration: start the
+			// query already aborted.
+			delete(w.cancelled, h.ID)
+			cancel()
+		} else {
+			w.inflight[h.ID] = cancel
+		}
+		w.mu.Unlock()
+	}
+	return ctx, func() {
+		if h.ID != 0 {
+			w.mu.Lock()
+			delete(w.inflight, h.ID)
+			w.mu.Unlock()
+		}
+		cancel()
+	}
+}
+
+// Cancel aborts the in-flight query with args.ID. An id not yet
+// registered is remembered as a tombstone so a query racing its own
+// cancel still aborts; the query may also simply have finished first.
+func (w *Worker) Cancel(args *CancelArgs, _ *struct{}) error {
+	if args.ID == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	cancel := w.inflight[args.ID]
+	if cancel == nil {
+		if _, ok := w.cancelled[args.ID]; !ok {
+			w.cancelled[args.ID] = struct{}{}
+			w.cancelledQ = append(w.cancelledQ, args.ID)
+			if len(w.cancelledQ) > maxPendingCancels {
+				delete(w.cancelled, w.cancelledQ[0])
+				w.cancelledQ = w.cancelledQ[1:]
+			}
+		}
 	}
 	w.mu.Unlock()
-	if len(indexes) == 0 {
-		return errors.New("cluster: worker has no partitions")
+	if cancel != nil {
+		cancel()
 	}
-	reply.PartNanos = make(map[int]int64, len(indexes))
-	var lists [][]topk.Item
-	for id, idx := range indexes {
-		t0 := time.Now()
-		lists = append(lists, idx.Search(args.Query, args.K))
-		reply.PartNanos[id] = time.Since(t0).Nanoseconds()
-		reply.Partitions = append(reply.Partitions, id)
+	return nil
+}
+
+// partNanos re-keys a view's positional partition timings by
+// partition id.
+func partNanos(pids []int, rep QueryReport) map[int]int64 {
+	out := make(map[int]int64, len(pids))
+	for i, d := range rep.PartitionTimes {
+		out[pids[i]] = d.Nanoseconds()
 	}
-	reply.Items = topk.Merge(args.K, lists...)
+	return out
+}
+
+// Search answers the query over the selected partitions this worker
+// owns and merges them into one local top-k.
+func (w *Worker) Search(args *SearchArgs, reply *SearchReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	ctx, stop := w.queryContext(args.QueryHeader)
+	defer stop()
+	view, pids, err := w.view(args.Partitions)
+	if err != nil {
+		return err
+	}
+	items, rep, err := view.Search(ctx, args.Query, args.K, QueryOptions{NoPivots: args.NoPivots})
+	if err != nil {
+		return err
+	}
+	reply.Items = items
+	reply.PartNanos = partNanos(pids, rep)
+	reply.Partitions = pids
+	return nil
+}
+
+// SearchRadius answers the range query over the selected partitions
+// this worker owns.
+func (w *Worker) SearchRadius(args *RadiusArgs, reply *RadiusReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	ctx, stop := w.queryContext(args.QueryHeader)
+	defer stop()
+	view, pids, err := w.view(args.Partitions)
+	if err != nil {
+		return err
+	}
+	items, rep, err := view.SearchRadius(ctx, args.Query, args.Radius, QueryOptions{NoPivots: args.NoPivots})
+	if err != nil {
+		return err
+	}
+	reply.Items = items
+	reply.PartNanos = partNanos(pids, rep)
+	reply.Partitions = pids
+	return nil
+}
+
+// SearchBatch answers the whole batch over the selected partitions
+// this worker owns, one merged local top-k per query.
+func (w *Worker) SearchBatch(args *SearchBatchArgs, reply *SearchBatchReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	ctx, stop := w.queryContext(args.QueryHeader)
+	defer stop()
+	view, _, err := w.view(args.Partitions)
+	if err != nil {
+		return err
+	}
+	items, rep, err := view.SearchBatch(ctx, args.Queries, args.K, QueryOptions{NoPivots: args.NoPivots})
+	if err != nil {
+		return err
+	}
+	reply.Items = items
+	reply.PerQueryNanos = make([]int64, len(rep.PerQuery))
+	for i, d := range rep.PerQuery {
+		reply.PerQueryNanos[i] = d.Nanoseconds()
+	}
+	reply.TotalWorkNanos = rep.TotalWork.Nanoseconds()
 	return nil
 }
 
 // Clear drops all partitions.
-func (w *Worker) Clear(_ *ClearArgs, _ *struct{}) error {
+func (w *Worker) Clear(args *ClearArgs, _ *struct{}) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	w.indexes = make(map[int]LocalIndex)
 	w.mu.Unlock()
@@ -133,21 +409,25 @@ func Serve(ln net.Listener, w *Worker) error {
 
 // Remote is the driver side of the multi-process engine.
 type Remote struct {
-	clients   []*rpc.Client
+	connMu    sync.RWMutex
+	clients   []*rpc.Client // nil after Close
 	addrs     []string
 	owner     map[int]int // partition → client index
 	buildTime time.Duration
 	sizeBytes int
 	count     int
+	qidSalt   uint64 // random high bits distinguishing this driver
+	qid       atomic.Uint64
 }
 
-// BuildRemote dials the worker addresses, deals partitions round-
-// robin across them, and builds all partition indexes in parallel.
+// BuildRemote dials the worker addresses, verifies the protocol
+// handshake, deals partitions round-robin across the workers, and
+// builds all partition indexes in parallel.
 func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Remote, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("cluster: no worker addresses")
 	}
-	r := &Remote{owner: make(map[int]int), addrs: addrs}
+	r := &Remote{owner: make(map[int]int), addrs: addrs, qidSalt: uint64(rand.Uint32()) << 32}
 	for _, addr := range addrs {
 		c, err := rpc.Dial("tcp", addr)
 		if err != nil {
@@ -155,6 +435,13 @@ func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Re
 			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 		}
 		r.clients = append(r.clients, c)
+	}
+	for i, c := range r.clients {
+		var hr HandshakeReply
+		if err := c.Call("Worker.Handshake", &HandshakeArgs{Version: ProtocolVersion}, &hr); err != nil {
+			r.Close()
+			return nil, fmt.Errorf("cluster: handshake with %s: %w", r.addrs[i], err)
+		}
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -166,7 +453,7 @@ func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Re
 		wg.Add(1)
 		go func(pid, ci int, part []*geo.Trajectory) {
 			defer wg.Done()
-			args := &BuildArgs{PartitionID: pid, Spec: spec, Trajectories: part}
+			args := &BuildArgs{Version: ProtocolVersion, PartitionID: pid, Spec: spec, Trajectories: part}
 			errs[pid] = r.clients[ci].Call("Worker.Build", args, &replies[pid])
 		}(pid, ci, part)
 	}
@@ -185,46 +472,224 @@ func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Re
 	return r, nil
 }
 
-// Search broadcasts the query to all workers and merges their local
-// top-k results.
-func (r *Remote) Search(q []geo.Point, k int) ([]topk.Item, error) {
-	items, _, err := r.SearchDetailed(q, k)
-	return items, err
+// subset validates and dedups a partition restriction for the wire;
+// nil keeps the broadcast meaning "all partitions".
+func (r *Remote) subset(partitions []int) ([]int, error) {
+	if len(partitions) == 0 {
+		return nil, nil
+	}
+	return selectPartitions(partitions, r.NumPartitions())
 }
 
-// SearchDetailed is Search plus a per-partition timing report.
-func (r *Remote) SearchDetailed(q []geo.Point, k int) ([]topk.Item, QueryReport, error) {
-	start := time.Now()
-	args := &SearchArgs{Query: q, K: k}
-	replies := make([]SearchReply, len(r.clients))
-	errs := make([]error, len(r.clients))
+// header prepares the common query preamble for one broadcast.
+func (r *Remote) header(ctx context.Context, partitions []int) QueryHeader {
+	h := QueryHeader{
+		Version:    ProtocolVersion,
+		ID:         r.qidSalt | r.qid.Add(1),
+		Partitions: partitions,
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		h.BudgetNanos = int64(time.Until(deadline))
+		if h.BudgetNanos == 0 {
+			h.BudgetNanos = -1
+		}
+	}
+	return h
+}
+
+// ErrClosed reports a query issued after the engine released its
+// worker connections.
+var ErrClosed = errors.New("cluster: engine closed")
+
+// conns snapshots the client list; it is empty once Close ran.
+func (r *Remote) conns() []*rpc.Client {
+	r.connMu.RLock()
+	defer r.connMu.RUnlock()
+	return r.clients
+}
+
+// targets resolves which client indices own at least one selected
+// partition; a nil/empty subset selects every partition. Clients
+// holding no partition at all (more workers than partitions) are
+// never queried — a worker rejects a query when it owns nothing. The
+// owner map is immutable after build, so no locking is needed.
+func (r *Remote) targets(sub []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(ci int) {
+		if !seen[ci] {
+			seen[ci] = true
+			out = append(out, ci)
+		}
+	}
+	if len(sub) == 0 {
+		for _, ci := range r.owner {
+			add(ci)
+		}
+	} else {
+		for _, pid := range sub {
+			add(r.owner[pid])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// cancelGrace bounds how long a cancelled query waits for a worker's
+// reply after firing Worker.Cancel before abandoning the in-flight
+// call. A responsive worker aborts within milliseconds; a hung or
+// partitioned one must not block the driver past its deadline.
+const cancelGrace = 500 * time.Millisecond
+
+// callAll invokes method on the targeted workers concurrently (a
+// partition-restricted query is routed only to the clients owning the
+// selection). When ctx is cancelled before a worker replies, a
+// best-effort Worker.Cancel for the query id is fired and the
+// in-flight call is awaited briefly — a live worker aborts promptly
+// through its own context — then abandoned, so a hung worker cannot
+// block the driver past its deadline (net/rpc delivers the eventual
+// reply into the call's buffered channel; nothing leaks).
+func (r *Remote) callAll(ctx context.Context, method string, id uint64, sub []int, args any, reply func(i int) any) error {
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: skip serializing and shipping payloads.
+		return fmt.Errorf("cluster: %s: %w", method, err)
+	}
+	clients := r.conns()
+	if len(clients) == 0 {
+		return ErrClosed
+	}
+	errs := make([]error, len(clients))
 	var wg sync.WaitGroup
-	for i, c := range r.clients {
+	for _, i := range r.targets(sub) {
+		c := clients[i]
 		wg.Add(1)
 		go func(i int, c *rpc.Client) {
 			defer wg.Done()
-			errs[i] = c.Call("Worker.Search", args, &replies[i])
+			call := c.Go(method, args, reply(i), make(chan *rpc.Call, 1))
+			select {
+			case <-call.Done:
+			case <-ctx.Done():
+				c.Go("Worker.Cancel", &CancelArgs{ID: id}, &struct{}{}, make(chan *rpc.Call, 1))
+				select {
+				case <-call.Done:
+				case <-time.After(cancelGrace):
+					errs[i] = fmt.Errorf("cluster: %s on %s abandoned after cancel: %w", method, r.addrs[i], ctx.Err())
+					return
+				}
+			}
+			errs[i] = call.Error
 		}(i, c)
 	}
 	wg.Wait()
-	var report QueryReport
-	var lists [][]topk.Item
-	for i, err := range errs {
-		if err != nil {
-			return nil, report, fmt.Errorf("cluster: search on %s: %w", r.addrs[i], err)
-		}
-		lists = append(lists, replies[i].Items)
-		for _, nanos := range replies[i].PartNanos {
-			d := time.Duration(nanos)
-			report.PartitionTimes = append(report.PartitionTimes, d)
-			report.SumPartition += d
-			if d > report.MaxPartition {
-				report.MaxPartition = d
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Prefer the abandoned-call diagnostic (it names the hung
+		// worker and wraps ctxErr, so errors.Is still matches).
+		for _, err := range errs {
+			if err != nil && errors.Is(err, ctxErr) {
+				return err
 			}
 		}
+		return fmt.Errorf("cluster: %s: %w", method, ctxErr)
 	}
-	report.Wall = time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: %s on %s: %w", method, r.addrs[i], err)
+		}
+	}
+	return nil
+}
+
+// Search broadcasts the query to all workers and merges their local
+// top-k results.
+func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	sub, err := r.subset(opt.Partitions)
+	if err != nil {
+		return nil, QueryReport{}, err
+	}
+	start := time.Now()
+	h := r.header(ctx, sub)
+	args := &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots}
+	replies := make([]SearchReply, len(r.conns()))
+	if err := r.callAll(ctx, "Worker.Search", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
+		return nil, QueryReport{}, err
+	}
+	var report QueryReport
+	var lists [][]topk.Item
+	for i := range replies {
+		lists = append(lists, replies[i].Items)
+		for _, nanos := range replies[i].PartNanos {
+			report.PartitionTimes = append(report.PartitionTimes, time.Duration(nanos))
+		}
+	}
+	report.finish(start)
 	return topk.Merge(k, lists...), report, nil
+}
+
+// SearchRadius broadcasts the range query to all workers and merges
+// their in-range trajectories, ascending by (distance, id).
+func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	sub, err := r.subset(opt.Partitions)
+	if err != nil {
+		return nil, QueryReport{}, err
+	}
+	start := time.Now()
+	h := r.header(ctx, sub)
+	args := &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots}
+	replies := make([]RadiusReply, len(r.conns()))
+	if err := r.callAll(ctx, "Worker.SearchRadius", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
+		return nil, QueryReport{}, err
+	}
+	var report QueryReport
+	var out []topk.Item
+	for i := range replies {
+		out = append(out, replies[i].Items...)
+		for _, nanos := range replies[i].PartNanos {
+			report.PartitionTimes = append(report.PartitionTimes, time.Duration(nanos))
+		}
+	}
+	report.finish(start)
+	topk.SortItems(out)
+	return out, report, nil
+}
+
+// SearchBatch broadcasts the whole batch to all workers and merges
+// their per-query local top-k lists.
+func (r *Remote) SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt QueryOptions) ([][]topk.Item, BatchReport, error) {
+	report := BatchReport{PerQuery: make([]time.Duration, len(qs))}
+	if len(qs) == 0 {
+		return nil, report, nil
+	}
+	sub, err := r.subset(opt.Partitions)
+	if err != nil {
+		return nil, report, err
+	}
+	start := time.Now()
+	h := r.header(ctx, sub)
+	args := &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots}
+	replies := make([]SearchBatchReply, len(r.conns()))
+	if err := r.callAll(ctx, "Worker.SearchBatch", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
+		return nil, report, err
+	}
+	out := make([][]topk.Item, len(qs))
+	for qi := range qs {
+		var lists [][]topk.Item
+		for i := range replies {
+			if qi < len(replies[i].Items) {
+				lists = append(lists, replies[i].Items[qi])
+			}
+			if qi < len(replies[i].PerQueryNanos) {
+				if d := time.Duration(replies[i].PerQueryNanos[qi]); d > report.PerQuery[qi] {
+					report.PerQuery[qi] = d
+				}
+			}
+		}
+		out[qi] = topk.Merge(k, lists...)
+	}
+	for i := range replies {
+		report.TotalWork += time.Duration(replies[i].TotalWorkNanos)
+	}
+	report.Makespan = time.Since(start)
+	return out, report, nil
 }
 
 // BuildTime returns the wall time of the distributed build.
@@ -239,12 +704,21 @@ func (r *Remote) IndexSizeBytes() int { return r.sizeBytes }
 // NumPartitions returns the partition count.
 func (r *Remote) NumPartitions() int { return len(r.owner) }
 
-// Close releases all client connections.
-func (r *Remote) Close() {
-	for _, c := range r.clients {
+// Close releases all client connections (the workers keep running).
+// Safe to call concurrently with in-flight queries, which fail fast
+// once the clients are gone.
+func (r *Remote) Close() error {
+	r.connMu.Lock()
+	clients := r.clients
+	r.clients = nil
+	r.connMu.Unlock()
+	var first error
+	for _, c := range clients {
 		if c != nil {
-			c.Close()
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
-	r.clients = nil
+	return first
 }

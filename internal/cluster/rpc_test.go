@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/rpc"
+	"strings"
+	"testing"
+	"time"
+
+	"repose/internal/dataset"
+	"repose/internal/geo"
+)
+
+func TestHandshake(t *testing.T) {
+	w := NewWorker()
+	var reply HandshakeReply
+	if err := w.Handshake(&HandshakeArgs{Version: ProtocolVersion}, &reply); err != nil {
+		t.Fatalf("matching handshake failed: %v", err)
+	}
+	if reply.Version != ProtocolVersion {
+		t.Errorf("reply version %d", reply.Version)
+	}
+	err := w.Handshake(&HandshakeArgs{Version: ProtocolVersion + 1}, &reply)
+	if err == nil || !strings.Contains(err.Error(), "protocol version mismatch") {
+		t.Errorf("mismatched handshake: %v", err)
+	}
+}
+
+// TestProtocolVersionMismatchOverWire verifies a wrong-version driver
+// is rejected by a live worker on every endpoint, not just handshake.
+func TestProtocolVersionMismatchOverWire(t *testing.T) {
+	_, parts, spec := testWorld(t, 40, 2)
+	addrs := startWorkers(t, 1)
+	client, err := rpc.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var hr HandshakeReply
+	err = client.Call("Worker.Handshake", &HandshakeArgs{Version: 99}, &hr)
+	if err == nil || !strings.Contains(err.Error(), "protocol version mismatch") {
+		t.Errorf("handshake v99: %v", err)
+	}
+	var br BuildReply
+	err = client.Call("Worker.Build", &BuildArgs{PartitionID: 0, Spec: spec, Trajectories: parts[0]}, &br)
+	if err == nil || !strings.Contains(err.Error(), "protocol version mismatch") {
+		t.Errorf("unversioned build: %v", err)
+	}
+	var sr SearchReply
+	err = client.Call("Worker.Search", &SearchArgs{Query: []geo.Point{{X: 1, Y: 1}}, K: 2}, &sr)
+	if err == nil || !strings.Contains(err.Error(), "protocol version mismatch") {
+		t.Errorf("unversioned search: %v", err)
+	}
+}
+
+// remotePair builds the same spec locally and on TCP workers.
+func remotePair(t *testing.T, n, nparts, nworkers int) ([]*geo.Trajectory, *Local, *Remote) {
+	t.Helper()
+	ds, parts, spec := testWorld(t, n, nparts)
+	local, err := BuildLocal(spec, parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, nworkers)
+	remote, err := BuildRemote(spec, parts, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remote.Close() })
+	return ds, local, remote
+}
+
+func TestRemoteRadiusMatchesLocal(t *testing.T) {
+	ds, local, remote := remotePair(t, 250, 6, 3)
+	ctx := context.Background()
+	for _, q := range dataset.Queries(ds, 3, 21) {
+		for _, radius := range []float64{0.2, 0.6} {
+			want, _, err := local.SearchRadius(ctx, q.Points, radius, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, rep, err := remote.SearchRadius(ctx, q.Points, radius, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("radius %g: len %d want %d", radius, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("radius %g rank %d: %+v want %+v", radius, i, got[i], want[i])
+				}
+			}
+			if len(rep.PartitionTimes) != 6 {
+				t.Errorf("report partitions = %d", len(rep.PartitionTimes))
+			}
+		}
+	}
+}
+
+func TestRemoteBatchMatchesLocal(t *testing.T) {
+	ds, local, remote := remotePair(t, 250, 6, 3)
+	ctx := context.Background()
+	queries := dataset.Queries(ds, 7, 5)
+	qpts := make([][]geo.Point, len(queries))
+	for i, q := range queries {
+		qpts[i] = q.Points
+	}
+	want, _, err := local.SearchBatch(ctx, qpts, 8, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := remote.SearchBatch(ctx, qpts, 8, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch len %d want %d", len(got), len(want))
+	}
+	for qi := range want {
+		if len(got[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: len %d want %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			if got[qi][i] != want[qi][i] {
+				t.Fatalf("query %d rank %d: %+v want %+v", qi, i, got[qi][i], want[qi][i])
+			}
+		}
+	}
+	if rep.Makespan <= 0 || rep.TotalWork <= 0 || len(rep.PerQuery) != len(queries) {
+		t.Errorf("batch report %+v", rep)
+	}
+}
+
+func TestPartitionSubset(t *testing.T) {
+	ds, local, remote := remotePair(t, 250, 6, 3)
+	ctx := context.Background()
+	q := ds[11].Points
+	subset := []int{0, 3, 5}
+	want, wrep, err := local.Search(ctx, q, 9, QueryOptions{Partitions: subset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrep.PartitionTimes) != len(subset) {
+		t.Errorf("local subset report %d partitions", len(wrep.PartitionTimes))
+	}
+	got, rrep, err := remote.Search(ctx, q, 9, QueryOptions{Partitions: subset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrep.PartitionTimes) != len(subset) {
+		t.Errorf("remote subset report %d partitions", len(rrep.PartitionTimes))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Duplicated ids must not double-count a partition on either
+	// backend (the wire path dedups before broadcasting).
+	dupWant, _, err := local.Search(ctx, q, 9, QueryOptions{Partitions: []int{3, 3, 0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, _, err := local.Search(ctx, q, 9, QueryOptions{Partitions: []int{0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupGot, _, err := remote.Search(ctx, q, 9, QueryOptions{Partitions: []int{3, 3, 0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdup, _, err := remote.SearchRadius(ctx, q, 0.6, QueryOptions{Partitions: []int{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rone, _, err := remote.SearchRadius(ctx, q, 0.6, QueryOptions{Partitions: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rdup) != len(rone) {
+		t.Fatalf("duplicated radius subset returned %d items, want %d", len(rdup), len(rone))
+	}
+	if len(dupWant) != len(dedup) || len(dupGot) != len(dedup) {
+		t.Fatalf("dup subset lens: local %d remote %d want %d", len(dupWant), len(dupGot), len(dedup))
+	}
+	for i := range dedup {
+		if dupWant[i] != dedup[i] || dupGot[i] != dedup[i] {
+			t.Fatalf("dup subset rank %d: local %+v remote %+v want %+v", i, dupWant[i], dupGot[i], dedup[i])
+		}
+	}
+
+	// Out-of-range ids fail on both backends.
+	if _, _, err := local.Search(ctx, q, 3, QueryOptions{Partitions: []int{6}}); err == nil {
+		t.Error("local out-of-range partition should fail")
+	}
+	if _, _, err := remote.Search(ctx, q, 3, QueryOptions{Partitions: []int{-1}}); err == nil {
+		t.Error("remote out-of-range partition should fail")
+	}
+}
+
+func TestNoPivotsMatchesDefault(t *testing.T) {
+	ds, local, remote := remotePair(t, 200, 4, 2)
+	ctx := context.Background()
+	for _, q := range dataset.Queries(ds, 3, 33) {
+		want, _, err := local.Search(ctx, q.Points, 6, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, _, err := local.SearchRadius(ctx, q.Points, 0.5, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range []Engine{local, remote} {
+			got, _, err := eng.Search(ctx, q.Points, 6, QueryOptions{NoPivots: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("len %d want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("rank %d: %+v want %+v", i, got[i], want[i])
+				}
+			}
+			gotR, _, err := eng.SearchRadius(ctx, q.Points, 0.5, QueryOptions{NoPivots: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotR) != len(wantR) {
+				t.Fatalf("radius len %d want %d", len(gotR), len(wantR))
+			}
+			for i := range gotR {
+				if gotR[i] != wantR[i] {
+					t.Fatalf("radius rank %d: %+v want %+v", i, gotR[i], wantR[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMoreWorkersThanPartitions: a worker left without partitions by
+// the round-robin deal must simply not be queried, not fail every
+// query.
+func TestMoreWorkersThanPartitions(t *testing.T) {
+	ds, parts, spec := testWorld(t, 120, 2)
+	addrs := startWorkers(t, 3) // worker 2 gets no partitions
+	remote, err := BuildRemote(spec, parts, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	local, err := BuildLocal(spec, parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := ds[5].Points
+	got, rep, err := remote.Search(ctx, q, 7, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := local.Search(ctx, q, 7, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if len(rep.PartitionTimes) != 2 {
+		t.Errorf("report partitions = %d", len(rep.PartitionTimes))
+	}
+	if _, _, err := remote.SearchRadius(ctx, q, 0.5, QueryOptions{}); err != nil {
+		t.Errorf("radius with idle worker: %v", err)
+	}
+	if _, _, err := remote.SearchBatch(ctx, [][]geo.Point{q}, 4, QueryOptions{}); err != nil {
+		t.Errorf("batch with idle worker: %v", err)
+	}
+}
+
+// TestRemoteCancellation: a deadline that has already passed must
+// surface context.DeadlineExceeded from the remote engine, and a
+// cancel mid-flight must stop the query.
+func TestRemoteCancellation(t *testing.T) {
+	ds, _, remote := remotePair(t, 300, 8, 2)
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := remote.Search(expired, ds[0].Points, 5, QueryOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v", err)
+	}
+
+	ctx, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	_, _, err = remote.SearchRadius(ctx, ds[0].Points, 0.5, QueryOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled radius: err = %v", err)
+	}
+	_, _, err = remote.SearchBatch(ctx, [][]geo.Point{ds[0].Points}, 5, QueryOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: err = %v", err)
+	}
+
+	// A healthy query still works afterwards on the same clients.
+	if _, _, err := remote.Search(context.Background(), ds[0].Points, 5, QueryOptions{}); err != nil {
+		t.Fatalf("post-cancel search: %v", err)
+	}
+}
+
+// TestWorkerCancelRPC: Worker.Cancel aborts a registered in-flight
+// query and tolerates unknown ids.
+func TestWorkerCancelRPC(t *testing.T) {
+	w := NewWorker()
+	if err := w.Cancel(&CancelArgs{ID: 12345}, &struct{}{}); err != nil {
+		t.Fatalf("unknown id: %v", err)
+	}
+	ctx, stop := w.queryContext(QueryHeader{ID: 7})
+	defer stop()
+	if ctx.Err() != nil {
+		t.Fatal("fresh query context should be live")
+	}
+	if err := w.Cancel(&CancelArgs{ID: 7}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Errorf("query context not cancelled: %v", ctx.Err())
+	}
+	stop()
+	w.mu.Lock()
+	n := len(w.inflight)
+	w.mu.Unlock()
+	if n != 0 {
+		t.Errorf("inflight registry leaked %d entries", n)
+	}
+
+	// A cancel that races ahead of the query leaves a tombstone, so
+	// the query starts already aborted when it registers.
+	if err := w.Cancel(&CancelArgs{ID: 9}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	early, stopEarly := w.queryContext(QueryHeader{ID: 9})
+	defer stopEarly()
+	if !errors.Is(early.Err(), context.Canceled) {
+		t.Errorf("early-cancelled query context: %v", early.Err())
+	}
+	w.mu.Lock()
+	_, left := w.cancelled[9]
+	w.mu.Unlock()
+	if left {
+		t.Error("tombstone for id 9 not consumed")
+	}
+}

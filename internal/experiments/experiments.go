@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -287,7 +288,7 @@ func avgQueryTime(eng *cluster.Local, queries []*geo.Trajectory, k int) (time.Du
 	var total time.Duration
 	for _, q := range queries {
 		start := time.Now()
-		if _, err := eng.Search(q.Points, k); err != nil {
+		if _, _, err := eng.Search(context.Background(), q.Points, k, cluster.QueryOptions{}); err != nil {
 			return 0, err
 		}
 		total += time.Since(start)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repose/internal/cluster"
 	"repose/internal/dataset"
 	"repose/internal/dist"
@@ -56,7 +57,7 @@ func BatchStudy(cfg Config, datasets []string) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				_, rep, err := br.eng.SearchBatch(qpts, cfg.K)
+				_, rep, err := br.eng.SearchBatch(context.Background(), qpts, cfg.K, cluster.QueryOptions{})
 				if err != nil {
 					return nil, err
 				}

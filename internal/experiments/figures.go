@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -223,7 +224,7 @@ func Fig9(cfg Config, datasets []string) (*Table, error) {
 				}
 				var wall, sum time.Duration
 				for _, q := range queries {
-					_, rep, err := br.eng.SearchDetailed(q.Points, cfg.K)
+					_, rep, err := br.eng.Search(context.Background(), q.Points, cfg.K, cluster.QueryOptions{})
 					if err != nil {
 						return nil, err
 					}

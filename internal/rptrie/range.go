@@ -1,8 +1,8 @@
 package rptrie
 
 import (
+	"context"
 	"math"
-	"sort"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
@@ -17,32 +17,54 @@ import (
 // extension (the paper's Section IX mentions range search only via
 // DITA).
 func (t *Trie) SearchRadius(q []geo.Point, radius float64) []topk.Item {
-	if len(q) == 0 || len(t.trajs) == 0 || radius < 0 {
-		return nil
-	}
-	var out []topk.Item
-
-	var dqp []float64
-	if t.cfg.Pivots != nil && !t.cfg.DisableLBp {
-		dqp = pivot.Distances(q, t.cfg.Pivots, t.cfg.Measure, t.cfg.Params)
-	}
-	b := dist.NewBounder(t.cfg.Measure, q, t.cfg.Grid.HalfDiagonal(), t.cfg.Params)
-	t.rangeWalk(t.root, b, q, radius, dqp, &out)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	out, _ := t.SearchRadiusContext(nil, q, radius, SearchOptions{})
 	return out
 }
 
-// rangeWalk prunes subtrees whose bound exceeds radius and refines
+// SearchRadiusContext is SearchRadius honoring per-query options and
+// cancellation: the walk polls ctx periodically and aborts with its
+// error once it is cancelled or past its deadline. A nil ctx disables
+// cancellation.
+func (t *Trie) SearchRadiusContext(ctx context.Context, q []geo.Point, radius float64, opt SearchOptions) ([]topk.Item, error) {
+	if len(q) == 0 || len(t.trajs) == 0 || radius < 0 {
+		return nil, nil
+	}
+	rq := rangeQuery{t: t, ctxPoller: ctxPoller{ctx: ctx}, q: q, radius: radius}
+	if err := rq.err(); err != nil {
+		return nil, err
+	}
+	if t.cfg.Pivots != nil && !t.cfg.DisableLBp && !opt.NoPivots {
+		rq.dqp = pivot.Distances(q, t.cfg.Pivots, t.cfg.Measure, t.cfg.Params)
+	}
+	b := dist.NewBounder(t.cfg.Measure, q, t.cfg.Grid.HalfDiagonal(), t.cfg.Params)
+	if err := rq.walk(t.root, b); err != nil {
+		return nil, err
+	}
+	topk.SortItems(rq.out)
+	return rq.out, nil
+}
+
+// rangeQuery carries one range query's state through the recursive
+// walk.
+type rangeQuery struct {
+	ctxPoller
+	t      *Trie
+	q      []geo.Point
+	radius float64
+	dqp    []float64
+	out    []topk.Item
+}
+
+// walk prunes subtrees whose bound exceeds radius and refines
 // surviving leaves. Depth-first: unlike top-k, range search gains
 // nothing from best-first ordering because the threshold is fixed.
-func (t *Trie) rangeWalk(n *node, b dist.Bounder, q []geo.Point, radius float64, dqp []float64, out *[]topk.Item) {
-	if dqp != nil && n.hr != nil && pivot.LowerBound(dqp, n.hr) > radius {
-		return
+func (rq *rangeQuery) walk(n *node, b dist.Bounder) error {
+	t := rq.t
+	if rq.cancelled() {
+		return rq.err()
+	}
+	if rq.dqp != nil && n.hr != nil && pivot.LowerBound(rq.dqp, n.hr) > rq.radius {
+		return nil
 	}
 	if n.leaf != nil {
 		lb := 0.0
@@ -52,12 +74,15 @@ func (t *Trie) rangeWalk(n *node, b dist.Bounder, q []geo.Point, radius float64,
 				Dmax:     n.leaf.dmax,
 			})
 		}
-		if lb <= radius {
+		if lb <= rq.radius {
 			for _, tid := range n.leaf.tids {
+				if rq.cancelled() {
+					return rq.err()
+				}
 				tr := t.trajs[tid]
-				d := dist.DistanceBounded(t.cfg.Measure, q, tr.Points, t.cfg.Params, radius)
-				if d <= radius && !math.IsInf(d, 1) {
-					*out = append(*out, topk.Item{ID: int(tid), Dist: d})
+				d := dist.DistanceBounded(t.cfg.Measure, rq.q, tr.Points, t.cfg.Params, rq.radius)
+				if d <= rq.radius && !math.IsInf(d, 1) {
+					rq.out = append(rq.out, topk.Item{ID: int(tid), Dist: d})
 				}
 			}
 		}
@@ -70,11 +95,14 @@ func (t *Trie) rangeWalk(n *node, b dist.Bounder, q []geo.Point, radius float64,
 			cb = b.Clone()
 		}
 		cb.Extend(t.cfg.Grid.CellByZ(c.z))
-		if cb.LBo(t.nodeMeta(c)) > radius {
+		if cb.LBo(t.nodeMeta(c)) > rq.radius {
 			continue
 		}
-		t.rangeWalk(c, cb, q, radius, dqp, out)
+		if err := rq.walk(c, cb); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func (t *Trie) nodeMeta(n *node) dist.NodeMeta {

@@ -2,6 +2,7 @@ package rptrie
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"repose/internal/dist"
@@ -9,6 +10,47 @@ import (
 	"repose/internal/pivot"
 	"repose/internal/topk"
 )
+
+// SearchOptions modulates one query without rebuilding the trie.
+type SearchOptions struct {
+	// NoPivots skips the pivot lower bound (LBp) for this query,
+	// including the up-front query-to-pivot distance computations.
+	NoPivots bool
+}
+
+// ctxCheckMask throttles context polling: deadlines are checked every
+// ctxCheckMask+1 units of search work (heap pops and exact distance
+// computations), keeping the checkpoint overhead unmeasurable while
+// still stopping a partition scan mid-flight.
+const ctxCheckMask = 63
+
+// ctxPoller is the shared throttled cancellation check of the top-k
+// search and the range walk.
+type ctxPoller struct {
+	ctx context.Context // nil: cancellation disabled
+	ops int             // work units so far, for throttling
+}
+
+// cancelled reports whether the query should abort, polling the
+// context only every ctxCheckMask+1 calls.
+func (p *ctxPoller) cancelled() bool {
+	if p.ctx == nil {
+		return false
+	}
+	p.ops++
+	if p.ops&ctxCheckMask != 0 {
+		return false
+	}
+	return p.ctx.Err() != nil
+}
+
+// err returns the context's error, nil when cancellation is disabled.
+func (p *ctxPoller) err() error {
+	if p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Err()
+}
 
 // SearchStats summarizes the work one query performed.
 type SearchStats struct {
@@ -74,24 +116,40 @@ func (t *Trie) Search(q []geo.Point, k int) []topk.Item {
 // SearchWithStats is Search, also reporting traversal statistics.
 func (t *Trie) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
 	s := searcher{cfg: t.cfg, trajs: t.trajs}
-	return s.run(ptrNode{t.root}, q, k)
+	res, stats, _ := s.run(ptrNode{t.root}, q, k)
+	return res, stats
+}
+
+// SearchContext is Search honoring per-query options and a context:
+// the best-first loop polls ctx periodically and aborts with ctx's
+// error once it is cancelled or past its deadline, so a straggler
+// partition can be stopped mid-scan (Section V-B's concern).
+func (t *Trie) SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error) {
+	s := searcher{cfg: t.cfg, trajs: t.trajs, ctxPoller: ctxPoller{ctx: ctx}, noPivots: opt.NoPivots}
+	res, _, err := s.run(ptrNode{t.root}, q, k)
+	return res, err
 }
 
 // searcher is the layout-independent best-first top-k search.
 type searcher struct {
-	cfg   Config
-	trajs map[int32]*geo.Trajectory
+	ctxPoller
+	cfg      Config
+	trajs    map[int32]*geo.Trajectory
+	noPivots bool
 }
 
-func (s *searcher) run(root searchNode, q []geo.Point, k int) ([]topk.Item, SearchStats) {
+func (s *searcher) run(root searchNode, q []geo.Point, k int) ([]topk.Item, SearchStats, error) {
 	var stats SearchStats
 	if k <= 0 || len(q) == 0 || len(s.trajs) == 0 {
-		return nil, stats
+		return nil, stats, nil
+	}
+	if err := s.err(); err != nil {
+		return nil, stats, err
 	}
 	results := topk.New(k)
 
 	var dqp []float64
-	if s.cfg.Pivots != nil && !s.cfg.DisableLBp {
+	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots {
 		dqp = pivot.Distances(q, s.cfg.Pivots, s.cfg.Measure, s.cfg.Params)
 	}
 
@@ -100,6 +158,9 @@ func (s *searcher) run(root searchNode, q []geo.Point, k int) ([]topk.Item, Sear
 	s.expand(root, rootBounder, pq, results, dqp, &stats)
 
 	for pq.Len() > 0 {
+		if s.cancelled() {
+			return nil, stats, s.err()
+		}
 		e := heap.Pop(pq).(entry)
 		dk := results.Threshold()
 		if e.lb >= dk {
@@ -110,13 +171,15 @@ func (s *searcher) run(root searchNode, q []geo.Point, k int) ([]topk.Item, Sear
 		}
 		if e.isLeaf {
 			stats.LeavesRefined++
-			s.refine(e.lv, q, results, &stats)
+			if err := s.refine(e.lv, q, results, &stats); err != nil {
+				return nil, stats, err
+			}
 			continue
 		}
 		stats.NodesExpanded++
 		s.expand(e.n, e.b, pq, results, dqp, &stats)
 	}
-	return results.Results(), stats
+	return results.Results(), stats, nil
 }
 
 // expand pushes n's leaf entry (if any) and child entries whose
@@ -179,13 +242,17 @@ func (s *searcher) expand(n searchNode, b dist.Bounder, pq *entryQueue, results 
 // current threshold. While the result heap is not yet full the
 // threshold is +Inf, so no abandoned (+Inf) value can ever be
 // retained.
-func (s *searcher) refine(lv leafView, q []geo.Point, results *topk.Heap, stats *SearchStats) {
+func (s *searcher) refine(lv leafView, q []geo.Point, results *topk.Heap, stats *SearchStats) error {
 	for _, tid := range lv.tids {
+		if s.cancelled() {
+			return s.err()
+		}
 		tr := s.trajs[tid]
 		stats.ExactComputations++
 		d := dist.DistanceBounded(s.cfg.Measure, q, tr.Points, s.cfg.Params, results.Threshold())
 		results.Push(int(tid), d)
 	}
+	return nil
 }
 
 // entry is one element of the best-first priority queue: either an

@@ -1,6 +1,7 @@
 package rptrie
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"math"
@@ -290,7 +291,17 @@ func (s *Succinct) Search(q []geo.Point, k int) []topk.Item {
 // SearchWithStats is Search with traversal statistics.
 func (s *Succinct) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
 	sr := searcher{cfg: s.cfg, trajs: s.trajs}
-	return sr.run(s.rootRef(), q, k)
+	res, stats, _ := sr.run(s.rootRef(), q, k)
+	return res, stats
+}
+
+// SearchContext is Search honoring per-query options and a context;
+// see Trie.SearchContext. Both layouts share the same cancellable
+// best-first loop.
+func (s *Succinct) SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error) {
+	sr := searcher{cfg: s.cfg, trajs: s.trajs, ctxPoller: ctxPoller{ctx: ctx}, noPivots: opt.NoPivots}
+	res, _, err := sr.run(s.rootRef(), q, k)
+	return res, err
 }
 
 func (s *Succinct) rootRef() searchNode {

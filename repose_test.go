@@ -1,6 +1,8 @@
 package repose
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -22,8 +24,11 @@ func TestBuildAndSearchDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if idx.Engine().String() != "local" {
+		t.Errorf("engine = %v", idx.Engine())
+	}
 	q := ds[17]
-	res, err := idx.Search(q, 5)
+	res, err := idx.Search(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +62,7 @@ func TestAllMeasuresEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
-		res, err := idx.Search(q, 3)
+		res, err := idx.Search(context.Background(), q, 3)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -84,31 +89,68 @@ func TestBuildErrors(t *testing.T) {
 	}
 }
 
-func TestSearchErrors(t *testing.T) {
+func TestSentinelErrors(t *testing.T) {
 	ds := testData(t, 50)
 	idx, err := Build(ds, Options{Partitions: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := idx.Search(nil, 3); err == nil {
-		t.Error("nil query should fail")
+	ctx := context.Background()
+	if _, err := idx.Search(ctx, nil, 3); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("nil query: %v", err)
 	}
-	if _, err := idx.SearchPoints(nil, 3); err == nil {
-		t.Error("empty query should fail")
+	if _, err := idx.Search(ctx, &Trajectory{}, 3); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("empty query: %v", err)
 	}
-	if _, err := idx.SearchPoints([]Point{{X: 1, Y: 1}}, 0); err == nil {
-		t.Error("k=0 should fail")
+	if _, err := idx.Search(ctx, ds[0], 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := idx.SearchRadius(ctx, ds[0], -1); !errors.Is(err, ErrBadRadius) {
+		t.Errorf("negative radius: %v", err)
+	}
+	if _, err := idx.SearchBatch(ctx, []*Trajectory{ds[0], nil}, 3); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("nil batch query: %v", err)
+	}
+	if _, err := idx.SearchBatch(ctx, []*Trajectory{ds[0]}, -2); !errors.Is(err, ErrBadK) {
+		t.Errorf("batch k<0: %v", err)
+	}
+
+	// Succinct indexes decline range search with a typed error.
+	suc, err := Build(ds, Options{Partitions: 2, Succinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := suc.SearchRadius(ctx, ds[0], 1); !errors.Is(err, ErrSuccinctUnsupported) {
+		t.Errorf("succinct radius: %v", err)
+	}
+
+	// Every query path reports ErrClosed after Close, idempotently.
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := idx.Search(ctx, ds[0], 3); !errors.Is(err, ErrClosed) {
+		t.Errorf("search after close: %v", err)
+	}
+	if _, err := idx.SearchRadius(ctx, ds[0], 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("radius after close: %v", err)
+	}
+	if _, err := idx.SearchBatch(ctx, []*Trajectory{ds[0]}, 3); !errors.Is(err, ErrClosed) {
+		t.Errorf("batch after close: %v", err)
 	}
 }
 
 func TestOptionVariants(t *testing.T) {
 	ds := testData(t, 120)
 	q := ds[9]
+	ctx := context.Background()
 	base, err := Build(ds, Options{Partitions: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := base.Search(q, 7)
+	want, err := base.Search(ctx, q, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +168,7 @@ func TestOptionVariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
-		got, err := idx.Search(q, 7)
+		got, err := idx.Search(ctx, q, 7)
 		if err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
@@ -136,6 +178,79 @@ func TestOptionVariants(t *testing.T) {
 		for j := range got {
 			if math.Abs(got[j].Dist-want[j].Dist) > 1e-9 {
 				t.Fatalf("variant %d rank %d: dist %v want %v", i, j, got[j].Dist, want[j].Dist)
+			}
+		}
+	}
+}
+
+func TestQueryOptions(t *testing.T) {
+	ds := testData(t, 150)
+	idx, err := Build(ds, Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := ds[25]
+	want, err := idx.Search(ctx, q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithReport captures per-partition execution.
+	var rep QueryReport
+	got, err := idx.Search(ctx, q, 6, WithReport(&rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PartitionTimes) != 4 || rep.Wall <= 0 || rep.Imbalance() < 1 {
+		t.Errorf("report = %+v (imbalance %v)", rep, rep.Imbalance())
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// WithoutPivots changes pruning, never results.
+	got, err = idx.Search(ctx, q, 6, WithoutPivots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("no-pivots rank %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// WithPartitions restricts the query; the subset report shows it.
+	var subRep QueryReport
+	if _, err := idx.Search(ctx, q, 6, WithPartitions(0, 2), WithReport(&subRep)); err != nil {
+		t.Fatal(err)
+	}
+	if len(subRep.PartitionTimes) != 2 {
+		t.Errorf("subset report %d partitions", len(subRep.PartitionTimes))
+	}
+	if _, err := idx.Search(ctx, q, 6, WithPartitions(99)); err == nil {
+		t.Error("out-of-range partition should fail")
+	}
+
+	// WithBatchReport captures the batch makespan.
+	var brep BatchReport
+	batch, err := idx.SearchBatch(ctx, ds[:5], 3, WithBatchReport(&brep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 5 || brep.Makespan <= 0 || len(brep.PerQuery) != 5 {
+		t.Errorf("batch report = %+v", brep)
+	}
+	for i, q := range ds[:5] {
+		single, err := idx.Search(ctx, q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("batch query %d rank %d: %+v want %+v", i, j, batch[i][j], single[j])
 			}
 		}
 	}
@@ -152,9 +267,29 @@ func TestDistanceHelpers(t *testing.T) {
 	}
 }
 
-func TestClusterIndexOverTCP(t *testing.T) {
+// TestDeprecatedShims keeps the pre-context API compiling and
+// correct for one release.
+func TestDeprecatedShims(t *testing.T) {
 	ds := testData(t, 150)
-	// Start two workers on ephemeral ports.
+	idx, err := Build(ds, Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds[33]
+	want, err := idx.Search(context.Background(), q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.SearchPoints(q.Points, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SearchPoints rank %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+
 	ready := make(chan string, 2)
 	for i := 0; i < 2; i++ {
 		go ServeWorker("127.0.0.1:0", func(addr string) { ready <- addr })
@@ -165,33 +300,24 @@ func TestClusterIndexOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ci.Close()
-	idx, err := Build(ds, Options{Partitions: 4})
+	cres, err := ci.Search(q, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := ds[33]
-	got, err := ci.Search(q, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, _ := idx.Search(q, 6)
-	if len(got) != len(want) {
-		t.Fatalf("len %d want %d", len(got), len(want))
-	}
-	for i := range got {
-		if got[i] != want[i] {
-			t.Fatalf("rank %d: %+v want %+v", i, got[i], want[i])
+	for i := range cres {
+		if cres[i] != want[i] {
+			t.Fatalf("ClusterIndex rank %d: %+v want %+v", i, cres[i], want[i])
 		}
 	}
 	st := ci.Stats()
 	if st.Trajectories != 150 || st.Partitions != 4 {
 		t.Errorf("stats = %+v", st)
 	}
-	if _, err := ci.Search(nil, 3); err == nil {
-		t.Error("nil query should fail")
+	if _, err := ci.Search(nil, 3); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("nil query: %v", err)
 	}
-	if _, err := ci.Search(q, 0); err == nil {
-		t.Error("k=0 should fail")
+	if _, err := ci.Search(q, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: %v", err)
 	}
 	if _, err := BuildCluster(nil, Options{}, addrs); err == nil {
 		t.Error("empty dataset should fail")
