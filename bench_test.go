@@ -81,18 +81,7 @@ type engineOpts struct {
 	disableLBp bool
 }
 
-func defaultDelta(name string) float64 {
-	switch name {
-	case "T-drive":
-		return 0.15
-	case "Xian":
-		return 0.01
-	case "OSM":
-		return 1.0
-	default:
-		return 0.05
-	}
-}
+func defaultDelta(name string) float64 { return dataset.DefaultDelta(name) }
 
 func (w *world) engine(b *testing.B, name string, o engineOpts) *cluster.Local {
 	b.Helper()
@@ -166,22 +155,165 @@ func benchQueries(b *testing.B, eng *cluster.Local, queries []*geo.Trajectory, k
 	}
 }
 
-// BenchmarkSearch times the public unified API end to end (Build +
-// Search on the local engine) — the smoke benchmark CI runs with
-// -benchtime=1x so the harness cannot rot.
+// benchTrie builds one single-partition pointer-layout trie over the
+// whole benchmark dataset — the hot path the zero-allocation
+// guarantee is stated for.
+func benchTrie(b *testing.B, w *world, name string, m dist.Measure) *rptrie.Trie {
+	b.Helper()
+	region := w.spec.Region()
+	g, err := grid.New(region, defaultDelta(name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := dist.Params{Epsilon: dist.DefaultParams(region).Epsilon, Gap: region.Min}
+	var pivots []*geo.Trajectory
+	if m.IsMetric() {
+		pivots = pivot.Select(w.ds, 5, pivot.DefaultGroups, m, params, 13)
+	}
+	trie, err := rptrie.Build(rptrie.Config{
+		Measure: m, Params: params, Grid: g, Pivots: pivots,
+		Optimize: m.OrderIndependent(),
+	}, w.ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trie
+}
+
+// BenchmarkSearch times the top-k query path — the smoke benchmark CI
+// runs with -benchtime=1x so the harness cannot rot. "engine" is the
+// public unified API end to end (Build + Search on the local engine);
+// "trie" is the single-partition pointer-layout hot path, which must
+// report 0 allocs/op in steady state (the pooled scratch warms up
+// before the timer starts).
 func BenchmarkSearch(b *testing.B) {
+	w := getWorld(b, "T-drive")
+	b.Run("engine", func(b *testing.B) {
+		idx, err := repose.Build(w.ds, repose.Options{Partitions: 8, Delta: defaultDelta("T-drive")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			if _, err := idx.Search(ctx, q, benchK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trie", func(b *testing.B) {
+		trie := benchTrie(b, w, "T-drive", dist.Hausdorff)
+		var out []repose.Result
+		for _, q := range w.queries { // warm the pooled scratch
+			out = trie.SearchAppend(out[:0], q.Points, benchK)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			out = trie.SearchAppend(out[:0], q.Points, benchK)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty result")
+		}
+	})
+}
+
+// BenchmarkSearchRadius times the range-query path on the engine and
+// on the single-partition trie.
+func BenchmarkSearchRadius(b *testing.B) {
+	w := getWorld(b, "T-drive")
+	radius := w.spec.Region().Max.Dist(w.spec.Region().Min) / 8
+	b.Run("engine", func(b *testing.B) {
+		idx, err := repose.Build(w.ds, repose.Options{Partitions: 8, Delta: defaultDelta("T-drive")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			if _, err := idx.SearchRadius(ctx, q, radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trie", func(b *testing.B) {
+		trie := benchTrie(b, w, "T-drive", dist.Hausdorff)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			_ = trie.SearchRadius(q.Points, radius)
+		}
+	})
+}
+
+// BenchmarkSearchBatch times the batched query path over the shared
+// worker pool.
+func BenchmarkSearchBatch(b *testing.B) {
 	w := getWorld(b, "T-drive")
 	idx, err := repose.Build(w.ds, repose.Options{Partitions: 8, Delta: defaultDelta("T-drive")})
 	if err != nil {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q := w.queries[i%len(w.queries)]
-		if _, err := idx.Search(ctx, q, benchK); err != nil {
+		if _, err := idx.SearchBatch(ctx, w.queries, benchK); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSearchMeasures times the single-partition top-k hot path
+// under each of the six measures, with allocation counts: any
+// per-measure scratch regression (a kernel or bound that starts
+// allocating) shows up here.
+func BenchmarkSearchMeasures(b *testing.B) {
+	w := getWorld(b, "T-drive")
+	for _, m := range dist.Measures() {
+		b.Run(m.String(), func(b *testing.B) {
+			trie := benchTrie(b, w, "T-drive", m)
+			var out []repose.Result
+			for _, q := range w.queries {
+				out = trie.SearchAppend(out[:0], q.Points, benchK)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := w.queries[i%len(w.queries)]
+				out = trie.SearchAppend(out[:0], q.Points, benchK)
+			}
+		})
+	}
+}
+
+// BenchmarkRefineWorkers measures intra-partition parallel leaf
+// refinement against the sequential default on a single-partition
+// index (where the partition-level parallelism the engine usually
+// relies on is absent).
+func BenchmarkRefineWorkers(b *testing.B) {
+	w := getWorld(b, "T-drive")
+	idx, err := repose.Build(w.ds, repose.Options{Partitions: 1, Delta: defaultDelta("T-drive")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := w.queries[i%len(w.queries)]
+				if _, err := idx.Search(ctx, q, benchK, repose.WithRefineWorkers(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

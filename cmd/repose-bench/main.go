@@ -1,12 +1,20 @@
-// Command repose-bench regenerates the paper's tables and figures.
+// Command repose-bench regenerates the paper's tables and figures,
+// and doubles as the query micro-benchmark harness.
 //
 // Usage:
 //
 //	repose-bench -exp table4 -scale 0.015625 -partitions 64 -k 100
 //	repose-bench -exp all -csv out/
+//	repose-bench -benchjson BENCH_search.json -baseline BENCH_search.json
 //
 // Each experiment prints the same rows/series the paper reports;
-// EXPERIMENTS.md records how the shapes compare.
+// EXPERIMENTS.md records how the shapes compare. -benchjson skips the
+// experiments and instead runs the query micro-benchmark suite
+// (engine-level Search/SearchRadius/SearchBatch plus the
+// single-partition trie hot path per measure) on a synthetic dataset,
+// writing ns/op, allocs/op, and QPS as machine-readable JSON;
+// -baseline annotates each result with the speedup over an earlier
+// report.
 package main
 
 import (
@@ -30,8 +38,19 @@ func main() {
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper datasets)")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		verbose    = flag.Bool("v", false, "stream progress")
+		benchJSON  = flag.String("benchjson", "", "run the query micro-benchmark suite and write JSON results to this path (skips -exp)")
+		baseline   = flag.String("baseline", "", "earlier -benchjson report to compute speedups against")
+		benchData  = flag.String("benchdataset", "T-drive", "dataset for -benchjson")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *baseline, *benchData, *scale, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		Scale:      *scale,

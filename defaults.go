@@ -39,10 +39,11 @@ type QueryOption func(*queryConfig)
 
 // queryConfig collects the applied options.
 type queryConfig struct {
-	report      *QueryReport
-	batchReport *BatchReport
-	partitions  []int
-	noPivots    bool
+	report        *QueryReport
+	batchReport   *BatchReport
+	partitions    []int
+	noPivots      bool
+	refineWorkers int
 }
 
 func applyQueryOptions(opts []QueryOption) queryConfig {
@@ -55,7 +56,11 @@ func applyQueryOptions(opts []QueryOption) queryConfig {
 
 // cluster converts the applied options to the engine's query options.
 func (qc queryConfig) cluster() cluster.QueryOptions {
-	return cluster.QueryOptions{Partitions: qc.partitions, NoPivots: qc.noPivots}
+	return cluster.QueryOptions{
+		Partitions:    qc.partitions,
+		NoPivots:      qc.noPivots,
+		RefineWorkers: qc.refineWorkers,
+	}
 }
 
 // WithReport fills r with the query's execution report — wall time,
@@ -85,4 +90,14 @@ func WithPartitions(partitions ...int) QueryOption {
 // unchanged; only the pruning power differs.
 func WithoutPivots() QueryOption {
 	return func(qc *queryConfig) { qc.noPivots = true }
+}
+
+// WithRefineWorkers parallelizes exact-distance refinement of fat
+// trie leaves inside each partition across n goroutines (n < 2
+// refines sequentially, the default). Results are bit-identical to
+// the sequential path; the knob trades per-query latency for extra
+// cores when the query touches few partitions — for example with
+// WithPartitions — or when leaves hold many trajectories.
+func WithRefineWorkers(n int) QueryOption {
+	return func(qc *queryConfig) { qc.refineWorkers = n }
 }

@@ -52,6 +52,12 @@ type QueryOptions struct {
 	Partitions []int
 	// NoPivots disables the pivot lower bound (LBp) for this query.
 	NoPivots bool
+	// RefineWorkers parallelizes exact-distance refinement of fat
+	// leaves inside each partition across this many goroutines
+	// (values < 2 refine sequentially). Results are identical either
+	// way; useful when the query targets few partitions and cores
+	// would otherwise idle.
+	RefineWorkers int
 }
 
 // selectPartitions resolves a partition subset against the engine's
@@ -83,7 +89,7 @@ func selectPartitions(subset []int, n int) ([]int, error) {
 // opt. The rptrie layouts cancel mid-scan; the baseline indexes only
 // observe the context between partitions.
 func searchOne(ctx context.Context, idx LocalIndex, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, error) {
-	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots}
+	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
 	switch t := idx.(type) {
 	case *rptrie.Trie:
 		return t.SearchContext(ctx, q, k, sopt)
@@ -102,7 +108,7 @@ func searchOne(ctx context.Context, idx LocalIndex, q []geo.Point, k int, opt Qu
 // naming the partition so mixed-index failures are diagnosable.
 func radiusOne(ctx context.Context, pi int, idx LocalIndex, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, error) {
 	if t, ok := idx.(*rptrie.Trie); ok {
-		return t.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots})
+		return t.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers})
 	}
 	if rs, ok := idx.(RadiusSearcher); ok {
 		if err := ctx.Err(); err != nil {

@@ -18,6 +18,7 @@ import (
 type Local struct {
 	indexes   []LocalIndex
 	workers   int
+	sem       chan struct{} // shared worker-cap semaphore, sized workers
 	buildTime time.Duration
 }
 
@@ -56,9 +57,13 @@ func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	c := &Local{indexes: make([]LocalIndex, len(parts)), workers: workers}
+	c := &Local{
+		indexes: make([]LocalIndex, len(parts)),
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+	}
 	start := time.Now()
-	sem := make(chan struct{}, workers)
+	sem := c.sem
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
 	for i, part := range parts {
@@ -92,7 +97,7 @@ func localView(indexes []LocalIndex, workers int) *Local {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Local{indexes: indexes, workers: workers}
+	return &Local{indexes: indexes, workers: workers, sem: make(chan struct{}, workers)}
 }
 
 // scatter fans one partition-local operation out over the selected
@@ -108,11 +113,23 @@ func (c *Local) scatter(ctx context.Context, opt QueryOptions, what string, fn f
 	locals := make([][]topk.Item, len(sel))
 	errs := make([]error, len(sel))
 	start := time.Now()
-	sem := make(chan struct{}, c.workers)
+	// The semaphore is shared across concurrent queries: the cap
+	// bounds the engine's total partition-scan parallelism rather
+	// than each query's, and the per-query channel allocation goes
+	// away.
+	sem := c.sem
 	var wg sync.WaitGroup
 	for si, pi := range sel {
+		// Don't queue behind other queries' scans once cancelled: a
+		// shared semaphore must not turn a deadline-bounded query
+		// into an unbounded wait.
+		select {
+		case <-ctx.Done():
+			errs[si] = ctx.Err()
+			continue
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(si, pi int) {
 			defer wg.Done()
 			defer func() { <-sem }()

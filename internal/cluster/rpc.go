@@ -91,9 +91,10 @@ type QueryHeader struct {
 // SearchArgs broadcasts a top-k query.
 type SearchArgs struct {
 	QueryHeader
-	Query    []geo.Point
-	K        int
-	NoPivots bool
+	Query         []geo.Point
+	K             int
+	NoPivots      bool
+	RefineWorkers int
 }
 
 // SearchReply carries a worker's merged local top-k and per-partition
@@ -107,9 +108,10 @@ type SearchReply struct {
 // RadiusArgs broadcasts a range query.
 type RadiusArgs struct {
 	QueryHeader
-	Query    []geo.Point
-	Radius   float64
-	NoPivots bool
+	Query         []geo.Point
+	Radius        float64
+	NoPivots      bool
+	RefineWorkers int
 }
 
 // RadiusReply carries every in-range trajectory of the worker's
@@ -124,9 +126,10 @@ type RadiusReply struct {
 // SearchBatchArgs broadcasts a whole query batch.
 type SearchBatchArgs struct {
 	QueryHeader
-	Queries  [][]geo.Point
-	K        int
-	NoPivots bool
+	Queries       [][]geo.Point
+	K             int
+	NoPivots      bool
+	RefineWorkers int
 }
 
 // SearchBatchReply carries the worker's per-query merged local top-k
@@ -317,7 +320,7 @@ func (w *Worker) Search(args *SearchArgs, reply *SearchReply) error {
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.Search(ctx, args.Query, args.K, QueryOptions{NoPivots: args.NoPivots})
+	items, rep, err := view.Search(ctx, args.Query, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers})
 	if err != nil {
 		return err
 	}
@@ -339,7 +342,7 @@ func (w *Worker) SearchRadius(args *RadiusArgs, reply *RadiusReply) error {
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.SearchRadius(ctx, args.Query, args.Radius, QueryOptions{NoPivots: args.NoPivots})
+	items, rep, err := view.SearchRadius(ctx, args.Query, args.Radius, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers})
 	if err != nil {
 		return err
 	}
@@ -361,7 +364,7 @@ func (w *Worker) SearchBatch(args *SearchBatchArgs, reply *SearchBatchReply) err
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.SearchBatch(ctx, args.Queries, args.K, QueryOptions{NoPivots: args.NoPivots})
+	items, rep, err := view.SearchBatch(ctx, args.Queries, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers})
 	if err != nil {
 		return err
 	}
@@ -608,7 +611,7 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 	}
 	start := time.Now()
 	h := r.header(ctx, sub)
-	args := &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots}
+	args := &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
 	replies := make([]SearchReply, len(r.conns()))
 	if err := r.callAll(ctx, "Worker.Search", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
 		return nil, QueryReport{}, err
@@ -634,7 +637,7 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 	}
 	start := time.Now()
 	h := r.header(ctx, sub)
-	args := &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots}
+	args := &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
 	replies := make([]RadiusReply, len(r.conns()))
 	if err := r.callAll(ctx, "Worker.SearchRadius", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
 		return nil, QueryReport{}, err
@@ -665,7 +668,7 @@ func (r *Remote) SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt Q
 	}
 	start := time.Now()
 	h := r.header(ctx, sub)
-	args := &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots}
+	args := &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
 	replies := make([]SearchBatchReply, len(r.conns()))
 	if err := r.callAll(ctx, "Worker.SearchBatch", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
 		return nil, report, err

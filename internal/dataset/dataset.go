@@ -76,6 +76,22 @@ func (s Spec) Region() geo.Rect {
 	return geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: s.SpanX, Y: s.SpanY}}
 }
 
+// DefaultDelta returns the grid cell side δ the benchmark suite uses
+// for the named dataset. bench_test.go and repose-bench -benchjson
+// share this single definition so their numbers stay comparable.
+func DefaultDelta(name string) float64 {
+	switch name {
+	case "T-drive":
+		return 0.15
+	case "Xian":
+		return 0.01
+	case "OSM":
+		return 1.0
+	default:
+		return 0.05
+	}
+}
+
 // Generate produces the dataset deterministically from its seed.
 // Trajectories are hot-spot-to-hot-spot walks with heading momentum:
 // a start attractor and destination attractor are drawn with skewed

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"math"
+	"slices"
 
 	"repose/internal/geo"
 	"repose/internal/grid"
@@ -35,7 +36,7 @@ type LeafMeta struct {
 // Admissibility contract: for every trajectory t in the subtree
 // (respectively leaf) described by meta, LBo(meta) ≤ Distance(m, q,
 // t, p) and LBt(meta) ≤ Distance(m, q, t, p). The per-measure
-// reasoning lives on (*bounder).LBo; the property tests in
+// reasoning lives on (*PathBounder).LBo; the property tests in
 // bound_test.go enforce the contract on random inputs.
 //
 // Precondition: indexed trajectories lie inside the grid region, so
@@ -44,8 +45,17 @@ type LeafMeta struct {
 // geo.EnclosingSquare over the dataset. (The grid clamps out-of-region
 // points into boundary cells, which would break the contract; queries
 // are never discretized, so they may stray freely.)
+//
+// The interface is retained for the property tests and external
+// callers; the search hot path holds the concrete *PathBounder, whose
+// Fork/Release/ExtendZ variants recycle state through the owning
+// QueryBounds instead of allocating.
 type Bounder interface {
-	// Extend appends one grid cell to the accumulated path. O(|q|).
+	// Extend appends one grid cell to the accumulated path. Cells
+	// must come from one grid (CellByZ/CellOf), so that Z uniquely
+	// identifies the cell's rectangle: the implementation memoizes
+	// per-cell distances by z-value, and two distinct rectangles
+	// sharing a Z would alias in the cache.
 	Extend(c grid.Cell)
 	// Clone returns an independent copy of the bound state.
 	Clone() Bounder
@@ -55,94 +65,242 @@ type Bounder interface {
 	LBt(meta LeafMeta) float64
 }
 
-// NewBounder returns a Bounder for queries q under measure m.
-// halfDiagonal is the grid's √2·δ/2 (Section IV); the implementation
-// uses exact point-to-cell-rectangle distances, which are never
-// looser than center-distance-minus-half-diagonal, so the parameter
-// only documents the grid geometry the bounds are relative to.
+// NewBounder returns a Bounder for queries q under measure m, backed
+// by a private QueryBounds. halfDiagonal is the grid's √2·δ/2
+// (Section IV); the implementation uses exact point-to-cell-rectangle
+// distances, which are never looser than center-distance-minus-half-
+// diagonal, so the parameter only documents the grid geometry the
+// bounds are relative to.
 func NewBounder(m Measure, q []geo.Point, halfDiagonal float64, p Params) Bounder {
 	_ = halfDiagonal // see doc comment: the rectangle distances subsume it
-	b := &bounder{m: m, q: q, p: p}
-	b.minD = make([]float64, len(q))
-	for i := range b.minD {
-		b.minD[i] = math.Inf(1)
-	}
-	if m == ERP {
-		b.gapD = make([]float64, len(q))
-		for i, pt := range q {
-			b.gapD[i] = pt.Dist(p.Gap)
-		}
-	}
-	return b
+	return NewQueryBounds(m, q, nil, p).Root()
 }
 
-// bounder is the incremental bound state shared by all six measures.
-// Each Extend maintains every aggregate in O(|q|), so a root-to-node
-// descent costs O(depth·|q|) total instead of O(depth²·|q|) for
-// recomputation (see BenchmarkBounderIncremental).
-type bounder struct {
+// cellEntry is the memoized query→cell distance record of one
+// distinct grid cell: the per-query-point rectangle distances and the
+// scalar aggregates every bound update needs. Entries are immutable
+// once computed; they are shared by every PathBounder of the query.
+type cellEntry struct {
+	dists  []float64 // d(q[i], cell rectangle), one per query point
+	min    float64   // min_i dists[i]
+	gapMin float64   // ERP: min(min, d(Gap, cell))
+	center geo.Point // cell reference point, for the metric leaf bound
+	far    bool      // LCSS/EDR: min > ε
+}
+
+// QueryBounds is the shared per-query bound state: the query→cell
+// distance table memoized by z-value and the arena of PathBounder
+// objects the traversal forks and releases. Cells repeat heavily
+// across sibling subtrees and across Extend/Clone chains, so each
+// distinct cell pays its O(|q|) rectangle-distance scan exactly once
+// per query; every revisit is a table hit. Reset recycles all backing
+// storage for the next query, which is what makes a pooled searcher
+// allocation-free in steady state.
+//
+// A QueryBounds and every PathBounder it owns are confined to one
+// goroutine.
+type QueryBounds struct {
 	m Measure
 	q []geo.Point
 	p Params
+	g *grid.Grid // nil: cells must be supplied via Extend
+
+	byZ   map[uint64]int32
+	cells []cellEntry
+	dists []float64 // arena backing cellEntry.dists
+
+	gapD []float64 // ERP: d(q[i], Gap), fixed per query
+
+	all  []*PathBounder // every bounder ever created, for recycling
+	free []*PathBounder // currently unused bounders
+}
+
+// NewQueryBounds returns query bound state for q under m on grid g.
+// g may be nil when cells are always supplied via Extend.
+func NewQueryBounds(m Measure, q []geo.Point, g *grid.Grid, p Params) *QueryBounds {
+	qb := &QueryBounds{}
+	qb.Reset(m, q, g, p)
+	return qb
+}
+
+// Reset re-targets the state at a new query, retaining all backing
+// storage. Every PathBounder previously obtained from this
+// QueryBounds is invalidated and recycled.
+func (qb *QueryBounds) Reset(m Measure, q []geo.Point, g *grid.Grid, p Params) {
+	qb.m, qb.q, qb.g, qb.p = m, q, g, p
+	if qb.byZ == nil {
+		qb.byZ = make(map[uint64]int32)
+	} else {
+		clear(qb.byZ)
+	}
+	qb.cells = qb.cells[:0]
+	qb.dists = qb.dists[:0]
+	if m == ERP {
+		qb.gapD = growFloats(qb.gapD, len(q))
+		for i, pt := range q {
+			qb.gapD[i] = pt.Dist(p.Gap)
+		}
+	} else {
+		qb.gapD = qb.gapD[:0]
+	}
+	qb.free = append(qb.free[:0], qb.all...)
+}
+
+// Root returns a fresh zero-depth PathBounder for the query.
+func (qb *QueryBounds) Root() *PathBounder {
+	return qb.get(true)
+}
+
+// get returns a recycled (or new) PathBounder. fill initializes minD
+// to +Inf; Fork skips it because it copies the source over anyway.
+func (qb *QueryBounds) get(fill bool) *PathBounder {
+	var b *PathBounder
+	if n := len(qb.free); n > 0 {
+		b = qb.free[n-1]
+		qb.free = qb.free[:n-1]
+	} else {
+		b = &PathBounder{}
+		qb.all = append(qb.all, b)
+	}
+	b.qb = qb
+	b.minD = growFloats(b.minD, len(qb.q))
+	if fill {
+		for i := range b.minD {
+			b.minD[i] = math.Inf(1)
+		}
+	}
+	b.refPts = b.refPts[:0]
+	b.maxCellMin, b.sumCellMin, b.sumCellGap = 0, 0, 0
+	b.firstD, b.lastD = 0, 0
+	b.farCells, b.depth = 0, 0
+	return b
+}
+
+// cell returns the memoized entry for z, computing it on first sight.
+// When the caller already materialized the cell it passes it with
+// have=true; otherwise the grid reconstructs it by z.
+func (qb *QueryBounds) cell(z uint64, have bool, c grid.Cell) *cellEntry {
+	if i, ok := qb.byZ[z]; ok {
+		return &qb.cells[i]
+	}
+	if !have {
+		c = qb.g.CellByZ(z)
+	}
+	m := len(qb.q)
+	base := len(qb.dists)
+	qb.dists = slices.Grow(qb.dists, m)[:base+m]
+	// Growth may relocate the arena; entries handed out earlier keep
+	// slice headers into the previous (copied, immutable) backing.
+	d := qb.dists[base : base+m : base+m]
+	cmin := math.Inf(1)
+	for i, pt := range qb.q {
+		v := c.Rect.DistPoint(pt)
+		d[i] = v
+		if v < cmin {
+			cmin = v
+		}
+	}
+	e := cellEntry{dists: d, min: cmin, center: c.Center}
+	switch qb.m {
+	case ERP:
+		e.gapMin = math.Min(cmin, c.Rect.DistPoint(qb.p.Gap))
+	case LCSS, EDR:
+		e.far = cmin > qb.p.Epsilon
+	}
+	qb.byZ[z] = int32(len(qb.cells))
+	qb.cells = append(qb.cells, e)
+	return &qb.cells[len(qb.cells)-1]
+}
+
+// PathBounder is the incremental bound state of one root-to-node
+// path, shared by all six measures. Each Extend maintains every
+// aggregate in O(|q|) min-merges over the memoized cell entry (the
+// rectangle distances themselves are computed once per distinct cell,
+// see QueryBounds), so a root-to-node descent costs O(depth·|q|)
+// total instead of O(depth²·|q|) for recomputation
+// (see BenchmarkBounderIncremental).
+type PathBounder struct {
+	qb *QueryBounds
+
+	// minD[i] is the minimum distance from q[i] to any path cell.
+	minD []float64
 
 	// refPts is the path's reference trajectory prefix (cell
 	// centers), consumed by the metric two-side bound at leaves.
-	// Only maintained for metric measures; nil otherwise.
+	// Only maintained for metric measures; empty otherwise.
 	refPts []geo.Point
 
-	// minD[i] is the minimum distance from q[i] to any path cell;
-	// gapD[i] is d(q[i], Gap), precomputed for ERP.
-	minD []float64
-	gapD []float64
-
-	maxCellMin float64  // max over path cells of min_i d(q[i], cell)
-	sumCellMin float64  // Σ over path cells of min_i d(q[i], cell)
-	sumCellGap float64  // ERP: Σ of min(min_i d(q[i], cell), d(Gap, cell))
-	farCells   int      // LCSS/EDR: # path cells with min_i d(q[i], cell) > ε
-	firstCell  float64  // d(q[0], first path cell); order-dependent measures
-	lastCell   geo.Rect // most recent path cell
+	maxCellMin float64 // max over path cells of min_i d(q[i], cell)
+	sumCellMin float64 // Σ over path cells of min_i d(q[i], cell)
+	sumCellGap float64 // ERP: Σ of min(min_i d(q[i], cell), d(Gap, cell))
+	firstD     float64 // d(q[0], first path cell); order-dependent measures
+	lastD      float64 // d(q[m−1], most recent path cell)
+	farCells   int     // LCSS/EDR: # path cells with min_i d(q[i], cell) > ε
 	depth      int
 }
 
-func (b *bounder) Extend(c grid.Cell) {
-	cellMin := math.Inf(1)
-	for i, pt := range b.q {
-		d := c.Rect.DistPoint(pt)
+// ExtendZ appends the grid cell with z-value z to the path. The
+// owning QueryBounds must have been built with a grid.
+func (b *PathBounder) ExtendZ(z uint64) {
+	b.extend(b.qb.cell(z, false, grid.Cell{}))
+}
+
+// Extend implements Bounder.
+func (b *PathBounder) Extend(c grid.Cell) {
+	b.extend(b.qb.cell(c.Z, true, c))
+}
+
+func (b *PathBounder) extend(e *cellEntry) {
+	for i, d := range e.dists {
 		if d < b.minD[i] {
 			b.minD[i] = d
 		}
-		if d < cellMin {
-			cellMin = d
-		}
 	}
-	if cellMin > b.maxCellMin {
-		b.maxCellMin = cellMin
+	if e.min > b.maxCellMin {
+		b.maxCellMin = e.min
 	}
-	b.sumCellMin += cellMin
-	switch b.m {
+	b.sumCellMin += e.min
+	switch b.qb.m {
 	case ERP:
-		b.sumCellGap += math.Min(cellMin, c.Rect.DistPoint(b.p.Gap))
+		b.sumCellGap += e.gapMin
 	case LCSS, EDR:
-		if cellMin > b.p.Epsilon {
+		if e.far {
 			b.farCells++
 		}
 	}
-	if b.depth == 0 && len(b.q) > 0 {
-		b.firstCell = c.Rect.DistPoint(b.q[0])
+	if n := len(e.dists); n > 0 {
+		if b.depth == 0 {
+			b.firstD = e.dists[0]
+		}
+		b.lastD = e.dists[n-1]
 	}
-	b.lastCell = c.Rect
 	b.depth++
-	if b.m.IsMetric() {
-		b.refPts = append(b.refPts, c.Center)
+	if b.qb.m.IsMetric() {
+		b.refPts = append(b.refPts, e.center)
 	}
 }
 
-func (b *bounder) Clone() Bounder {
-	nb := *b
-	nb.minD = append([]float64(nil), b.minD...)
-	nb.refPts = append([]geo.Point(nil), b.refPts...)
-	// gapD is immutable after construction and safely shared.
-	return &nb
+// Fork returns an independent copy of the bound state drawn from the
+// owning QueryBounds' recycle arena.
+func (b *PathBounder) Fork() *PathBounder {
+	nb := b.qb.get(false)
+	copy(nb.minD, b.minD)
+	nb.refPts = append(nb.refPts, b.refPts...)
+	nb.maxCellMin, nb.sumCellMin, nb.sumCellGap = b.maxCellMin, b.sumCellMin, b.sumCellGap
+	nb.firstD, nb.lastD = b.firstD, b.lastD
+	nb.farCells, nb.depth = b.farCells, b.depth
+	return nb
+}
+
+// Clone implements Bounder.
+func (b *PathBounder) Clone() Bounder { return b.Fork() }
+
+// Release returns the bounder to the owning QueryBounds for reuse.
+// The caller must not touch it afterwards. Releasing is optional —
+// Reset reclaims everything — but keeps the live arena at O(depth)
+// instead of O(visited nodes).
+func (b *PathBounder) Release() {
+	b.qb.free = append(b.qb.free, b)
 }
 
 // LBo computes the one-side bound. Why each case never exceeds the
@@ -163,7 +321,7 @@ func (b *bounder) Clone() Bounder {
 //     directions lower-bound the symmetric maximum.
 //   - Frechet: a coupling matches every point of both sequences, so
 //     the Hausdorff bound applies; it also always contains the pair
-//     (q[0], t[0]), adding firstCell by F4, and (q[m−1], t[n−1]),
+//     (q[0], t[0]), adding firstD by F4, and (q[m−1], t[n−1]),
 //     adding the last-cell distance when complete.
 //   - DTW: every point of t is matched at cost ≥ its min distance to
 //     q, and distinct path cells contribute distinct points (F1), so
@@ -183,12 +341,13 @@ func (b *bounder) Clone() Bounder {
 //     distance to q) or gapped (cost ≥ its distance to Gap), giving
 //     the per-cell min(cellMin, d(Gap, cell)) sum via F1+F3;
 //     complete, the symmetric query-side sum applies. Max of the two.
-func (b *bounder) LBo(meta NodeMeta) float64 {
+func (b *PathBounder) LBo(meta NodeMeta) float64 {
 	if b.depth == 0 {
 		return 0
 	}
+	qb := b.qb
 	complete := meta.MaxDepthBelow == 0
-	switch b.m {
+	switch qb.m {
 	case Hausdorff:
 		lb := b.maxCellMin
 		if complete {
@@ -200,20 +359,20 @@ func (b *bounder) LBo(meta NodeMeta) float64 {
 		}
 		return lb
 	case Frechet:
-		lb := math.Max(b.maxCellMin, b.firstCell)
+		lb := math.Max(b.maxCellMin, b.firstD)
 		if complete {
 			for _, d := range b.minD {
 				if d > lb {
 					lb = d
 				}
 			}
-			if d := b.lastCell.DistPoint(b.q[len(b.q)-1]); d > lb {
-				lb = d
+			if b.lastD > lb {
+				lb = b.lastD
 			}
 		}
 		return lb
 	case DTW:
-		lb := math.Max(b.sumCellMin, b.firstCell)
+		lb := math.Max(b.sumCellMin, b.firstD)
 		if complete {
 			s := 0.0
 			for _, d := range b.minD {
@@ -230,17 +389,17 @@ func (b *bounder) LBo(meta NodeMeta) float64 {
 		}
 		matchable := 0
 		for _, d := range b.minD {
-			if d <= b.p.Epsilon {
+			if d <= qb.p.Epsilon {
 				matchable++
 			}
 		}
-		denom := float64(min(len(b.q), meta.MinLen))
+		denom := float64(min(len(qb.q), meta.MinLen))
 		if denom <= 0 || float64(matchable) >= denom {
 			return 0
 		}
 		return 1 - float64(matchable)/denom
 	case EDR:
-		m := len(b.q)
+		m := len(qb.q)
 		lb := 0
 		if meta.MinLen > m {
 			lb = meta.MinLen - m
@@ -253,7 +412,7 @@ func (b *bounder) LBo(meta NodeMeta) float64 {
 		if complete {
 			far := 0
 			for _, d := range b.minD {
-				if d > b.p.Epsilon {
+				if d > qb.p.Epsilon {
 					far++
 				}
 			}
@@ -267,7 +426,7 @@ func (b *bounder) LBo(meta NodeMeta) float64 {
 		if complete {
 			s := 0.0
 			for i, d := range b.minD {
-				s += math.Min(d, b.gapD[i])
+				s += math.Min(d, qb.gapD[i])
 			}
 			if s > lb {
 				lb = s
@@ -278,19 +437,34 @@ func (b *bounder) LBo(meta NodeMeta) float64 {
 	return 0
 }
 
-// LBt computes the two-side bound for a terminal node. A leaf's path
-// is always complete, so LBo with MaxDepthBelow forced to 0 applies;
-// metric measures additionally get the triangle-inequality bound
-// through the leaf's reference trajectory r: for every member t,
-// Distance(q, t) ≥ Distance(q, r) − Distance(r, t) ≥ Distance(q, r) −
-// Dmax (Section IV-C). The trie stores Dmax only for metric measures,
-// which is exactly when the triangle inequality holds.
-func (b *bounder) LBt(meta LeafMeta) float64 {
+// LBt implements Bounder; see LBtBounded.
+func (b *PathBounder) LBt(meta LeafMeta) float64 {
+	return b.LBtBounded(meta, math.Inf(1), nil)
+}
+
+// LBtBounded computes the two-side bound for a terminal node. A
+// leaf's path is always complete, so LBo with MaxDepthBelow forced to
+// 0 applies; metric measures additionally get the triangle-inequality
+// bound through the leaf's reference trajectory r: for every member
+// t, Distance(q, t) ≥ Distance(q, r) − Distance(r, t) ≥ Distance(q,
+// r) − Dmax (Section IV-C). The trie stores Dmax only for metric
+// measures, which is exactly when the triangle inequality holds.
+//
+// threshold is the caller's current pruning threshold (dk, or the
+// query radius): the reference-trajectory distance may early-abandon
+// once it proves Distance(q, r) − Dmax > threshold, in which case the
+// returned bound is +Inf. Since the caller discards any node whose
+// bound exceeds threshold, the abandoned value forces exactly the
+// decision the exact bound would — results are unchanged. s provides
+// the DP scratch for the reference-trajectory distance.
+func (b *PathBounder) LBtBounded(meta LeafMeta, threshold float64, s *Scratch) float64 {
 	nm := meta.NodeMeta
 	nm.MaxDepthBelow = 0
 	lb := b.LBo(nm)
-	if b.m.IsMetric() && len(b.refPts) > 0 && len(b.q) > 0 {
-		if d := Distance(b.m, b.q, b.refPts, b.p) - meta.Dmax; d > lb {
+	qb := b.qb
+	if qb.m.IsMetric() && len(b.refPts) > 0 && len(qb.q) > 0 {
+		cut := threshold + meta.Dmax // Distance > cut ⇒ bound > threshold
+		if d := DistanceBoundedScratch(qb.m, qb.q, b.refPts, qb.p, cut, s) - meta.Dmax; d > lb {
 			lb = d
 		}
 	}

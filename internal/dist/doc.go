@@ -65,4 +65,16 @@
 // admissible bound ever evicts a true top-k result — is exercised by
 // internal/rptrie's TestSearchMatchesBruteForce and the package's
 // invariant tests.
+//
+// # Allocation discipline
+//
+// The query hot path never allocates in steady state. The DP kernels
+// compute in caller-provided row buffers ([Scratch], via
+// [DistanceBoundedScratch]); the bound machinery shares one
+// [QueryBounds] per query, which memoizes point-to-cell distances by
+// z-value (each distinct cell pays its O(|q|) rectangle-distance scan
+// once per query) and recycles [PathBounder] states through an
+// internal arena (Fork/Release) instead of allocating clones. Both
+// are recycled across queries by internal/rptrie's per-index scratch
+// pool.
 package dist

@@ -12,7 +12,7 @@ import (
 //
 // Costs are non-negative, so c never decreases along a warping path
 // and the row-minimum is an admissible cutoff, as in frechetBounded.
-func dtwBounded(a, b []geo.Point, threshold float64) float64 {
+func dtwBounded(a, b []geo.Point, threshold float64, s *Scratch) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		if len(a) == len(b) {
 			return 0
@@ -20,8 +20,7 @@ func dtwBounded(a, b []geo.Point, threshold float64) float64 {
 		return math.Inf(1)
 	}
 	n := len(b)
-	prev := make([]float64, n)
-	cur := make([]float64, n)
+	prev, cur := s.floatRows(n)
 
 	acc := 0.0
 	for j, q := range b {

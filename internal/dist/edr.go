@@ -10,7 +10,7 @@ import (
 // pairs cost 0 when within ε and 1 otherwise, insertions and
 // deletions cost 1. The value is a non-negative integer count, so the
 // row-minimum cutoff of the other DP kernels applies.
-func edrBounded(a, b []geo.Point, epsilon, threshold float64) float64 {
+func edrBounded(a, b []geo.Point, epsilon, threshold float64, s *Scratch) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return float64(len(a) + len(b))
 	}
@@ -19,8 +19,7 @@ func edrBounded(a, b []geo.Point, epsilon, threshold float64) float64 {
 	if d := m - n; d > 0 && float64(d) > threshold || d < 0 && float64(-d) > threshold {
 		return math.Inf(1)
 	}
-	prev := make([]int, n+1)
-	cur := make([]int, n+1)
+	prev, cur := s.intRows(n + 1)
 	for j := 0; j <= n; j++ {
 		prev[j] = j
 	}

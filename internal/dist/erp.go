@@ -11,28 +11,28 @@ import (
 // point unaligned costs its distance to g. ERP is a metric for a
 // fixed gap. Costs are non-negative, so the row-minimum cutoff
 // applies.
-func erpBounded(a, b []geo.Point, gap geo.Point, threshold float64) float64 {
+func erpBounded(a, b []geo.Point, gap geo.Point, threshold float64, s *Scratch) float64 {
 	if len(a) == 0 {
-		s := 0.0
+		sum := 0.0
 		for _, q := range b {
-			s += q.Dist(gap)
+			sum += q.Dist(gap)
 		}
-		return s
+		return sum
 	}
 	if len(b) == 0 {
-		s := 0.0
+		sum := 0.0
 		for _, p := range a {
-			s += p.Dist(gap)
+			sum += p.Dist(gap)
 		}
-		return s
+		return sum
 	}
 	m, n := len(a), len(b)
-	gb := make([]float64, n) // d(b_j, gap)
+	gb := s.gapRow(n) // d(b_j, gap)
 	for j, q := range b {
 		gb[j] = q.Dist(gap)
 	}
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur := s.floatRows(n + 1)
+	prev[0] = 0 // reused buffers arrive dirty; row 0 starts at cost 0
 	for j := 1; j <= n; j++ {
 		prev[j] = prev[j-1] + gb[j-1]
 	}

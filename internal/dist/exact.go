@@ -21,19 +21,26 @@ func Distance(m Measure, a, b []geo.Point, p Params) float64 {
 // comparing the result against threshold therefore see exactly the
 // same accept/reject decisions they would with Distance.
 func DistanceBounded(m Measure, a, b []geo.Point, p Params, threshold float64) float64 {
+	return DistanceBoundedScratch(m, a, b, p, threshold, nil)
+}
+
+// DistanceBoundedScratch is DistanceBounded computing in the given
+// scratch buffers (nil allocates fresh ones). The returned value is
+// identical for every scratch; only the allocation behaviour differs.
+func DistanceBoundedScratch(m Measure, a, b []geo.Point, p Params, threshold float64, s *Scratch) float64 {
 	switch m {
 	case Hausdorff:
 		return hausdorffBounded(a, b, threshold)
 	case Frechet:
-		return frechetBounded(a, b, threshold)
+		return frechetBounded(a, b, threshold, s)
 	case DTW:
-		return dtwBounded(a, b, threshold)
+		return dtwBounded(a, b, threshold, s)
 	case LCSS:
-		return lcssBounded(a, b, p.Epsilon, threshold)
+		return lcssBounded(a, b, p.Epsilon, threshold, s)
 	case EDR:
-		return edrBounded(a, b, p.Epsilon, threshold)
+		return edrBounded(a, b, p.Epsilon, threshold, s)
 	case ERP:
-		return erpBounded(a, b, p.Gap, threshold)
+		return erpBounded(a, b, p.Gap, threshold, s)
 	}
 	panic("dist: unknown measure " + m.String())
 }
@@ -45,25 +52,25 @@ func HausdorffDist(a, b []geo.Point) float64 {
 
 // FrechetDist returns the exact discrete Frechet distance.
 func FrechetDist(a, b []geo.Point) float64 {
-	return frechetBounded(a, b, math.Inf(1))
+	return frechetBounded(a, b, math.Inf(1), nil)
 }
 
 // DTWDist returns the exact dynamic time warping distance.
 func DTWDist(a, b []geo.Point) float64 {
-	return dtwBounded(a, b, math.Inf(1))
+	return dtwBounded(a, b, math.Inf(1), nil)
 }
 
 // LCSSDist returns the exact LCSS distance 1 − LCSS_ε/min(|a|,|b|).
 func LCSSDist(a, b []geo.Point, epsilon float64) float64 {
-	return lcssBounded(a, b, epsilon, math.Inf(1))
+	return lcssBounded(a, b, epsilon, math.Inf(1), nil)
 }
 
 // EDRDist returns the exact edit distance on real sequences.
 func EDRDist(a, b []geo.Point, epsilon float64) float64 {
-	return edrBounded(a, b, epsilon, math.Inf(1))
+	return edrBounded(a, b, epsilon, math.Inf(1), nil)
 }
 
 // ERPDist returns the exact edit distance with real penalty.
 func ERPDist(a, b []geo.Point, gap geo.Point) float64 {
-	return erpBounded(a, b, gap, math.Inf(1))
+	return erpBounded(a, b, gap, math.Inf(1), nil)
 }

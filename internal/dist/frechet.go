@@ -14,7 +14,7 @@ import (
 // Every monotone coupling crosses each row, and c never decreases
 // along a coupling, so the final value is ≥ the minimum of any row;
 // when that minimum exceeds threshold the computation abandons.
-func frechetBounded(a, b []geo.Point, threshold float64) float64 {
+func frechetBounded(a, b []geo.Point, threshold float64, s *Scratch) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		if len(a) == len(b) {
 			return 0
@@ -22,8 +22,7 @@ func frechetBounded(a, b []geo.Point, threshold float64) float64 {
 		return math.Inf(1)
 	}
 	n := len(b)
-	prev := make([]float64, n)
-	cur := make([]float64, n)
+	prev, cur := s.floatRows(n)
 
 	// First row: a[0] couples with every prefix of b, so c[0][j] is
 	// the running maximum of d(a[0], b[..j]).

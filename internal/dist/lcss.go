@@ -12,7 +12,7 @@ import (
 // lies in [0, 1]. After finishing row i, at most m−1−i further rows
 // can each add one match, which upper-bounds the achievable L and
 // lower-bounds the final distance — the abandon test.
-func lcssBounded(a, b []geo.Point, epsilon, threshold float64) float64 {
+func lcssBounded(a, b []geo.Point, epsilon, threshold float64, s *Scratch) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		if len(a) == len(b) {
 			return 0
@@ -21,8 +21,14 @@ func lcssBounded(a, b []geo.Point, epsilon, threshold float64) float64 {
 	}
 	m, n := len(a), len(b)
 	minmn := float64(min(m, n))
-	prev := make([]int, n+1)
-	cur := make([]int, n+1)
+	prev, cur := s.intRows(n + 1)
+	// Unlike the other kernels, the recurrence reads the whole first
+	// row and column, so reused buffers must be cleared: prev is the
+	// all-zero row 0 and column 0 (prev[0]/cur[0]) stays 0 throughout.
+	for j := range prev {
+		prev[j] = 0
+	}
+	cur[0] = 0
 	for i := 0; i < m; i++ {
 		rowMax := 0
 		for j := 0; j < n; j++ {

@@ -1,0 +1,64 @@
+package dist
+
+// Scratch holds the dynamic-programming row buffers the bounded
+// distance kernels work in. Passing the same Scratch to successive
+// DistanceBoundedScratch calls makes the kernels allocation-free in
+// steady state: buffers grow to the high-water mark of the sequence
+// lengths seen and are reused afterwards.
+//
+// A Scratch is not safe for concurrent use and must not be shared
+// between goroutines; give each refinement worker its own. A nil
+// *Scratch is valid everywhere one is accepted and falls back to
+// fresh allocations, so cold paths need no setup.
+type Scratch struct {
+	fa, fb []float64 // rolling float64 DP rows (Frechet, DTW, ERP)
+	ia, ib []int     // rolling int DP rows (LCSS, EDR)
+	gb     []float64 // ERP: per-point gap distances of the second sequence
+}
+
+// growFloats returns a length-n slice, reusing buf's backing array
+// when it is large enough. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInts is growFloats for int rows.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// floatRows returns two length-n float64 rows with unspecified
+// contents; the kernels fully initialize every cell they read.
+func (s *Scratch) floatRows(n int) (prev, cur []float64) {
+	if s == nil {
+		return make([]float64, n), make([]float64, n)
+	}
+	s.fa = growFloats(s.fa, n)
+	s.fb = growFloats(s.fb, n)
+	return s.fa, s.fb
+}
+
+// intRows returns two length-n int rows with unspecified contents.
+func (s *Scratch) intRows(n int) (prev, cur []int) {
+	if s == nil {
+		return make([]int, n), make([]int, n)
+	}
+	s.ia = growInts(s.ia, n)
+	s.ib = growInts(s.ib, n)
+	return s.ia, s.ib
+}
+
+// gapRow returns a length-n float64 row with unspecified contents.
+func (s *Scratch) gapRow(n int) []float64 {
+	if s == nil {
+		return make([]float64, n)
+	}
+	s.gb = growFloats(s.gb, n)
+	return s.gb
+}

@@ -88,11 +88,18 @@ func sampleWithoutReplacement(rng *rand.Rand, ds []*geo.Trajectory, n int) []*ge
 // It is the O(Np·m·n) preprocessing step of Section IV-D, performed
 // once per query.
 func Distances(q []geo.Point, pivots []*geo.Trajectory, m dist.Measure, p dist.Params) []float64 {
-	out := make([]float64, len(pivots))
-	for i, pv := range pivots {
-		out[i] = dist.Distance(m, q, pv.Points, p)
+	return AppendDistances(make([]float64, 0, len(pivots)), q, pivots, m, p, nil)
+}
+
+// AppendDistances is Distances appending to dst and computing in the
+// given scratch buffers; with sufficient dst capacity and a non-nil
+// scratch it does not allocate. The search hot path calls it with the
+// pooled per-query scratch.
+func AppendDistances(dst []float64, q []geo.Point, pivots []*geo.Trajectory, m dist.Measure, p dist.Params, s *dist.Scratch) []float64 {
+	for _, pv := range pivots {
+		dst = append(dst, dist.DistanceBoundedScratch(m, q, pv.Points, p, math.Inf(1), s))
 	}
-	return out
+	return dst
 }
 
 // LowerBound evaluates LBp for a node with pivot ranges hr given the
@@ -100,15 +107,31 @@ func Distances(q []geo.Point, pivots []*geo.Trajectory, m dist.Measure, p dist.P
 func LowerBound(dqp []float64, hr []Range) float64 {
 	lb := 0.0
 	for i := range hr {
-		if i >= len(dqp) || hr[i].IsEmpty() {
+		if i >= len(dqp) {
 			continue
 		}
-		if v := dqp[i] - hr[i].Max; v > lb {
-			lb = v
-		}
-		if v := hr[i].Min - dqp[i]; v > lb {
+		if v := RangeBound(dqp[i], hr[i].Min, hr[i].Max); v > lb {
 			lb = v
 		}
 	}
 	return lb
+}
+
+// RangeBound is one pivot's LBp contribution: how far the
+// query-to-pivot distance dq lies outside the closed interval
+// [lo, hi] of member-to-pivot distances (0 inside, or when the
+// interval is empty, i.e. lo > hi). The succinct layout evaluates it
+// directly over its packed float32 ranges so all LBp call sites share
+// one formula.
+func RangeBound(dq, lo, hi float64) float64 {
+	if lo > hi {
+		return 0
+	}
+	if v := dq - hi; v > 0 {
+		return v
+	}
+	if v := lo - dq; v > 0 {
+		return v
+	}
+	return 0
 }

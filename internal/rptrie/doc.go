@@ -20,4 +20,34 @@
 // (Section III-B). Tries persist via Save/ReadTrie so a restarted
 // worker skips the construction cost; range search (SearchRadius) is
 // provided as an extension beyond the paper.
+//
+// # Query hot path
+//
+// Every query draws a recycled working set (the scratch) from a
+// per-index sync.Pool: the memoized query→cell distance table and
+// bound-state arena (dist.QueryBounds), the DP rows of the exact
+// kernels (dist.Scratch), the best-first priority queue, and the
+// top-k heap. In steady state — once the pool has warmed to the
+// workload's high-water sizes — a top-k query on the pointer layout
+// performs no heap allocations (BenchmarkSearch/trie reports
+// 0 allocs/op).
+//
+// # Parallel leaf refinement and the atomic threshold
+//
+// SearchOptions.RefineWorkers fans a fat leaf's exact-distance
+// computations over a worker group. Workers share the current
+// pruning threshold dk through an atomic float64 and serialize
+// result-heap pushes behind a mutex, so a worker may read a *stale*
+// threshold — one that a concurrent push has since tightened. That is
+// admissible: the threshold only ever decreases, so a stale value is
+// only ever too large, and DistanceBounded with a larger cutoff
+// abandons less eagerly — it returns the exact distance for every
+// candidate the fresh threshold would have kept, and for candidates
+// it need not have computed the push simply rejects them. The final
+// top-k set is determined by the exact (distance, id) order alone,
+// which is why the parallel path returns bit-identical results to the
+// sequential one (TestParallelRefineParity). The sequential
+// best-first loop tolerates the same staleness between partitions, so
+// nothing about the argument is new — only the float64-bits atomic
+// that carries it.
 package rptrie

@@ -3,6 +3,7 @@ package rptrie
 import (
 	"context"
 	"math"
+	"sync"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
@@ -29,36 +30,50 @@ func (t *Trie) SearchRadiusContext(ctx context.Context, q []geo.Point, radius fl
 	if len(q) == 0 || len(t.trajs) == 0 || radius < 0 {
 		return nil, nil
 	}
-	rq := rangeQuery{t: t, ctxPoller: ctxPoller{ctx: ctx}, q: q, radius: radius}
+	sc := t.pool.get()
+	defer t.pool.put(sc)
+	rq := rangeQuery{
+		t: t, ctxPoller: ctxPoller{ctx: ctx}, sc: sc, q: q, radius: radius,
+		workers: opt.RefineWorkers,
+	}
 	if err := rq.err(); err != nil {
 		return nil, err
 	}
 	if t.cfg.Pivots != nil && !t.cfg.DisableLBp && !opt.NoPivots {
-		rq.dqp = pivot.Distances(q, t.cfg.Pivots, t.cfg.Measure, t.cfg.Params)
+		sc.dqp = pivot.AppendDistances(sc.dqp[:0], q, t.cfg.Pivots, t.cfg.Measure, t.cfg.Params, &sc.ds)
+		rq.dqp = sc.dqp
 	}
-	b := dist.NewBounder(t.cfg.Measure, q, t.cfg.Grid.HalfDiagonal(), t.cfg.Params)
-	if err := rq.walk(t.root, b); err != nil {
+	sc.qb.Reset(t.cfg.Measure, q, t.cfg.Grid, t.cfg.Params)
+	sc.items = sc.items[:0]
+	if err := rq.walk(t.root, sc.qb.Root()); err != nil {
 		return nil, err
 	}
-	topk.SortItems(rq.out)
-	return rq.out, nil
+	topk.SortItems(sc.items)
+	if len(sc.items) == 0 {
+		return nil, nil
+	}
+	// The accumulator is pooled; hand the caller its own copy.
+	return append([]topk.Item(nil), sc.items...), nil
 }
 
 // rangeQuery carries one range query's state through the recursive
-// walk.
+// walk; hits accumulate in the pooled sc.items.
 type rangeQuery struct {
 	ctxPoller
-	t      *Trie
-	q      []geo.Point
-	radius float64
-	dqp    []float64
-	out    []topk.Item
+	t       *Trie
+	sc      *searchScratch
+	q       []geo.Point
+	radius  float64
+	dqp     []float64
+	workers int
 }
 
 // walk prunes subtrees whose bound exceeds radius and refines
 // surviving leaves. Depth-first: unlike top-k, range search gains
 // nothing from best-first ordering because the threshold is fixed.
-func (rq *rangeQuery) walk(n *node, b dist.Bounder) error {
+// walk consumes b: the last child takes ownership of it, so the
+// caller must not reuse (only Release) it afterwards.
+func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 	t := rq.t
 	if rq.cancelled() {
 		return rq.err()
@@ -69,36 +84,50 @@ func (rq *rangeQuery) walk(n *node, b dist.Bounder) error {
 	if n.leaf != nil {
 		lb := 0.0
 		if !t.cfg.DisableLBt {
-			lb = b.LBt(dist.LeafMeta{
+			lb = b.LBtBounded(dist.LeafMeta{
 				NodeMeta: dist.NodeMeta{MinLen: n.leaf.minLen, MaxLen: n.leaf.maxLen},
 				Dmax:     n.leaf.dmax,
-			})
+			}, rq.radius, &rq.sc.ds)
 		}
 		if lb <= rq.radius {
-			for _, tid := range n.leaf.tids {
-				if rq.cancelled() {
-					return rq.err()
+			if rq.workers > 1 && len(n.leaf.tids) >= minParallelLeaf {
+				if err := rq.refineParallel(n.leaf.tids); err != nil {
+					return err
 				}
-				tr := t.trajs[tid]
-				d := dist.DistanceBounded(t.cfg.Measure, rq.q, tr.Points, t.cfg.Params, rq.radius)
-				if d <= rq.radius && !math.IsInf(d, 1) {
-					rq.out = append(rq.out, topk.Item{ID: int(tid), Dist: d})
+			} else {
+				for _, tid := range n.leaf.tids {
+					if rq.cancelled() {
+						return rq.err()
+					}
+					tr := t.trajs[tid]
+					d := dist.DistanceBoundedScratch(t.cfg.Measure, rq.q, tr.Points, t.cfg.Params, rq.radius, &rq.sc.ds)
+					if d <= rq.radius && !math.IsInf(d, 1) {
+						rq.sc.items = append(rq.sc.items, topk.Item{ID: int(tid), Dist: d})
+					}
 				}
 			}
 		}
 	}
 	for i, c := range n.children {
-		var cb dist.Bounder
-		if i == len(n.children)-1 {
+		var cb *dist.PathBounder
+		last := i == len(n.children)-1
+		if last {
 			cb = b
 		} else {
-			cb = b.Clone()
+			cb = b.Fork()
 		}
-		cb.Extend(t.cfg.Grid.CellByZ(c.z))
+		cb.ExtendZ(c.z)
 		if cb.LBo(t.nodeMeta(c)) > rq.radius {
+			if !last {
+				cb.Release()
+			}
 			continue
 		}
-		if err := rq.walk(c, cb); err != nil {
+		err := rq.walk(c, cb)
+		if !last {
+			cb.Release()
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -107,4 +136,31 @@ func (rq *rangeQuery) walk(n *node, b dist.Bounder) error {
 
 func (t *Trie) nodeMeta(n *node) dist.NodeMeta {
 	return dist.NodeMeta{MinLen: n.minLen, MaxLen: n.maxLen, MaxDepthBelow: n.maxDepthBelow}
+}
+
+// refineParallel fans one fat leaf's exact computations over
+// parallelFor workers, the range-search counterpart of the top-k
+// path's refineLeafParallel. The threshold is the fixed radius, so
+// workers need no shared threshold at all: each appends its in-range
+// hits behind a mutex, and the final (distance, id) sort makes the
+// result order independent of worker interleaving — output stays
+// bit-identical to the sequential walk.
+func (rq *rangeQuery) refineParallel(tids []int32) error {
+	sc := rq.sc
+	t := rq.t
+	nw := clampWorkers(rq.workers, len(tids))
+	for len(sc.wds) < nw {
+		sc.wds = append(sc.wds, new(dist.Scratch))
+	}
+	var mu sync.Mutex
+	return parallelFor(rq.ctx, sc.wds[:nw], len(tids), func(i int, ws *dist.Scratch) {
+		tid := tids[i]
+		tr := t.trajs[tid]
+		d := dist.DistanceBoundedScratch(t.cfg.Measure, rq.q, tr.Points, t.cfg.Params, rq.radius, ws)
+		if d <= rq.radius && !math.IsInf(d, 1) {
+			mu.Lock()
+			sc.items = append(sc.items, topk.Item{ID: int(tid), Dist: d})
+			mu.Unlock()
+		}
+	})
 }

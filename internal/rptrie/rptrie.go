@@ -66,7 +66,8 @@ type Trie struct {
 	cfg      Config
 	root     *node
 	trajs    map[int32]*geo.Trajectory
-	numNodes int // excluding the root
+	pool     scratchPool // recycled per-query search state
+	numNodes int         // excluding the root
 	numLeafs int
 	maxDepth int
 }

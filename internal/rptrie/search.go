@@ -1,9 +1,11 @@
 package rptrie
 
 import (
-	"container/heap"
 	"context"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
@@ -16,6 +18,13 @@ type SearchOptions struct {
 	// NoPivots skips the pivot lower bound (LBp) for this query,
 	// including the up-front query-to-pivot distance computations.
 	NoPivots bool
+
+	// RefineWorkers parallelizes exact-distance refinement of fat
+	// leaves across this many goroutines (values < 2 refine
+	// sequentially). Results are identical to the sequential path;
+	// see doc.go for the admissibility argument behind the shared
+	// atomic threshold.
+	RefineWorkers int
 }
 
 // ctxCheckMask throttles context polling: deadlines are checked every
@@ -24,8 +33,15 @@ type SearchOptions struct {
 // still stopping a partition scan mid-flight.
 const ctxCheckMask = 63
 
-// ctxPoller is the shared throttled cancellation check of the top-k
-// search and the range walk.
+// minParallelLeaf is the smallest leaf (member count) worth spawning
+// refinement workers for; smaller leaves refine sequentially even
+// when RefineWorkers is set.
+const minParallelLeaf = 4
+
+// ctxPoller is the throttled cancellation check of the top-k search
+// and the range walk. It is single-goroutine state: concurrent
+// refinement workers each get their own poller (sharing one would
+// race on ops).
 type ctxPoller struct {
 	ctx context.Context // nil: cancellation disabled
 	ops int             // work units so far, for throttling
@@ -61,16 +77,27 @@ type SearchStats struct {
 }
 
 // searchNode abstracts trie navigation so the pointer layout and the
-// succinct layout share one best-first search implementation.
+// succinct layout share one best-first search implementation. The
+// methods are append/value shaped (no callbacks) so the hot loop
+// builds no closures.
 type searchNode interface {
-	// visitChildren calls fn for each child in ascending z order.
-	visitChildren(fn func(z uint64, c searchNode))
+	// appendChildren appends the node's children in ascending z
+	// order and returns the extended slice.
+	appendChildren(dst []childEdge) []childEdge
 	// leafView returns the node's terminal payload, if any.
 	leafView() (lv leafView, ok bool)
 	// meta returns the subtree metadata for LBo.
 	meta() dist.NodeMeta
-	// hr returns the pivot distance ranges, or nil.
-	hr() []pivot.Range
+	// pivotLB returns the pivot lower bound LBp against the
+	// query-to-pivot distances dqp, or 0 when either side has no
+	// pivot data.
+	pivotLB(dqp []float64) float64
+}
+
+// childEdge is one labeled edge out of a searchNode.
+type childEdge struct {
+	z uint64
+	n searchNode
 }
 
 // leafView exposes a terminal payload without committing to a layout.
@@ -83,10 +110,11 @@ type leafView struct {
 // ptrNode adapts *node to searchNode.
 type ptrNode struct{ n *node }
 
-func (p ptrNode) visitChildren(fn func(z uint64, c searchNode)) {
+func (p ptrNode) appendChildren(dst []childEdge) []childEdge {
 	for _, c := range p.n.children {
-		fn(c.z, ptrNode{c})
+		dst = append(dst, childEdge{z: c.z, n: ptrNode{c}})
 	}
+	return dst
 }
 
 func (p ptrNode) leafView() (leafView, bool) {
@@ -101,7 +129,43 @@ func (p ptrNode) meta() dist.NodeMeta {
 	return dist.NodeMeta{MinLen: p.n.minLen, MaxLen: p.n.maxLen, MaxDepthBelow: p.n.maxDepthBelow}
 }
 
-func (p ptrNode) hr() []pivot.Range { return p.n.hr }
+func (p ptrNode) pivotLB(dqp []float64) float64 {
+	if dqp == nil || p.n.hr == nil {
+		return 0
+	}
+	return pivot.LowerBound(dqp, p.n.hr)
+}
+
+// searchScratch is the recycled per-query working set: the memoized
+// bound state, DP rows, priority queue, result heap, and every
+// auxiliary slice the best-first loop touches. One scratch serves one
+// query at a time; the per-index pool (see scratchPool) hands them
+// out, so in steady state a query performs no heap allocations.
+type searchScratch struct {
+	qb       *dist.QueryBounds
+	ds       dist.Scratch
+	res      topk.Heap
+	pq       entryQueue
+	children []childEdge
+	dqp      []float64
+	items    []topk.Item     // range-walk accumulator
+	wds      []*dist.Scratch // per-worker DP rows for parallel refinement
+}
+
+// scratchPool recycles searchScratch values. One pool per index (not
+// a global) keeps buffer sizes stable: every scratch in a pool has
+// grown to that index's query working-set high-water mark, so a Get
+// is a handful of slice re-slices rather than fresh allocations.
+type scratchPool struct{ p sync.Pool }
+
+func (sp *scratchPool) get() *searchScratch {
+	if v := sp.p.Get(); v != nil {
+		return v.(*searchScratch)
+	}
+	return &searchScratch{qb: &dist.QueryBounds{}}
+}
+
+func (sp *scratchPool) put(sc *searchScratch) { sp.p.Put(sc) }
 
 // Search returns the top-k most similar trajectories to the query
 // point sequence q (Algorithm 2). Results order ascending by
@@ -113,10 +177,24 @@ func (t *Trie) Search(q []geo.Point, k int) []topk.Item {
 	return res
 }
 
+// SearchAppend is Search appending the results to dst (which may be
+// nil) and returning the extended slice. With a dst of sufficient
+// capacity the whole query is allocation-free in steady state — the
+// form the benchmark suite and other tight callers use.
+func (t *Trie) SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.Item {
+	sc := t.pool.get()
+	defer t.pool.put(sc)
+	s := searcher{cfg: t.cfg, trajs: t.trajs, sc: sc}
+	out, _, _ := s.run(ptrNode{t.root}, q, k, dst)
+	return out
+}
+
 // SearchWithStats is Search, also reporting traversal statistics.
 func (t *Trie) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
-	s := searcher{cfg: t.cfg, trajs: t.trajs}
-	res, stats, _ := s.run(ptrNode{t.root}, q, k)
+	sc := t.pool.get()
+	defer t.pool.put(sc)
+	s := searcher{cfg: t.cfg, trajs: t.trajs, sc: sc}
+	res, stats, _ := s.run(ptrNode{t.root}, q, k, nil)
 	return res, stats
 }
 
@@ -125,43 +203,59 @@ func (t *Trie) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) 
 // error once it is cancelled or past its deadline, so a straggler
 // partition can be stopped mid-scan (Section V-B's concern).
 func (t *Trie) SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error) {
-	s := searcher{cfg: t.cfg, trajs: t.trajs, ctxPoller: ctxPoller{ctx: ctx}, noPivots: opt.NoPivots}
-	res, _, err := s.run(ptrNode{t.root}, q, k)
+	sc := t.pool.get()
+	defer t.pool.put(sc)
+	s := searcher{
+		cfg: t.cfg, trajs: t.trajs, sc: sc,
+		ctxPoller:     ctxPoller{ctx: ctx},
+		noPivots:      opt.NoPivots,
+		refineWorkers: opt.RefineWorkers,
+	}
+	res, _, err := s.run(ptrNode{t.root}, q, k, nil)
 	return res, err
 }
 
 // searcher is the layout-independent best-first top-k search.
 type searcher struct {
 	ctxPoller
-	cfg      Config
-	trajs    map[int32]*geo.Trajectory
-	noPivots bool
+	cfg           Config
+	trajs         map[int32]*geo.Trajectory
+	noPivots      bool
+	refineWorkers int
+	sc            *searchScratch
 }
 
-func (s *searcher) run(root searchNode, q []geo.Point, k int) ([]topk.Item, SearchStats, error) {
+// run executes the best-first loop, appending the final results to
+// dst (nil allocates a fresh result slice — the only steady-state
+// allocation of the non-append entry points).
+func (s *searcher) run(root searchNode, q []geo.Point, k int, dst []topk.Item) ([]topk.Item, SearchStats, error) {
 	var stats SearchStats
 	if k <= 0 || len(q) == 0 || len(s.trajs) == 0 {
-		return nil, stats, nil
+		return dst, stats, nil
 	}
 	if err := s.err(); err != nil {
-		return nil, stats, err
+		return dst, stats, err
 	}
-	results := topk.New(k)
+	sc := s.sc
+	sc.res.Reset(k)
+	results := &sc.res
 
 	var dqp []float64
 	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots {
-		dqp = pivot.Distances(q, s.cfg.Pivots, s.cfg.Measure, s.cfg.Params)
+		sc.dqp = pivot.AppendDistances(sc.dqp[:0], q, s.cfg.Pivots, s.cfg.Measure, s.cfg.Params, &sc.ds)
+		dqp = sc.dqp
 	}
 
-	pq := &entryQueue{}
-	rootBounder := dist.NewBounder(s.cfg.Measure, q, s.cfg.Grid.HalfDiagonal(), s.cfg.Params)
-	s.expand(root, rootBounder, pq, results, dqp, &stats)
+	pq := &sc.pq
+	pq.reset()
+	sc.qb.Reset(s.cfg.Measure, q, s.cfg.Grid, s.cfg.Params)
+	s.expand(root, sc.qb.Root(), pq, results, dqp, &stats)
 
-	for pq.Len() > 0 {
+	for pq.len() > 0 {
 		if s.cancelled() {
-			return nil, stats, s.err()
+			return dst, stats, s.err()
 		}
-		e := heap.Pop(pq).(entry)
+		e := pq.pop()
 		dk := results.Threshold()
 		if e.lb >= dk {
 			// Every queued entry has lb ≥ e.lb ≥ dk, and lb
@@ -172,26 +266,24 @@ func (s *searcher) run(root searchNode, q []geo.Point, k int) ([]topk.Item, Sear
 		if e.isLeaf {
 			stats.LeavesRefined++
 			if err := s.refine(e.lv, q, results, &stats); err != nil {
-				return nil, stats, err
+				return dst, stats, err
 			}
 			continue
 		}
 		stats.NodesExpanded++
 		s.expand(e.n, e.b, pq, results, dqp, &stats)
 	}
-	return results.Results(), stats, nil
+	return results.AppendResults(dst), stats, nil
 }
 
 // expand pushes n's leaf entry (if any) and child entries whose
-// bounds do not already exceed the current threshold.
-func (s *searcher) expand(n searchNode, b dist.Bounder, pq *entryQueue, results *topk.Heap, dqp []float64, stats *SearchStats) {
+// bounds do not already exceed the current threshold. It consumes the
+// bound state b: either a child entry takes ownership of it or it is
+// released back to the arena.
+func (s *searcher) expand(n searchNode, b *dist.PathBounder, pq *entryQueue, results *topk.Heap, dqp []float64, stats *SearchStats) {
+	sc := s.sc
 	dk := results.Threshold()
-
-	nhr := n.hr()
-	lbp := 0.0
-	if dqp != nil && nhr != nil {
-		lbp = pivot.LowerBound(dqp, nhr)
-	}
+	lbp := n.pivotLB(dqp)
 
 	if lv, ok := n.leafView(); ok {
 		lb := lbp
@@ -200,100 +292,259 @@ func (s *searcher) expand(n searchNode, b dist.Bounder, pq *entryQueue, results 
 				NodeMeta: dist.NodeMeta{MinLen: lv.minLen, MaxLen: lv.maxLen},
 				Dmax:     lv.dmax,
 			}
-			lb = math.Max(lb, b.LBt(meta))
+			lb = math.Max(lb, b.LBtBounded(meta, dk, &sc.ds))
 		} else {
 			lb = math.Max(lb, b.LBo(n.meta()))
 		}
 		if lb < dk {
-			heap.Push(pq, entry{lb: lb, lv: lv, isLeaf: true})
+			pq.push(entry{lb: lb, lv: lv, isLeaf: true})
 			stats.EntriesPushed++
 		}
 	}
 
-	// Count children first so the last child can take ownership of
-	// the bound state instead of cloning it.
-	nchild := 0
-	n.visitChildren(func(uint64, searchNode) { nchild++ })
-	i := 0
-	n.visitChildren(func(z uint64, c searchNode) {
-		i++
-		var cb dist.Bounder
-		if i == nchild {
+	children := n.appendChildren(sc.children[:0])
+	sc.children = children
+	owned := false // whether a pushed child entry took ownership of b
+	for i, ce := range children {
+		var cb *dist.PathBounder
+		last := i == len(children)-1
+		if last {
+			// The last child takes the parent's bound state instead
+			// of forking it.
 			cb = b
 		} else {
-			cb = b.Clone()
+			cb = b.Fork()
 		}
-		cb.Extend(s.cfg.Grid.CellByZ(z))
+		cb.ExtendZ(ce.z)
 
-		clbp := lbp
-		if chr := c.hr(); dqp != nil && chr != nil {
-			clbp = pivot.LowerBound(dqp, chr)
+		clbp := ce.n.pivotLB(dqp)
+		if clbp < lbp {
+			clbp = lbp
 		}
-		lb := math.Max(cb.LBo(c.meta()), clbp)
+		lb := math.Max(cb.LBo(ce.n.meta()), clbp)
 		if lb < results.Threshold() {
-			heap.Push(pq, entry{lb: lb, n: c, b: cb})
+			pq.push(entry{lb: lb, n: ce.n, b: cb})
 			stats.EntriesPushed++
+			owned = owned || last
+		} else if !last {
+			cb.Release()
 		}
-	})
+	}
+	if !owned {
+		b.Release()
+	}
 }
 
 // refine computes exact distances for a leaf's members, with
-// early-abandoning kernels (Hausdorff, Frechet, DTW) cut off at the
-// current threshold. While the result heap is not yet full the
-// threshold is +Inf, so no abandoned (+Inf) value can ever be
-// retained.
+// early-abandoning kernels cut off at the current threshold. While
+// the result heap is not yet full the threshold is +Inf, so no
+// abandoned (+Inf) value can ever be retained.
 func (s *searcher) refine(lv leafView, q []geo.Point, results *topk.Heap, stats *SearchStats) error {
+	if s.refineWorkers > 1 && len(lv.tids) >= minParallelLeaf {
+		return s.refineParallel(lv, q, results, stats)
+	}
 	for _, tid := range lv.tids {
 		if s.cancelled() {
 			return s.err()
 		}
 		tr := s.trajs[tid]
 		stats.ExactComputations++
-		d := dist.DistanceBounded(s.cfg.Measure, q, tr.Points, s.cfg.Params, results.Threshold())
+		d := dist.DistanceBoundedScratch(s.cfg.Measure, q, tr.Points, s.cfg.Params, results.Threshold(), &s.sc.ds)
 		results.Push(int(tid), d)
 	}
 	return nil
 }
+
+// refineParallel fans one leaf's exact-distance computations over a
+// worker group. The call is a plain function handoff (not a method
+// closure over the searcher) so the sequential path's searcher never
+// escapes to the heap.
+func (s *searcher) refineParallel(lv leafView, q []geo.Point, results *topk.Heap, stats *SearchStats) error {
+	sc := s.sc
+	nw := clampWorkers(s.refineWorkers, len(lv.tids))
+	for len(sc.wds) < nw {
+		sc.wds = append(sc.wds, new(dist.Scratch))
+	}
+	computed, err := refineLeafParallel(parallelRefine{
+		ctx:     s.ctx,
+		measure: s.cfg.Measure,
+		params:  s.cfg.Params,
+		trajs:   s.trajs,
+		tids:    lv.tids,
+		q:       q,
+		results: results,
+		wds:     sc.wds[:nw],
+	})
+	stats.ExactComputations += computed
+	return err
+}
+
+// parallelRefine carries one leaf's parallel refinement inputs.
+type parallelRefine struct {
+	ctx     context.Context
+	measure dist.Measure
+	params  dist.Params
+	trajs   map[int32]*geo.Trajectory
+	tids    []int32
+	q       []geo.Point
+	results *topk.Heap
+	wds     []*dist.Scratch
+}
+
+// refineLeafParallel refines one leaf over parallelFor workers.
+// Workers read the shared pruning threshold from an atomic float64
+// (stale reads are only ever too large, which keeps the early-abandon
+// admissible — see doc.go) and serialize heap pushes behind a mutex.
+// It returns the number of exact computations performed and the
+// context error, if any.
+func refineLeafParallel(pr parallelRefine) (int, error) {
+	var (
+		computed atomic.Int64
+		thr      atomicFloat64
+		mu       sync.Mutex
+	)
+	thr.Store(pr.results.Threshold())
+	err := parallelFor(pr.ctx, pr.wds, len(pr.tids), func(i int, ws *dist.Scratch) {
+		tid := pr.tids[i]
+		tr := pr.trajs[tid]
+		d := dist.DistanceBoundedScratch(pr.measure, pr.q, tr.Points, pr.params, thr.Load(), ws)
+		computed.Add(1)
+		mu.Lock()
+		pr.results.Push(int(tid), d)
+		thr.Store(pr.results.Threshold())
+		mu.Unlock()
+	})
+	return int(computed.Load()), err
+}
+
+// parallelFor runs fn(i, ws) for every i in [0, n), one worker
+// goroutine per scratch in wds. Workers claim indices through an
+// atomic cursor and stop early once the context is cancelled (each
+// worker polls through its own ctxPoller — sharing one would race on
+// its ops counter). All workers are joined before returning, so no
+// goroutine outlives the call; the return is ctx's error when the
+// loop aborted early. Both the top-k and the range refinement build
+// on this scaffolding.
+func parallelFor(ctx context.Context, wds []*dist.Scratch, n int, fn func(i int, ws *dist.Scratch)) error {
+	var (
+		cursor atomic.Int64
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for _, ws := range wds {
+		wg.Add(1)
+		go func(ws *dist.Scratch) {
+			defer wg.Done()
+			poller := ctxPoller{ctx: ctx}
+			for !stop.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if poller.cancelled() {
+					stop.Store(true)
+					return
+				}
+				fn(i, ws)
+			}
+		}(ws)
+	}
+	wg.Wait()
+	if stop.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// clampWorkers bounds a requested refinement worker count by the
+// leaf's member count and the machine's cores. The request may arrive
+// unvalidated over the RPC protocol, so the clamp is a safety bound,
+// not just a heuristic.
+func clampWorkers(n, members int) int {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		n = max
+	}
+	if n > members {
+		n = members
+	}
+	return n
+}
+
+// atomicFloat64 is a float64 stored as atomic bits — the shared
+// pruning threshold of the refinement workers.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat64) Load() float64   { return math.Float64frombits(a.bits.Load()) }
 
 // entry is one element of the best-first priority queue: either an
 // internal node with its bound state, or a leaf awaiting refinement.
 type entry struct {
 	lb     float64
 	n      searchNode
-	b      dist.Bounder // nil for leaf entries
+	b      *dist.PathBounder // nil for leaf entries
 	lv     leafView
 	isLeaf bool
-	seq    int // FIFO tie-break for determinism
+	seq    int32 // FIFO tie-break for determinism
 }
 
+// entryQueue is a hand-rolled min-heap over entries ordered by
+// (lb, seq). container/heap would box every entry through its
+// interface{} surface — an allocation per push on the hot path.
 type entryQueue struct {
 	items []entry
-	seq   int
+	seq   int32
 }
 
-func (q *entryQueue) Len() int { return len(q.items) }
+func (q *entryQueue) reset() {
+	q.items = q.items[:0]
+	q.seq = 0
+}
 
-func (q *entryQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
+func (q *entryQueue) len() int { return len(q.items) }
+
+func (q *entryQueue) before(a, b entry) bool {
 	if a.lb != b.lb {
 		return a.lb < b.lb
 	}
 	return a.seq < b.seq
 }
 
-func (q *entryQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *entryQueue) Push(x interface{}) {
-	e := x.(entry)
+func (q *entryQueue) push(e entry) {
 	e.seq = q.seq
 	q.seq++
 	q.items = append(q.items, e)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(q.items[i], q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
 }
 
-func (q *entryQueue) Pop() interface{} {
-	old := q.items
-	n := len(old)
-	e := old[n-1]
-	q.items = old[:n-1]
-	return e
+func (q *entryQueue) pop() entry {
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = entry{} // release references held by the vacated slot
+	q.items = q.items[:n]
+	i := 0
+	for {
+		best := i
+		if l := 2*i + 1; l < n && q.before(q.items[l], q.items[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && q.before(q.items[r], q.items[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		q.items[i], q.items[best] = q.items[best], q.items[i]
+		i = best
+	}
+	return top
 }

@@ -31,6 +31,7 @@ import (
 type Succinct struct {
 	cfg   Config
 	trajs map[int32]*geo.Trajectory
+	pool  scratchPool
 
 	alphabet []uint64 // sorted distinct z-values of dense-level edges
 	levels   []*denseLevel
@@ -290,17 +291,36 @@ func (s *Succinct) Search(q []geo.Point, k int) []topk.Item {
 
 // SearchWithStats is Search with traversal statistics.
 func (s *Succinct) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
-	sr := searcher{cfg: s.cfg, trajs: s.trajs}
-	res, stats, _ := sr.run(s.rootRef(), q, k)
+	sc := s.pool.get()
+	defer s.pool.put(sc)
+	sr := searcher{cfg: s.cfg, trajs: s.trajs, sc: sc}
+	res, stats, _ := sr.run(s.rootRef(), q, k, nil)
 	return res, stats
+}
+
+// SearchAppend is Search appending the results to dst; see
+// Trie.SearchAppend.
+func (s *Succinct) SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.Item {
+	sc := s.pool.get()
+	defer s.pool.put(sc)
+	sr := searcher{cfg: s.cfg, trajs: s.trajs, sc: sc}
+	out, _, _ := sr.run(s.rootRef(), q, k, dst)
+	return out
 }
 
 // SearchContext is Search honoring per-query options and a context;
 // see Trie.SearchContext. Both layouts share the same cancellable
 // best-first loop.
 func (s *Succinct) SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error) {
-	sr := searcher{cfg: s.cfg, trajs: s.trajs, ctxPoller: ctxPoller{ctx: ctx}, noPivots: opt.NoPivots}
-	res, _, err := sr.run(s.rootRef(), q, k)
+	sc := s.pool.get()
+	defer s.pool.put(sc)
+	sr := searcher{
+		cfg: s.cfg, trajs: s.trajs, sc: sc,
+		ctxPoller:     ctxPoller{ctx: ctx},
+		noPivots:      opt.NoPivots,
+		refineWorkers: opt.RefineWorkers,
+	}
+	res, _, err := sr.run(s.rootRef(), q, k, nil)
 	return res, err
 }
 
@@ -344,7 +364,7 @@ type denseRef struct {
 	idx   int32
 }
 
-func (r denseRef) visitChildren(fn func(z uint64, c searchNode)) {
+func (r denseRef) appendChildren(dst []childEdge) []childEdge {
 	s := r.s
 	dl := s.levels[r.level]
 	a := len(s.alphabet)
@@ -355,11 +375,12 @@ func (r denseRef) visitChildren(fn func(z uint64, c searchNode)) {
 		pos := dl.bc.Select1(rank)
 		z := s.alphabet[pos-base]
 		if int(r.level)+1 < len(s.levels) {
-			fn(z, denseRef{s: s, level: r.level + 1, idx: int32(rank)})
+			dst = append(dst, childEdge{z: z, n: denseRef{s: s, level: r.level + 1, idx: int32(rank)}})
 		} else {
-			fn(z, sparseRef{s: s, off: s.sparse[rank]})
+			dst = append(dst, childEdge{z: z, n: sparseRef{s: s, off: s.sparse[rank]}})
 		}
 	}
+	return dst
 }
 
 func (r denseRef) leafView() (leafView, bool) {
@@ -376,21 +397,25 @@ func (r denseRef) meta() dist.NodeMeta {
 	return dist.NodeMeta{MinLen: int(m.minLen), MaxLen: int(m.maxLen), MaxDepthBelow: int(m.maxDepth)}
 }
 
-func (r denseRef) hr() []pivot.Range {
+// pivotLB evaluates LBp directly over the packed float32 ranges —
+// materializing a []pivot.Range per visited node would put an
+// allocation on the traversal hot path.
+func (r denseRef) pivotLB(dqp []float64) float64 {
 	s := r.s
-	if s.np == 0 {
-		return nil
+	if s.np == 0 || dqp == nil {
+		return 0
 	}
 	dl := s.levels[r.level]
-	out := make([]pivot.Range, s.np)
 	base := int(r.idx) * s.np * 2
-	for j := 0; j < s.np; j++ {
-		out[j] = pivot.Range{
-			Min: float64(dl.hr[base+2*j]),
-			Max: float64(dl.hr[base+2*j+1]),
+	lb := 0.0
+	for j := 0; j < s.np && j < len(dqp); j++ {
+		lo := float64(dl.hr[base+2*j])
+		hi := float64(dl.hr[base+2*j+1])
+		if v := pivot.RangeBound(dqp[j], lo, hi); v > lb {
+			lb = v
 		}
 	}
-	return out
+	return lb
 }
 
 // sparseRef navigates the byte-serialized tier; off is the record's
@@ -427,7 +452,7 @@ func (r sparseRef) decodeHeader() (flags byte, meta dist.NodeMeta, hrOff int, le
 	return flags, meta, hrOff, leafIdx, p
 }
 
-func (r sparseRef) visitChildren(fn func(z uint64, c searchNode)) {
+func (r sparseRef) appendChildren(dst []childEdge) []childEdge {
 	b := r.s.blob
 	_, _, _, _, p := r.decodeHeader()
 	count, n := binary.Uvarint(b[p:])
@@ -437,9 +462,10 @@ func (r sparseRef) visitChildren(fn func(z uint64, c searchNode)) {
 		p += n
 		recLen, n := binary.Uvarint(b[p:])
 		p += n
-		fn(z, sparseRef{s: r.s, off: p})
+		dst = append(dst, childEdge{z: z, n: sparseRef{s: r.s, off: p}})
 		p += int(recLen)
 	}
+	return dst
 }
 
 func (r sparseRef) leafView() (leafView, bool) {
@@ -456,17 +482,21 @@ func (r sparseRef) meta() dist.NodeMeta {
 	return meta
 }
 
-func (r sparseRef) hr() []pivot.Range {
-	if r.s.np == 0 {
-		return nil
+// pivotLB evaluates LBp by decoding the record's float32 ranges in
+// place; see denseRef.pivotLB.
+func (r sparseRef) pivotLB(dqp []float64) float64 {
+	if r.s.np == 0 || dqp == nil {
+		return 0
 	}
 	b := r.s.blob
 	_, _, hrOff, _, _ := r.decodeHeader()
-	out := make([]pivot.Range, r.s.np)
-	for j := 0; j < r.s.np; j++ {
-		lo := math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j:]))
-		hi := math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j+4:]))
-		out[j] = pivot.Range{Min: float64(lo), Max: float64(hi)}
+	lb := 0.0
+	for j := 0; j < r.s.np && j < len(dqp); j++ {
+		lo := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j:])))
+		hi := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j+4:])))
+		if v := pivot.RangeBound(dqp[j], lo, hi); v > lb {
+			lb = v
+		}
 	}
-	return out
+	return lb
 }

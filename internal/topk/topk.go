@@ -1,9 +1,8 @@
 package topk
 
 import (
-	"container/heap"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Item is one candidate result.
@@ -22,18 +21,30 @@ func less(a, b Item) bool {
 }
 
 // Heap is a bounded max-heap of the current k best items. The zero
-// value is not usable; call New.
+// value is not usable; call New or Reset. The implementation is a
+// hand-rolled sift heap rather than container/heap: the standard
+// library's interface boxes every pushed Item, which would put an
+// allocation on the per-candidate hot path.
 type Heap struct {
 	k     int
-	items maxItems
+	items []Item
 }
 
 // New returns a Heap retaining the k best items. k must be positive.
 func New(k int) *Heap {
+	h := &Heap{}
+	h.Reset(k)
+	return h
+}
+
+// Reset empties the heap and re-targets it at the k best items,
+// retaining the backing array. k must be positive.
+func (h *Heap) Reset(k int) {
 	if k <= 0 {
 		panic("topk: k must be positive")
 	}
-	return &Heap{k: k}
+	h.k = k
+	h.items = h.items[:0]
 }
 
 // K returns the heap's capacity.
@@ -60,31 +71,80 @@ func (h *Heap) Push(id int, dist float64) bool {
 	}
 	it := Item{ID: id, Dist: dist}
 	if len(h.items) < h.k {
-		heap.Push(&h.items, it)
+		h.items = append(h.items, it)
+		h.up(len(h.items) - 1)
 		return true
 	}
 	if !less(it, h.items[0]) {
 		return false
 	}
 	h.items[0] = it
-	heap.Fix(&h.items, 0)
+	h.down(0)
 	return true
 }
 
+// up restores the max-heap property from leaf i toward the root.
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h.items[parent], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// down restores the max-heap property from node i toward the leaves.
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && less(h.items[worst], h.items[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && less(h.items[worst], h.items[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
 // Results returns the retained items sorted ascending by
-// (distance, id). The heap remains usable afterwards.
+// (distance, id), as a non-nil slice. The heap remains usable
+// afterwards.
 func (h *Heap) Results() []Item {
-	out := make([]Item, len(h.items))
-	copy(out, h.items)
-	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
-	return out
+	return h.AppendResults(make([]Item, 0, len(h.items)))
+}
+
+// AppendResults appends the retained items to dst sorted ascending by
+// (distance, id) and returns the extended slice; with a dst of
+// sufficient capacity it does not allocate. The heap remains usable
+// afterwards.
+func (h *Heap) AppendResults(dst []Item) []Item {
+	start := len(dst)
+	dst = append(dst, h.items...)
+	SortItems(dst[start:])
+	return dst
 }
 
 // SortItems orders items ascending by (distance, id) in place — the
 // result order every search path promises. Range queries and
 // cross-partition radius merges share it.
 func SortItems(items []Item) {
-	sort.Slice(items, func(i, j int) bool { return less(items[i], items[j]) })
+	slices.SortFunc(items, func(a, b Item) int {
+		if less(a, b) {
+			return -1
+		}
+		if less(b, a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Merge combines any number of (not necessarily sorted) result lists
@@ -98,19 +158,4 @@ func Merge(k int, lists ...[]Item) []Item {
 		}
 	}
 	return h.Results()
-}
-
-// maxItems implements heap.Interface as a max-heap by (Dist, ID).
-type maxItems []Item
-
-func (m maxItems) Len() int            { return len(m) }
-func (m maxItems) Less(i, j int) bool  { return less(m[j], m[i]) }
-func (m maxItems) Swap(i, j int)       { m[i], m[j] = m[j], m[i] }
-func (m *maxItems) Push(x interface{}) { *m = append(*m, x.(Item)) }
-func (m *maxItems) Pop() interface{} {
-	old := *m
-	n := len(old)
-	it := old[n-1]
-	*m = old[:n-1]
-	return it
 }
