@@ -221,6 +221,64 @@ func BenchmarkSearch(b *testing.B) {
 	})
 }
 
+// BenchmarkSearchAfterInserts times the top-k hot path with a live
+// delta overlay: "delta" queries a trie carrying pending inserts and
+// tombstones (the overlay's linear scan rides on top of the normal
+// best-first search), "compacted" queries the same live set after the
+// delta was folded back into the trie — the pair brackets the cost of
+// deferring compaction. BenchmarkSearch/trie (above) pins the
+// delta-empty static path at 0 allocs/op; this bench documents what a
+// non-empty overlay costs.
+func BenchmarkSearchAfterInserts(b *testing.B) {
+	w := getWorld(b, "T-drive")
+	const pending = 64
+	run := func(b *testing.B, trie *rptrie.Trie) {
+		var out []repose.Result
+		for _, q := range w.queries { // warm the pooled scratch
+			out = trie.SearchAppend(out[:0], q.Points, benchK)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			out = trie.SearchAppend(out[:0], q.Points, benchK)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	mutate := func(b *testing.B, trie *rptrie.Trie) {
+		rng := rand.New(rand.NewSource(77))
+		fresh := make([]*geo.Trajectory, pending)
+		for i := range fresh {
+			src := w.ds[rng.Intn(len(w.ds))]
+			fresh[i] = &geo.Trajectory{ID: 1_000_000 + i, Points: src.Points}
+		}
+		if err := trie.Insert(fresh...); err != nil {
+			b.Fatal(err)
+		}
+		if n := trie.Delete(w.ds[0].ID, w.ds[1].ID); n != 2 {
+			b.Fatalf("delete removed %d", n)
+		}
+	}
+	b.Run("delta", func(b *testing.B) {
+		trie := benchTrie(b, w, "T-drive", dist.Hausdorff)
+		mutate(b, trie)
+		if trie.DeltaLen() != pending+2 {
+			b.Fatalf("delta = %d", trie.DeltaLen())
+		}
+		run(b, trie)
+	})
+	b.Run("compacted", func(b *testing.B) {
+		trie := benchTrie(b, w, "T-drive", dist.Hausdorff)
+		mutate(b, trie)
+		if err := trie.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		run(b, trie)
+	})
+}
+
 // BenchmarkSearchRadius times the range-query path on the engine and
 // on the single-partition trie.
 func BenchmarkSearchRadius(b *testing.B) {

@@ -30,7 +30,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := repose.ServeWorkerContext(ctx, *addr, func(bound string) {
-		fmt.Printf("listening on %s\n", bound)
+		fmt.Printf("listening on %s (protocol v%d)\n", bound, repose.ProtocolVersion)
 	})
 	if errors.Is(err, context.Canceled) {
 		log.Print("shutting down")

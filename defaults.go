@@ -28,8 +28,19 @@ var (
 	ErrClosed = errors.New("repose: index closed")
 	// ErrSuccinctUnsupported rejects SearchRadius on indexes built
 	// with Options.Succinct: the compressed layout shares the top-k
-	// search machinery but has no range-walk implementation.
+	// search machinery but has no range-walk implementation. Online
+	// updates (Insert/Delete/Upsert/CompactNow) are fully supported
+	// on succinct indexes.
 	ErrSuccinctUnsupported = errors.New("repose: radius search is not supported on succinct indexes")
+	// ErrEmptyTrajectory rejects inserting a nil trajectory or one
+	// without points.
+	ErrEmptyTrajectory = errors.New("repose: empty trajectory")
+	// ErrDuplicateID rejects inserting an id that is already live
+	// (use Upsert to replace). Match with errors.Is.
+	ErrDuplicateID = cluster.ErrDuplicateID
+	// ErrImmutableIndex rejects mutations on an engine whose
+	// partition indexes have no online-update support.
+	ErrImmutableIndex = cluster.ErrImmutable
 )
 
 // QueryOption modulates a single query without rebuilding the index;

@@ -1,0 +1,118 @@
+// Streaming: drive a live REPOSE index the way a ride-sharing
+// dispatcher would — trips finish and are inserted, old trips are
+// retired, and matching queries run concurrently the whole time.
+// Inserts land in per-partition delta overlays; WithAutoCompact folds
+// them back into the tries once they grow past a fraction of the
+// partition, and CompactNow forces a final fold. Queries are snapshot-
+// isolated: they never observe a half-applied batch.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"repose"
+)
+
+// routeTraj synthesizes one noisy trip along a numbered route.
+func routeTraj(rng *rand.Rand, id, route int) *repose.Trajectory {
+	tr := &repose.Trajectory{ID: id}
+	for s := 0; s < 20; s++ {
+		tr.Points = append(tr.Points, repose.Point{
+			X: float64(s)*0.5 + rng.NormFloat64()*0.1,
+			Y: float64(route)*2 + rng.NormFloat64()*0.1,
+		})
+	}
+	return tr
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+
+	// Seed the index with an initial fleet of finished trips.
+	var fleet []*repose.Trajectory
+	for id := 0; id < 400; id++ {
+		fleet = append(fleet, routeTraj(rng, id, id%5))
+	}
+	idx, err := repose.Build(fleet, repose.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seeded %d trips across %d partitions\n",
+		idx.Stats().Trajectories, idx.Stats().Partitions)
+
+	// Stream: batches of fresh trips arrive while the oldest retire,
+	// with matching queries racing the whole time.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		qrng := rand.New(rand.NewSource(99))
+		for i := 0; i < 200; i++ {
+			probe := routeTraj(qrng, -1, qrng.Intn(5))
+			if _, err := idx.Search(ctx, probe, 5); err != nil {
+				log.Fatalf("concurrent query: %v", err)
+			}
+		}
+	}()
+	nextID, retired := 400, 0
+	for batch := 0; batch < 40; batch++ {
+		fresh := make([]*repose.Trajectory, 10)
+		for i := range fresh {
+			fresh[i] = routeTraj(rng, nextID, nextID%5)
+			nextID++
+		}
+		// Threshold-triggered compaction keeps the unindexed overlay
+		// below ~25% of each partition.
+		if err := idx.Insert(ctx, fresh, repose.WithAutoCompact(repose.DefaultCompactFraction)); err != nil {
+			log.Fatal(err)
+		}
+		old := []int{retired, retired + 1, retired + 2}
+		n, err := idx.Delete(ctx, old)
+		if err != nil {
+			log.Fatal(err)
+		}
+		retired += n
+	}
+	wg.Wait()
+	fmt.Printf("streamed %d inserts, retired %d trips; %d live\n",
+		nextID-400, retired, idx.Stats().Trajectories)
+
+	// An inserted trip is immediately searchable...
+	lastBatchProbe := routeTraj(rand.New(rand.NewSource(1)), -1, (nextID-1)%5)
+	res, err := idx.Search(ctx, lastBatchProbe, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-3 matches for a fresh probe:")
+	for rank, r := range res {
+		fmt.Printf("  %d. trip %d (route %d), distance %.4f\n", rank+1, r.ID, r.ID%5, r.Dist)
+	}
+
+	// ...and a retired trip is gone: a perfect-match probe for trip 0
+	// no longer finds it.
+	if _, err := idx.Delete(ctx, []int{401}); err != nil {
+		log.Fatal(err)
+	}
+	if res, _ := idx.Search(ctx, routeTraj(rand.New(rand.NewSource(7)), -1, 0), 400); len(res) > 0 {
+		for _, r := range res {
+			if r.ID == 401 {
+				log.Fatal("retired trip returned")
+			}
+		}
+	}
+
+	// Fold every pending delta back into the tries before steady-state
+	// serving.
+	if err := idx.CompactNow(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compacted; index holds %d trips in %.1f KB\n",
+		idx.Stats().Trajectories, float64(idx.Stats().IndexBytes)/1024)
+}

@@ -7,7 +7,7 @@ import (
 
 	"repose/internal/dist"
 	"repose/internal/geo"
-	"repose/internal/topk"
+	"repose/internal/oracle"
 )
 
 func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
@@ -21,14 +21,6 @@ func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
 		ds[i] = &geo.Trajectory{ID: i, Points: pts}
 	}
 	return ds
-}
-
-func bruteForce(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
-	h := topk.New(k)
-	for _, tr := range ds {
-		h.Push(tr.ID, dist.Distance(m, q, tr.Points, p))
-	}
-	return h.Results()
 }
 
 func TestSupported(t *testing.T) {
@@ -61,7 +53,7 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 			}
 			for _, k := range []int{1, 5, 12} {
 				got := x.Search(q.Points, k)
-				want := bruteForce(m, p, ds, q.Points, k)
+				want := oracle.TopK(m, p, ds, q.Points, k)
 				if len(got) != len(want) {
 					t.Fatalf("%v k=%d: len %d want %d", m, k, len(got), len(want))
 				}
@@ -85,7 +77,7 @@ func TestSmallPartitionDegeneratesToScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := x.Search(q.Points, 3) // C*k = 15 > 8 → scan
-	want := bruteForce(dist.Hausdorff, dist.Params{}, ds, q.Points, 3)
+	want := oracle.TopK(dist.Hausdorff, dist.Params{}, ds, q.Points, 3)
 	for i := range got {
 		if got[i].ID != want[i].ID {
 			t.Fatalf("got %v want %v", got, want)

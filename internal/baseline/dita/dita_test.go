@@ -7,7 +7,7 @@ import (
 
 	"repose/internal/dist"
 	"repose/internal/geo"
-	"repose/internal/topk"
+	"repose/internal/oracle"
 )
 
 func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
@@ -22,14 +22,6 @@ func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
 		ds[i] = &geo.Trajectory{ID: i, Points: pts}
 	}
 	return ds
-}
-
-func bruteForce(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
-	h := topk.New(k)
-	for _, tr := range ds {
-		h.Push(tr.ID, dist.Distance(m, q, tr.Points, p))
-	}
-	return h.Results()
 }
 
 func TestSupported(t *testing.T) {
@@ -60,7 +52,7 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 			}
 			for _, k := range []int{1, 6, 15} {
 				got := x.Search(q.Points, k)
-				want := bruteForce(m, p, ds, q.Points, k)
+				want := oracle.TopK(m, p, ds, q.Points, k)
 				if len(got) != len(want) {
 					t.Fatalf("%v k=%d: len %d want %d", m, k, len(got), len(want))
 				}

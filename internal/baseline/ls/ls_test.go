@@ -6,7 +6,7 @@ import (
 
 	"repose/internal/dist"
 	"repose/internal/geo"
-	"repose/internal/topk"
+	"repose/internal/oracle"
 )
 
 func randomDataset(rng *rand.Rand, n int) []*geo.Trajectory {
@@ -29,11 +29,7 @@ func TestScanAllMeasures(t *testing.T) {
 	for _, m := range dist.Measures() {
 		x := Build(m, p, ds)
 		got := x.Search(q.Points, 7)
-		want := topk.New(7)
-		for _, tr := range ds {
-			want.Push(tr.ID, dist.Distance(m, q.Points, tr.Points, p))
-		}
-		w := want.Results()
+		w := oracle.TopK(m, p, ds, q.Points, 7)
 		if len(got) != len(w) {
 			t.Fatalf("%v: len %d want %d", m, len(got), len(w))
 		}

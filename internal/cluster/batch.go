@@ -67,7 +67,7 @@ func (c *Local) SearchBatch(ctx context.Context, queries [][]geo.Point, k int, o
 				}
 				t0 := time.Now()
 				locals[tk.qi][tk.si], taskErrs[tk.qi][tk.si] =
-					searchOne(ctx, c.indexes[sel[tk.si]], queries[tk.qi], k, opt)
+					searchOne(ctx, c.gpid(sel[tk.si]), c.indexes[sel[tk.si]], queries[tk.qi], k, opt)
 				now := time.Now()
 				workDur[tk.qi][tk.si] = now.Sub(t0)
 				done[tk.qi][tk.si] = now

@@ -10,6 +10,7 @@ import (
 	"repose/internal/dist"
 	"repose/internal/geo"
 	"repose/internal/grid"
+	"repose/internal/oracle"
 	"repose/internal/partition"
 	"repose/internal/pivot"
 	"repose/internal/topk"
@@ -47,14 +48,6 @@ func testWorld(t *testing.T, n, nparts int) ([]*geo.Trajectory, [][]*geo.Traject
 // calls in tests.
 func searchArgsV2(q []geo.Point, k int) *SearchArgs {
 	return &SearchArgs{QueryHeader: QueryHeader{Version: ProtocolVersion}, Query: q, K: k}
-}
-
-func bruteForce(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
-	h := topk.New(k)
-	for _, tr := range ds {
-		h.Push(tr.ID, dist.Distance(m, q, tr.Points, p))
-	}
-	return h.Results()
 }
 
 func assertSameDistances(t *testing.T, ctx string, got, want []topk.Item) {
@@ -101,7 +94,7 @@ func TestLocalClusterAllAlgorithms(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := bruteForce(sp.Measure, sp.Params, ds, query.Points, 10)
+			want := oracle.TopK(sp.Measure, sp.Params, ds, query.Points, 10)
 			assertSameDistances(t, a.name, got, want)
 			if len(rep.PartitionTimes) != 8 || rep.MaxPartition <= 0 {
 				t.Fatalf("%s: report %+v", a.name, rep)

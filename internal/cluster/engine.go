@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,7 +27,25 @@ type Engine interface {
 	// SearchBatch answers all queries, each over all selected
 	// partitions; results are indexed like queries.
 	SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt QueryOptions) ([][]topk.Item, BatchReport, error)
-	// Len returns the total number of indexed trajectories.
+	// Insert routes each trajectory to a partition (see
+	// partition.OnlineRouter) and applies it; queries issued after it
+	// returns see every inserted trajectory. It returns the new
+	// generations of the touched partitions.
+	Insert(ctx context.Context, trs []*geo.Trajectory, opt MutateOptions) (Gens, error)
+	// Delete removes ids from their owning partitions; queries issued
+	// after it returns never see them. It returns how many ids were
+	// live and the new generations of the touched partitions.
+	Delete(ctx context.Context, ids []int, opt MutateOptions) (int, Gens, error)
+	// Upsert inserts trajectories with replace semantics: a live id's
+	// replacement goes to its owning partition as one snapshot-atomic
+	// swap (no window where the id is absent), a new id routes like
+	// an Insert.
+	Upsert(ctx context.Context, trs []*geo.Trajectory, opt MutateOptions) (Gens, error)
+	// Compact folds every selected partition's pending delta back
+	// into its index (nil/empty partitions selects all), returning
+	// the new generations of the compacted partitions.
+	Compact(ctx context.Context, partitions []int) (Gens, error)
+	// Len returns the total number of live indexed trajectories.
 	Len() int
 	// NumPartitions returns the global partition count.
 	NumPartitions() int
@@ -58,6 +77,77 @@ type QueryOptions struct {
 	// way; useful when the query targets few partitions and cores
 	// would otherwise idle.
 	RefineWorkers int
+	// MinGens pins the query per partition: MinGens[pid], when
+	// nonzero, requires partition pid to answer from a snapshot of
+	// that generation or newer (rptrie.ErrStale otherwise). A short
+	// or nil slice leaves the remaining partitions unpinned. The
+	// facade uses this for read-your-writes after mutations.
+	MinGens []uint64
+}
+
+// minGen returns the pin for a global partition id, 0 when unpinned.
+func (o QueryOptions) minGen(pid int) uint64 {
+	if pid >= 0 && pid < len(o.MinGens) {
+		return o.MinGens[pid]
+	}
+	return 0
+}
+
+// MutateOptions modulates one mutation batch on either engine.
+type MutateOptions struct {
+	// AutoCompact, when positive, compacts any touched partition
+	// whose pending delta grew past this fraction of its live
+	// trajectory count (and past a small absolute floor) once the
+	// mutation is applied — the threshold-triggered form of
+	// compaction. Non-positive leaves compaction to Compact calls.
+	AutoCompact float64
+}
+
+// Gens maps partition id → that partition's index generation after a
+// mutation or compaction. Passing a Gens-derived pin back through
+// QueryOptions.MinGens guarantees the query observes those mutations.
+type Gens map[int]uint64
+
+// MutableIndex is the optional online-maintenance capability of a
+// partition index. Both rptrie layouts implement it; the baselines do
+// not — mutating them fails with ErrImmutable.
+type MutableIndex interface {
+	Insert(trs ...*geo.Trajectory) error
+	Delete(ids ...int) int
+	Upsert(trs ...*geo.Trajectory) error
+	Compact() error
+	Generation() uint64
+	DeltaLen() int
+}
+
+var (
+	_ MutableIndex = (*rptrie.Trie)(nil)
+	_ MutableIndex = (*rptrie.Succinct)(nil)
+)
+
+// ErrImmutable reports a mutation routed to a partition whose index
+// type has no online-update support.
+var ErrImmutable = errors.New("cluster: partition index does not support online updates")
+
+// ErrDuplicateID reports an Insert of an id that is already live.
+var ErrDuplicateID = errors.New("cluster: trajectory id already indexed")
+
+// autoCompactFloor is the smallest pending-delta size worth a
+// threshold-triggered compaction; below it the linear delta scan is
+// cheaper than any rebuild.
+const autoCompactFloor = 32
+
+// maybeCompact applies the MutateOptions.AutoCompact policy to one
+// partition index after a mutation.
+func maybeCompact(m MutableIndex, li LocalIndex, frac float64) error {
+	if frac <= 0 {
+		return nil
+	}
+	dl := m.DeltaLen()
+	if dl < autoCompactFloor || float64(dl) <= frac*float64(li.Len()) {
+		return nil
+	}
+	return m.Compact()
 }
 
 // selectPartitions resolves a partition subset against the engine's
@@ -86,16 +176,18 @@ func selectPartitions(subset []int, n int) ([]int, error) {
 }
 
 // searchOne answers one partition-local top-k query honoring ctx and
-// opt. The rptrie layouts cancel mid-scan; the baseline indexes only
+// opt; gpid is the partition's global id (for the generation pin).
+// The rptrie layouts cancel mid-scan; the baseline indexes only
 // observe the context between partitions.
-func searchOne(ctx context.Context, idx LocalIndex, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, error) {
-	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
+func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, error) {
+	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)}
 	switch t := idx.(type) {
 	case *rptrie.Trie:
 		return t.SearchContext(ctx, q, k, sopt)
 	case *rptrie.Succinct:
 		return t.SearchContext(ctx, q, k, sopt)
 	default:
+		// Baselines are immutable: generation pins are vacuous.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -106,9 +198,9 @@ func searchOne(ctx context.Context, idx LocalIndex, q []geo.Point, k int, opt Qu
 // radiusOne answers one partition-local range query. Indexes without
 // range support (the baselines and the succinct layout) are rejected,
 // naming the partition so mixed-index failures are diagnosable.
-func radiusOne(ctx context.Context, pi int, idx LocalIndex, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, error) {
+func radiusOne(ctx context.Context, pi, gpid int, idx LocalIndex, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, error) {
 	if t, ok := idx.(*rptrie.Trie); ok {
-		return t.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers})
+		return t.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)})
 	}
 	if rs, ok := idx.(RadiusSearcher); ok {
 		if err := ctx.Err(); err != nil {

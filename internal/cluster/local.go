@@ -17,9 +17,19 @@ import (
 // of the 64 default partitions).
 type Local struct {
 	indexes   []LocalIndex
+	gpids     []int // local slot → global partition id; nil = identity
 	workers   int
 	sem       chan struct{} // shared worker-cap semaphore, sized workers
 	buildTime time.Duration
+	dir       *directory // online-mutation routing; nil on worker views
+}
+
+// gpid maps a local index slot to its global partition id.
+func (c *Local) gpid(pi int) int {
+	if c.gpids == nil {
+		return pi
+	}
+	return c.gpids[pi]
 }
 
 // QueryReport describes one distributed query's execution.
@@ -87,17 +97,19 @@ func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local,
 		}
 	}
 	c.buildTime = time.Since(start)
+	c.dir = newDirectory(spec, parts)
 	return c, nil
 }
 
 // localView wraps a subset of partition indexes as a Local sharing
 // the same query machinery; the RPC worker serves its owned
-// partitions through one.
-func localView(indexes []LocalIndex, workers int) *Local {
+// partitions through one. pids names each index's global partition id
+// so per-partition generation pins resolve correctly.
+func localView(indexes []LocalIndex, pids []int, workers int) *Local {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Local{indexes: indexes, workers: workers, sem: make(chan struct{}, workers)}
+	return &Local{indexes: indexes, gpids: pids, workers: workers, sem: make(chan struct{}, workers)}
 }
 
 // scatter fans one partition-local operation out over the selected
@@ -156,8 +168,8 @@ func (c *Local) scatter(ctx context.Context, opt QueryOptions, what string, fn f
 // is cancelled mid-query the partition scans stop early and ctx's
 // error is returned.
 func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
-	locals, report, err := c.scatter(ctx, opt, "search", func(_ int, idx LocalIndex) ([]topk.Item, error) {
-		return searchOne(ctx, idx, q, k, opt)
+	locals, report, err := c.scatter(ctx, opt, "search", func(pi int, idx LocalIndex) ([]topk.Item, error) {
+		return searchOne(ctx, c.gpid(pi), idx, q, k, opt)
 	})
 	if err != nil {
 		return nil, report, err
@@ -171,7 +183,7 @@ func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptio
 // range support.
 func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
 	locals, report, err := c.scatter(ctx, opt, "radius search", func(pi int, idx LocalIndex) ([]topk.Item, error) {
-		return radiusOne(ctx, pi, idx, q, radius, opt)
+		return radiusOne(ctx, pi, c.gpid(pi), idx, q, radius, opt)
 	})
 	if err != nil {
 		return nil, report, err

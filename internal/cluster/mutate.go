@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/partition"
+)
+
+// Online mutations route through a driver-side directory: the driver
+// knows every live trajectory's owning partition (seeded from the
+// batch partitioning, maintained across mutations), so Inserts are
+// validated for duplicate ids globally, Deletes go only to the owning
+// partition instead of a broadcast, and both engines behave
+// identically. The directory assumes this driver is the only writer —
+// the deployment model of both engines (workers are driven, they do
+// not accept out-of-band mutations).
+
+// directory tracks id → owning partition plus the online router that
+// assigns partitions to new arrivals. One mutex serializes engine-
+// level mutations end to end; queries never touch it.
+type directory struct {
+	mu     sync.Mutex
+	loc    map[int32]int
+	router *partition.OnlineRouter
+}
+
+// newDirectory seeds the directory from the batch partitioning. When
+// the spec cannot support online routing (no valid grid — e.g. a
+// baseline algorithm without a Delta), it returns a directory whose
+// mutations fail cleanly with ErrImmutable.
+func newDirectory(spec IndexSpec, parts [][]*geo.Trajectory) *directory {
+	d := &directory{loc: make(map[int32]int)}
+	for pid, part := range parts {
+		for _, tr := range part {
+			d.loc[int32(tr.ID)] = pid
+		}
+	}
+	if g, err := grid.New(spec.Region, spec.Delta); err == nil {
+		if r, err := partition.NewOnlineRouter(spec.Strategy, g, len(parts), spec.Seed); err == nil {
+			d.router = r
+		}
+	}
+	return d
+}
+
+// insert validates trs, routes each to a partition, applies the
+// per-partition groups through apply (in ascending partition order),
+// and records the new owners. Validation is all-or-nothing; the
+// per-partition applies are not transactional across partitions — an
+// apply error leaves earlier partitions mutated and reported in the
+// returned Gens.
+func (d *directory) insert(trs []*geo.Trajectory, apply func(pid int, trs []*geo.Trajectory) (uint64, error)) (Gens, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.router == nil {
+		return nil, ErrImmutable
+	}
+	seen := make(map[int32]struct{}, len(trs))
+	for _, tr := range trs {
+		if tr == nil || len(tr.Points) == 0 {
+			return nil, fmt.Errorf("cluster: cannot insert an empty trajectory")
+		}
+		tid := int32(tr.ID)
+		if _, dup := seen[tid]; dup {
+			return nil, fmt.Errorf("%w: id %d duplicated in batch", ErrDuplicateID, tr.ID)
+		}
+		if _, live := d.loc[tid]; live {
+			return nil, fmt.Errorf("%w: id %d", ErrDuplicateID, tr.ID)
+		}
+		seen[tid] = struct{}{}
+	}
+	groups := make(map[int][]*geo.Trajectory)
+	for _, tr := range trs {
+		pid := d.router.Assign(tr)
+		groups[pid] = append(groups[pid], tr)
+	}
+	gens := make(Gens, len(groups))
+	for _, pid := range sortedKeys(groups) {
+		gen, err := apply(pid, groups[pid])
+		if err != nil {
+			return gens, err
+		}
+		gens[pid] = gen
+		for _, tr := range groups[pid] {
+			d.loc[int32(tr.ID)] = pid
+		}
+	}
+	return gens, nil
+}
+
+// delete groups the live ids by owning partition, applies the groups,
+// and unregisters them. Ids the directory does not know are broadcast
+// to every partition rather than skipped: normally they are simply
+// not indexed (a partition-local Delete of an unknown id is a no-op),
+// but after a mutation RPC whose outcome was unknown (deadline fired
+// mid-flight) a worker may hold a trajectory the directory never
+// recorded — broadcasting makes Delete the repair tool for that
+// desync instead of leaving an undeletable ghost.
+func (d *directory) delete(ids []int, numPartitions int, apply func(pid int, ids []int) (int, uint64, error)) (int, Gens, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	groups := make(map[int][]int)
+	var unknown []int
+	for _, id := range ids {
+		if pid, ok := d.loc[int32(id)]; ok {
+			groups[pid] = append(groups[pid], id)
+		} else {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		for pid := 0; pid < numPartitions; pid++ {
+			groups[pid] = append(groups[pid], unknown...)
+		}
+	}
+	removed := 0
+	gens := make(Gens, len(groups))
+	for _, pid := range sortedKeys(groups) {
+		n, gen, err := apply(pid, groups[pid])
+		if err != nil {
+			return removed, gens, err
+		}
+		removed += n
+		gens[pid] = gen
+		for _, id := range groups[pid] {
+			delete(d.loc, int32(id))
+		}
+	}
+	return removed, gens, nil
+}
+
+// upsert routes each trajectory to its owning partition (live ids) or
+// a router-assigned one (new ids) and applies the groups with replace
+// semantics; fresh counts how many of a group's ids were new. The
+// per-partition apply is one snapshot-atomic swap, so no query ever
+// observes a replaced id as absent.
+func (d *directory) upsert(trs []*geo.Trajectory, apply func(pid int, trs []*geo.Trajectory, fresh int) (uint64, error)) (Gens, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.router == nil {
+		return nil, ErrImmutable
+	}
+	for i, tr := range trs {
+		if tr == nil || len(tr.Points) == 0 {
+			return nil, fmt.Errorf("cluster: cannot insert an empty trajectory")
+		}
+		for _, prev := range trs[:i] {
+			if prev.ID == tr.ID {
+				return nil, fmt.Errorf("%w: id %d duplicated in batch", ErrDuplicateID, tr.ID)
+			}
+		}
+	}
+	groups := make(map[int][]*geo.Trajectory)
+	freshIn := make(map[int]int)
+	for _, tr := range trs {
+		pid, live := d.loc[int32(tr.ID)]
+		if !live {
+			pid = d.router.Assign(tr)
+			freshIn[pid]++
+		}
+		groups[pid] = append(groups[pid], tr)
+	}
+	gens := make(Gens, len(groups))
+	for _, pid := range sortedKeys(groups) {
+		gen, err := apply(pid, groups[pid], freshIn[pid])
+		if err != nil {
+			return gens, err
+		}
+		gens[pid] = gen
+		for _, tr := range groups[pid] {
+			d.loc[int32(tr.ID)] = pid
+		}
+	}
+	return gens, nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mutable resolves partition pi's index as a MutableIndex.
+func (c *Local) mutable(pi int) (MutableIndex, LocalIndex, error) {
+	idx := c.indexes[pi]
+	m, ok := idx.(MutableIndex)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w (partition %d, %T)", ErrImmutable, pi, idx)
+	}
+	return m, idx, nil
+}
+
+// Insert implements Engine.
+func (c *Local) Insert(ctx context.Context, trs []*geo.Trajectory, opt MutateOptions) (Gens, error) {
+	if len(trs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: insert: %w", err)
+	}
+	if c.dir == nil {
+		return nil, ErrImmutable
+	}
+	return c.dir.insert(trs, func(pid int, trs []*geo.Trajectory) (uint64, error) {
+		m, li, err := c.mutable(pid)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Insert(trs...); err != nil {
+			return 0, err
+		}
+		if err := maybeCompact(m, li, opt.AutoCompact); err != nil {
+			return 0, err
+		}
+		return m.Generation(), nil
+	})
+}
+
+// Delete implements Engine.
+func (c *Local) Delete(ctx context.Context, ids []int, opt MutateOptions) (int, Gens, error) {
+	if len(ids) == 0 {
+		return 0, nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, fmt.Errorf("cluster: delete: %w", err)
+	}
+	if c.dir == nil {
+		return 0, nil, ErrImmutable
+	}
+	return c.dir.delete(ids, len(c.indexes), func(pid int, ids []int) (int, uint64, error) {
+		m, li, err := c.mutable(pid)
+		if err != nil {
+			return 0, 0, err
+		}
+		n := m.Delete(ids...)
+		if err := maybeCompact(m, li, opt.AutoCompact); err != nil {
+			return 0, 0, err
+		}
+		return n, m.Generation(), nil
+	})
+}
+
+// Upsert implements Engine.
+func (c *Local) Upsert(ctx context.Context, trs []*geo.Trajectory, opt MutateOptions) (Gens, error) {
+	if len(trs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: upsert: %w", err)
+	}
+	if c.dir == nil {
+		return nil, ErrImmutable
+	}
+	return c.dir.upsert(trs, func(pid int, trs []*geo.Trajectory, _ int) (uint64, error) {
+		m, li, err := c.mutable(pid)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Upsert(trs...); err != nil {
+			return 0, err
+		}
+		if err := maybeCompact(m, li, opt.AutoCompact); err != nil {
+			return 0, err
+		}
+		return m.Generation(), nil
+	})
+}
+
+// Compact implements Engine.
+func (c *Local) Compact(ctx context.Context, partitions []int) (Gens, error) {
+	sel, err := selectPartitions(partitions, len(c.indexes))
+	if err != nil {
+		return nil, err
+	}
+	gens := make(Gens, len(sel))
+	for _, pid := range sel {
+		if err := ctx.Err(); err != nil {
+			return gens, fmt.Errorf("cluster: compact: %w", err)
+		}
+		m, _, err := c.mutable(pid)
+		if err != nil {
+			return gens, err
+		}
+		if err := m.Compact(); err != nil {
+			return gens, err
+		}
+		gens[pid] = m.Generation()
+	}
+	return gens, nil
+}
+
+// callOwner invokes a v3 mutation RPC on the worker owning pid,
+// honoring ctx: a cancelled context abandons the wait (the worker
+// still applies the mutation it already received — callers must treat
+// a ctx error as "outcome unknown", like any RPC timeout).
+func (r *Remote) callOwner(ctx context.Context, pid int, method string, args, reply any) error {
+	clients := r.conns()
+	if len(clients) == 0 {
+		return ErrClosed
+	}
+	ci, ok := r.owner[pid]
+	if !ok || ci >= len(clients) {
+		return fmt.Errorf("cluster: no worker owns partition %d", pid)
+	}
+	call := clients[ci].Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: %s on %s: %w", method, r.addrs[ci], ctx.Err())
+	}
+}
+
+// Insert implements Engine for the remote deployment: the driver
+// validates and routes exactly as the local engine does, then ships
+// each partition's group to its owning worker.
+func (r *Remote) Insert(ctx context.Context, trs []*geo.Trajectory, opt MutateOptions) (Gens, error) {
+	if len(trs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: insert: %w", err)
+	}
+	if r.dir == nil {
+		return nil, ErrImmutable
+	}
+	return r.dir.insert(trs, func(pid int, trs []*geo.Trajectory) (uint64, error) {
+		args := &InsertArgs{Version: ProtocolVersion, PartitionID: pid, Trajectories: trs, AutoCompact: opt.AutoCompact}
+		var reply InsertReply
+		if err := r.callOwner(ctx, pid, "Worker.Insert", args, &reply); err != nil {
+			return 0, err
+		}
+		r.partLen[pid].Store(int64(reply.Len))
+		return reply.Gen, nil
+	})
+}
+
+// Delete implements Engine for the remote deployment.
+func (r *Remote) Delete(ctx context.Context, ids []int, opt MutateOptions) (int, Gens, error) {
+	if len(ids) == 0 {
+		return 0, nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, fmt.Errorf("cluster: delete: %w", err)
+	}
+	if r.dir == nil {
+		return 0, nil, ErrImmutable
+	}
+	return r.dir.delete(ids, r.NumPartitions(), func(pid int, ids []int) (int, uint64, error) {
+		args := &DeleteArgs{Version: ProtocolVersion, PartitionID: pid, IDs: ids, AutoCompact: opt.AutoCompact}
+		var reply DeleteReply
+		if err := r.callOwner(ctx, pid, "Worker.Delete", args, &reply); err != nil {
+			return 0, 0, err
+		}
+		r.partLen[pid].Store(int64(reply.Len))
+		return reply.Removed, reply.Gen, nil
+	})
+}
+
+// Upsert implements Engine for the remote deployment: replace groups
+// ride the Insert RPC with the Replace flag set.
+func (r *Remote) Upsert(ctx context.Context, trs []*geo.Trajectory, opt MutateOptions) (Gens, error) {
+	if len(trs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: upsert: %w", err)
+	}
+	if r.dir == nil {
+		return nil, ErrImmutable
+	}
+	return r.dir.upsert(trs, func(pid int, trs []*geo.Trajectory, _ int) (uint64, error) {
+		args := &InsertArgs{Version: ProtocolVersion, PartitionID: pid, Trajectories: trs, Replace: true, AutoCompact: opt.AutoCompact}
+		var reply InsertReply
+		if err := r.callOwner(ctx, pid, "Worker.Insert", args, &reply); err != nil {
+			return 0, err
+		}
+		r.partLen[pid].Store(int64(reply.Len))
+		return reply.Gen, nil
+	})
+}
+
+// Compact implements Engine for the remote deployment: each worker
+// compacts the selected partitions it owns.
+func (r *Remote) Compact(ctx context.Context, partitions []int) (Gens, error) {
+	sub, err := r.subset(partitions)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: compact: %w", err)
+	}
+	clients := r.conns()
+	if len(clients) == 0 {
+		return nil, ErrClosed
+	}
+	gens := make(Gens)
+	var mu sync.Mutex
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for _, ci := range r.targets(sub) {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			args := &CompactArgs{Version: ProtocolVersion, Partitions: sub}
+			var reply CompactReply
+			call := clients[ci].Go("Worker.Compact", args, &reply, make(chan *rpc.Call, 1))
+			select {
+			case <-call.Done:
+				errs[ci] = call.Error
+			case <-ctx.Done():
+				errs[ci] = fmt.Errorf("cluster: Worker.Compact on %s: %w", r.addrs[ci], ctx.Err())
+				return
+			}
+			mu.Lock()
+			for pid, gen := range reply.Gens {
+				gens[pid] = gen
+			}
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return gens, fmt.Errorf("cluster: compact on %s: %w", r.addrs[i], err)
+		}
+	}
+	return gens, nil
+}

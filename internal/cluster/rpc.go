@@ -28,11 +28,16 @@ import (
 // fires Worker.Cancel for in-flight IDs when its context is
 // cancelled, so a straggler worker stops computing instead of
 // burning cores on an answer nobody is waiting for.
+//
+// Protocol v3 adds online index maintenance: Insert/Delete/Compact
+// endpoints targeting one partition (the driver routes; workers
+// apply), and per-partition generation pins in the query header so a
+// driver can demand read-your-writes snapshots.
 
 // ProtocolVersion is the driver↔worker wire protocol version. The
 // worker rejects requests from a driver speaking a different version
 // rather than mis-decoding them.
-const ProtocolVersion = 2
+const ProtocolVersion = 3
 
 // checkVersion rejects a peer speaking a different protocol version.
 func checkVersion(v int) error {
@@ -86,6 +91,9 @@ type QueryHeader struct {
 	// (deduplicated by the driver); the worker intersects it with
 	// the partitions it owns. nil = all.
 	Partitions []int
+	// MinGens pins the query per global partition id; see
+	// QueryOptions.MinGens.
+	MinGens []uint64
 }
 
 // SearchArgs broadcasts a top-k query.
@@ -147,6 +155,52 @@ type SearchBatchReply struct {
 // CancelArgs aborts the in-flight query with the given id.
 type CancelArgs struct {
 	ID uint64
+}
+
+// InsertArgs applies pending inserts to one partition the worker
+// owns. The driver routes and validates; the worker only applies.
+// With Replace set the trajectories upsert (live ids are replaced in
+// one snapshot-atomic swap) instead of strictly inserting.
+type InsertArgs struct {
+	Version      int
+	PartitionID  int
+	Trajectories []*geo.Trajectory
+	Replace      bool
+	AutoCompact  float64
+}
+
+// InsertReply reports the partition's post-insert state.
+type InsertReply struct {
+	Gen uint64
+	Len int
+}
+
+// DeleteArgs removes ids from one partition the worker owns.
+type DeleteArgs struct {
+	Version     int
+	PartitionID int
+	IDs         []int
+	AutoCompact float64
+}
+
+// DeleteReply reports how many ids were live and the partition's
+// post-delete state.
+type DeleteReply struct {
+	Removed int
+	Gen     uint64
+	Len     int
+}
+
+// CompactArgs folds the pending deltas of the selected partitions the
+// worker owns (nil = all owned).
+type CompactArgs struct {
+	Version    int
+	Partitions []int
+}
+
+// CompactReply carries the compacted partitions' new generations.
+type CompactReply struct {
+	Gens map[int]uint64
 }
 
 // ClearArgs empties a worker between experiments.
@@ -235,7 +289,7 @@ func (w *Worker) view(subset []int) (*Local, []int, error) {
 	for i, id := range pids {
 		indexes[i] = w.indexes[id]
 	}
-	return localView(indexes, 0), pids, nil
+	return localView(indexes, pids, 0), pids, nil
 }
 
 // queryContext derives the query's context from the wire header and
@@ -320,7 +374,7 @@ func (w *Worker) Search(args *SearchArgs, reply *SearchReply) error {
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.Search(ctx, args.Query, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers})
+	items, rep, err := view.Search(ctx, args.Query, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens})
 	if err != nil {
 		return err
 	}
@@ -342,7 +396,7 @@ func (w *Worker) SearchRadius(args *RadiusArgs, reply *RadiusReply) error {
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.SearchRadius(ctx, args.Query, args.Radius, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers})
+	items, rep, err := view.SearchRadius(ctx, args.Query, args.Radius, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens})
 	if err != nil {
 		return err
 	}
@@ -364,7 +418,7 @@ func (w *Worker) SearchBatch(args *SearchBatchArgs, reply *SearchBatchReply) err
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.SearchBatch(ctx, args.Queries, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers})
+	items, rep, err := view.SearchBatch(ctx, args.Queries, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens})
 	if err != nil {
 		return err
 	}
@@ -374,6 +428,99 @@ func (w *Worker) SearchBatch(args *SearchBatchArgs, reply *SearchBatchReply) err
 		reply.PerQueryNanos[i] = d.Nanoseconds()
 	}
 	reply.TotalWorkNanos = rep.TotalWork.Nanoseconds()
+	return nil
+}
+
+// ownedMutable resolves one owned partition's index as mutable.
+func (w *Worker) ownedMutable(pid int) (MutableIndex, LocalIndex, error) {
+	w.mu.Lock()
+	idx := w.indexes[pid]
+	w.mu.Unlock()
+	if idx == nil {
+		return nil, nil, fmt.Errorf("cluster: worker does not own partition %d", pid)
+	}
+	m, ok := idx.(MutableIndex)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w (partition %d, %T)", ErrImmutable, pid, idx)
+	}
+	return m, idx, nil
+}
+
+// Insert applies pending inserts (or, with Replace, upserts) to one
+// owned partition.
+func (w *Worker) Insert(args *InsertArgs, reply *InsertReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	m, li, err := w.ownedMutable(args.PartitionID)
+	if err != nil {
+		return err
+	}
+	if args.Replace {
+		err = m.Upsert(args.Trajectories...)
+	} else {
+		err = m.Insert(args.Trajectories...)
+	}
+	if err != nil {
+		return err
+	}
+	if err := maybeCompact(m, li, args.AutoCompact); err != nil {
+		return err
+	}
+	reply.Gen = m.Generation()
+	reply.Len = li.Len()
+	return nil
+}
+
+// Delete removes ids from one owned partition.
+func (w *Worker) Delete(args *DeleteArgs, reply *DeleteReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	m, li, err := w.ownedMutable(args.PartitionID)
+	if err != nil {
+		return err
+	}
+	reply.Removed = m.Delete(args.IDs...)
+	if err := maybeCompact(m, li, args.AutoCompact); err != nil {
+		return err
+	}
+	reply.Gen = m.Generation()
+	reply.Len = li.Len()
+	return nil
+}
+
+// Compact folds the pending deltas of the selected owned partitions.
+func (w *Worker) Compact(args *CompactArgs, reply *CompactReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	var pids []int
+	if len(args.Partitions) == 0 {
+		for pid := range w.indexes {
+			pids = append(pids, pid)
+		}
+	} else {
+		for _, pid := range args.Partitions {
+			if _, ok := w.indexes[pid]; ok {
+				pids = append(pids, pid)
+			}
+		}
+	}
+	w.mu.Unlock()
+	sort.Ints(pids)
+	reply.Gens = make(map[int]uint64, len(pids))
+	for _, pid := range pids {
+		m, _, err := w.ownedMutable(pid)
+		if err != nil {
+			return err
+		}
+		if err := m.Compact(); err != nil {
+			return err
+		}
+		reply.Gens[pid] = m.Generation()
+	}
 	return nil
 }
 
@@ -418,9 +565,16 @@ type Remote struct {
 	owner     map[int]int // partition → client index
 	buildTime time.Duration
 	sizeBytes int
-	count     int
-	qidSalt   uint64 // random high bits distinguishing this driver
-	qid       atomic.Uint64
+	// partLen holds each partition's live trajectory count as last
+	// reported by its worker (build reply, then every mutation
+	// reply). Worker-authoritative numbers rather than driver-side
+	// arithmetic: a mutation whose outcome was unknown leaves the
+	// count stale only until the next successful mutation on that
+	// partition refreshes it.
+	partLen []atomic.Int64
+	qidSalt uint64 // random high bits distinguishing this driver
+	qid     atomic.Uint64
+	dir     *directory // online-mutation routing, driver side
 }
 
 // BuildRemote dials the worker addresses, verifies the protocol
@@ -467,11 +621,13 @@ func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Re
 			return nil, fmt.Errorf("cluster: build partition %d: %w", pid, err)
 		}
 	}
-	for _, rep := range replies {
+	r.partLen = make([]atomic.Int64, len(parts))
+	for pid, rep := range replies {
 		r.sizeBytes += rep.SizeBytes
-		r.count += rep.Len
+		r.partLen[pid].Store(int64(rep.Len))
 	}
 	r.buildTime = time.Since(start)
+	r.dir = newDirectory(spec, parts)
 	return r, nil
 }
 
@@ -485,11 +641,12 @@ func (r *Remote) subset(partitions []int) ([]int, error) {
 }
 
 // header prepares the common query preamble for one broadcast.
-func (r *Remote) header(ctx context.Context, partitions []int) QueryHeader {
+func (r *Remote) header(ctx context.Context, partitions []int, minGens []uint64) QueryHeader {
 	h := QueryHeader{
 		Version:    ProtocolVersion,
 		ID:         r.qidSalt | r.qid.Add(1),
 		Partitions: partitions,
+		MinGens:    minGens,
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		h.BudgetNanos = int64(time.Until(deadline))
@@ -610,7 +767,7 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 		return nil, QueryReport{}, err
 	}
 	start := time.Now()
-	h := r.header(ctx, sub)
+	h := r.header(ctx, sub, opt.MinGens)
 	args := &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
 	replies := make([]SearchReply, len(r.conns()))
 	if err := r.callAll(ctx, "Worker.Search", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
@@ -636,7 +793,7 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 		return nil, QueryReport{}, err
 	}
 	start := time.Now()
-	h := r.header(ctx, sub)
+	h := r.header(ctx, sub, opt.MinGens)
 	args := &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
 	replies := make([]RadiusReply, len(r.conns()))
 	if err := r.callAll(ctx, "Worker.SearchRadius", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
@@ -667,7 +824,7 @@ func (r *Remote) SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt Q
 		return nil, report, err
 	}
 	start := time.Now()
-	h := r.header(ctx, sub)
+	h := r.header(ctx, sub, opt.MinGens)
 	args := &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
 	replies := make([]SearchBatchReply, len(r.conns()))
 	if err := r.callAll(ctx, "Worker.SearchBatch", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
@@ -699,7 +856,13 @@ func (r *Remote) SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt Q
 func (r *Remote) BuildTime() time.Duration { return r.buildTime }
 
 // Len returns the total number of indexed trajectories.
-func (r *Remote) Len() int { return r.count }
+func (r *Remote) Len() int {
+	n := int64(0)
+	for i := range r.partLen {
+		n += r.partLen[i].Load()
+	}
+	return int(n)
+}
 
 // IndexSizeBytes sums the reported index footprints.
 func (r *Remote) IndexSizeBytes() int { return r.sizeBytes }

@@ -9,6 +9,7 @@ import (
 	"repose/internal/dist"
 	"repose/internal/geo"
 	"repose/internal/grid"
+	"repose/internal/partition"
 	"repose/internal/rptrie"
 	"repose/internal/topk"
 )
@@ -80,6 +81,11 @@ type IndexSpec struct {
 	Succinct   bool // compress to the two-tier layout after building
 	DisableLBt bool
 	DisableLBp bool
+
+	// Strategy is the global partitioning strategy of the batch
+	// build; the online router mirrors it when assigning trajectories
+	// inserted after the build (see partition.OnlineRouter).
+	Strategy partition.Strategy
 
 	// DFT knobs.
 	DFTC int // threshold sampling factor C

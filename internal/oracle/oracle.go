@@ -1,0 +1,128 @@
+// Package oracle provides brute-force reference answers for top-k and
+// radius trajectory similarity queries under all six measures. It is
+// the single source of ground truth for the test suite: every test
+// that needs an exact answer compares the trie-based engines against
+// this package instead of rolling its own linear scan.
+//
+// The oracle is deliberately free of pruning, bounds, grids, and
+// scratch reuse — each query is a full scan with the exact distance
+// kernel — so a disagreement with an index always indicts the index.
+package oracle
+
+import (
+	"math"
+	"sort"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/topk"
+)
+
+// TopK returns the exact top-k items for q over ds, ascending by
+// (distance, id), mirroring the index contract: nil for a non-positive
+// k or empty query, fewer than k items only when ds holds fewer.
+func TopK(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
+	if k <= 0 || len(q) == 0 || len(ds) == 0 {
+		return nil
+	}
+	h := topk.New(k)
+	for _, tr := range ds {
+		h.Push(tr.ID, dist.Distance(m, q, tr.Points, p))
+	}
+	return h.Results()
+}
+
+// Radius returns every trajectory of ds within radius of q, ascending
+// by (distance, id); nil for an empty query or negative radius.
+func Radius(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, radius float64) []topk.Item {
+	if len(q) == 0 || radius < 0 {
+		return nil
+	}
+	var out []topk.Item
+	for _, tr := range ds {
+		d := dist.Distance(m, q, tr.Points, p)
+		if d <= radius && !math.IsInf(d, 1) {
+			out = append(out, topk.Item{ID: tr.ID, Dist: d})
+		}
+	}
+	topk.SortItems(out)
+	return out
+}
+
+// Set is a mutable mirror of a live index's trajectory set. The
+// differential tests apply every Insert/Delete/Upsert to both the
+// index under test and a Set, then compare query answers.
+type Set struct {
+	trajs map[int]*geo.Trajectory
+}
+
+// NewSet returns a Set holding ds.
+func NewSet(ds []*geo.Trajectory) *Set {
+	s := &Set{trajs: make(map[int]*geo.Trajectory, len(ds))}
+	for _, tr := range ds {
+		s.trajs[tr.ID] = tr
+	}
+	return s
+}
+
+// Insert adds or replaces trajectories by id (upsert semantics — the
+// mirror does not police duplicate ids; the index under test does).
+func (s *Set) Insert(trs ...*geo.Trajectory) {
+	for _, tr := range trs {
+		s.trajs[tr.ID] = tr
+	}
+}
+
+// Delete removes ids, returning how many were present.
+func (s *Set) Delete(ids ...int) int {
+	n := 0
+	for _, id := range ids {
+		if _, ok := s.trajs[id]; ok {
+			delete(s.trajs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether id is live.
+func (s *Set) Has(id int) bool {
+	_, ok := s.trajs[id]
+	return ok
+}
+
+// Get returns the live trajectory with the given id, or nil.
+func (s *Set) Get(id int) *geo.Trajectory { return s.trajs[id] }
+
+// Len returns the number of live trajectories.
+func (s *Set) Len() int { return len(s.trajs) }
+
+// Slice returns the live trajectories sorted by id.
+func (s *Set) Slice() []*geo.Trajectory {
+	out := make([]*geo.Trajectory, 0, len(s.trajs))
+	for _, tr := range s.trajs {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the live ids sorted ascending.
+func (s *Set) IDs() []int {
+	out := make([]int, 0, len(s.trajs))
+	for id := range s.trajs {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TopK answers the top-k query over the current live set.
+func (s *Set) TopK(m dist.Measure, p dist.Params, q []geo.Point, k int) []topk.Item {
+	return TopK(m, p, s.Slice(), q, k)
+}
+
+// Radius answers the range query over the current live set.
+func (s *Set) Radius(m dist.Measure, p dist.Params, q []geo.Point, radius float64) []topk.Item {
+	return Radius(m, p, s.Slice(), q, radius)
+}

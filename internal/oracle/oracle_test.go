@@ -1,0 +1,73 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+)
+
+func tr(id int, xy ...float64) *geo.Trajectory {
+	t := &geo.Trajectory{ID: id}
+	for i := 0; i < len(xy); i += 2 {
+		t.Points = append(t.Points, geo.Point{X: xy[i], Y: xy[i+1]})
+	}
+	return t
+}
+
+func TestTopKContract(t *testing.T) {
+	ds := []*geo.Trajectory{tr(1, 0, 0), tr(2, 1, 0), tr(3, 5, 0)}
+	q := []geo.Point{{X: 0, Y: 0}}
+	got := TopK(dist.Hausdorff, dist.Params{}, ds, q, 2)
+	if len(got) != 2 || got[0].ID != 1 || got[0].Dist != 0 || got[1].ID != 2 {
+		t.Fatalf("top-2 = %v", got)
+	}
+	if TopK(dist.Hausdorff, dist.Params{}, ds, q, 0) != nil {
+		t.Error("k=0 must be nil")
+	}
+	if TopK(dist.Hausdorff, dist.Params{}, ds, nil, 2) != nil {
+		t.Error("empty query must be nil")
+	}
+	if n := len(TopK(dist.Hausdorff, dist.Params{}, ds, q, 10)); n != 3 {
+		t.Errorf("k>N returned %d", n)
+	}
+}
+
+func TestRadiusContract(t *testing.T) {
+	ds := []*geo.Trajectory{tr(1, 0, 0), tr(2, 1, 0), tr(3, 5, 0)}
+	q := []geo.Point{{X: 0, Y: 0}}
+	got := Radius(dist.Hausdorff, dist.Params{}, ds, q, 1.5)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("radius hits = %v", got)
+	}
+	if Radius(dist.Hausdorff, dist.Params{}, ds, q, -1) != nil {
+		t.Error("negative radius must be nil")
+	}
+	// Ties sort by id; exact boundary is inclusive.
+	exact := Radius(dist.Hausdorff, dist.Params{}, ds, q, 1.0)
+	if len(exact) != 2 || math.Abs(exact[1].Dist-1) > 1e-12 {
+		t.Fatalf("inclusive boundary: %v", exact)
+	}
+}
+
+func TestSetMirror(t *testing.T) {
+	s := NewSet([]*geo.Trajectory{tr(1, 0, 0), tr(2, 1, 1)})
+	if s.Len() != 2 || !s.Has(1) || s.Has(3) {
+		t.Fatalf("fresh set: %v", s.IDs())
+	}
+	s.Insert(tr(3, 2, 2), tr(1, 9, 9)) // upsert id 1
+	if s.Len() != 3 || s.Get(1).Points[0].X != 9 {
+		t.Fatal("insert/upsert failed")
+	}
+	if n := s.Delete(1, 1, 99); n != 1 {
+		t.Fatalf("delete removed %d", n)
+	}
+	ids := s.IDs()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if got := s.TopK(dist.Hausdorff, dist.Params{}, []geo.Point{{X: 1, Y: 1}}, 1); got[0].ID != 2 {
+		t.Fatalf("set topk = %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"fmt"
+
+	"repose/internal/geo"
+	"repose/internal/grid"
+)
+
+// OnlineRouter assigns trajectories that arrive after the batch build
+// to partitions, approximating each strategy's batch behavior without
+// re-clustering the whole dataset:
+//
+//   - Heterogeneous hashes the trajectory id. The batch form spreads
+//     each similarity cluster across partitions; a uniform id hash
+//     spreads everything — including any run of similar trajectories
+//     — the same way.
+//   - Homogeneous hashes the trajectory's coarse geohash signature, so
+//     trajectories sharing a coarse cell sequence keep landing in the
+//     same partition, as the batch clustering would group them.
+//   - Random hashes the id under a different key.
+//
+// Assign is stateless and a pure function of (strategy, seed,
+// trajectory): the same trajectory always routes to the same
+// partition. That determinism is load-bearing for failure recovery —
+// if a mutation RPC's outcome is unknown, a retried Insert reaches
+// the same partition and surfaces a clean duplicate-id error (and a
+// retried Upsert is simply idempotent) instead of silently going live
+// in a second partition.
+type OnlineRouter struct {
+	strategy Strategy
+	g        *grid.Grid
+	n        int
+	res      int // coarse resolution for the homogeneous signature
+	seed     uint64
+}
+
+// NewOnlineRouter builds a router over numPartitions partitions using
+// the same grid and seed as the batch build.
+func NewOnlineRouter(s Strategy, g *grid.Grid, numPartitions int, seed int64) (*OnlineRouter, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("partition: numPartitions %d must be positive", numPartitions)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("partition: nil grid")
+	}
+	// Half the grid resolution mirrors the batch clustering's coarse
+	// end state on the experimental datasets: fine enough to separate
+	// routes, coarse enough that noisy variants of one route share a
+	// signature.
+	res := (g.Bits + 1) / 2
+	if res < 1 {
+		res = 1
+	}
+	return &OnlineRouter{strategy: s, g: g, n: numPartitions, res: res, seed: uint64(seed)}, nil
+}
+
+// randomKey decorrelates the Random strategy's id hash from the
+// Heterogeneous one under the same seed.
+const randomKey = 0x9E3779B97F4A7C15
+
+// Assign returns the partition in [0, NumPartitions) for one arriving
+// trajectory.
+func (r *OnlineRouter) Assign(tr *geo.Trajectory) int {
+	switch r.strategy {
+	case Homogeneous:
+		return int(mix64(r.seed, hashString(r.g.CoarseKey(tr, r.res))) % uint64(r.n))
+	case Random:
+		return int(mix64(r.seed^randomKey, uint64(int64(tr.ID))) % uint64(r.n))
+	default: // Heterogeneous
+		return int(mix64(r.seed, uint64(int64(tr.ID))) % uint64(r.n))
+	}
+}
+
+// NumPartitions returns the router's partition count.
+func (r *OnlineRouter) NumPartitions() int { return r.n }
+
+// hashString is FNV-1a over s — a fixed, process-independent hash:
+// routing must be stable across driver restarts (the driver decides,
+// workers obey), which rules out the seeded stdlib hashes.
+func hashString(s string) uint64 {
+	// FNV-1a, inlined to avoid the hash.Hash64 allocation per call.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is a splitmix64 finalizer over seed ⊕ v — cheap, stateless,
+// and well-distributed for sequence counters.
+func mix64(seed, v uint64) uint64 {
+	x := seed ^ v
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,118 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repose/internal/geo"
+	"repose/internal/grid"
+)
+
+func onlineTestGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.NewWithBits(geo.Rect{Min: geo.Point{}, Max: geo.Point{X: 8, Y: 8}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func randomTraj(rng *rand.Rand, id int) *geo.Trajectory {
+	pts := make([]geo.Point, 2+rng.Intn(8))
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 8, Y: rng.Float64() * 8}
+	}
+	return &geo.Trajectory{ID: id, Points: pts}
+}
+
+func TestOnlineRouterContract(t *testing.T) {
+	g := onlineTestGrid(t)
+	if _, err := NewOnlineRouter(Heterogeneous, g, 0, 1); err == nil {
+		t.Error("zero partitions should fail")
+	}
+	if _, err := NewOnlineRouter(Heterogeneous, nil, 4, 1); err == nil {
+		t.Error("nil grid should fail")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range []Strategy{Heterogeneous, Homogeneous, Random} {
+		r, err := NewOnlineRouter(s, g, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumPartitions() != 5 {
+			t.Fatalf("%v: NumPartitions = %d", s, r.NumPartitions())
+		}
+		counts := make([]int, 5)
+		for i := 0; i < 500; i++ {
+			pid := r.Assign(randomTraj(rng, i))
+			if pid < 0 || pid >= 5 {
+				t.Fatalf("%v: pid %d out of range", s, pid)
+			}
+			counts[pid]++
+		}
+		for pid, n := range counts {
+			if n == 0 && s != Homogeneous {
+				// Homogeneous may legitimately leave a partition cold
+				// when few distinct signatures occur.
+				t.Errorf("%v: partition %d never assigned", s, pid)
+			}
+		}
+	}
+}
+
+// TestOnlineRouterDeterministic: assignment is a pure function of the
+// trajectory — a retried mutation routes identically — and a burst of
+// similar trajectories (distinct ids) still spreads across partitions
+// under Heterogeneous, the online analog of the batch strategy.
+func TestOnlineRouterDeterministic(t *testing.T) {
+	g := onlineTestGrid(t)
+	for _, s := range []Strategy{Heterogeneous, Homogeneous, Random} {
+		r, err := NewOnlineRouter(s, g, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _ := NewOnlineRouter(s, g, 3, 1)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 50; i++ {
+			tr := randomTraj(rng, i)
+			pid := r.Assign(tr)
+			if r.Assign(tr) != pid || r2.Assign(tr) != pid {
+				t.Fatalf("%v: assignment of id %d not deterministic", s, i)
+			}
+		}
+	}
+	// Similar trajectories with distinct ids spread under Heterogeneous.
+	r, _ := NewOnlineRouter(Heterogeneous, g, 3, 1)
+	base := randomTraj(rand.New(rand.NewSource(2)), 0)
+	seen := map[int]bool{}
+	for id := 0; id < 30; id++ {
+		seen[r.Assign(&geo.Trajectory{ID: id, Points: base.Points})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("similar burst hit only %d of 3 partitions", len(seen))
+	}
+}
+
+// TestOnlineRouterHomogeneousSticky: identical coarse signatures land
+// in the same partition, independent of arrival order.
+func TestOnlineRouterHomogeneousSticky(t *testing.T) {
+	g := onlineTestGrid(t)
+	r, err := NewOnlineRouter(Homogeneous, g, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &geo.Trajectory{ID: 1, Points: []geo.Point{{X: 1.1, Y: 1.1}, {X: 6.9, Y: 6.9}}}
+	b := &geo.Trajectory{ID: 2, Points: []geo.Point{{X: 1.3, Y: 1.2}, {X: 6.8, Y: 6.7}}} // same coarse cells
+	first := r.Assign(a)
+	for i := 0; i < 5; i++ {
+		if pid := r.Assign(b); pid != first {
+			t.Fatalf("similar trajectory routed to %d, want %d", pid, first)
+		}
+	}
+	// A second router with the same seed agrees (routing is stable
+	// across driver restarts).
+	r2, _ := NewOnlineRouter(Homogeneous, g, 4, 7)
+	if r2.Assign(a) != first {
+		t.Error("routing not stable across router instances")
+	}
+}

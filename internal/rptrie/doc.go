@@ -50,4 +50,34 @@
 // best-first loop tolerates the same staleness between partitions, so
 // nothing about the argument is new — only the float64-bits atomic
 // that carries it.
+//
+// # Online updates: generations, deltas, and compaction
+//
+// Both layouts support Insert, Delete, and Upsert through an
+// epoch/generation scheme (dynamic.go). The structural core built at
+// construction time is immutable; mutations accumulate in a small
+// immutable delta overlay — an append buffer of pending inserts plus
+// a tombstone set — and every mutation publishes a whole new state
+// (shallow core copy, cloned delta, generation+1) through one atomic
+// pointer swap. A query loads the pointer exactly once, so it is
+// snapshot-isolated: it observes all of a mutation or none of it,
+// with no read-side locking, and the delta-empty read path is
+// byte-identical to the static one (BenchmarkSearch/trie stays
+// 0 allocs/op). Compact rebuilds the core over the live set — core
+// minus tombstones plus pending inserts — re-running the ordinary
+// build (including z-value re-arrangement), and swaps the compacted
+// state in as the next generation; SearchOptions.MinGen lets a caller
+// pin a query to a generation floor (ErrStale below it), which the
+// cluster layer uses for read-your-writes.
+//
+// The bounds stay admissible under mutation without being touched:
+// deleting a member only loosens a leaf's precomputed Dmax/HR/length
+// bounds (they still lower-bound every remaining member, tombstones
+// are simply skipped at refinement), and pending inserts are never
+// covered by any stored bound — they are answered by an exact linear
+// scan of the append buffer, run before the best-first loop so the
+// threshold it establishes tightens trie pruning rather than
+// weakening it. Correctness across random mutation interleavings is
+// pinned to the brute-force oracle for all six measures and both
+// layouts in differential_test.go.
 package rptrie

@@ -31,7 +31,7 @@ func validate(t *testing.T, tr *Trie) {
 			refPts := tr.cfg.Grid.ReferencePoints(path)
 			for _, tid := range n.leaf.tids {
 				seen[tid]++
-				traj := tr.trajs[tid]
+				traj := tr.state().trajs[tid]
 				if traj == nil {
 					t.Fatalf("leaf holds unknown tid %d", tid)
 				}
@@ -96,9 +96,9 @@ func validate(t *testing.T, tr *Trie) {
 		}
 		return minLen, maxLen, depth
 	}
-	walk(tr.root, nil)
-	if len(seen) != len(tr.trajs) {
-		t.Fatalf("leaves hold %d distinct tids, index has %d", len(seen), len(tr.trajs))
+	walk(tr.state().root, nil)
+	if len(seen) != len(tr.state().trajs) {
+		t.Fatalf("leaves hold %d distinct tids, index has %d", len(seen), len(tr.state().trajs))
 	}
 	for tid, count := range seen {
 		if count != 1 {

@@ -59,8 +59,17 @@ type wireTrie struct {
 
 // Save serializes the trie to w in the gob wire format readable by
 // ReadTrie. (Not named WriteTo: io.WriterTo's byte-count contract is
-// meaningless through gob.)
+// meaningless through gob.) A pending delta is folded into the saved
+// image, so the restored trie always starts fully compacted (at
+// generation zero).
 func (t *Trie) Save(w io.Writer) error {
+	st := t.state()
+	if !st.delta.empty() {
+		var err error
+		if st, err = compactedState(t.cfg, st); err != nil {
+			return err
+		}
+	}
 	wt := wireTrie{
 		Magic: wireMagic,
 		Config: wireConfig{
@@ -74,9 +83,9 @@ func (t *Trie) Save(w io.Writer) error {
 			DisableLBt: t.cfg.DisableLBt,
 			DisableLBp: t.cfg.DisableLBp,
 		},
-		NumNodes: t.numNodes,
-		NumLeafs: t.numLeafs,
-		MaxDepth: t.maxDepth,
+		NumNodes: st.numNodes,
+		NumLeafs: st.numLeafs,
+		MaxDepth: st.maxDepth,
 	}
 	var flatten func(n *node)
 	flatten = func(n *node) {
@@ -100,9 +109,9 @@ func (t *Trie) Save(w io.Writer) error {
 			flatten(c)
 		}
 	}
-	flatten(t.root)
-	wt.Trajs = make([]*geo.Trajectory, 0, len(t.trajs))
-	for _, tr := range t.trajs {
+	flatten(st.root)
+	wt.Trajs = make([]*geo.Trajectory, 0, len(st.trajs))
+	for _, tr := range st.trajs {
 		wt.Trajs = append(wt.Trajs, tr)
 	}
 	return gob.NewEncoder(w).Encode(&wt)
@@ -127,6 +136,12 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rptrie: grid: %w", err)
 	}
+	st := &trieState{
+		trajs:    make(map[int32]*geo.Trajectory, len(wt.Trajs)),
+		numNodes: wt.NumNodes,
+		numLeafs: wt.NumLeafs,
+		maxDepth: wt.MaxDepth,
+	}
 	t := &Trie{
 		cfg: Config{
 			Measure:    wt.Config.Measure,
@@ -137,13 +152,9 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 			DisableLBt: wt.Config.DisableLBt,
 			DisableLBp: wt.Config.DisableLBp,
 		},
-		trajs:    make(map[int32]*geo.Trajectory, len(wt.Trajs)),
-		numNodes: wt.NumNodes,
-		numLeafs: wt.NumLeafs,
-		maxDepth: wt.MaxDepth,
 	}
 	for _, tr := range wt.Trajs {
-		t.trajs[int32(tr.ID)] = tr
+		st.trajs[int32(tr.ID)] = tr
 	}
 	pos := 0
 	var rebuild func() (*node, error)
@@ -168,7 +179,7 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 				maxLen: int(wn.LeafMaxLen),
 			}
 			for _, tid := range wn.Tids {
-				if _, ok := t.trajs[tid]; !ok {
+				if _, ok := st.trajs[tid]; !ok {
 					return nil, fmt.Errorf("rptrie: leaf references unknown trajectory %d", tid)
 				}
 			}
@@ -189,6 +200,7 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 	if pos != len(wt.Nodes) {
 		return nil, fmt.Errorf("rptrie: %d trailing nodes", len(wt.Nodes)-pos)
 	}
-	t.root = root
+	st.root = root
+	t.cur.Store(st)
 	return t, nil
 }

@@ -27,14 +27,22 @@ func (t *Trie) SearchRadius(q []geo.Point, radius float64) []topk.Item {
 // error once it is cancelled or past its deadline. A nil ctx disables
 // cancellation.
 func (t *Trie) SearchRadiusContext(ctx context.Context, q []geo.Point, radius float64, opt SearchOptions) ([]topk.Item, error) {
-	if len(q) == 0 || len(t.trajs) == 0 || radius < 0 {
+	st := t.state()
+	if opt.MinGen > st.gen {
+		return nil, ErrStale
+	}
+	if len(q) == 0 || st.live() == 0 || radius < 0 {
 		return nil, nil
 	}
 	sc := t.pool.get()
 	defer t.pool.put(sc)
 	rq := rangeQuery{
-		t: t, ctxPoller: ctxPoller{ctx: ctx}, sc: sc, q: q, radius: radius,
+		cfg: t.cfg, trajs: st.trajs,
+		ctxPoller: ctxPoller{ctx: ctx}, sc: sc, q: q, radius: radius,
 		workers: opt.RefineWorkers,
+	}
+	if d := st.delta; d != nil && len(d.dels) > 0 {
+		rq.dels = d.dels
 	}
 	if err := rq.err(); err != nil {
 		return nil, err
@@ -45,7 +53,19 @@ func (t *Trie) SearchRadiusContext(ctx context.Context, q []geo.Point, radius fl
 	}
 	sc.qb.Reset(t.cfg.Measure, q, t.cfg.Grid, t.cfg.Params)
 	sc.items = sc.items[:0]
-	if err := rq.walk(t.root, sc.qb.Root()); err != nil {
+	// Pending inserts sit outside the trie: scan them exactly.
+	if d := st.delta; d != nil {
+		for _, tr := range d.adds {
+			if rq.cancelled() {
+				return nil, rq.err()
+			}
+			dd := dist.DistanceBoundedScratch(t.cfg.Measure, q, tr.Points, t.cfg.Params, radius, &sc.ds)
+			if dd <= radius && !math.IsInf(dd, 1) {
+				sc.items = append(sc.items, topk.Item{ID: tr.ID, Dist: dd})
+			}
+		}
+	}
+	if err := rq.walk(st.root, sc.qb.Root()); err != nil {
 		return nil, err
 	}
 	topk.SortItems(sc.items)
@@ -60,7 +80,9 @@ func (t *Trie) SearchRadiusContext(ctx context.Context, q []geo.Point, radius fl
 // walk; hits accumulate in the pooled sc.items.
 type rangeQuery struct {
 	ctxPoller
-	t       *Trie
+	cfg     Config
+	trajs   map[int32]*geo.Trajectory
+	dels    map[int32]struct{} // tombstones filtered at refinement
 	sc      *searchScratch
 	q       []geo.Point
 	radius  float64
@@ -74,7 +96,6 @@ type rangeQuery struct {
 // walk consumes b: the last child takes ownership of it, so the
 // caller must not reuse (only Release) it afterwards.
 func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
-	t := rq.t
 	if rq.cancelled() {
 		return rq.err()
 	}
@@ -83,7 +104,7 @@ func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 	}
 	if n.leaf != nil {
 		lb := 0.0
-		if !t.cfg.DisableLBt {
+		if !rq.cfg.DisableLBt {
 			lb = b.LBtBounded(dist.LeafMeta{
 				NodeMeta: dist.NodeMeta{MinLen: n.leaf.minLen, MaxLen: n.leaf.maxLen},
 				Dmax:     n.leaf.dmax,
@@ -96,11 +117,16 @@ func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 				}
 			} else {
 				for _, tid := range n.leaf.tids {
+					if rq.dels != nil {
+						if _, dead := rq.dels[tid]; dead {
+							continue
+						}
+					}
 					if rq.cancelled() {
 						return rq.err()
 					}
-					tr := t.trajs[tid]
-					d := dist.DistanceBoundedScratch(t.cfg.Measure, rq.q, tr.Points, t.cfg.Params, rq.radius, &rq.sc.ds)
+					tr := rq.trajs[tid]
+					d := dist.DistanceBoundedScratch(rq.cfg.Measure, rq.q, tr.Points, rq.cfg.Params, rq.radius, &rq.sc.ds)
 					if d <= rq.radius && !math.IsInf(d, 1) {
 						rq.sc.items = append(rq.sc.items, topk.Item{ID: int(tid), Dist: d})
 					}
@@ -117,7 +143,7 @@ func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 			cb = b.Fork()
 		}
 		cb.ExtendZ(c.z)
-		if cb.LBo(t.nodeMeta(c)) > rq.radius {
+		if cb.LBo(nodeMeta(c)) > rq.radius {
 			if !last {
 				cb.Release()
 			}
@@ -134,7 +160,7 @@ func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 	return nil
 }
 
-func (t *Trie) nodeMeta(n *node) dist.NodeMeta {
+func nodeMeta(n *node) dist.NodeMeta {
 	return dist.NodeMeta{MinLen: n.minLen, MaxLen: n.maxLen, MaxDepthBelow: n.maxDepthBelow}
 }
 
@@ -147,7 +173,6 @@ func (t *Trie) nodeMeta(n *node) dist.NodeMeta {
 // bit-identical to the sequential walk.
 func (rq *rangeQuery) refineParallel(tids []int32) error {
 	sc := rq.sc
-	t := rq.t
 	nw := clampWorkers(rq.workers, len(tids))
 	for len(sc.wds) < nw {
 		sc.wds = append(sc.wds, new(dist.Scratch))
@@ -155,8 +180,13 @@ func (rq *rangeQuery) refineParallel(tids []int32) error {
 	var mu sync.Mutex
 	return parallelFor(rq.ctx, sc.wds[:nw], len(tids), func(i int, ws *dist.Scratch) {
 		tid := tids[i]
-		tr := t.trajs[tid]
-		d := dist.DistanceBoundedScratch(t.cfg.Measure, rq.q, tr.Points, t.cfg.Params, rq.radius, ws)
+		if rq.dels != nil {
+			if _, dead := rq.dels[tid]; dead {
+				return
+			}
+		}
+		tr := rq.trajs[tid]
+		d := dist.DistanceBoundedScratch(rq.cfg.Measure, rq.q, tr.Points, rq.cfg.Params, rq.radius, ws)
 		if d <= rq.radius && !math.IsInf(d, 1) {
 			mu.Lock()
 			sc.items = append(sc.items, topk.Item{ID: int(tid), Dist: d})

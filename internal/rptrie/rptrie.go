@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
@@ -60,17 +62,54 @@ type leafData struct {
 	maxLen int
 }
 
-// Trie is the built index together with the trajectories it covers
-// (the paper's RpTraj pairing of data and index).
-type Trie struct {
-	cfg      Config
+// trieState is one immutable generation of the index: the compacted
+// core (trie structure plus the trajectories it covers) and the delta
+// overlay of mutations applied since the last compaction. Queries load
+// exactly one state through an atomic pointer and never observe a
+// half-applied mutation; writers build a fresh state and swap it in
+// (see dynamic.go).
+type trieState struct {
+	gen      uint64
 	root     *node
 	trajs    map[int32]*geo.Trajectory
-	pool     scratchPool // recycled per-query search state
-	numNodes int         // excluding the root
+	numNodes int // excluding the root
 	numLeafs int
 	maxDepth int
+	delta    *delta // pending mutations; nil once compacted
 }
+
+// live returns the number of live trajectories: core members minus
+// tombstones plus pending inserts.
+func (st *trieState) live() int {
+	n := len(st.trajs)
+	if st.delta != nil {
+		n += len(st.delta.adds) - len(st.delta.dels)
+	}
+	return n
+}
+
+// trajectory resolves id against the state: pending inserts shadow the
+// core, tombstones hide it.
+func (st *trieState) trajectory(tid int32) *geo.Trajectory {
+	if tr, hit := st.delta.get(tid); hit {
+		return tr
+	}
+	return st.trajs[tid]
+}
+
+// Trie is the built index together with the trajectories it covers
+// (the paper's RpTraj pairing of data and index). It is a stable
+// handle over an atomically swapped immutable state, so concurrent
+// readers are always snapshot-isolated from Insert/Delete/Compact.
+type Trie struct {
+	cfg  Config
+	mu   sync.Mutex // serializes writers (Insert/Delete/Upsert/Compact)
+	cur  atomic.Pointer[trieState]
+	pool scratchPool // recycled per-query search state
+}
+
+// state returns the current immutable snapshot.
+func (t *Trie) state() *trieState { return t.cur.Load() }
 
 // Build constructs an RP-Trie over ds. Trajectories must be non-empty
 // and have unique ids.
@@ -84,10 +123,27 @@ func Build(cfg Config, ds []*geo.Trajectory) (*Trie, error) {
 	if !cfg.Measure.IsMetric() {
 		cfg.Pivots = nil
 	}
-	t := &Trie{
-		cfg:   cfg,
-		root:  &node{},
-		trajs: make(map[int32]*geo.Trajectory, len(ds)),
+	st, err := buildState(cfg, ds)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trie{cfg: cfg}
+	t.cur.Store(st)
+	return t, nil
+}
+
+// buildState constructs one compacted generation from scratch — the
+// shared core of Build and Compact. cfg must already be normalized
+// (non-nil grid, pivots cleared for non-metric measures), which Build
+// guarantees before the trie's first state and Config immutability
+// guarantees for every later compaction.
+func buildState(cfg Config, ds []*geo.Trajectory) (*trieState, error) {
+	b := &stateBuilder{
+		cfg: cfg,
+		st: &trieState{
+			root:  &node{},
+			trajs: make(map[int32]*geo.Trajectory, len(ds)),
+		},
 	}
 	type refEntry struct {
 		tid int32
@@ -99,10 +155,10 @@ func Build(cfg Config, ds []*geo.Trajectory) (*Trie, error) {
 			return nil, fmt.Errorf("rptrie: trajectory %d is empty", tr.ID)
 		}
 		tid := int32(tr.ID)
-		if _, dup := t.trajs[tid]; dup {
+		if _, dup := b.st.trajs[tid]; dup {
 			return nil, fmt.Errorf("rptrie: duplicate trajectory id %d", tr.ID)
 		}
-		t.trajs[tid] = tr
+		b.st.trajs[tid] = tr
 		zs := cfg.Grid.Reference(tr)
 		if cfg.Optimize {
 			zs = dedupZ(zs)
@@ -114,16 +170,22 @@ func Build(cfg Config, ds []*geo.Trajectory) (*Trie, error) {
 		for i, e := range entries {
 			items[i] = hsItem{tid: e.tid, zs: e.zs}
 		}
-		t.buildOptimized(t.root, items)
+		b.buildOptimized(b.st.root, items)
 	} else {
 		// Insert in id order for determinism.
 		sort.Slice(entries, func(i, j int) bool { return entries[i].tid < entries[j].tid })
 		for _, e := range entries {
-			t.insert(e.tid, e.zs)
+			b.insert(e.tid, e.zs)
 		}
 	}
-	t.finalize(t.root, nil, 0)
-	return t, nil
+	b.finalize(b.st.root, nil, 0)
+	return b.st, nil
+}
+
+// stateBuilder accumulates one trieState during construction.
+type stateBuilder struct {
+	cfg Config
+	st  *trieState
 }
 
 // dedupZ removes duplicate z-values (not just consecutive runs) while
@@ -142,20 +204,20 @@ func dedupZ(zs []uint64) []uint64 {
 }
 
 // insert adds one reference trajectory to the basic trie.
-func (t *Trie) insert(tid int32, zs []uint64) {
-	cur := t.root
+func (b *stateBuilder) insert(tid int32, zs []uint64) {
+	cur := b.st.root
 	for _, z := range zs {
 		next := cur.child(z)
 		if next == nil {
 			next = &node{z: z}
 			cur.children = append(cur.children, next)
-			t.numNodes++
+			b.st.numNodes++
 		}
 		cur = next
 	}
 	if cur.leaf == nil {
 		cur.leaf = &leafData{}
-		t.numLeafs++
+		b.st.numLeafs++
 	}
 	cur.leaf.tids = append(cur.leaf.tids, tid)
 }
@@ -183,21 +245,21 @@ type hsItem struct {
 // Theorem 1 / Appendix B: at each level, repeatedly make the most
 // frequent remaining z-value a child and move every trajectory
 // containing it into that child's subtree.
-func (t *Trie) buildOptimized(parent *node, items []hsItem) {
+func (b *stateBuilder) buildOptimized(parent *node, items []hsItem) {
 	for i := range items {
-		sort.Slice(items[i].zs, func(a, b int) bool { return items[i].zs[a] < items[i].zs[b] })
+		sort.Slice(items[i].zs, func(a, c int) bool { return items[i].zs[a] < items[i].zs[c] })
 	}
-	t.buildOptimizedSorted(parent, items)
+	b.buildOptimizedSorted(parent, items)
 }
 
-func (t *Trie) buildOptimizedSorted(parent *node, items []hsItem) {
+func (b *stateBuilder) buildOptimizedSorted(parent *node, items []hsItem) {
 	// Trajectories with no residual z-values terminate at parent.
 	rest := items[:0:0]
 	for _, it := range items {
 		if len(it.zs) == 0 {
 			if parent.leaf == nil {
 				parent.leaf = &leafData{}
-				t.numLeafs++
+				b.st.numLeafs++
 			}
 			parent.leaf.tids = append(parent.leaf.tids, it.tid)
 		} else {
@@ -223,7 +285,7 @@ func (t *Trie) buildOptimizedSorted(parent *node, items []hsItem) {
 		}
 		child := &node{z: best}
 		parent.children = append(parent.children, child)
-		t.numNodes++
+		b.st.numNodes++
 
 		taken := items[:0:0]
 		remain := items[:0:0]
@@ -240,7 +302,7 @@ func (t *Trie) buildOptimizedSorted(parent *node, items []hsItem) {
 				remain = append(remain, it)
 			}
 		}
-		t.buildOptimizedSorted(child, taken)
+		b.buildOptimizedSorted(child, taken)
 		items = remain
 	}
 }
@@ -263,27 +325,27 @@ func removeZ(zs []uint64, z uint64) []uint64 {
 // finalize sorts children, computes leaf Dmax values, and aggregates
 // the subtree metadata (length ranges, depth, HR) bottom-up. path is
 // the z-value sequence from the root to n.
-func (t *Trie) finalize(n *node, path []uint64, depth int) {
-	if depth > t.maxDepth {
-		t.maxDepth = depth
+func (b *stateBuilder) finalize(n *node, path []uint64, depth int) {
+	if depth > b.st.maxDepth {
+		b.st.maxDepth = depth
 	}
 	sort.Slice(n.children, func(i, j int) bool { return n.children[i].z < n.children[j].z })
 
 	n.minLen = int(^uint(0) >> 1) // MaxInt
 	n.maxLen = 0
 	n.maxDepthBelow = 0
-	if t.cfg.Pivots != nil {
-		n.hr = make([]pivot.Range, len(t.cfg.Pivots))
+	if b.cfg.Pivots != nil {
+		n.hr = make([]pivot.Range, len(b.cfg.Pivots))
 		for i := range n.hr {
 			n.hr[i] = pivot.EmptyRange()
 		}
 	}
 
 	if n.leaf != nil {
-		refPts := t.cfg.Grid.ReferencePoints(path)
+		refPts := b.cfg.Grid.ReferencePoints(path)
 		n.leaf.minLen = int(^uint(0) >> 1)
 		for _, tid := range n.leaf.tids {
-			tr := t.trajs[tid]
+			tr := b.st.trajs[tid]
 			l := len(tr.Points)
 			if l < n.leaf.minLen {
 				n.leaf.minLen = l
@@ -291,15 +353,15 @@ func (t *Trie) finalize(n *node, path []uint64, depth int) {
 			if l > n.leaf.maxLen {
 				n.leaf.maxLen = l
 			}
-			if t.cfg.Measure.IsMetric() {
-				d := dist.Distance(t.cfg.Measure, tr.Points, refPts, t.cfg.Params)
+			if b.cfg.Measure.IsMetric() {
+				d := dist.Distance(b.cfg.Measure, tr.Points, refPts, b.cfg.Params)
 				if d > n.leaf.dmax {
 					n.leaf.dmax = d
 				}
 			}
-			if t.cfg.Pivots != nil {
-				for i, pv := range t.cfg.Pivots {
-					d := dist.Distance(t.cfg.Measure, pv.Points, tr.Points, t.cfg.Params)
+			if b.cfg.Pivots != nil {
+				for i, pv := range b.cfg.Pivots {
+					d := dist.Distance(b.cfg.Measure, pv.Points, tr.Points, b.cfg.Params)
 					n.hr[i] = n.hr[i].Extend(d)
 				}
 			}
@@ -316,7 +378,7 @@ func (t *Trie) finalize(n *node, path []uint64, depth int) {
 		childPath := make([]uint64, len(path)+1)
 		copy(childPath, path)
 		childPath[len(path)] = c.z
-		t.finalize(c, childPath, depth+1)
+		b.finalize(c, childPath, depth+1)
 		if c.minLen < n.minLen {
 			n.minLen = c.minLen
 		}
@@ -333,27 +395,32 @@ func (t *Trie) finalize(n *node, path []uint64, depth int) {
 }
 
 // NumNodes returns the number of trie nodes, excluding the root (the
-// count Fig. 7 reports).
-func (t *Trie) NumNodes() int { return t.numNodes }
+// count Fig. 7 reports). Pending inserts are not counted until the
+// next compaction folds them in.
+func (t *Trie) NumNodes() int { return t.state().numNodes }
 
 // NumLeaves returns the number of terminal nodes.
-func (t *Trie) NumLeaves() int { return t.numLeafs }
+func (t *Trie) NumLeaves() int { return t.state().numLeafs }
 
 // MaxDepth returns the deepest node's depth.
-func (t *Trie) MaxDepth() int { return t.maxDepth }
+func (t *Trie) MaxDepth() int { return t.state().maxDepth }
 
-// Len returns the number of indexed trajectories.
-func (t *Trie) Len() int { return len(t.trajs) }
+// Len returns the number of live indexed trajectories, including
+// pending inserts and excluding pending deletes.
+func (t *Trie) Len() int { return t.state().live() }
 
-// Trajectory returns the indexed trajectory with the given id, or nil.
-func (t *Trie) Trajectory(id int) *geo.Trajectory { return t.trajs[int32(id)] }
+// Trajectory returns the live indexed trajectory with the given id, or
+// nil when the id is unknown or tombstoned.
+func (t *Trie) Trajectory(id int) *geo.Trajectory { return t.state().trajectory(int32(id)) }
 
 // Config returns the configuration the trie was built with.
 func (t *Trie) Config() Config { return t.cfg }
 
 // SizeBytes estimates the in-memory footprint of the index structure
-// (nodes, metadata, leaf payloads), excluding the raw trajectories.
+// (nodes, metadata, leaf payloads, pending delta), excluding the raw
+// trajectories.
 func (t *Trie) SizeBytes() int {
+	st := t.state()
 	var walk func(n *node) int
 	walk = func(n *node) int {
 		// label + slice headers + meta ints.
@@ -368,5 +435,5 @@ func (t *Trie) SizeBytes() int {
 		}
 		return sz
 	}
-	return walk(t.root)
+	return walk(st.root) + st.delta.sizeBytes()
 }

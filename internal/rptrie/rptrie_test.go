@@ -9,6 +9,7 @@ import (
 	"repose/internal/dist"
 	"repose/internal/geo"
 	"repose/internal/grid"
+	"repose/internal/oracle"
 	"repose/internal/pivot"
 	"repose/internal/topk"
 )
@@ -89,15 +90,6 @@ func clampF(v, lo, hi float64) float64 {
 	return v
 }
 
-// bruteForce returns the exact top-k by scanning.
-func bruteForce(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int) []topk.Item {
-	h := topk.New(k)
-	for _, tr := range ds {
-		h.Push(tr.ID, dist.Distance(m, q, tr.Points, p))
-	}
-	return h.Results()
-}
-
 func sameResults(a, b []topk.Item) bool {
 	if len(a) != len(b) {
 		return false
@@ -117,7 +109,7 @@ func sameResults(a, b []topk.Item) bool {
 // distances (Definition 3 assumes distinct distances).
 func assertTopK(t *testing.T, ctx string, m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int, got []topk.Item) {
 	t.Helper()
-	want := bruteForce(m, p, ds, q, k)
+	want := oracle.TopK(m, p, ds, q, k)
 	if len(got) != len(want) {
 		t.Fatalf("%s: got %d results, want %d", ctx, len(got), len(want))
 	}
@@ -206,7 +198,7 @@ func TestSearchPrefixReference(t *testing.T) {
 	}
 	q := []geo.Point{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 0.5}}
 	got := trie.Search(q, 3)
-	want := bruteForce(dist.Hausdorff, dist.Params{}, ds, q, 3)
+	want := oracle.TopK(dist.Hausdorff, dist.Params{}, ds, q, 3)
 	if !sameResults(got, want) {
 		t.Errorf("got %v, want %v", got, want)
 	}
@@ -236,7 +228,7 @@ func TestSearchDuplicateReferences(t *testing.T) {
 	}
 	q := []geo.Point{{X: 1, Y: 1}, {X: 3, Y: 1}}
 	got := trie.Search(q, 5)
-	want := bruteForce(dist.Frechet, dist.Params{}, ds, q, 5)
+	want := oracle.TopK(dist.Frechet, dist.Params{}, ds, q, 5)
 	if !sameResults(got, want) {
 		t.Errorf("got %v, want %v", got, want)
 	}
@@ -355,7 +347,7 @@ func TestGreedyHittingSetExample3(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rootKids []uint64
-	for _, c := range trie.root.children {
+	for _, c := range trie.state().root.children {
 		rootKids = append(rootKids, c.z)
 	}
 	sort.Slice(rootKids, func(i, j int) bool { return rootKids[i] < rootKids[j] })

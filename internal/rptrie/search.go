@@ -25,6 +25,14 @@ type SearchOptions struct {
 	// see doc.go for the admissibility argument behind the shared
 	// atomic threshold.
 	RefineWorkers int
+
+	// MinGen pins the query to index generation MinGen or newer: the
+	// query fails with ErrStale instead of answering from an older
+	// snapshot. 0 (the default) accepts any snapshot. Mutations are
+	// applied synchronously, so a pin taken from a completed mutation
+	// never fails on the index it mutated; the pin guards replicas
+	// and read-your-writes plumbing (see internal/cluster).
+	MinGen uint64
 }
 
 // ctxCheckMask throttles context polling: deadlines are checked every
@@ -182,19 +190,23 @@ func (t *Trie) Search(q []geo.Point, k int) []topk.Item {
 // capacity the whole query is allocation-free in steady state — the
 // form the benchmark suite and other tight callers use.
 func (t *Trie) SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.Item {
+	st := t.state()
 	sc := t.pool.get()
 	defer t.pool.put(sc)
-	s := searcher{cfg: t.cfg, trajs: t.trajs, sc: sc}
-	out, _, _ := s.run(ptrNode{t.root}, q, k, dst)
+	s := searcher{cfg: t.cfg, trajs: st.trajs, sc: sc}
+	s.setDelta(st.delta)
+	out, _, _ := s.run(ptrNode{st.root}, q, k, dst)
 	return out
 }
 
 // SearchWithStats is Search, also reporting traversal statistics.
 func (t *Trie) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
+	st := t.state()
 	sc := t.pool.get()
 	defer t.pool.put(sc)
-	s := searcher{cfg: t.cfg, trajs: t.trajs, sc: sc}
-	res, stats, _ := s.run(ptrNode{t.root}, q, k, nil)
+	s := searcher{cfg: t.cfg, trajs: st.trajs, sc: sc}
+	s.setDelta(st.delta)
+	res, stats, _ := s.run(ptrNode{st.root}, q, k, nil)
 	return res, stats
 }
 
@@ -203,15 +215,20 @@ func (t *Trie) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) 
 // error once it is cancelled or past its deadline, so a straggler
 // partition can be stopped mid-scan (Section V-B's concern).
 func (t *Trie) SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error) {
+	st := t.state()
+	if opt.MinGen > st.gen {
+		return nil, ErrStale
+	}
 	sc := t.pool.get()
 	defer t.pool.put(sc)
 	s := searcher{
-		cfg: t.cfg, trajs: t.trajs, sc: sc,
+		cfg: t.cfg, trajs: st.trajs, sc: sc,
 		ctxPoller:     ctxPoller{ctx: ctx},
 		noPivots:      opt.NoPivots,
 		refineWorkers: opt.RefineWorkers,
 	}
-	res, _, err := s.run(ptrNode{t.root}, q, k, nil)
+	s.setDelta(st.delta)
+	res, _, err := s.run(ptrNode{st.root}, q, k, nil)
 	return res, err
 }
 
@@ -220,9 +237,25 @@ type searcher struct {
 	ctxPoller
 	cfg           Config
 	trajs         map[int32]*geo.Trajectory
+	adds          []*geo.Trajectory  // pending inserts, scanned exactly
+	dels          map[int32]struct{} // tombstones filtered at refinement
 	noPivots      bool
 	refineWorkers int
 	sc            *searchScratch
+}
+
+// setDelta attaches a snapshot's overlay. Empty components stay nil so
+// the hot loop's emptiness checks cost one pointer comparison.
+func (s *searcher) setDelta(d *delta) {
+	if d == nil {
+		return
+	}
+	if len(d.adds) > 0 {
+		s.adds = d.adds
+	}
+	if len(d.dels) > 0 {
+		s.dels = d.dels
+	}
 }
 
 // run executes the best-first loop, appending the final results to
@@ -230,7 +263,7 @@ type searcher struct {
 // allocation of the non-append entry points).
 func (s *searcher) run(root searchNode, q []geo.Point, k int, dst []topk.Item) ([]topk.Item, SearchStats, error) {
 	var stats SearchStats
-	if k <= 0 || len(q) == 0 || len(s.trajs) == 0 {
+	if k <= 0 || len(q) == 0 || (len(s.trajs) == 0 && len(s.adds) == 0) {
 		return dst, stats, nil
 	}
 	if err := s.err(); err != nil {
@@ -239,6 +272,15 @@ func (s *searcher) run(root searchNode, q []geo.Point, k int, dst []topk.Item) (
 	sc := s.sc
 	sc.res.Reset(k)
 	results := &sc.res
+
+	// Pending inserts are not covered by any trie bound: answer them
+	// with an exact linear scan first, so the threshold they establish
+	// also prunes the trie walk below.
+	if len(s.adds) > 0 {
+		if err := s.scanDelta(q, results, &stats); err != nil {
+			return dst, stats, err
+		}
+	}
 
 	var dqp []float64
 	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots {
@@ -335,6 +377,21 @@ func (s *searcher) expand(n searchNode, b *dist.PathBounder, pq *entryQueue, res
 	}
 }
 
+// scanDelta refines every pending insert exactly, threshold-cut like
+// any leaf member. The append buffer is unordered; the heap's final
+// (distance, id) sort keeps results deterministic.
+func (s *searcher) scanDelta(q []geo.Point, results *topk.Heap, stats *SearchStats) error {
+	for _, tr := range s.adds {
+		if s.cancelled() {
+			return s.err()
+		}
+		stats.ExactComputations++
+		d := dist.DistanceBoundedScratch(s.cfg.Measure, q, tr.Points, s.cfg.Params, results.Threshold(), &s.sc.ds)
+		results.Push(tr.ID, d)
+	}
+	return nil
+}
+
 // refine computes exact distances for a leaf's members, with
 // early-abandoning kernels cut off at the current threshold. While
 // the result heap is not yet full the threshold is +Inf, so no
@@ -344,6 +401,11 @@ func (s *searcher) refine(lv leafView, q []geo.Point, results *topk.Heap, stats 
 		return s.refineParallel(lv, q, results, stats)
 	}
 	for _, tid := range lv.tids {
+		if s.dels != nil {
+			if _, dead := s.dels[tid]; dead {
+				continue
+			}
+		}
 		if s.cancelled() {
 			return s.err()
 		}
@@ -370,6 +432,7 @@ func (s *searcher) refineParallel(lv leafView, q []geo.Point, results *topk.Heap
 		measure: s.cfg.Measure,
 		params:  s.cfg.Params,
 		trajs:   s.trajs,
+		dels:    s.dels,
 		tids:    lv.tids,
 		q:       q,
 		results: results,
@@ -385,6 +448,7 @@ type parallelRefine struct {
 	measure dist.Measure
 	params  dist.Params
 	trajs   map[int32]*geo.Trajectory
+	dels    map[int32]struct{} // tombstoned members to skip
 	tids    []int32
 	q       []geo.Point
 	results *topk.Heap
@@ -406,6 +470,11 @@ func refineLeafParallel(pr parallelRefine) (int, error) {
 	thr.Store(pr.results.Threshold())
 	err := parallelFor(pr.ctx, pr.wds, len(pr.tids), func(i int, ws *dist.Scratch) {
 		tid := pr.tids[i]
+		if pr.dels != nil {
+			if _, dead := pr.dels[tid]; dead {
+				return
+			}
+		}
 		tr := pr.trajs[tid]
 		d := dist.DistanceBoundedScratch(pr.measure, pr.q, tr.Points, pr.params, thr.Load(), ws)
 		computed.Add(1)

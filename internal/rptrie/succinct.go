@@ -6,6 +6,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repose/internal/bits"
 	"repose/internal/dist"
@@ -28,11 +30,38 @@ import (
 // the trie itself), and HR ranges are stored as directed-rounded
 // float32 pairs (min down, max up) to halve their footprint without
 // compromising bound soundness.
+//
+// Like Trie, a Succinct is a stable handle over an atomically swapped
+// immutable state, so Insert/Delete/Upsert/Compact are snapshot-
+// isolated from concurrent queries; mutations ride the same delta
+// overlay, and Compact rebuilds and recompresses the core.
 type Succinct struct {
-	cfg   Config
-	trajs map[int32]*geo.Trajectory
-	pool  scratchPool
+	cfg  Config
+	mu   sync.Mutex // serializes writers
+	cur  atomic.Pointer[succState]
+	pool scratchPool
+}
 
+// succState is one immutable generation of the succinct index.
+type succState struct {
+	gen   uint64
+	core  *succCore
+	trajs map[int32]*geo.Trajectory
+	delta *delta // pending mutations; nil once compacted
+}
+
+// live mirrors trieState.live for the succinct layout.
+func (st *succState) live() int {
+	n := len(st.trajs)
+	if st.delta != nil {
+		n += len(st.delta.adds) - len(st.delta.dels)
+	}
+	return n
+}
+
+// succCore is the compressed structural core shared by every
+// generation until a compaction replaces it.
+type succCore struct {
 	alphabet []uint64 // sorted distinct z-values of dense-level edges
 	levels   []*denseLevel
 	sparse   []int  // blob offsets of the sparse subtree roots
@@ -68,24 +97,45 @@ type sLeaf struct {
 const denseBudgetBits = 1 << 22
 
 // Compress converts a built pointer trie into the succinct layout.
-// The result answers queries identically to the source trie.
+// The result answers queries identically to the source trie; a
+// pending delta is folded in first, so the compressed core always
+// starts fully compacted.
 func Compress(t *Trie) (*Succinct, error) {
-	if t == nil || t.root == nil {
+	if t == nil {
 		return nil, errors.New("rptrie: nil trie")
 	}
-	s := &Succinct{
-		cfg:      t.cfg,
-		trajs:    t.trajs,
-		np:       len(t.cfg.Pivots),
-		numNodes: t.numNodes,
-		numLeafs: t.numLeafs,
+	st := t.state()
+	if !st.delta.empty() {
+		var err error
+		if st, err = compactedState(t.cfg, st); err != nil {
+			return nil, err
+		}
 	}
-	if !t.cfg.Measure.IsMetric() {
-		s.np = 0
+	core, err := compressCore(t.cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	s := &Succinct{cfg: t.cfg}
+	s.cur.Store(&succState{gen: st.gen, core: core, trajs: st.trajs})
+	return s, nil
+}
+
+// compressCore encodes one compacted trieState as a succinct core.
+func compressCore(cfg Config, st *trieState) (*succCore, error) {
+	if st == nil || st.root == nil {
+		return nil, errors.New("rptrie: nil trie")
+	}
+	core := &succCore{
+		np:       len(cfg.Pivots),
+		numNodes: st.numNodes,
+		numLeafs: st.numLeafs,
+	}
+	if !cfg.Measure.IsMetric() {
+		core.np = 0
 	}
 
 	// BFS the trie, collecting nodes per level (level 0 = root).
-	levels := [][]*node{{t.root}}
+	levels := [][]*node{{st.root}}
 	for {
 		last := levels[len(levels)-1]
 		var next []*node
@@ -121,7 +171,7 @@ func Compress(t *Trie) (*Succinct, error) {
 		for l := 0; l < cand; l++ {
 			nl := len(levels[l])
 			denseBits += nl*a + nl
-			sparseBytes += nl * (5 + nPivots(t)*8)
+			sparseBytes += nl * (5 + core.np*8)
 			for _, n := range levels[l] {
 				sparseBytes += len(n.children) * 5
 			}
@@ -141,12 +191,12 @@ func Compress(t *Trie) (*Succinct, error) {
 			}
 		}
 	}
-	s.alphabet = make([]uint64, 0, len(alpha))
+	core.alphabet = make([]uint64, 0, len(alpha))
 	for z := range alpha {
-		s.alphabet = append(s.alphabet, z)
+		core.alphabet = append(core.alphabet, z)
 	}
-	sort.Slice(s.alphabet, func(i, j int) bool { return s.alphabet[i] < s.alphabet[j] })
-	a := len(s.alphabet)
+	sort.Slice(core.alphabet, func(i, j int) bool { return core.alphabet[i] < core.alphabet[j] })
+	a := len(core.alphabet)
 
 	// Encode dense levels 0..F-1.
 	for l := 0; l < f; l++ {
@@ -155,73 +205,65 @@ func Compress(t *Trie) (*Succinct, error) {
 			n:        len(nodes),
 			bc:       bits.NewSet(len(nodes) * a),
 			bt:       bits.NewSet(len(nodes)),
-			leafBase: len(s.leaves),
+			leafBase: len(core.leaves),
 			meta:     make([]denseMeta, len(nodes)),
 		}
-		if s.np > 0 {
-			dl.hr = make([]float32, 0, len(nodes)*s.np*2)
+		if core.np > 0 {
+			dl.hr = make([]float32, 0, len(nodes)*core.np*2)
 		}
 		for i, n := range nodes {
 			base := dl.bc.Len()
 			dl.bc.PushN(false, a)
 			for _, c := range n.children {
-				sym := s.symbol(c.z)
+				sym := core.symbol(c.z)
 				dl.bc.SetBit(base + sym)
 			}
 			dl.bt.PushBit(n.leaf != nil)
 			if n.leaf != nil {
-				s.addLeaf(n.leaf)
+				core.addLeaf(n.leaf)
 			}
 			dl.meta[i] = denseMeta{
 				minLen:   int32(n.minLen),
 				maxLen:   int32(n.maxLen),
 				maxDepth: int32(n.maxDepthBelow),
 			}
-			for j := 0; j < s.np; j++ {
+			for j := 0; j < core.np; j++ {
 				dl.hr = append(dl.hr, f32Down(n.hr[j].Min), f32Up(n.hr[j].Max))
 			}
 		}
 		dl.bc.Seal()
 		dl.bt.Seal()
-		s.levels = append(s.levels, dl)
+		core.levels = append(core.levels, dl)
 	}
 
 	// Serialize the sparse tier: subtrees rooted at depth F, in BFS
 	// order of their roots (matching the rank addressing of the last
 	// dense level).
 	if f == 0 {
-		s.sparse = []int{0}
-		s.blob = s.encodeSparse(nil, t.root)
+		core.sparse = []int{0}
+		core.blob = core.encodeSparse(nil, st.root)
 	} else if f < len(levels) {
 		for _, root := range levels[f] {
-			s.sparse = append(s.sparse, len(s.blob))
-			s.blob = s.encodeSparse(s.blob, root)
+			core.sparse = append(core.sparse, len(core.blob))
+			core.blob = core.encodeSparse(core.blob, root)
 		}
 	}
-	return s, nil
+	return core, nil
 }
 
-// nPivots returns the effective pivot count of a trie's config.
-func nPivots(t *Trie) int {
-	if !t.cfg.Measure.IsMetric() {
-		return 0
-	}
-	return len(t.cfg.Pivots)
-}
-
-func (s *Succinct) symbol(z uint64) int {
-	i := sort.Search(len(s.alphabet), func(i int) bool { return s.alphabet[i] >= z })
+func (c *succCore) symbol(z uint64) int {
+	i := sort.Search(len(c.alphabet), func(i int) bool { return c.alphabet[i] >= z })
 	return i
 }
 
-func (s *Succinct) addLeaf(l *leafData) int {
-	s.leaves = append(s.leaves, sLeaf{
+func (c *succCore) addLeaf(l *leafData) int {
+	c.leaves = append(c.leaves, sLeaf{
 		tids:   l.tids,
 		dmax:   l.dmax,
 		minLen: int32(l.minLen),
 		maxLen: int32(l.maxLen),
 	})
-	return len(s.leaves) - 1
+	return len(c.leaves) - 1
 }
 
 // encodeSparse appends n's DFS record to buf:
@@ -232,7 +274,7 @@ func (s *Succinct) addLeaf(l *leafData) int {
 //	[hasLeaf] uvarint leaf payload index
 //	uvarint childCount
 //	childCount × (uvarint z, uvarint recLen, record)
-func (s *Succinct) encodeSparse(buf []byte, n *node) []byte {
+func (c *succCore) encodeSparse(buf []byte, n *node) []byte {
 	var flags byte
 	if n.leaf != nil {
 		flags |= 1
@@ -241,17 +283,17 @@ func (s *Succinct) encodeSparse(buf []byte, n *node) []byte {
 	buf = binary.AppendUvarint(buf, uint64(n.minLen))
 	buf = binary.AppendUvarint(buf, uint64(n.maxLen))
 	buf = binary.AppendUvarint(buf, uint64(n.maxDepthBelow))
-	for j := 0; j < s.np; j++ {
+	for j := 0; j < c.np; j++ {
 		buf = appendF32(buf, f32Down(n.hr[j].Min))
 		buf = appendF32(buf, f32Up(n.hr[j].Max))
 	}
 	if n.leaf != nil {
-		buf = binary.AppendUvarint(buf, uint64(s.addLeaf(n.leaf)))
+		buf = binary.AppendUvarint(buf, uint64(c.addLeaf(n.leaf)))
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(n.children)))
-	for _, c := range n.children {
-		child := s.encodeSparse(nil, c)
-		buf = binary.AppendUvarint(buf, c.z)
+	for _, ch := range n.children {
+		child := c.encodeSparse(nil, ch)
+		buf = binary.AppendUvarint(buf, ch.z)
 		buf = binary.AppendUvarint(buf, uint64(len(child)))
 		buf = append(buf, child...)
 	}
@@ -282,6 +324,9 @@ func f32Up(v float64) float32 {
 	return f
 }
 
+// state returns the current immutable snapshot.
+func (s *Succinct) state() *succState { return s.cur.Load() }
+
 // Search answers a top-k query on the succinct layout; results are
 // identical to the source trie's.
 func (s *Succinct) Search(q []geo.Point, k int) []topk.Item {
@@ -291,20 +336,24 @@ func (s *Succinct) Search(q []geo.Point, k int) []topk.Item {
 
 // SearchWithStats is Search with traversal statistics.
 func (s *Succinct) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
+	st := s.state()
 	sc := s.pool.get()
 	defer s.pool.put(sc)
-	sr := searcher{cfg: s.cfg, trajs: s.trajs, sc: sc}
-	res, stats, _ := sr.run(s.rootRef(), q, k, nil)
+	sr := searcher{cfg: s.cfg, trajs: st.trajs, sc: sc}
+	sr.setDelta(st.delta)
+	res, stats, _ := sr.run(st.core.rootRef(), q, k, nil)
 	return res, stats
 }
 
 // SearchAppend is Search appending the results to dst; see
 // Trie.SearchAppend.
 func (s *Succinct) SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.Item {
+	st := s.state()
 	sc := s.pool.get()
 	defer s.pool.put(sc)
-	sr := searcher{cfg: s.cfg, trajs: s.trajs, sc: sc}
-	out, _, _ := sr.run(s.rootRef(), q, k, dst)
+	sr := searcher{cfg: s.cfg, trajs: st.trajs, sc: sc}
+	sr.setDelta(st.delta)
+	out, _, _ := sr.run(st.core.rootRef(), q, k, dst)
 	return out
 }
 
@@ -312,88 +361,194 @@ func (s *Succinct) SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.It
 // see Trie.SearchContext. Both layouts share the same cancellable
 // best-first loop.
 func (s *Succinct) SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error) {
+	st := s.state()
+	if opt.MinGen > st.gen {
+		return nil, ErrStale
+	}
 	sc := s.pool.get()
 	defer s.pool.put(sc)
 	sr := searcher{
-		cfg: s.cfg, trajs: s.trajs, sc: sc,
+		cfg: s.cfg, trajs: st.trajs, sc: sc,
 		ctxPoller:     ctxPoller{ctx: ctx},
 		noPivots:      opt.NoPivots,
 		refineWorkers: opt.RefineWorkers,
 	}
-	res, _, err := sr.run(s.rootRef(), q, k, nil)
+	sr.setDelta(st.delta)
+	res, _, err := sr.run(st.core.rootRef(), q, k, nil)
 	return res, err
 }
 
-func (s *Succinct) rootRef() searchNode {
-	if len(s.levels) > 0 {
-		return denseRef{s: s, level: 0, idx: 0}
+func (c *succCore) rootRef() searchNode {
+	if len(c.levels) > 0 {
+		return denseRef{c: c, level: 0, idx: 0}
 	}
-	return sparseRef{s: s, off: 0}
+	return sparseRef{c: c, off: 0}
+}
+
+// Generation returns the snapshot's generation counter; see
+// Trie.Generation.
+func (s *Succinct) Generation() uint64 { return s.state().gen }
+
+// DeltaLen returns the number of pending (uncompacted) mutations.
+func (s *Succinct) DeltaLen() int { return s.state().delta.size() }
+
+// Insert adds trajectories as pending inserts; see Trie.Insert. The
+// staging logic is shared with the pointer layout (dynamic.go); these
+// shells only swap the layout's own state pointer.
+func (s *Succinct) Insert(trs ...*geo.Trajectory) error {
+	if len(trs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cur.Load()
+	nd, err := stageInsert(st.delta, st.trajs, trs)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(st.withDelta(nd))
+	return nil
+}
+
+// Delete removes the given ids, returning how many were live; see
+// Trie.Delete.
+func (s *Succinct) Delete(ids ...int) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cur.Load()
+	nd, n := stageDelete(st.delta, st.trajs, ids)
+	if n == 0 {
+		return 0
+	}
+	s.cur.Store(st.withDelta(nd))
+	return n
+}
+
+// Upsert inserts trajectories, replacing live ids; see Trie.Upsert.
+func (s *Succinct) Upsert(trs ...*geo.Trajectory) error {
+	if len(trs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cur.Load()
+	nd, err := stageUpsert(st.delta, st.trajs, trs)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(st.withDelta(nd))
+	return nil
+}
+
+// Compact folds the pending delta into a rebuilt, recompressed core;
+// see Trie.Compact. The rebuild goes through the pointer layout, so
+// nothing about the succinct encoding limits which mutations are
+// supported.
+func (s *Succinct) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.cur.Load()
+	if st.delta.empty() {
+		return nil
+	}
+	ts, err := buildState(s.cfg, st.delta.merged(st.trajs))
+	if err != nil {
+		return err
+	}
+	core, err := compressCore(s.cfg, ts)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(&succState{gen: st.gen + 1, core: core, trajs: ts.trajs})
+	return nil
+}
+
+// succState.withDelta derives the next generation with nd as overlay.
+func (st *succState) withDelta(nd *delta) *succState {
+	ns := *st
+	ns.delta = nd
+	ns.gen = st.gen + 1
+	return &ns
 }
 
 // NumNodes returns the node count inherited from the source trie.
-func (s *Succinct) NumNodes() int { return s.numNodes }
+func (s *Succinct) NumNodes() int { return s.state().core.numNodes }
 
 // NumLeaves returns the leaf count inherited from the source trie.
-func (s *Succinct) NumLeaves() int { return s.numLeafs }
+func (s *Succinct) NumLeaves() int { return s.state().core.numLeafs }
 
-// Len returns the number of indexed trajectories.
-func (s *Succinct) Len() int { return len(s.trajs) }
+// Len returns the number of live indexed trajectories.
+func (s *Succinct) Len() int { return s.state().live() }
+
+// Trajectory returns the live indexed trajectory with the given id, or
+// nil when the id is unknown or tombstoned.
+func (s *Succinct) Trajectory(id int) *geo.Trajectory {
+	st := s.state()
+	if tr, hit := st.delta.get(int32(id)); hit {
+		return tr
+	}
+	return st.trajs[int32(id)]
+}
 
 // DenseLevels returns the number of bitmap-encoded upper levels.
-func (s *Succinct) DenseLevels() int { return len(s.levels) }
+func (s *Succinct) DenseLevels() int { return len(s.state().core.levels) }
 
 // SizeBytes reports the in-memory footprint of the index structure,
 // excluding the raw trajectories.
 func (s *Succinct) SizeBytes() int {
-	sz := len(s.blob) + len(s.alphabet)*8 + len(s.sparse)*8
-	for _, dl := range s.levels {
+	st := s.state()
+	c := st.core
+	sz := len(c.blob) + len(c.alphabet)*8 + len(c.sparse)*8
+	for _, dl := range c.levels {
 		sz += dl.bc.SizeBytes() + dl.bt.SizeBytes()
 		sz += len(dl.meta)*12 + len(dl.hr)*4
 	}
-	for _, l := range s.leaves {
+	for _, l := range c.leaves {
 		sz += 24 + len(l.tids)*4
 	}
-	return sz
+	return sz + st.delta.sizeBytes()
 }
 
 // denseRef navigates the bitmap tier.
 type denseRef struct {
-	s     *Succinct
+	c     *succCore
 	level int32
 	idx   int32
 }
 
 func (r denseRef) appendChildren(dst []childEdge) []childEdge {
-	s := r.s
-	dl := s.levels[r.level]
-	a := len(s.alphabet)
+	c := r.c
+	dl := c.levels[r.level]
+	a := len(c.alphabet)
 	base := int(r.idx) * a
 	r0 := dl.bc.Rank1(base)
 	r1 := dl.bc.Rank1(base + a)
 	for rank := r0; rank < r1; rank++ {
 		pos := dl.bc.Select1(rank)
-		z := s.alphabet[pos-base]
-		if int(r.level)+1 < len(s.levels) {
-			dst = append(dst, childEdge{z: z, n: denseRef{s: s, level: r.level + 1, idx: int32(rank)}})
+		z := c.alphabet[pos-base]
+		if int(r.level)+1 < len(c.levels) {
+			dst = append(dst, childEdge{z: z, n: denseRef{c: c, level: r.level + 1, idx: int32(rank)}})
 		} else {
-			dst = append(dst, childEdge{z: z, n: sparseRef{s: s, off: s.sparse[rank]}})
+			dst = append(dst, childEdge{z: z, n: sparseRef{c: c, off: c.sparse[rank]}})
 		}
 	}
 	return dst
 }
 
 func (r denseRef) leafView() (leafView, bool) {
-	dl := r.s.levels[r.level]
+	dl := r.c.levels[r.level]
 	if !dl.bt.Get(int(r.idx)) {
 		return leafView{}, false
 	}
-	l := r.s.leaves[dl.leafBase+dl.bt.Rank1(int(r.idx))]
+	l := r.c.leaves[dl.leafBase+dl.bt.Rank1(int(r.idx))]
 	return leafView{tids: l.tids, dmax: l.dmax, minLen: int(l.minLen), maxLen: int(l.maxLen)}, true
 }
 
 func (r denseRef) meta() dist.NodeMeta {
-	m := r.s.levels[r.level].meta[r.idx]
+	m := r.c.levels[r.level].meta[r.idx]
 	return dist.NodeMeta{MinLen: int(m.minLen), MaxLen: int(m.maxLen), MaxDepthBelow: int(m.maxDepth)}
 }
 
@@ -401,14 +556,14 @@ func (r denseRef) meta() dist.NodeMeta {
 // materializing a []pivot.Range per visited node would put an
 // allocation on the traversal hot path.
 func (r denseRef) pivotLB(dqp []float64) float64 {
-	s := r.s
-	if s.np == 0 || dqp == nil {
+	c := r.c
+	if c.np == 0 || dqp == nil {
 		return 0
 	}
-	dl := s.levels[r.level]
-	base := int(r.idx) * s.np * 2
+	dl := c.levels[r.level]
+	base := int(r.idx) * c.np * 2
 	lb := 0.0
-	for j := 0; j < s.np && j < len(dqp); j++ {
+	for j := 0; j < c.np && j < len(dqp); j++ {
 		lo := float64(dl.hr[base+2*j])
 		hi := float64(dl.hr[base+2*j+1])
 		if v := pivot.RangeBound(dqp[j], lo, hi); v > lb {
@@ -419,16 +574,16 @@ func (r denseRef) pivotLB(dqp []float64) float64 {
 }
 
 // sparseRef navigates the byte-serialized tier; off is the record's
-// offset in s.blob.
+// offset in c.blob.
 type sparseRef struct {
-	s   *Succinct
+	c   *succCore
 	off int
 }
 
 // decodeHeader parses the fixed part of a record and returns the
 // parsed fields along with the offset of the child list.
 func (r sparseRef) decodeHeader() (flags byte, meta dist.NodeMeta, hrOff int, leafIdx int, childrenOff int) {
-	b := r.s.blob
+	b := r.c.blob
 	p := r.off
 	flags = b[p]
 	p++
@@ -442,7 +597,7 @@ func (r sparseRef) decodeHeader() (flags byte, meta dist.NodeMeta, hrOff int, le
 	meta.MaxDepthBelow = int(v)
 	p += n
 	hrOff = p
-	p += r.s.np * 8
+	p += r.c.np * 8
 	leafIdx = -1
 	if flags&1 != 0 {
 		v, n = binary.Uvarint(b[p:])
@@ -453,7 +608,7 @@ func (r sparseRef) decodeHeader() (flags byte, meta dist.NodeMeta, hrOff int, le
 }
 
 func (r sparseRef) appendChildren(dst []childEdge) []childEdge {
-	b := r.s.blob
+	b := r.c.blob
 	_, _, _, _, p := r.decodeHeader()
 	count, n := binary.Uvarint(b[p:])
 	p += n
@@ -462,7 +617,7 @@ func (r sparseRef) appendChildren(dst []childEdge) []childEdge {
 		p += n
 		recLen, n := binary.Uvarint(b[p:])
 		p += n
-		dst = append(dst, childEdge{z: z, n: sparseRef{s: r.s, off: p}})
+		dst = append(dst, childEdge{z: z, n: sparseRef{c: r.c, off: p}})
 		p += int(recLen)
 	}
 	return dst
@@ -473,7 +628,7 @@ func (r sparseRef) leafView() (leafView, bool) {
 	if leafIdx < 0 {
 		return leafView{}, false
 	}
-	l := r.s.leaves[leafIdx]
+	l := r.c.leaves[leafIdx]
 	return leafView{tids: l.tids, dmax: l.dmax, minLen: int(l.minLen), maxLen: int(l.maxLen)}, true
 }
 
@@ -485,13 +640,13 @@ func (r sparseRef) meta() dist.NodeMeta {
 // pivotLB evaluates LBp by decoding the record's float32 ranges in
 // place; see denseRef.pivotLB.
 func (r sparseRef) pivotLB(dqp []float64) float64 {
-	if r.s.np == 0 || dqp == nil {
+	if r.c.np == 0 || dqp == nil {
 		return 0
 	}
-	b := r.s.blob
+	b := r.c.blob
 	_, _, hrOff, _, _ := r.decodeHeader()
 	lb := 0.0
-	for j := 0; j < r.s.np && j < len(dqp); j++ {
+	for j := 0; j < r.c.np && j < len(dqp); j++ {
 		lo := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j:])))
 		hi := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[hrOff+8*j+4:])))
 		if v := pivot.RangeBound(dqp[j], lo, hi); v > lb {

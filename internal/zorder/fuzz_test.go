@@ -1,0 +1,49 @@
+package zorder
+
+import "testing"
+
+// FuzzZOrderRoundTrip checks, for every coordinate pair and bit width
+// the fuzzer can reach, that Encode/Decode round-trip exactly, the
+// z-value stays inside its 2·bits budget, and the coarsening helpers
+// agree with re-encoding the shifted coordinates.
+func FuzzZOrderRoundTrip(f *testing.F) {
+	f.Add(uint32(0b010), uint32(0b101), uint8(3)) // the paper's Example 2
+	f.Add(uint32(0), uint32(0), uint8(1))
+	f.Add(uint32(1)<<30, uint32(1)<<30, uint8(31))
+	f.Add(uint32(12345), uint32(54321), uint8(17))
+	f.Fuzz(func(t *testing.T, x, y uint32, bitsRaw uint8) {
+		bits := int(bitsRaw)%MaxBits + 1
+		mask := uint32(1)<<uint(bits) - 1
+		x &= mask
+		y &= mask
+
+		z := Encode(x, y, bits)
+		if max := uint64(1) << uint(2*bits); z >= max {
+			t.Fatalf("Encode(%d, %d, %d) = %#x exceeds %d bits", x, y, bits, z, 2*bits)
+		}
+		dx, dy := Decode(z, bits)
+		if dx != x || dy != y {
+			t.Fatalf("Decode(Encode(%d, %d, %d)) = (%d, %d)", x, y, bits, dx, dy)
+		}
+
+		// Decode→Encode also round-trips for arbitrary in-range z.
+		if z2 := Encode(dx, dy, bits); z2 != z {
+			t.Fatalf("Encode(Decode(%#x)) = %#x", z, z2)
+		}
+
+		// Parent and AtResolution are coordinate shifts.
+		if bits > 1 {
+			px, py := Decode(Parent(z), bits-1)
+			if px != x>>1 || py != y>>1 {
+				t.Fatalf("Parent(%#x): (%d, %d), want (%d, %d)", z, px, py, x>>1, y>>1)
+			}
+			res := bits - 1
+			cx, cy := Decode(AtResolution(z, bits, res), res)
+			shift := uint(bits - res)
+			if cx != x>>shift || cy != y>>shift {
+				t.Fatalf("AtResolution(%#x, %d, %d): (%d, %d), want (%d, %d)",
+					z, bits, res, cx, cy, x>>shift, y>>shift)
+			}
+		}
+	})
+}

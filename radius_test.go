@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repose/internal/dist"
+	"repose/internal/oracle"
 )
 
 func TestSearchRadiusPublicAPI(t *testing.T) {
@@ -20,26 +21,16 @@ func TestSearchRadiusPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Brute-force reference.
-	want := map[int]float64{}
-	for _, tr := range ds {
-		if d := dist.HausdorffDist(q.Points, tr.Points); d <= radius {
-			want[tr.ID] = d
-		}
-	}
+	want := oracle.Radius(dist.Hausdorff, dist.Params{Epsilon: idx.opts.Epsilon, Gap: idx.region.Min}, ds, q.Points, radius)
 	if len(got) != len(want) {
 		t.Fatalf("got %d results, want %d", len(got), len(want))
 	}
 	for i, r := range got {
-		w, ok := want[r.ID]
-		if !ok {
-			t.Fatalf("unexpected id %d", r.ID)
+		if r.ID != want[i].ID {
+			t.Fatalf("rank %d id %d, want %d", i, r.ID, want[i].ID)
 		}
-		if math.Abs(r.Dist-w) > 1e-9 {
-			t.Fatalf("id %d dist %v want %v", r.ID, r.Dist, w)
-		}
-		if i > 0 && got[i-1].Dist > r.Dist {
-			t.Fatal("results unsorted")
+		if math.Abs(r.Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("id %d dist %v want %v", r.ID, r.Dist, want[i].Dist)
 		}
 	}
 	// The query itself is always inside any radius.

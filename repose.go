@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -158,12 +159,21 @@ func (e engineRemote) String() string       { return "remote" }
 func (e engineRemote) exec() cluster.Engine { return e.r }
 
 // Index is a built distributed index. The same query methods work
-// identically whichever Engine backs it.
+// identically whichever Engine backs it. An Index is live: Insert,
+// Delete, and Upsert change its contents online, with snapshot
+// isolation against concurrent queries (see the package README's
+// "Online updates" section).
 type Index struct {
 	eng    Engine
 	region geo.Rect
 	opts   Options
 	closed atomic.Bool
+
+	// gens pins queries to the generations this Index's own mutations
+	// produced (read-your-writes): nil until the first mutation, then
+	// one entry per partition, attached to every query.
+	genMu sync.Mutex
+	gens  []uint64
 }
 
 // Stats summarizes a built index.
@@ -214,6 +224,7 @@ func (o Options) spec(ds []*Trajectory, region geo.Rect) cluster.IndexSpec {
 		Pivots:    pivots,
 		Optimize:  !o.NoRearrange && o.Measure.OrderIndependent(),
 		Succinct:  o.Succinct,
+		Strategy:  o.Strategy,
 		Seed:      o.Seed,
 	}
 }
@@ -318,7 +329,7 @@ func (x *Index) Search(ctx context.Context, q *Trajectory, k int, opts ...QueryO
 		return nil, ErrBadK
 	}
 	qc := applyQueryOptions(opts)
-	items, rep, err := x.eng.exec().Search(ctx, q.Points, k, qc.cluster())
+	items, rep, err := x.eng.exec().Search(ctx, q.Points, k, x.clusterOptions(qc))
 	if qc.report != nil {
 		*qc.report = rep
 	}
@@ -340,7 +351,7 @@ func (x *Index) SearchRadius(ctx context.Context, q *Trajectory, radius float64,
 		return nil, ErrSuccinctUnsupported
 	}
 	qc := applyQueryOptions(opts)
-	items, rep, err := x.eng.exec().SearchRadius(ctx, q.Points, radius, qc.cluster())
+	items, rep, err := x.eng.exec().SearchRadius(ctx, q.Points, radius, x.clusterOptions(qc))
 	if qc.report != nil {
 		*qc.report = rep
 	}
@@ -366,7 +377,7 @@ func (x *Index) SearchBatch(ctx context.Context, qs []*Trajectory, k int, opts .
 		qpts[i] = q.Points
 	}
 	qc := applyQueryOptions(opts)
-	items, rep, err := x.eng.exec().SearchBatch(ctx, qpts, k, qc.cluster())
+	items, rep, err := x.eng.exec().SearchBatch(ctx, qpts, k, x.clusterOptions(qc))
 	if qc.batchReport != nil {
 		*qc.batchReport = rep
 	}
@@ -410,6 +421,10 @@ func Distance(m Measure, a, b *Trajectory) float64 {
 func DistanceWith(m Measure, a, b *Trajectory, epsilon float64, gap Point) float64 {
 	return dist.Distance(m, a.Points, b.Points, dist.Params{Epsilon: epsilon, Gap: gap})
 }
+
+// ProtocolVersion is the driver↔worker wire protocol version spoken
+// by this build; a worker rejects drivers speaking another version.
+const ProtocolVersion = cluster.ProtocolVersion
 
 // ServeWorker runs a worker process serving the given address until
 // the listener fails. It reports the bound address through onReady
