@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"net"
-	"runtime"
 	"testing"
 	"time"
+
+	"repose/internal/cluster/chaos"
+	"repose/internal/leakcheck"
 )
 
 // startTestWorkers spins up n in-process TCP workers whose lifetime
@@ -137,7 +139,7 @@ func TestCancellationBothBackends(t *testing.T) {
 	if _, err := remote.Search(ctx, ds[0], 5); err != nil {
 		t.Fatal(err)
 	}
-	base := runtime.NumGoroutine()
+	base := leakcheck.Base()
 
 	for _, idx := range []*Index{local, remote} {
 		name := idx.Engine().String()
@@ -158,16 +160,10 @@ func TestCancellationBothBackends(t *testing.T) {
 		}
 	}
 
-	// All query goroutines must drain; allow scheduler jitter.
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= base+2 {
-			break
-		} else if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak: %d now vs %d baseline", n, base)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// All query goroutines must drain; leakcheck paces itself on the
+	// test's own deadline instead of a fixed sleep budget, so a loaded
+	// -race CI machine cannot flake this.
+	leakcheck.Settle(t, base)
 }
 
 // TestServeWorkerContextShutdown: cancelling the context closes the
@@ -200,5 +196,120 @@ func TestServeWorkerContextShutdown(t *testing.T) {
 	if conn, err := net.Dial("tcp", addr); err == nil {
 		conn.Close()
 		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestReplicatedFacadeFailover: the public API's fault-tolerance
+// surface. A replicated remote index keeps answering — including
+// reads of its own writes — while a worker is dead behind a chaos
+// proxy, identically to a fault-free local index, and Health exposes
+// the recovery.
+func TestReplicatedFacadeFailover(t *testing.T) {
+	ds := testData(t, 300)
+	opts := Options{Partitions: 6, Seed: 4}
+	local, err := Build(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := chaos.NewFleet(startTestWorkers(t, 3), chaos.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+	remote, err := BuildRemote(ds, opts, fleet.Addrs(),
+		WithReplication(2),
+		WithFailover(FailoverConfig{
+			FailThreshold: 1,
+			ProbeInterval: 25 * time.Millisecond,
+			CallTimeout:   500 * time.Millisecond,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	ctx := context.Background()
+
+	// Mutate through the facade, then kill a worker: the surviving
+	// replicas must still satisfy the index's read-your-writes pins.
+	fresh := &Trajectory{ID: 999_001, Points: []Point{{X: 0.5, Y: 0.5}, {X: 0.6, Y: 0.6}}}
+	if err := local.Insert(ctx, []*Trajectory{fresh}); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Insert(ctx, []*Trajectory{fresh}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := fleet.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Down()
+
+	for _, q := range []*Trajectory{ds[3], fresh, ds[77]} {
+		want, err := local.Search(ctx, q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := remote.Search(ctx, q, 10)
+		if err != nil {
+			t.Fatalf("replicated search with dead worker: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("len %d want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d: %+v want %+v", i, got[i], want[i])
+			}
+		}
+	}
+	gotR, err := remote.SearchRadius(ctx, ds[3], 0.5)
+	if err != nil {
+		t.Fatalf("replicated radius with dead worker: %v", err)
+	}
+	wantR, err := local.SearchRadius(ctx, ds[3], 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotR) != len(wantR) {
+		t.Fatalf("radius len %d want %d", len(gotR), len(wantR))
+	}
+
+	// Health reflects the dead worker, and the cluster heals after it
+	// returns.
+	down := 0
+	for _, h := range remote.Health() {
+		if h.Down {
+			down++
+		}
+	}
+	if down == 0 {
+		t.Fatal("Health reports no dead worker while one is down")
+	}
+	if local.Health() != nil {
+		t.Fatal("local index should report nil health")
+	}
+	p.Up()
+	deadline := time.Now().Add(20 * time.Second)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		healthy := true
+		for _, h := range remote.Health() {
+			if h.Down || h.StaleParts > 0 {
+				healthy = false
+			}
+		}
+		if healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not heal: %+v", remote.Health())
+		}
+		<-tick.C
+	}
+
+	// Replication factor above the fleet size fails loudly.
+	if _, err := BuildRemote(ds, opts, fleet.Addrs(), WithReplication(9)); err == nil {
+		t.Fatal("over-replication should fail the build")
 	}
 }

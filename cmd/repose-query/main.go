@@ -39,6 +39,7 @@ func main() {
 		delta       = flag.Float64("delta", 0, "grid cell side δ (0 = span/64)")
 		partitions  = flag.Int("partitions", 0, "partitions (0 = one per core)")
 		workers     = flag.String("workers", "", "comma-separated worker addresses (empty = in-process)")
+		replication = flag.Int("replication", 0, "remote replication factor: place each partition on this many workers and fail over between them (0/1 = off)")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		excludeSelf = flag.Bool("exclude-self", false, "drop the query trajectory from results")
 	)
@@ -71,7 +72,7 @@ func main() {
 	start := time.Now()
 	var idx *repose.Index
 	if *workers != "" {
-		idx, err = repose.BuildRemote(ds, opts, strings.Split(*workers, ","))
+		idx, err = repose.BuildRemote(ds, opts, strings.Split(*workers, ","), repose.WithReplication(*replication))
 	} else {
 		idx, err = repose.Build(ds, opts)
 	}

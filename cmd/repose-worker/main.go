@@ -7,6 +7,11 @@
 //
 //	repose-worker -addr 127.0.0.1:7701 &
 //	repose-worker -addr 127.0.0.1:7702 &
+//
+// Replacing a dead worker in a replicated cluster (the driver's
+// failure detector streams the partition state back automatically):
+//
+//	repose-worker -addr 127.0.0.1:7701 -rejoin &
 package main
 
 import (
@@ -24,13 +29,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7701", "listen address (host:port, :0 for ephemeral)")
+	rejoin := flag.Bool("rejoin", false, "rejoin a replicated cluster as the replacement for a dead worker: start empty and await a state restore from the driver")
 	flag.Parse()
 
 	log.SetPrefix("repose-worker: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := repose.ServeWorkerContext(ctx, *addr, func(bound string) {
+	err := repose.ServeWorkerOptions(ctx, *addr, repose.WorkerOptions{Rejoin: *rejoin}, func(bound string) {
 		fmt.Printf("listening on %s (protocol v%d)\n", bound, repose.ProtocolVersion)
+		if *rejoin {
+			log.Print("rejoin mode: awaiting state restore from the driver")
+		}
 	})
 	if errors.Is(err, context.Canceled) {
 		log.Print("shutting down")

@@ -41,6 +41,14 @@ var (
 	// ErrImmutableIndex rejects mutations on an engine whose
 	// partition indexes have no online-update support.
 	ErrImmutableIndex = cluster.ErrImmutable
+	// ErrUnavailable reports a query or mutation that found some
+	// partition with no live in-sync replica: every worker holding it
+	// is dead, circuit-broken, or awaiting a state restore. With
+	// replication (WithReplication) this requires multiple concurrent
+	// worker failures; without it, any worker death. Match with
+	// errors.Is. The index recovers automatically once a replica
+	// returns.
+	ErrUnavailable = cluster.ErrUnavailable
 )
 
 // QueryOption modulates a single query without rebuilding the index;

@@ -1,17 +1,20 @@
 // Distributed: run a multi-worker REPOSE cluster over TCP on one
-// machine — the paper's Spark deployment in miniature. Worker
-// services own partitions; the driver ships them trajectories at
-// build time and broadcasts queries; local top-k results are merged
-// at the driver (Section V-C).
+// machine — the paper's Spark deployment in miniature, plus the fault
+// tolerance the paper gets from Spark for free. Worker services own
+// partitions; the driver ships them trajectories at build time and
+// broadcasts queries; local top-k results are merged at the driver
+// (Section V-C).
 //
-// The returned index answers the exact same context-aware query
-// surface as an in-process one: Search, SearchRadius, and SearchBatch
-// all work identically, deadlines cancel straggler partitions
-// mid-scan on the workers, and WithReport observes per-partition
-// balance.
+// With repose.WithReplication(2) every partition lives on two
+// workers. This example kills one worker mid-workload (its network is
+// severed through a chaos proxy, exactly like the failover test
+// suite) and shows queries continuing uninterrupted on the replicas,
+// then brings a fresh, empty worker back at the same address — the
+// `repose-worker -rejoin` flow — and watches the driver stream the
+// partition state back into it.
 //
-// This example starts the workers in-process for self-containment;
-// in a real deployment each would be a `repose-worker` process on its
+// This example starts the workers in-process for self-containment; in
+// a real deployment each would be a `repose-worker` process on its
 // own machine.
 //
 //	go run ./examples/distributed
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"repose"
+	"repose/internal/cluster/chaos"
 	"repose/internal/dataset"
 )
 
@@ -46,6 +50,13 @@ func main() {
 	for i := range addrs {
 		addrs[i] = <-ready
 	}
+	// The chaos fleet sits between driver and workers so this example
+	// can sever a worker's network on demand.
+	fleet, err := chaos.NewFleet(addrs, chaos.Schedule{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
 	fmt.Printf("started %d workers: %v\n", numWorkers, addrs)
 
 	spec, err := dataset.ByName("T-drive", 1.0/256)
@@ -55,13 +66,19 @@ func main() {
 	ds := dataset.Generate(spec)
 
 	start := time.Now()
-	idx, err := repose.BuildRemote(ds, repose.Options{Partitions: 16}, addrs)
+	idx, err := repose.BuildRemote(ds, repose.Options{Partitions: 16}, fleet.Addrs(),
+		repose.WithReplication(2),
+		repose.WithFailover(repose.FailoverConfig{
+			FailThreshold: 1,
+			ProbeInterval: 50 * time.Millisecond,
+			CallTimeout:   2 * time.Second,
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer idx.Close()
 	st := idx.Stats()
-	fmt.Printf("distributed build: %d trajectories over %d partitions on %d workers in %v\n",
+	fmt.Printf("replicated build: %d trajectories × 2 replicas over %d partitions on %d workers in %v\n",
 		st.Trajectories, st.Partitions, numWorkers, time.Since(start).Round(time.Millisecond))
 
 	// A top-k query with a deadline: if a straggler partition held the
@@ -81,8 +98,76 @@ func main() {
 		fmt.Printf("  %d. trajectory %d, distance %.5f\n", rank+1, r.ID, r.Dist)
 	}
 
-	// The range query and the batch path work on the remote backend
-	// too — same methods, same results as an in-process index.
+	// Kill worker 1 mid-workload: its connections are severed and
+	// reconnects refused, exactly like a crashed process. The workload
+	// keeps running; failover is invisible apart from the health view.
+	fmt.Println("\n--- killing worker 1 mid-workload ---")
+	proxy, err := fleet.At(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	killed := false
+	for i := 0; i < 20; i++ {
+		if i == 7 {
+			proxy.Down()
+			killed = true
+		}
+		got, err := idx.Search(ctx, ds[i*13], 5)
+		if err != nil {
+			log.Fatalf("query %d failed (killed=%v): %v", i, killed, err)
+		}
+		if i == 7 || i == 19 {
+			fmt.Printf("query %d with worker 1 dead: top hit trajectory %d at %.5f\n", i, got[0].ID, got[0].Dist)
+		}
+	}
+	for _, h := range idx.Health() {
+		state := "up"
+		if h.Down {
+			state = "DOWN"
+		}
+		fmt.Printf("worker %s: %s, %d replicas awaiting restore\n", h.Addr, state, h.StaleParts)
+	}
+
+	// Online mutations keep working too — the surviving replicas
+	// absorb them, and the dead worker will be backfilled on rejoin.
+	fresh := &repose.Trajectory{ID: 10_000_000, Points: query.Points}
+	if err := idx.Upsert(ctx, []*repose.Trajectory{fresh}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("upserted trajectory 10000000 while worker 1 was dead")
+
+	// Bring a replacement online: a brand-new empty worker appears at
+	// the same (proxied) address — `repose-worker -rejoin` in a real
+	// deployment — and the driver streams the partition state back.
+	fmt.Println("\n--- restarting worker 1 empty, -rejoin style ---")
+	rejoinReady := make(chan string, 1)
+	go func() {
+		if err := repose.ServeWorkerOptions(ctx, "127.0.0.1:0", repose.WorkerOptions{Rejoin: true},
+			func(addr string) { rejoinReady <- addr }); err != nil && ctx.Err() == nil {
+			log.Fatal(err)
+		}
+	}()
+	proxy.SetTarget(<-rejoinReady)
+	proxy.Up()
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		healthy := true
+		for _, h := range idx.Health() {
+			if h.Down || h.StaleParts > 0 {
+				healthy = false
+			}
+		}
+		if healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("cluster did not heal in time")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Println("cluster healed: restored worker holds its partitions again (mutations included)")
+
+	// The range query and the batch path ride the same failover
+	// machinery — same methods, same results as an in-process index.
 	within, err := idx.SearchRadius(ctx, query, 0.5)
 	if err != nil {
 		log.Fatal(err)

@@ -3,7 +3,11 @@
 // (Section III-B, "Succinct trie structure", after SuRF).
 package bits
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
 
 const (
 	wordBits = 64
@@ -168,4 +172,40 @@ func selectInWord(w uint64, j int) int {
 // SizeBytes returns the approximate in-memory footprint.
 func (s *Set) SizeBytes() int {
 	return len(s.words)*8 + len(s.ranks)*4 + 24
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler (used by gob for
+// index persistence): a little-endian uint64 bit count followed by the
+// packed words. The rank directory is derivable and not serialized.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+len(s.words)*8)
+	binary.LittleEndian.PutUint64(out, uint64(s.n))
+	for i, w := range s.words {
+		binary.LittleEndian.PutUint64(out[8+i*8:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The restored
+// set is sealed: rank/select are immediately available.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 || (len(data)-8)%8 != 0 {
+		return errors.New("bits: truncated bitset encoding")
+	}
+	n := binary.LittleEndian.Uint64(data)
+	words := (len(data) - 8) / 8
+	if n > uint64(words)*wordBits || (words > 0 && n <= uint64(words-1)*wordBits) {
+		return errors.New("bits: bit count inconsistent with word count")
+	}
+	*s = Set{words: make([]uint64, words), n: int(n)}
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(data[8+i*8:])
+	}
+	if tail := s.n % wordBits; tail != 0 {
+		if s.words[words-1]&^(1<<uint(tail)-1) != 0 {
+			return errors.New("bits: set bits beyond the bit count")
+		}
+	}
+	s.Seal()
+	return nil
 }

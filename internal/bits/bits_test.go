@@ -181,3 +181,59 @@ func TestSizeBytesPositive(t *testing.T) {
 		t.Error("SizeBytes should be positive")
 	}
 }
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 513, 4096} {
+		orig := NewSet(n)
+		for i := 0; i < n; i++ {
+			orig.PushBit(i%3 == 0 || i%7 == 2)
+		}
+		orig.Seal()
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Set
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if back.Len() != orig.Len() || back.Ones() != orig.Ones() {
+			t.Fatalf("n=%d: len/ones differ after round trip", n)
+		}
+		for i := 0; i < n; i++ {
+			if back.Get(i) != orig.Get(i) {
+				t.Fatalf("n=%d: bit %d differs", n, i)
+			}
+			if back.Rank1(i) != orig.Rank1(i) {
+				t.Fatalf("n=%d: rank %d differs", n, i)
+			}
+		}
+		for j := 0; j < orig.Ones(); j++ {
+			if back.Select1(j) != orig.Select1(j) {
+				t.Fatalf("n=%d: select %d differs", n, j)
+			}
+		}
+	}
+}
+
+func TestUnmarshalBinaryErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             nil,
+		"truncated header":  {1, 2, 3},
+		"ragged words":      append(make([]byte, 8), 1, 2, 3),
+		"count over words":  {200, 0, 0, 0, 0, 0, 0, 0},
+		"count under words": append(make([]byte, 8), make([]byte, 16)...),
+	}
+	// Bits set beyond the declared count must be rejected, not
+	// silently kept where Rank1 would miscount.
+	tail := make([]byte, 16)
+	tail[0] = 3 // n = 3
+	tail[8] = 0xFF
+	cases["bits beyond count"] = tail
+	for name, data := range cases {
+		var s Set
+		if err := s.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+}

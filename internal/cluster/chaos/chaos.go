@@ -1,0 +1,443 @@
+// Package chaos is a deterministic in-process TCP fault injector for
+// the cluster's failover tests. A Proxy listens on loopback and
+// forwards byte streams to a target worker; tests dial the proxy
+// instead of the worker, so every failure mode the scatter layer must
+// survive — a refused dial, a connection cut mid-stream, a black-holed
+// worker that reads but never answers, a slow link — can be triggered
+// on demand or replayed from a seeded schedule.
+//
+// Determinism: all scheduled fault decisions for a connection derive
+// from rng(seed XOR connection-index), where the connection index is
+// the proxy's accept order. A failing test that prints its seed
+// replays the exact fault pattern; nothing in the proxy consults
+// global randomness or wall-clock identity.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Schedule is a seeded per-connection fault plan. Probabilities are
+// evaluated once per accepted connection, in the order listed; at most
+// one scheduled fault applies per connection. A zero Schedule injects
+// nothing.
+type Schedule struct {
+	// Seed drives every random choice. Two proxies with the same seed
+	// and connection order inject identical faults.
+	Seed int64
+	// PDrop is the probability a new connection is accepted and
+	// immediately closed (the "worker refuses" fault).
+	PDrop float64
+	// PCut is the probability a connection is severed mid-stream:
+	// after CutAfter (default 64) response bytes have been forwarded,
+	// both sides are torn down.
+	PCut     float64
+	CutAfter int
+	// PBlackhole is the probability a connection swallows all traffic:
+	// requests are read and discarded, no response bytes ever flow.
+	PBlackhole float64
+	// PDelay is the probability each forwarded chunk of a connection
+	// is delayed by Delay (default 2ms).
+	PDelay float64
+	Delay  time.Duration
+}
+
+// connFault is a schedule's decision for one connection.
+type connFault struct {
+	drop      bool
+	cutAfter  int // <0: never
+	blackhole bool
+	delay     time.Duration
+}
+
+// decide rolls the schedule for connection index ci.
+func (s Schedule) decide(ci int) connFault {
+	f := connFault{cutAfter: -1}
+	if s.Seed == 0 && s.PDrop == 0 && s.PCut == 0 && s.PBlackhole == 0 && s.PDelay == 0 {
+		return f
+	}
+	rng := rand.New(rand.NewSource(s.Seed ^ int64(uint64(ci)*0x9E3779B97F4A7C15)))
+	switch roll := rng.Float64(); {
+	case roll < s.PDrop:
+		f.drop = true
+	case roll < s.PDrop+s.PCut:
+		f.cutAfter = s.CutAfter
+		if f.cutAfter <= 0 {
+			f.cutAfter = 64
+		}
+	case roll < s.PDrop+s.PCut+s.PBlackhole:
+		f.blackhole = true
+	case roll < s.PDrop+s.PCut+s.PBlackhole+s.PDelay:
+		f.delay = s.Delay
+		if f.delay <= 0 {
+			f.delay = 2 * time.Millisecond
+		}
+	}
+	return f
+}
+
+// Proxy forwards TCP streams from a loopback listener to a target
+// address, injecting faults. All controls are safe for concurrent use
+// and apply to new connections; CutAll and Down also sever live ones.
+type Proxy struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	target   string
+	sched    Schedule
+	armed    bool
+	refuse   bool
+	blackhol bool
+	delay    time.Duration
+	connSeq  int
+	conns    map[*proxyConn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// proxyConn is one live proxied connection pair. hole marks a
+// connection accepted in blackhole mode: it has no server side and
+// never will, so ending the blackhole severs it (a real worker would
+// see such a connection as dead the moment it resumed).
+type proxyConn struct {
+	client, server net.Conn
+	hole           bool
+	once           sync.Once
+}
+
+func (pc *proxyConn) sever() {
+	pc.once.Do(func() {
+		pc.client.Close()
+		if pc.server != nil {
+			pc.server.Close()
+		}
+	})
+}
+
+// New starts a proxy for target on an ephemeral loopback port. The
+// seeded schedule (if any) stays disarmed until Arm is called, so
+// connection setup traffic (build, handshake) is never faulted unless
+// the test wants it to be.
+func New(target string, sched Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, sched: sched, conns: make(map[*proxyConn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address tests hand to the driver in place of the
+// worker's.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget repoints the proxy at a new backend — how a test models a
+// worker process replaced by a fresh one at the same (proxy) address.
+// Live connections to the old target are severed.
+func (p *Proxy) SetTarget(addr string) {
+	p.mu.Lock()
+	p.target = addr
+	p.mu.Unlock()
+	p.CutAll()
+}
+
+// Arm enables (or disables) the seeded schedule for subsequently
+// accepted connections.
+func (p *Proxy) Arm(on bool) {
+	p.mu.Lock()
+	p.armed = on
+	p.mu.Unlock()
+}
+
+// Refuse makes the proxy close new connections immediately (the
+// "worker dropped off the network" fault).
+func (p *Proxy) Refuse(on bool) {
+	p.mu.Lock()
+	p.refuse = on
+	p.mu.Unlock()
+}
+
+// Blackhole makes every connection (new and existing) swallow traffic:
+// bytes are read and discarded, nothing is forwarded either way.
+// Turning it off severs connections that were *accepted* as holes —
+// they never had a backend side to resume.
+func (p *Proxy) Blackhole(on bool) {
+	p.mu.Lock()
+	p.blackhol = on
+	var holes []*proxyConn
+	if !on {
+		for pc := range p.conns {
+			if pc.hole {
+				holes = append(holes, pc)
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, pc := range holes {
+		pc.sever()
+	}
+}
+
+// SetDelay delays every forwarded chunk on new connections by d.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// CutAll severs every live proxied connection mid-stream.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	conns := make([]*proxyConn, 0, len(p.conns))
+	for pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	p.mu.Unlock()
+	for _, pc := range conns {
+		pc.sever()
+	}
+}
+
+// Down kills the worker from the driver's point of view: every live
+// connection is severed and new ones are refused, exactly like a
+// crashed process.
+func (p *Proxy) Down() {
+	p.Refuse(true)
+	p.CutAll()
+}
+
+// Up undoes Down and Blackhole, restoring normal forwarding for new
+// connections and severing leftover hole connections.
+func (p *Proxy) Up() {
+	p.Refuse(false)
+	p.Blackhole(false)
+}
+
+// Close shuts the proxy down: stops accepting, severs everything, and
+// waits for the forwarding goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.CutAll()
+	p.wg.Wait()
+	return err
+}
+
+// Conns returns how many proxied connections were ever accepted — the
+// connection index space a seeded schedule draws from.
+func (p *Proxy) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.connSeq
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		ci := p.connSeq
+		p.connSeq++
+		refuse, armed, closed := p.refuse, p.armed, p.closed
+		target, delay, blackhole := p.target, p.delay, p.blackhol
+		var fault connFault
+		fault.cutAfter = -1
+		if armed {
+			fault = p.sched.decide(ci)
+		}
+		p.mu.Unlock()
+		if closed || refuse || fault.drop {
+			c.Close()
+			continue
+		}
+		if fault.delay > delay {
+			delay = fault.delay
+		}
+		blackhole = blackhole || fault.blackhole
+		p.wg.Add(1)
+		go p.serve(c, target, fault, delay, blackhole)
+	}
+}
+
+// serve forwards one connection, applying its faults.
+func (p *Proxy) serve(client net.Conn, target string, fault connFault, delay time.Duration, blackhole bool) {
+	defer p.wg.Done()
+	pc := &proxyConn{client: client}
+	if blackhole {
+		// Swallow the client's bytes so its writes keep succeeding —
+		// from the driver's side the worker looks alive but silent.
+		pc.hole = true
+		p.track(pc)
+		defer p.untrack(pc)
+		io.Copy(io.Discard, client)
+		pc.sever()
+		return
+	}
+	server, err := net.DialTimeout("tcp", target, 2*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	pc.server = server
+	p.track(pc)
+	defer p.untrack(pc)
+	defer pc.sever()
+
+	done := make(chan struct{}, 2)
+	// Request path: client → server, unfaulted (a cut triggers on the
+	// response path so the worker demonstrably *received* the query
+	// before dying — the "killed mid-query" shape).
+	go func() {
+		p.copyStream(server, client, delay, -1, pc)
+		done <- struct{}{}
+	}()
+	// Response path: server → client, where cut budgets are enforced.
+	go func() {
+		p.copyStream(client, server, delay, fault.cutAfter, pc)
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// copyStream forwards src→dst chunk by chunk, delaying each chunk and
+// severing the pair once budget bytes (if non-negative) have flowed.
+func (p *Proxy) copyStream(dst io.Writer, src io.Reader, delay time.Duration, budget int, pc *proxyConn) {
+	buf := make([]byte, 16*1024)
+	forwarded := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if p.swallowed() {
+				// Blackhole flipped on mid-connection: stop forwarding
+				// but keep draining so the sender does not error.
+				continue
+			}
+			chunk := buf[:n]
+			if budget >= 0 && forwarded+n >= budget {
+				dst.Write(chunk[:budget-forwarded])
+				pc.sever()
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			forwarded += n
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *Proxy) swallowed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blackhol
+}
+
+func (p *Proxy) track(pc *proxyConn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		pc.sever()
+		return
+	}
+	p.conns[pc] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(pc *proxyConn) {
+	p.mu.Lock()
+	delete(p.conns, pc)
+	p.mu.Unlock()
+}
+
+// Fleet wraps one proxy per worker address, for tests that place a
+// whole cluster behind chaos.
+type Fleet struct {
+	Proxies []*Proxy
+}
+
+// NewFleet starts one proxy per target, all sharing the schedule
+// (each proxy still draws independent per-connection decisions from
+// its own accept order).
+func NewFleet(targets []string, sched Schedule) (*Fleet, error) {
+	f := &Fleet{}
+	for i, t := range targets {
+		s := sched
+		if s.Seed != 0 {
+			// Decorrelate the proxies: same workload, different draws.
+			s.Seed = sched.Seed + int64(i)*1_000_003
+		}
+		p, err := New(t, s)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Proxies = append(f.Proxies, p)
+	}
+	return f, nil
+}
+
+// Addrs lists the proxy addresses in target order.
+func (f *Fleet) Addrs() []string {
+	out := make([]string, len(f.Proxies))
+	for i, p := range f.Proxies {
+		out[i] = p.Addr()
+	}
+	return out
+}
+
+// Arm arms or disarms every proxy's schedule.
+func (f *Fleet) Arm(on bool) {
+	for _, p := range f.Proxies {
+		p.Arm(on)
+	}
+}
+
+// Close shuts every proxy down.
+func (f *Fleet) Close() error {
+	var first error
+	for _, p := range f.Proxies {
+		if p == nil {
+			continue
+		}
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ErrNoProxy reports an out-of-range fleet index.
+var ErrNoProxy = errors.New("chaos: no such proxy")
+
+// At returns proxy i with a range check, so table-driven tests fail
+// with a diagnostic instead of a panic.
+func (f *Fleet) At(i int) (*Proxy, error) {
+	if i < 0 || i >= len(f.Proxies) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNoProxy, i, len(f.Proxies))
+	}
+	return f.Proxies[i], nil
+}

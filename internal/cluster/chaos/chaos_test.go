@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back until the
+// listener closes.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestProxyForwards(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	if p.Conns() != 1 {
+		t.Errorf("Conns() = %d, want 1", p.Conns())
+	}
+}
+
+func TestProxyRefuseAndRecover(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.Refuse(true)
+	c := dialProxy(t, p) // accept+close: the read must fail fast
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on refused connection succeeded")
+	}
+	c.Close()
+
+	p.Up()
+	c2 := dialProxy(t, p)
+	defer c2.Close()
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c2, make([]byte, 1)); err != nil {
+		t.Fatalf("recovered proxy did not forward: %v", err)
+	}
+}
+
+func TestProxyCutAllSeversMidStream(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	p.CutAll()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after CutAll succeeded")
+	}
+}
+
+func TestProxyBlackholeSwallows(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.Blackhole(true)
+	c := dialProxy(t, p)
+	defer c.Close()
+	// Writes succeed (the hole reads them) but nothing ever comes back.
+	if _, err := c.Write([]byte("anybody home?")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := c.Read(make([]byte, 8)); err == nil {
+		t.Fatalf("blackholed read returned %d bytes", n)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		// A timeout proves silence; an EOF would mean the hole closed.
+		t.Fatalf("blackholed read failed with %v, want timeout", err)
+	}
+}
+
+func TestProxyScheduledCut(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	// PCut=1: every armed connection is severed after CutAfter
+	// response bytes.
+	p, err := New(addr, Schedule{Seed: 11, PCut: 1, CutAfter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Arm(true)
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, err := io.ReadAll(c)
+	if err != nil && len(got) == 0 {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("cut connection delivered all %d bytes", len(got))
+	}
+	if len(got) > 10 {
+		t.Fatalf("cut after %d bytes, want ≤ 10", len(got))
+	}
+}
+
+// TestScheduleDeterministic: the same seed produces the same fault
+// decisions for the same connection indices — the reproducibility the
+// differential harness prints seeds for.
+func TestScheduleDeterministic(t *testing.T) {
+	s := Schedule{Seed: 42, PDrop: 0.2, PCut: 0.2, PBlackhole: 0.2, PDelay: 0.2}
+	for ci := 0; ci < 200; ci++ {
+		a, b := s.decide(ci), s.decide(ci)
+		if a != b {
+			t.Fatalf("conn %d: decisions differ: %+v vs %+v", ci, a, b)
+		}
+	}
+	// And a different seed must not produce an identical plan.
+	s2 := s
+	s2.Seed = 43
+	same := true
+	for ci := 0; ci < 200; ci++ {
+		if s.decide(ci) != s2.decide(ci) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-connection plans")
+	}
+	// Disarmed/zero schedules inject nothing.
+	var zero Schedule
+	for ci := 0; ci < 50; ci++ {
+		if f := zero.decide(ci); f.drop || f.blackhole || f.cutAfter >= 0 || f.delay != 0 {
+			t.Fatalf("zero schedule injected %+v", f)
+		}
+	}
+}
+
+func TestFleet(t *testing.T) {
+	addr1, stop1 := echoServer(t)
+	defer stop1()
+	addr2, stop2 := echoServer(t)
+	defer stop2()
+	f, err := NewFleet([]string{addr1, addr2}, Schedule{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if len(f.Addrs()) != 2 {
+		t.Fatalf("fleet addrs: %v", f.Addrs())
+	}
+	if _, err := f.At(5); err == nil {
+		t.Error("out-of-range At should fail")
+	}
+	p, err := f.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	defer c.Close()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,7 +10,42 @@
 // that ships partitions to worker processes over net/rpc + gob
 // (Remote) for multi-node simulation on one machine. Every query
 // method takes a context — deadlines and cancellations stop partition
-// scans mid-flight on either transport; the wire protocol (v2)
-// carries per-query ids and deadlines so the driver can abort
-// straggler workers remotely.
+// scans mid-flight on either transport; the wire protocol carries
+// per-query ids and deadlines so the driver can abort straggler
+// workers remotely.
+//
+// The paper inherits fault tolerance from Spark's RDD lineage; this
+// engine replicates instead (IndexSpec.Replicas): each partition is
+// built on several distinct workers, queries are routed to one
+// in-sync replica per partition and retried on the next replica when
+// a worker fails, and a background prober heals recovering workers by
+// streaming partition snapshots from their peers (protocol v4's
+// Status/Snapshot/Restore; see failover.go).
+//
+// Why per-replica generation pins preserve snapshot isolation across
+// failover: a partition's generation counter (PR 4's epoch scheme)
+// advances identically on every replica because a single driver
+// serializes mutations and fans each one out to all in-sync replicas
+// in the same order — state is a pure function of the mutation prefix
+// applied, and the generation number identifies that prefix. The
+// driver records, per replica, the last generation it acknowledged
+// (repGen) alongside the partition's authoritative generation
+// (curGen); a replica serves reads only while repGen ≥ curGen. A
+// query pinned to MinGens[pid] = g therefore cannot observe a
+// pre-mutation snapshot on *any* replica the scatter may choose: g
+// was acknowledged, so g ≤ curGen ≤ repGen of every eligible replica,
+// and within one replica the rptrie layer already guarantees a query
+// sees a single atomic snapshot at or above its pin. Failing over a
+// partition call to another replica switches between states that are
+// bit-identical at the pinned generation, so read-your-writes and
+// snapshot isolation survive worker death. A replica that missed a
+// mutation (down, timed out, outcome unknown) has repGen < curGen and
+// is silently excluded until Worker.Restore installs a peer's image —
+// which carries the donor's generation, re-aligning the counters
+// exactly. The one case where no acknowledgement exists to anchor
+// curGen — a mutation whose outcome was unknown on every replica —
+// marks all of them unknown, making the partition unavailable rather
+// than divergent, until the prober's reconcile pass asks the workers
+// what they actually hold and re-anchors the authoritative generation
+// on the highest surviving state.
 package cluster

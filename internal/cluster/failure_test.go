@@ -6,13 +6,17 @@ import (
 	"strings"
 	"testing"
 
+	"repose/internal/cluster/chaos"
 	"repose/internal/dataset"
 	"repose/internal/geo"
+	"repose/internal/oracle"
 )
 
-// TestWorkerDiesMidSession: killing a worker after build must surface
-// an error on the next query rather than silently returning a partial
-// (wrong) top-k.
+// TestWorkerDiesMidSession: without replication, killing a worker
+// after build must surface an error on the next query rather than
+// silently returning a partial (wrong) top-k. (With replication the
+// same kill is absorbed — see TestWorkerDiesMidSessionWithReplication
+// and the chaos suite in failover_test.go.)
 func TestWorkerDiesMidSession(t *testing.T) {
 	_, parts, spec := testWorld(t, 200, 6)
 
@@ -51,6 +55,53 @@ func TestWorkerDiesMidSession(t *testing.T) {
 		t.Error("build against a dead worker should fail")
 	} else if !strings.Contains(err.Error(), "dial") {
 		t.Logf("dial error (ok): %v", err)
+	}
+}
+
+// TestWorkerDiesMidSessionWithReplication: the scenario documented
+// above, fixed by replication — the same mid-session worker death now
+// *succeeds* on the next query, with the k results identical to the
+// brute-force oracle, because every partition has a second replica.
+func TestWorkerDiesMidSessionWithReplication(t *testing.T) {
+	ds, parts, spec := testWorld(t, 200, 6)
+	spec.Replicas = 2
+	addrs := startWorkers(t, 3)
+	fleet, err := chaos.NewFleet(addrs, chaos.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+	remote, err := BuildRemote(spec, parts, fleet.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	remote.SetFailover(fastFailover)
+
+	q := ds[7].Points
+	if _, _, err := remote.Search(context.Background(), q, 5, QueryOptions{}); err != nil {
+		t.Fatalf("healthy search failed: %v", err)
+	}
+
+	// Kill one worker mid-session: connections severed, reconnects
+	// refused — exactly the failure the unreplicated test documents
+	// as fatal.
+	p, err := fleet.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Down()
+
+	got, _, err := remote.Search(context.Background(), q, 5, QueryOptions{})
+	if err != nil {
+		t.Fatalf("replicated search with a dead worker failed: %v", err)
+	}
+	want := oracle.TopK(spec.Measure, spec.Params, ds, q, 5)
+	assertSameDistances(t, "failover", got, want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %+v, oracle %+v", i, got[i], want[i])
+		}
 	}
 }
 

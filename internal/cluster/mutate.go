@@ -3,7 +3,6 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"net/rpc"
 	"sort"
 	"sync"
 
@@ -298,31 +297,19 @@ func (c *Local) Compact(ctx context.Context, partitions []int) (Gens, error) {
 	return gens, nil
 }
 
-// callOwner invokes a v3 mutation RPC on the worker owning pid,
-// honoring ctx: a cancelled context abandons the wait (the worker
-// still applies the mutation it already received — callers must treat
-// a ctx error as "outcome unknown", like any RPC timeout).
-func (r *Remote) callOwner(ctx context.Context, pid int, method string, args, reply any) error {
-	clients := r.conns()
-	if len(clients) == 0 {
-		return ErrClosed
-	}
-	ci, ok := r.owner[pid]
-	if !ok || ci >= len(clients) {
-		return fmt.Errorf("cluster: no worker owns partition %d", pid)
-	}
-	call := clients[ci].Go(method, args, reply, make(chan *rpc.Call, 1))
-	select {
-	case <-call.Done:
-		return call.Error
-	case <-ctx.Done():
-		return fmt.Errorf("cluster: %s on %s: %w", method, r.addrs[ci], ctx.Err())
-	}
-}
+// Remote mutations fan out to every in-sync replica of the touched
+// partition (mutateReplicas, failover.go): the mutation succeeds as
+// long as one replica acknowledges; a replica that fails its call
+// stops serving reads until the background prober restores it from an
+// acknowledged peer, so readers never observe the missed write's
+// absence. A ctx error still means "outcome unknown" — the workers
+// may have applied a mutation whose reply the driver stopped waiting
+// for — with the same retry/repair contract as before (deterministic
+// routing, Delete broadcast for unknown ids).
 
 // Insert implements Engine for the remote deployment: the driver
 // validates and routes exactly as the local engine does, then ships
-// each partition's group to its owning worker.
+// each partition's group to all of its in-sync replicas.
 func (r *Remote) Insert(ctx context.Context, trs []*geo.Trajectory, opt MutateOptions) (Gens, error) {
 	if len(trs) == 0 {
 		return nil, nil
@@ -334,13 +321,12 @@ func (r *Remote) Insert(ctx context.Context, trs []*geo.Trajectory, opt MutateOp
 		return nil, ErrImmutable
 	}
 	return r.dir.insert(trs, func(pid int, trs []*geo.Trajectory) (uint64, error) {
-		args := &InsertArgs{Version: ProtocolVersion, PartitionID: pid, Trajectories: trs, AutoCompact: opt.AutoCompact}
-		var reply InsertReply
-		if err := r.callOwner(ctx, pid, "Worker.Insert", args, &reply); err != nil {
-			return 0, err
-		}
-		r.partLen[pid].Store(int64(reply.Len))
-		return reply.Gen, nil
+		return r.mutateReplicas(ctx, pid, "Worker.Insert",
+			func() any {
+				return &InsertArgs{Version: ProtocolVersion, PartitionID: pid, Trajectories: trs, AutoCompact: opt.AutoCompact}
+			},
+			func() any { return new(InsertReply) },
+			func(reply any) (uint64, int) { ir := reply.(*InsertReply); return ir.Gen, ir.Len })
 	})
 }
 
@@ -356,13 +342,18 @@ func (r *Remote) Delete(ctx context.Context, ids []int, opt MutateOptions) (int,
 		return 0, nil, ErrImmutable
 	}
 	return r.dir.delete(ids, r.NumPartitions(), func(pid int, ids []int) (int, uint64, error) {
-		args := &DeleteArgs{Version: ProtocolVersion, PartitionID: pid, IDs: ids, AutoCompact: opt.AutoCompact}
-		var reply DeleteReply
-		if err := r.callOwner(ctx, pid, "Worker.Delete", args, &reply); err != nil {
-			return 0, 0, err
-		}
-		r.partLen[pid].Store(int64(reply.Len))
-		return reply.Removed, reply.Gen, nil
+		removed := 0
+		gen, err := r.mutateReplicas(ctx, pid, "Worker.Delete",
+			func() any {
+				return &DeleteArgs{Version: ProtocolVersion, PartitionID: pid, IDs: ids, AutoCompact: opt.AutoCompact}
+			},
+			func() any { return new(DeleteReply) },
+			func(reply any) (uint64, int) {
+				dr := reply.(*DeleteReply)
+				removed = dr.Removed // identical on every in-sync replica
+				return dr.Gen, dr.Len
+			})
+		return removed, gen, err
 	})
 }
 
@@ -379,60 +370,53 @@ func (r *Remote) Upsert(ctx context.Context, trs []*geo.Trajectory, opt MutateOp
 		return nil, ErrImmutable
 	}
 	return r.dir.upsert(trs, func(pid int, trs []*geo.Trajectory, _ int) (uint64, error) {
-		args := &InsertArgs{Version: ProtocolVersion, PartitionID: pid, Trajectories: trs, Replace: true, AutoCompact: opt.AutoCompact}
-		var reply InsertReply
-		if err := r.callOwner(ctx, pid, "Worker.Insert", args, &reply); err != nil {
-			return 0, err
-		}
-		r.partLen[pid].Store(int64(reply.Len))
-		return reply.Gen, nil
+		return r.mutateReplicas(ctx, pid, "Worker.Insert",
+			func() any {
+				return &InsertArgs{Version: ProtocolVersion, PartitionID: pid, Trajectories: trs, Replace: true, AutoCompact: opt.AutoCompact}
+			},
+			func() any { return new(InsertReply) },
+			func(reply any) (uint64, int) { ir := reply.(*InsertReply); return ir.Gen, ir.Len })
 	})
 }
 
-// Compact implements Engine for the remote deployment: each worker
-// compacts the selected partitions it owns.
+// Compact implements Engine for the remote deployment: every in-sync
+// replica of each selected partition folds its delta, keeping the
+// replica generations aligned. Partitions compact concurrently —
+// compaction is a rebuild, and serializing P×R round trips would make
+// CompactNow latency linear in the partition count.
 func (r *Remote) Compact(ctx context.Context, partitions []int) (Gens, error) {
-	sub, err := r.subset(partitions)
+	sub, err := selectPartitions(partitions, r.NumPartitions())
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("cluster: compact: %w", err)
 	}
-	clients := r.conns()
-	if len(clients) == 0 {
-		return nil, ErrClosed
-	}
-	gens := make(Gens)
+	gens := make(Gens, len(sub))
 	var mu sync.Mutex
-	errs := make([]error, len(clients))
+	var firstErr error
 	var wg sync.WaitGroup
-	for _, ci := range r.targets(sub) {
+	for _, pid := range sub {
 		wg.Add(1)
-		go func(ci int) {
+		go func(pid int) {
 			defer wg.Done()
-			args := &CompactArgs{Version: ProtocolVersion, Partitions: sub}
-			var reply CompactReply
-			call := clients[ci].Go("Worker.Compact", args, &reply, make(chan *rpc.Call, 1))
-			select {
-			case <-call.Done:
-				errs[ci] = call.Error
-			case <-ctx.Done():
-				errs[ci] = fmt.Errorf("cluster: Worker.Compact on %s: %w", r.addrs[ci], ctx.Err())
+			gen, err := r.mutateReplicas(ctx, pid, "Worker.Compact",
+				func() any { return &CompactArgs{Version: ProtocolVersion, Partitions: []int{pid}} },
+				func() any { return new(CompactReply) },
+				func(reply any) (uint64, int) {
+					return reply.(*CompactReply).Gens[pid], int(r.partLen[pid].Load())
+				})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
 				return
 			}
-			mu.Lock()
-			for pid, gen := range reply.Gens {
-				gens[pid] = gen
-			}
-			mu.Unlock()
-		}(ci)
+			gens[pid] = gen
+		}(pid)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return gens, fmt.Errorf("cluster: compact on %s: %w", r.addrs[i], err)
-		}
-	}
-	return gens, nil
+	return gens, firstErr
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repose/internal/geo"
+	"repose/internal/rptrie"
 	"repose/internal/topk"
 )
 
@@ -33,11 +35,22 @@ import (
 // endpoints targeting one partition (the driver routes; workers
 // apply), and per-partition generation pins in the query header so a
 // driver can demand read-your-writes snapshots.
+//
+// Protocol v4 adds replication and recovery: Worker.Status reports
+// which partitions a worker holds at which generations (the driver's
+// failure detector reconciles a rejoining worker against it),
+// Worker.Snapshot streams one partition's serialized index out of a
+// healthy replica, and Worker.Restore installs such a stream into a
+// recovering worker — the state transfer that lets a restarted worker
+// rejoin without replaying the build. Query headers are otherwise
+// unchanged; replication is entirely driver-side policy (placement,
+// per-replica generation tracking, failover routing — see
+// failover.go).
 
 // ProtocolVersion is the driver↔worker wire protocol version. The
 // worker rejects requests from a driver speaking a different version
 // rather than mis-decoding them.
-const ProtocolVersion = 3
+const ProtocolVersion = 4
 
 // checkVersion rejects a peer speaking a different protocol version.
 func checkVersion(v int) error {
@@ -208,6 +221,52 @@ type ClearArgs struct {
 	Version int
 }
 
+// StatusArgs asks a worker which partitions it holds.
+type StatusArgs struct {
+	Version int
+}
+
+// StatusReply reports the worker's partitions: each one's index
+// generation and live trajectory count. The driver's failure detector
+// compares these against the authoritative generations to decide what
+// a rejoining worker must be restored.
+type StatusReply struct {
+	Gens map[int]uint64
+	Lens map[int]int
+}
+
+// SnapshotArgs asks a worker to serialize one partition it owns.
+type SnapshotArgs struct {
+	Version     int
+	PartitionID int
+}
+
+// SnapshotReply carries the partition's serialized index image (the
+// rptrie gob wire format, pending delta folded in, at the source's
+// generation). Succinct distinguishes the two layouts' formats.
+type SnapshotReply struct {
+	Data     []byte
+	Succinct bool
+	Gen      uint64
+	Len      int
+}
+
+// RestoreArgs installs a partition image produced by Worker.Snapshot
+// into a recovering worker, replacing whatever it held for that
+// partition.
+type RestoreArgs struct {
+	Version     int
+	PartitionID int
+	Succinct    bool
+	Data        []byte
+}
+
+// RestoreReply reports the restored partition's state.
+type RestoreReply struct {
+	Gen uint64
+	Len int
+}
+
 // Worker is the RPC service hosted by a worker process.
 type Worker struct {
 	mu       sync.Mutex
@@ -221,6 +280,12 @@ type Worker struct {
 	// consumed and must not accumulate.
 	cancelled  map[uint64]struct{}
 	cancelledQ []uint64
+	// awaitRestore marks a worker started with the -rejoin flag: it
+	// replaces a dead peer and expects the driver's failure detector
+	// to stream it partition state. Until the first Build or Restore
+	// lands, its queries fail with a distinctive diagnostic instead of
+	// the generic "no partitions".
+	awaitRestore bool
 }
 
 // maxPendingCancels bounds the early-cancel tombstone set.
@@ -233,6 +298,15 @@ func NewWorker() *Worker {
 		inflight:  make(map[uint64]context.CancelFunc),
 		cancelled: make(map[uint64]struct{}),
 	}
+}
+
+// NewRejoinWorker returns an empty worker that announces itself as a
+// replacement for a dead peer: it starts with no partitions and
+// expects the driver to restore state into it (see RestoreArgs).
+func NewRejoinWorker() *Worker {
+	w := NewWorker()
+	w.awaitRestore = true
+	return w
 }
 
 // Handshake verifies the driver and worker speak the same protocol.
@@ -253,6 +327,7 @@ func (w *Worker) Build(args *BuildArgs, reply *BuildReply) error {
 	}
 	w.mu.Lock()
 	w.indexes[args.PartitionID] = idx
+	w.awaitRestore = false
 	w.mu.Unlock()
 	reply.SizeBytes = idx.SizeBytes()
 	reply.Len = idx.Len()
@@ -266,6 +341,9 @@ func (w *Worker) view(subset []int) (*Local, []int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(w.indexes) == 0 {
+		if w.awaitRestore {
+			return nil, nil, errors.New("cluster: worker awaiting state restore (started with -rejoin)")
+		}
 		return nil, nil, errors.New("cluster: worker has no partitions")
 	}
 	var pids []int
@@ -541,6 +619,94 @@ func (w *Worker) Ping(_ *struct{}, ok *bool) error {
 	return nil
 }
 
+// Status reports the partitions this worker holds, with each one's
+// generation and live length — the reconciliation input for a driver
+// deciding whether a rejoining worker needs a state restore.
+func (w *Worker) Status(args *StatusArgs, reply *StatusReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	reply.Gens = make(map[int]uint64, len(w.indexes))
+	reply.Lens = make(map[int]int, len(w.indexes))
+	for pid, idx := range w.indexes {
+		gen := uint64(0)
+		if m, ok := idx.(MutableIndex); ok {
+			gen = m.Generation()
+		}
+		reply.Gens[pid] = gen
+		reply.Lens[pid] = idx.Len()
+	}
+	return nil
+}
+
+// Snapshot serializes one owned partition's index (rptrie layouts
+// only; the baselines have no persistence) for replication to a
+// recovering peer. The image folds any pending delta and carries this
+// replica's generation, so the restored copy re-aligns exactly.
+func (w *Worker) Snapshot(args *SnapshotArgs, reply *SnapshotReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	idx := w.indexes[args.PartitionID]
+	w.mu.Unlock()
+	if idx == nil {
+		return fmt.Errorf("cluster: worker does not own partition %d", args.PartitionID)
+	}
+	var buf bytes.Buffer
+	switch t := idx.(type) {
+	case *rptrie.Trie:
+		if err := t.Save(&buf); err != nil {
+			return err
+		}
+		reply.Gen = t.Generation()
+	case *rptrie.Succinct:
+		if err := t.Save(&buf); err != nil {
+			return err
+		}
+		reply.Succinct = true
+		reply.Gen = t.Generation()
+	default:
+		return fmt.Errorf("cluster: partition %d index (%T) does not support snapshots", args.PartitionID, idx)
+	}
+	reply.Data = buf.Bytes()
+	reply.Len = idx.Len()
+	return nil
+}
+
+// Restore installs a partition image produced by Snapshot, replacing
+// whatever this worker held for that partition — the rejoin path for
+// a restarted or lagging worker.
+func (w *Worker) Restore(args *RestoreArgs, reply *RestoreReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	var idx LocalIndex
+	var gen uint64
+	if args.Succinct {
+		s, err := rptrie.ReadSuccinct(bytes.NewReader(args.Data))
+		if err != nil {
+			return err
+		}
+		idx, gen = s, s.Generation()
+	} else {
+		t, err := rptrie.ReadTrie(bytes.NewReader(args.Data))
+		if err != nil {
+			return err
+		}
+		idx, gen = t, t.Generation()
+	}
+	w.mu.Lock()
+	w.indexes[args.PartitionID] = idx
+	w.awaitRestore = false
+	w.mu.Unlock()
+	reply.Gen = gen
+	reply.Len = idx.Len()
+	return nil
+}
+
 // Serve accepts RPC connections on ln until the listener closes.
 // It always returns a non-nil error (from Accept).
 func Serve(ln net.Listener, w *Worker) error {
@@ -557,16 +723,20 @@ func Serve(ln net.Listener, w *Worker) error {
 	}
 }
 
-// Remote is the driver side of the multi-process engine.
+// Remote is the driver side of the multi-process engine. With
+// IndexSpec.Replicas > 1 it places each partition on several workers,
+// routes every query to one in-sync replica per partition, fails a
+// partition over to its next replica when a worker dies mid-call, and
+// heals recovering workers in the background (see failover.go).
 type Remote struct {
-	connMu    sync.RWMutex
-	clients   []*rpc.Client // nil after Close
-	addrs     []string
-	owner     map[int]int // partition → client index
+	slots    []*workerSlot
+	owners   [][]int // partition → worker slots, primary first
+	replicas int
+
 	buildTime time.Duration
 	sizeBytes int
 	// partLen holds each partition's live trajectory count as last
-	// reported by its worker (build reply, then every mutation
+	// reported by a worker (build reply, then every mutation
 	// reply). Worker-authoritative numbers rather than driver-side
 	// arithmetic: a mutation whose outcome was unknown leaves the
 	// count stale only until the next successful mutation on that
@@ -575,69 +745,103 @@ type Remote struct {
 	qidSalt uint64 // random high bits distinguishing this driver
 	qid     atomic.Uint64
 	dir     *directory // online-mutation routing, driver side
+
+	// genMu guards the replica generation table: repGen[pid][j] is the
+	// last generation replica j of pid acknowledged (genAbsent when it
+	// holds nothing), curGen[pid] the newest acknowledged by anyone.
+	genMu  sync.Mutex
+	repGen [][]uint64
+	curGen []uint64
+
+	foMu sync.Mutex
+	fo   FailoverConfig
+
+	closed    atomic.Bool
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
 }
 
 // BuildRemote dials the worker addresses, verifies the protocol
-// handshake, deals partitions round-robin across the workers, and
-// builds all partition indexes in parallel.
+// handshake, places each partition's spec.Replicas copies on distinct
+// workers round-robin (replica j of partition p on worker (p+j) mod
+// W), and builds all partition indexes in parallel.
 func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Remote, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("cluster: no worker addresses")
 	}
-	r := &Remote{owner: make(map[int]int), addrs: addrs, qidSalt: uint64(rand.Uint32()) << 32}
+	replicas := spec.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if replicas > len(addrs) {
+		return nil, fmt.Errorf("cluster: replication factor %d needs at least %d workers, have %d", replicas, replicas, len(addrs))
+	}
+	r := &Remote{
+		replicas:  replicas,
+		qidSalt:   uint64(rand.Uint32()) << 32,
+		probeStop: make(chan struct{}),
+	}
+	r.fo = FailoverConfig{}.withDefaults(replicas)
 	for _, addr := range addrs {
-		c, err := rpc.Dial("tcp", addr)
+		r.slots = append(r.slots, &workerSlot{addr: addr})
+	}
+	for _, s := range r.slots {
+		c, err := rpc.Dial("tcp", s.addr)
 		if err != nil {
 			r.Close()
-			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+			return nil, fmt.Errorf("cluster: dial %s: %w", s.addr, err)
 		}
-		r.clients = append(r.clients, c)
-	}
-	for i, c := range r.clients {
+		s.setClient(c)
 		var hr HandshakeReply
 		if err := c.Call("Worker.Handshake", &HandshakeArgs{Version: ProtocolVersion}, &hr); err != nil {
 			r.Close()
-			return nil, fmt.Errorf("cluster: handshake with %s: %w", r.addrs[i], err)
+			return nil, fmt.Errorf("cluster: handshake with %s: %w", s.addr, err)
+		}
+	}
+	r.owners = make([][]int, len(parts))
+	for pid := range parts {
+		for j := 0; j < replicas; j++ {
+			r.owners[pid] = append(r.owners[pid], (pid+j)%len(addrs))
 		}
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	errs := make([]error, len(parts))
-	replies := make([]BuildReply, len(parts))
+	errs := make([][]error, len(parts))
+	replies := make([][]BuildReply, len(parts))
 	for pid, part := range parts {
-		ci := pid % len(r.clients)
-		r.owner[pid] = ci
-		wg.Add(1)
-		go func(pid, ci int, part []*geo.Trajectory) {
-			defer wg.Done()
-			args := &BuildArgs{Version: ProtocolVersion, PartitionID: pid, Spec: spec, Trajectories: part}
-			errs[pid] = r.clients[ci].Call("Worker.Build", args, &replies[pid])
-		}(pid, ci, part)
+		errs[pid] = make([]error, replicas)
+		replies[pid] = make([]BuildReply, replicas)
+		for j, si := range r.owners[pid] {
+			wg.Add(1)
+			go func(pid, j, si int, part []*geo.Trajectory) {
+				defer wg.Done()
+				args := &BuildArgs{Version: ProtocolVersion, PartitionID: pid, Spec: spec, Trajectories: part}
+				errs[pid][j] = r.slots[si].get().Call("Worker.Build", args, &replies[pid][j])
+			}(pid, j, si, part)
+		}
 	}
 	wg.Wait()
-	for pid, err := range errs {
-		if err != nil {
-			r.Close()
-			return nil, fmt.Errorf("cluster: build partition %d: %w", pid, err)
+	for pid := range errs {
+		for j, err := range errs[pid] {
+			if err != nil {
+				r.Close()
+				return nil, fmt.Errorf("cluster: build partition %d replica %d on %s: %w", pid, j, r.slots[r.owners[pid][j]].addr, err)
+			}
 		}
 	}
 	r.partLen = make([]atomic.Int64, len(parts))
-	for pid, rep := range replies {
-		r.sizeBytes += rep.SizeBytes
-		r.partLen[pid].Store(int64(rep.Len))
+	r.repGen = make([][]uint64, len(parts))
+	r.curGen = make([]uint64, len(parts))
+	for pid := range replies {
+		r.sizeBytes += replies[pid][0].SizeBytes
+		r.partLen[pid].Store(int64(replies[pid][0].Len))
+		r.repGen[pid] = make([]uint64, replicas)
 	}
 	r.buildTime = time.Since(start)
 	r.dir = newDirectory(spec, parts)
+	r.probeWG.Add(1)
+	go r.probeLoop()
 	return r, nil
-}
-
-// subset validates and dedups a partition restriction for the wire;
-// nil keeps the broadcast meaning "all partitions".
-func (r *Remote) subset(partitions []int) ([]int, error) {
-	if len(partitions) == 0 {
-		return nil, nil
-	}
-	return selectPartitions(partitions, r.NumPartitions())
 }
 
 // header prepares the common query preamble for one broadcast.
@@ -661,123 +865,37 @@ func (r *Remote) header(ctx context.Context, partitions []int, minGens []uint64)
 // worker connections.
 var ErrClosed = errors.New("cluster: engine closed")
 
-// conns snapshots the client list; it is empty once Close ran.
-func (r *Remote) conns() []*rpc.Client {
-	r.connMu.RLock()
-	defer r.connMu.RUnlock()
-	return r.clients
-}
-
-// targets resolves which client indices own at least one selected
-// partition; a nil/empty subset selects every partition. Clients
-// holding no partition at all (more workers than partitions) are
-// never queried — a worker rejects a query when it owns nothing. The
-// owner map is immutable after build, so no locking is needed.
-func (r *Remote) targets(sub []int) []int {
-	seen := make(map[int]bool)
-	var out []int
-	add := func(ci int) {
-		if !seen[ci] {
-			seen[ci] = true
-			out = append(out, ci)
-		}
-	}
-	if len(sub) == 0 {
-		for _, ci := range r.owner {
-			add(ci)
-		}
-	} else {
-		for _, pid := range sub {
-			add(r.owner[pid])
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
 // cancelGrace bounds how long a cancelled query waits for a worker's
 // reply after firing Worker.Cancel before abandoning the in-flight
 // call. A responsive worker aborts within milliseconds; a hung or
 // partitioned one must not block the driver past its deadline.
 const cancelGrace = 500 * time.Millisecond
 
-// callAll invokes method on the targeted workers concurrently (a
-// partition-restricted query is routed only to the clients owning the
-// selection). When ctx is cancelled before a worker replies, a
-// best-effort Worker.Cancel for the query id is fired and the
-// in-flight call is awaited briefly — a live worker aborts promptly
-// through its own context — then abandoned, so a hung worker cannot
-// block the driver past its deadline (net/rpc delivers the eventual
-// reply into the call's buffered channel; nothing leaks).
-func (r *Remote) callAll(ctx context.Context, method string, id uint64, sub []int, args any, reply func(i int) any) error {
-	if err := ctx.Err(); err != nil {
-		// Already cancelled: skip serializing and shipping payloads.
-		return fmt.Errorf("cluster: %s: %w", method, err)
-	}
-	clients := r.conns()
-	if len(clients) == 0 {
-		return ErrClosed
-	}
-	errs := make([]error, len(clients))
-	var wg sync.WaitGroup
-	for _, i := range r.targets(sub) {
-		c := clients[i]
-		wg.Add(1)
-		go func(i int, c *rpc.Client) {
-			defer wg.Done()
-			call := c.Go(method, args, reply(i), make(chan *rpc.Call, 1))
-			select {
-			case <-call.Done:
-			case <-ctx.Done():
-				c.Go("Worker.Cancel", &CancelArgs{ID: id}, &struct{}{}, make(chan *rpc.Call, 1))
-				select {
-				case <-call.Done:
-				case <-time.After(cancelGrace):
-					errs[i] = fmt.Errorf("cluster: %s on %s abandoned after cancel: %w", method, r.addrs[i], ctx.Err())
-					return
-				}
-			}
-			errs[i] = call.Error
-		}(i, c)
-	}
-	wg.Wait()
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		// Prefer the abandoned-call diagnostic (it names the hung
-		// worker and wraps ctxErr, so errors.Is still matches).
-		for _, err := range errs {
-			if err != nil && errors.Is(err, ctxErr) {
-				return err
-			}
-		}
-		return fmt.Errorf("cluster: %s: %w", method, ctxErr)
-	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("cluster: %s on %s: %w", method, r.addrs[i], err)
-		}
-	}
-	return nil
-}
-
-// Search broadcasts the query to all workers and merges their local
-// top-k results.
+// Search routes the query to one in-sync replica per selected
+// partition (failing over as needed) and merges the local top-k
+// results.
 func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
-	sub, err := r.subset(opt.Partitions)
+	sel, err := selectPartitions(opt.Partitions, r.NumPartitions())
 	if err != nil {
 		return nil, QueryReport{}, err
 	}
 	start := time.Now()
-	h := r.header(ctx, sub, opt.MinGens)
-	args := &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
-	replies := make([]SearchReply, len(r.conns()))
-	if err := r.callAll(ctx, "Worker.Search", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
+	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
+		method: "Worker.Search",
+		makeArgs: func(h QueryHeader, pids []int) any {
+			return &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
+		},
+		newReply: func() any { return new(SearchReply) },
+	})
+	if err != nil {
 		return nil, QueryReport{}, err
 	}
 	var report QueryReport
 	var lists [][]topk.Item
-	for i := range replies {
-		lists = append(lists, replies[i].Items)
-		for _, nanos := range replies[i].PartNanos {
+	for _, pr := range replies {
+		rep := pr.reply.(*SearchReply)
+		lists = append(lists, rep.Items)
+		for _, nanos := range rep.PartNanos {
 			report.PartitionTimes = append(report.PartitionTimes, time.Duration(nanos))
 		}
 	}
@@ -785,25 +903,31 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 	return topk.Merge(k, lists...), report, nil
 }
 
-// SearchRadius broadcasts the range query to all workers and merges
-// their in-range trajectories, ascending by (distance, id).
+// SearchRadius routes the range query to one in-sync replica per
+// selected partition and merges the in-range trajectories, ascending
+// by (distance, id).
 func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
-	sub, err := r.subset(opt.Partitions)
+	sel, err := selectPartitions(opt.Partitions, r.NumPartitions())
 	if err != nil {
 		return nil, QueryReport{}, err
 	}
 	start := time.Now()
-	h := r.header(ctx, sub, opt.MinGens)
-	args := &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
-	replies := make([]RadiusReply, len(r.conns()))
-	if err := r.callAll(ctx, "Worker.SearchRadius", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
+	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
+		method: "Worker.SearchRadius",
+		makeArgs: func(h QueryHeader, pids []int) any {
+			return &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
+		},
+		newReply: func() any { return new(RadiusReply) },
+	})
+	if err != nil {
 		return nil, QueryReport{}, err
 	}
 	var report QueryReport
 	var out []topk.Item
-	for i := range replies {
-		out = append(out, replies[i].Items...)
-		for _, nanos := range replies[i].PartNanos {
+	for _, pr := range replies {
+		rep := pr.reply.(*RadiusReply)
+		out = append(out, rep.Items...)
+		for _, nanos := range rep.PartNanos {
 			report.PartitionTimes = append(report.PartitionTimes, time.Duration(nanos))
 		}
 	}
@@ -812,41 +936,46 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 	return out, report, nil
 }
 
-// SearchBatch broadcasts the whole batch to all workers and merges
-// their per-query local top-k lists.
+// SearchBatch routes the whole batch to one in-sync replica per
+// selected partition and merges the per-query local top-k lists.
 func (r *Remote) SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt QueryOptions) ([][]topk.Item, BatchReport, error) {
 	report := BatchReport{PerQuery: make([]time.Duration, len(qs))}
 	if len(qs) == 0 {
 		return nil, report, nil
 	}
-	sub, err := r.subset(opt.Partitions)
+	sel, err := selectPartitions(opt.Partitions, r.NumPartitions())
 	if err != nil {
 		return nil, report, err
 	}
 	start := time.Now()
-	h := r.header(ctx, sub, opt.MinGens)
-	args := &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
-	replies := make([]SearchBatchReply, len(r.conns()))
-	if err := r.callAll(ctx, "Worker.SearchBatch", h.ID, sub, args, func(i int) any { return &replies[i] }); err != nil {
+	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
+		method: "Worker.SearchBatch",
+		makeArgs: func(h QueryHeader, pids []int) any {
+			return &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
+		},
+		newReply: func() any { return new(SearchBatchReply) },
+	})
+	if err != nil {
 		return nil, report, err
 	}
 	out := make([][]topk.Item, len(qs))
 	for qi := range qs {
 		var lists [][]topk.Item
-		for i := range replies {
-			if qi < len(replies[i].Items) {
-				lists = append(lists, replies[i].Items[qi])
+		for _, pr := range replies {
+			rep := pr.reply.(*SearchBatchReply)
+			if qi < len(rep.Items) {
+				lists = append(lists, rep.Items[qi])
 			}
-			if qi < len(replies[i].PerQueryNanos) {
-				if d := time.Duration(replies[i].PerQueryNanos[qi]); d > report.PerQuery[qi] {
+			if qi < len(rep.PerQueryNanos) {
+				if d := time.Duration(rep.PerQueryNanos[qi]); d > report.PerQuery[qi] {
 					report.PerQuery[qi] = d
 				}
 			}
 		}
 		out[qi] = topk.Merge(k, lists...)
 	}
-	for i := range replies {
-		report.TotalWork += time.Duration(replies[i].TotalWorkNanos)
+	for _, pr := range replies {
+		report.TotalWork += time.Duration(pr.reply.(*SearchBatchReply).TotalWorkNanos)
 	}
 	report.Makespan = time.Since(start)
 	return out, report, nil
@@ -864,22 +993,32 @@ func (r *Remote) Len() int {
 	return int(n)
 }
 
-// IndexSizeBytes sums the reported index footprints.
+// IndexSizeBytes sums the reported index footprints, one replica per
+// partition — the logical index size. Physical cluster memory is
+// replicas times this.
 func (r *Remote) IndexSizeBytes() int { return r.sizeBytes }
 
 // NumPartitions returns the partition count.
-func (r *Remote) NumPartitions() int { return len(r.owner) }
+func (r *Remote) NumPartitions() int { return len(r.owners) }
 
-// Close releases all client connections (the workers keep running).
-// Safe to call concurrently with in-flight queries, which fail fast
-// once the clients are gone.
+// Replicas returns the replication factor partitions were placed with.
+func (r *Remote) Replicas() int { return r.replicas }
+
+// Close stops the background prober and releases all worker
+// connections (the workers keep running). Safe to call concurrently
+// with in-flight queries, which fail fast once the clients are gone.
 func (r *Remote) Close() error {
-	r.connMu.Lock()
-	clients := r.clients
-	r.clients = nil
-	r.connMu.Unlock()
+	if r.closed.Swap(true) {
+		return nil
+	}
+	close(r.probeStop)
+	r.probeWG.Wait()
 	var first error
-	for _, c := range clients {
+	for _, s := range r.slots {
+		s.mu.Lock()
+		c := s.client
+		s.client = nil
+		s.mu.Unlock()
 		if c != nil {
 			if err := c.Close(); err != nil && first == nil {
 				first = err

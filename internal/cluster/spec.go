@@ -87,6 +87,14 @@ type IndexSpec struct {
 	// inserted after the build (see partition.OnlineRouter).
 	Strategy partition.Strategy
 
+	// Replicas is the replication factor of the remote deployment:
+	// each partition is built on this many distinct workers, and the
+	// driver fails queries over between them (failover.go). 0 or 1
+	// means no replication; BuildRemote rejects a factor exceeding
+	// the worker count. The in-process engine ignores it — there is
+	// no worker to lose.
+	Replicas int
+
 	// DFT knobs.
 	DFTC int // threshold sampling factor C
 

@@ -1,0 +1,81 @@
+// Package leakcheck asserts that tests do not leak goroutines,
+// replacing the fixed `for { time.Sleep(20ms) }` polling loops that
+// used to be copy-pasted across the test suites. Those loops carried
+// hard-coded 2–3 second budgets, which flake under -race on loaded CI
+// machines; this helper paces itself on timer channels and derives
+// its budget from the test's own deadline, so a slow machine gets the
+// slack the -timeout flag already grants it.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Slack is how many goroutines above the baseline Settle tolerates:
+// runtime helpers (timer scavenger, GC workers) come and go outside
+// the test's control.
+const Slack = 2
+
+// defaultBudget bounds the wait when the test has no deadline (go
+// test -timeout=0).
+const defaultBudget = 30 * time.Second
+
+// deadliner is the subset of *testing.T that reports the test
+// binary's deadline; testing.B does not implement it.
+type deadliner interface {
+	Deadline() (time.Time, bool)
+}
+
+// budget resolves how long Settle may wait: up to the test deadline
+// minus a safety margin (so the failure is ours, with a diagnostic,
+// rather than the framework's panic), capped at defaultBudget.
+func budget(t testing.TB) time.Duration {
+	b := defaultBudget
+	if d, ok := t.(deadliner); ok {
+		if dl, has := d.Deadline(); has {
+			if rem := time.Until(dl) - 2*time.Second; rem < b {
+				b = rem
+			}
+		}
+	}
+	if b < time.Second {
+		b = time.Second
+	}
+	return b
+}
+
+// Base snapshots the current goroutine count. Call it after the
+// test's long-lived infrastructure (servers, pools, engines) is up
+// and warmed, so only the goroutines the test itself may leak are
+// measured against it.
+func Base() int { return runtime.NumGoroutine() }
+
+// Settle waits for the goroutine count to return to within Slack of
+// base and fails t if it never does before the budget runs out. The
+// wait is channel-paced (no bare time.Sleep) and backs off from
+// microseconds to milliseconds, so the common already-settled case
+// costs almost nothing.
+func Settle(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(budget(t))
+	wait := 50 * time.Microsecond
+	for {
+		runtime.Gosched()
+		n := runtime.NumGoroutine()
+		if n <= base+Slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d now vs %d baseline (+%d slack)\n%s", n, base, Slack, buf)
+		}
+		timer := time.NewTimer(wait)
+		<-timer.C
+		if wait < 10*time.Millisecond {
+			wait *= 2
+		}
+	}
+}

@@ -33,6 +33,42 @@ type wireConfig struct {
 	DisableLBp bool
 }
 
+// wireConfigOf captures everything needed to reconstruct a Config.
+func wireConfigOf(cfg Config) wireConfig {
+	return wireConfig{
+		Measure:    cfg.Measure,
+		Params:     cfg.Params,
+		GridOrigin: cfg.Grid.Origin,
+		GridU:      cfg.Grid.U,
+		GridBits:   cfg.Grid.Bits,
+		Pivots:     cfg.Pivots,
+		Optimize:   cfg.Optimize,
+		DisableLBt: cfg.DisableLBt,
+		DisableLBp: cfg.DisableLBp,
+	}
+}
+
+// configFromWire rebuilds a Config (including the grid) from its wire
+// form.
+func configFromWire(wc wireConfig) (Config, error) {
+	g, err := grid.NewWithBits(geo.Rect{
+		Min: wc.GridOrigin,
+		Max: geo.Point{X: wc.GridOrigin.X + wc.GridU, Y: wc.GridOrigin.Y + wc.GridU},
+	}, wc.GridBits)
+	if err != nil {
+		return Config{}, fmt.Errorf("rptrie: grid: %w", err)
+	}
+	return Config{
+		Measure:    wc.Measure,
+		Params:     wc.Params,
+		Grid:       g,
+		Pivots:     wc.Pivots,
+		Optimize:   wc.Optimize,
+		DisableLBt: wc.DisableLBt,
+		DisableLBp: wc.DisableLBp,
+	}, nil
+}
+
 type wireNode struct {
 	Z          uint64
 	Children   int32
@@ -50,6 +86,7 @@ type wireNode struct {
 type wireTrie struct {
 	Magic    string
 	Config   wireConfig
+	Gen      uint64
 	Nodes    []wireNode // preorder, root first
 	Trajs    []*geo.Trajectory
 	NumNodes int
@@ -60,8 +97,9 @@ type wireTrie struct {
 // Save serializes the trie to w in the gob wire format readable by
 // ReadTrie. (Not named WriteTo: io.WriterTo's byte-count contract is
 // meaningless through gob.) A pending delta is folded into the saved
-// image, so the restored trie always starts fully compacted (at
-// generation zero).
+// image, so the restored trie always starts fully compacted — at the
+// source's generation, so replicas restored from a peer's snapshot
+// stay generation-aligned with it (cluster failover relies on this).
 func (t *Trie) Save(w io.Writer) error {
 	st := t.state()
 	if !st.delta.empty() {
@@ -71,18 +109,9 @@ func (t *Trie) Save(w io.Writer) error {
 		}
 	}
 	wt := wireTrie{
-		Magic: wireMagic,
-		Config: wireConfig{
-			Measure:    t.cfg.Measure,
-			Params:     t.cfg.Params,
-			GridOrigin: t.cfg.Grid.Origin,
-			GridU:      t.cfg.Grid.U,
-			GridBits:   t.cfg.Grid.Bits,
-			Pivots:     t.cfg.Pivots,
-			Optimize:   t.cfg.Optimize,
-			DisableLBt: t.cfg.DisableLBt,
-			DisableLBp: t.cfg.DisableLBp,
-		},
+		Magic:    wireMagic,
+		Gen:      st.gen,
+		Config:   wireConfigOf(t.cfg),
 		NumNodes: st.numNodes,
 		NumLeafs: st.numLeafs,
 		MaxDepth: st.maxDepth,
@@ -129,30 +158,18 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 	if len(wt.Nodes) == 0 {
 		return nil, errors.New("rptrie: empty node stream")
 	}
-	g, err := grid.NewWithBits(geo.Rect{
-		Min: wt.Config.GridOrigin,
-		Max: geo.Point{X: wt.Config.GridOrigin.X + wt.Config.GridU, Y: wt.Config.GridOrigin.Y + wt.Config.GridU},
-	}, wt.Config.GridBits)
+	cfg, err := configFromWire(wt.Config)
 	if err != nil {
-		return nil, fmt.Errorf("rptrie: grid: %w", err)
+		return nil, err
 	}
 	st := &trieState{
+		gen:      wt.Gen,
 		trajs:    make(map[int32]*geo.Trajectory, len(wt.Trajs)),
 		numNodes: wt.NumNodes,
 		numLeafs: wt.NumLeafs,
 		maxDepth: wt.MaxDepth,
 	}
-	t := &Trie{
-		cfg: Config{
-			Measure:    wt.Config.Measure,
-			Params:     wt.Config.Params,
-			Grid:       g,
-			Pivots:     wt.Config.Pivots,
-			Optimize:   wt.Config.Optimize,
-			DisableLBt: wt.Config.DisableLBt,
-			DisableLBp: wt.Config.DisableLBp,
-		},
-	}
+	t := &Trie{cfg: cfg}
 	for _, tr := range wt.Trajs {
 		st.trajs[int32(tr.ID)] = tr
 	}

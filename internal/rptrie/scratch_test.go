@@ -4,14 +4,13 @@ import (
 	"context"
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 	"testing"
-	"time"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
 	"repose/internal/grid"
+	"repose/internal/leakcheck"
 	"repose/internal/pivot"
 	"repose/internal/topk"
 )
@@ -238,21 +237,16 @@ func TestParallelRefineNoGoroutineLeak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := runtime.NumGoroutine()
+	before := leakcheck.Base()
 	q := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
 	for i := 0; i < 50; i++ {
 		if _, err := trie.SearchContext(context.Background(), q, 10, SearchOptions{RefineWorkers: 8}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		runtime.Gosched()
-		time.Sleep(time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before {
-		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
-	}
+	// Refinement workers join before SearchContext returns; the settle
+	// (deadline-aware, no fixed sleeps) only absorbs runtime jitter.
+	leakcheck.Settle(t, before)
 }
 
 // TestParallelRefineCancelled: a cancelled context aborts a parallel

@@ -5,12 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"testing"
-	"time"
 
 	"repose/internal/dist"
+	"repose/internal/leakcheck"
 	"repose/internal/oracle"
 )
 
@@ -199,7 +198,7 @@ func TestConcurrentMutationStress(t *testing.T) {
 	if _, err := idx.Search(ctx, ds[5], 5); err != nil { // warm the pools
 		t.Fatal(err)
 	}
-	base := runtime.NumGoroutine()
+	base := leakcheck.Base()
 
 	const (
 		mutators  = 2
@@ -325,14 +324,7 @@ func TestConcurrentMutationStress(t *testing.T) {
 		}
 	}
 
-	// No goroutine may outlive the race.
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= base+2 {
-			break
-		} else if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak: %d now vs %d baseline", runtime.NumGoroutine(), base)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// No goroutine may outlive the race; the deadline-aware settle
+	// replaces the fixed 3s sleep loop that flaked under -race load.
+	leakcheck.Settle(t, base)
 }

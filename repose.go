@@ -133,6 +133,45 @@ type Options struct {
 	// Seed drives pivot selection, sampling, and random
 	// partitioning (default 1).
 	Seed int64
+
+	// Replication is the remote deployment's replication factor:
+	// each partition is built on this many distinct worker processes
+	// and queries fail over between them when a worker dies (see the
+	// README's "Fault tolerance" section). 0 or 1 disables
+	// replication; BuildRemote rejects a factor above the worker
+	// count. Ignored by the in-process engine. WithReplication sets
+	// it as a build option.
+	Replication int
+
+	// Failover tunes the remote engine's failure handling (circuit
+	// breaker threshold, probe cadence, per-attempt timeout, hedging).
+	// Zero fields take defaults; ignored by the in-process engine.
+	Failover FailoverConfig
+}
+
+// FailoverConfig tunes a remote index's failure handling; see
+// Options.Failover. The zero value selects defaults.
+type FailoverConfig = cluster.FailoverConfig
+
+// WorkerHealth is one worker's health snapshot; see Index.Health.
+type WorkerHealth = cluster.WorkerHealth
+
+// BuildOption overrides one Options field at build time, for settings
+// that read better at the call site than in the struct literal.
+type BuildOption func(*Options)
+
+// WithReplication places each partition on n distinct workers and
+// fails queries over between them — the remote deployment's fault
+// tolerance knob:
+//
+//	idx, err := repose.BuildRemote(ds, repose.Options{}, addrs, repose.WithReplication(2))
+func WithReplication(n int) BuildOption {
+	return func(o *Options) { o.Replication = n }
+}
+
+// WithFailover sets the failover tuning as a build option.
+func WithFailover(fc FailoverConfig) BuildOption {
+	return func(o *Options) { o.Failover = fc }
 }
 
 // Engine is the backend executing an Index's queries. It is a sealed
@@ -226,12 +265,17 @@ func (o Options) spec(ds []*Trajectory, region geo.Rect) cluster.IndexSpec {
 		Succinct:  o.Succinct,
 		Strategy:  o.Strategy,
 		Seed:      o.Seed,
+		Replicas:  o.Replication,
 	}
 }
 
 // Build partitions ds and builds one RP-Trie per partition,
-// in-process.
-func Build(ds []*Trajectory, opts Options) (*Index, error) {
+// in-process. Replication options are ignored: the in-process engine
+// has no worker to lose.
+func Build(ds []*Trajectory, opts Options, extra ...BuildOption) (*Index, error) {
+	for _, bo := range extra {
+		bo(&opts)
+	}
 	region, parts, opts, err := prepare(ds, opts)
 	if err != nil {
 		return nil, err
@@ -246,8 +290,15 @@ func Build(ds []*Trajectory, opts Options) (*Index, error) {
 // BuildRemote ships the partitions to the given worker addresses
 // (host:port, one per worker process started with ServeWorker or the
 // repose-worker binary) and builds remotely. The returned Index
-// answers the exact same query surface as a Build index.
-func BuildRemote(ds []*Trajectory, opts Options, workers []string) (*Index, error) {
+// answers the exact same query surface as a Build index. With
+// WithReplication(n) (or Options.Replication) each partition lives on
+// n distinct workers and queries transparently fail over when a
+// worker dies; a dead worker restarted with `repose-worker -rejoin`
+// is streamed its state back automatically.
+func BuildRemote(ds []*Trajectory, opts Options, workers []string, extra ...BuildOption) (*Index, error) {
+	for _, bo := range extra {
+		bo(&opts)
+	}
 	region, parts, opts, err := prepare(ds, opts)
 	if err != nil {
 		return nil, err
@@ -256,7 +307,20 @@ func BuildRemote(ds []*Trajectory, opts Options, workers []string) (*Index, erro
 	if err != nil {
 		return nil, err
 	}
+	if opts.Failover != (FailoverConfig{}) {
+		remote.SetFailover(opts.Failover)
+	}
 	return &Index{eng: engineRemote{remote}, region: region, opts: opts}, nil
+}
+
+// Health reports per-worker availability of a remote index: circuit
+// state and how many partition replicas await restore. A local index
+// reports nil — it has no workers.
+func (x *Index) Health() []WorkerHealth {
+	if er, ok := x.eng.(engineRemote); ok {
+		return er.r.Health()
+	}
+	return nil
 }
 
 // prepare validates the dataset and computes the region, normalized
@@ -437,6 +501,24 @@ func ServeWorker(addr string, onReady func(boundAddr string)) error {
 // is cancelled the listener closes and the call returns ctx's error,
 // giving worker binaries a clean SIGINT shutdown path.
 func ServeWorkerContext(ctx context.Context, addr string, onReady func(boundAddr string)) error {
+	return ServeWorkerOptions(ctx, addr, WorkerOptions{}, onReady)
+}
+
+// WorkerOptions configures a served worker process.
+type WorkerOptions struct {
+	// Rejoin marks this process as the replacement for a worker that
+	// died: it starts empty and expects the driver's failure detector
+	// to stream partition state back into it (Worker.Restore). Until
+	// that happens its queries fail with an "awaiting state restore"
+	// diagnostic instead of the generic "no partitions", so a
+	// misrouted query during recovery is distinguishable from a
+	// misconfigured cluster. The repose-worker binary sets it with
+	// -rejoin.
+	Rejoin bool
+}
+
+// ServeWorkerOptions is ServeWorkerContext with worker configuration.
+func ServeWorkerOptions(ctx context.Context, addr string, wo WorkerOptions, onReady func(boundAddr string)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -453,7 +535,11 @@ func ServeWorkerContext(ctx context.Context, addr string, onReady func(boundAddr
 		case <-done:
 		}
 	}()
-	err = cluster.Serve(ln, cluster.NewWorker())
+	w := cluster.NewWorker()
+	if wo.Rejoin {
+		w = cluster.NewRejoinWorker()
+	}
+	err = cluster.Serve(ln, w)
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		return ctxErr
 	}
