@@ -219,6 +219,29 @@ func BenchmarkSearch(b *testing.B) {
 			b.Fatal("empty result")
 		}
 	})
+	// Same hot path with the disk-backed store attached: reads never
+	// touch the WAL or buffer pool, so the delta-empty path must stay
+	// 0 allocs/op (asserted in CI next to /trie).
+	b.Run("durable", func(b *testing.B) {
+		d, err := rptrie.WrapDurable(b.TempDir(), benchTrie(b, w, "T-drive", dist.Hausdorff), rptrie.DurableOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		var out []repose.Result
+		for _, q := range w.queries { // warm the pooled scratch
+			out = d.SearchAppend(out[:0], q.Points, benchK)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			out = d.SearchAppend(out[:0], q.Points, benchK)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty result")
+		}
+	})
 }
 
 // BenchmarkSearchAfterInserts times the top-k hot path with a live

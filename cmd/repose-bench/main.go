@@ -41,11 +41,19 @@ func main() {
 		benchJSON  = flag.String("benchjson", "", "run the query micro-benchmark suite and write JSON results to this path (skips -exp)")
 		baseline   = flag.String("baseline", "", "earlier -benchjson report to compute speedups against")
 		benchData  = flag.String("benchdataset", "T-drive", "dataset for -benchjson")
+		storJSON   = flag.String("storagejson", "", "run the cold-start benchmark suite (WAL replay vs rebuild vs peer restore) and write JSON results to this path (skips -exp)")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *baseline, *benchData, *scale, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storJSON != "" {
+		if err := runBenchStorage(*storJSON, *benchData, *scale, *k); err != nil {
 			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
 			os.Exit(1)
 		}

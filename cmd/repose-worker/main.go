@@ -12,6 +12,13 @@
 // failure detector streams the partition state back automatically):
 //
 //	repose-worker -addr 127.0.0.1:7701 -rejoin &
+//
+// With -data-dir the worker keeps every partition on disk (checkpoint
+// + write-ahead log) and a restart on the same directory recovers
+// them locally — the driver re-admits the worker without streaming
+// state from a peer when the recovered generations are current:
+//
+//	repose-worker -addr 127.0.0.1:7701 -data-dir /var/lib/repose/w1 &
 package main
 
 import (
@@ -30,15 +37,19 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7701", "listen address (host:port, :0 for ephemeral)")
 	rejoin := flag.Bool("rejoin", false, "rejoin a replicated cluster as the replacement for a dead worker: start empty and await a state restore from the driver")
+	dataDir := flag.String("data-dir", "", "directory for durable partition stores; a restart on the same directory recovers them from their write-ahead logs")
 	flag.Parse()
 
 	log.SetPrefix("repose-worker: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := repose.ServeWorkerOptions(ctx, *addr, repose.WorkerOptions{Rejoin: *rejoin}, func(bound string) {
+	err := repose.ServeWorkerOptions(ctx, *addr, repose.WorkerOptions{Rejoin: *rejoin, DataDir: *dataDir}, func(bound string) {
 		fmt.Printf("listening on %s (protocol v%d)\n", bound, repose.ProtocolVersion)
 		if *rejoin {
 			log.Print("rejoin mode: awaiting state restore from the driver")
+		}
+		if *dataDir != "" {
+			log.Printf("durable partitions under %s", *dataDir)
 		}
 	})
 	if errors.Is(err, context.Canceled) {

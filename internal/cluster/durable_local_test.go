@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repose/internal/dataset"
+	"repose/internal/geo"
+	"repose/internal/leakcheck"
+	"repose/internal/storage"
+	"repose/internal/topk"
+)
+
+// TestLocalDurableBuildOpen: the local engine's disk-backed mode, both
+// layouts. Build installs every partition under the data directory,
+// mutations journal, Close flushes, and OpenLocalDurable recovers the
+// engine — routing directory included — to bit-identical answers,
+// with mutation routing still working after recovery.
+func TestLocalDurableBuildOpen(t *testing.T) {
+	for _, succinct := range []bool{false, true} {
+		t.Run(fmt.Sprintf("succinct=%v", succinct), func(t *testing.T) {
+			base := leakcheck.Base()
+			defer leakcheck.Settle(t, base)
+			dir := t.TempDir()
+			ds, parts, spec := testWorld(t, 150, 3)
+			spec.Succinct = succinct
+			ctx := context.Background()
+
+			eng, err := BuildLocalDurable(spec, parts, 4, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			adds := freshTrajs(rng, 600_000, 8)
+			if _, err := eng.Insert(ctx, adds, MutateOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if n, _, err := eng.Delete(ctx, []int{ds[2].ID, ds[9].ID}, MutateOptions{}); err != nil || n != 2 {
+				t.Fatalf("delete: n=%d err=%v", n, err)
+			}
+			if _, err := eng.Compact(ctx, nil); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+			q := dataset.Queries(ds, 2, 77)[0]
+			want, _, err := eng.Search(ctx, q.Points, 7, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantRad []topk.Item
+			if !succinct {
+				wantRad, _, err = eng.SearchRadius(ctx, q.Points, 0.8, QueryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantLen := eng.Len()
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := OpenLocalDurable(spec, len(parts), 0, dir)
+			if err != nil {
+				t.Fatalf("OpenLocalDurable: %v", err)
+			}
+			defer re.Close()
+			if re.NumPartitions() != len(parts) || re.Len() != wantLen {
+				t.Fatalf("recovered %d partitions / %d trajectories, want %d / %d",
+					re.NumPartitions(), re.Len(), len(parts), wantLen)
+			}
+			if re.BuildTime() <= 0 {
+				t.Fatal("recovery reported a zero build time")
+			}
+			got, _, err := re.Search(ctx, q.Points, 7, QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, "recovered local search", 9, got, want)
+			if succinct {
+				// The succinct layout has no range search; the durable
+				// wrapper must surface that, naming the partition.
+				if _, _, err := re.SearchRadius(ctx, q.Points, 0.8, QueryOptions{}); err == nil ||
+					!strings.Contains(err.Error(), "radius") {
+					t.Fatalf("succinct durable radius search: %v, want an unsupported diagnostic", err)
+				}
+			} else {
+				gotRad, _, err := re.SearchRadius(ctx, q.Points, 0.8, QueryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertBitIdentical(t, "recovered local radius", 9, gotRad, wantRad)
+			}
+
+			// The rebuilt routing directory still targets existing ids:
+			// an upsert of a build-time trajectory must not duplicate
+			// it, and a delete of an inserted one must land on its
+			// partition.
+			if _, err := re.Upsert(ctx, []*geo.Trajectory{ds[4]}, MutateOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if re.Len() != wantLen {
+				t.Fatalf("upsert of an existing id changed Len to %d, want %d", re.Len(), wantLen)
+			}
+			if n, _, err := re.Delete(ctx, []int{adds[0].ID}, MutateOptions{}); err != nil || n != 1 {
+				t.Fatalf("delete of recovered insert: n=%d err=%v", n, err)
+			}
+		})
+	}
+}
+
+// TestLocalDurableBaselineAndErrors: baseline algorithms have no
+// persistence, so BuildLocalDurable passes them through without
+// creating stores; and the build/open paths surface real failures —
+// an unusable data-dir path, a corrupted page store, and a directory
+// holding more partitions than the engine expects.
+func TestLocalDurableBaselineAndErrors(t *testing.T) {
+	_, parts, spec := testWorld(t, 60, 2)
+
+	dir := t.TempDir()
+	bspec := spec
+	bspec.Algorithm = LS
+	eng, err := BuildLocalDurable(bspec, parts, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLocalDurable(bspec, len(parts), 2, dir); err == nil {
+		t.Fatal("baseline engine left recoverable stores behind")
+	}
+
+	blocked := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildLocalDurable(spec, parts, 2, blocked); err == nil {
+		t.Fatal("build into a regular-file data dir succeeded")
+	}
+
+	dir2 := t.TempDir()
+	eng2, err := BuildLocalDurable(spec, parts, 2, dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 4096)
+	for i := range junk {
+		junk[i] = 0x5a
+	}
+	if err := os.WriteFile(filepath.Join(dir2, partDirName(0), storage.PagesFileName), junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLocalDurable(spec, len(parts), 2, dir2); err == nil {
+		t.Fatal("open over a corrupted page store succeeded")
+	}
+
+	dir3 := t.TempDir()
+	eng3, err := BuildLocalDurable(spec, parts, 2, dir3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLocalDurable(spec, 1, 2, dir3); err == nil {
+		t.Fatal("open with fewer partitions than the directory holds succeeded")
+	}
+}
+
+// TestOpenLocalDurableMissingPartition: recovery is all-or-nothing —
+// a data directory missing one partition's store must fail the open
+// rather than serve partial answers.
+func TestOpenLocalDurableMissingPartition(t *testing.T) {
+	dir := t.TempDir()
+	_, parts, spec := testWorld(t, 80, 2)
+	eng, err := BuildLocalDurable(spec, parts, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLocalDurable(spec, len(parts)+1, 2, dir); err == nil {
+		t.Fatal("open with a missing partition store succeeded")
+	}
+	if _, err := OpenLocalDurable(spec, 0, 2, dir); err == nil {
+		t.Fatal("open with zero partitions succeeded")
+	}
+}

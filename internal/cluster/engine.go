@@ -123,6 +123,7 @@ type MutableIndex interface {
 var (
 	_ MutableIndex = (*rptrie.Trie)(nil)
 	_ MutableIndex = (*rptrie.Succinct)(nil)
+	_ MutableIndex = (*rptrie.Durable)(nil)
 )
 
 // ErrImmutable reports a mutation routed to a partition whose index
@@ -186,6 +187,8 @@ func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k i
 		return t.SearchContext(ctx, q, k, sopt)
 	case *rptrie.Succinct:
 		return t.SearchContext(ctx, q, k, sopt)
+	case *rptrie.Durable:
+		return t.SearchContext(ctx, q, k, sopt)
 	default:
 		// Baselines are immutable: generation pins are vacuous.
 		if err := ctx.Err(); err != nil {
@@ -201,6 +204,9 @@ func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k i
 func radiusOne(ctx context.Context, pi, gpid int, idx LocalIndex, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, error) {
 	if t, ok := idx.(*rptrie.Trie); ok {
 		return t.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)})
+	}
+	if d, ok := idx.(*rptrie.Durable); ok && !d.IsSuccinct() {
+		return d.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)})
 	}
 	if rs, ok := idx.(RadiusSearcher); ok {
 		if err := ctx.Err(); err != nil {

@@ -220,6 +220,12 @@ func (c *Local) IndexSizeBytes() int {
 	return sz
 }
 
-// Close implements Engine; the in-process engine holds no external
-// resources.
-func (c *Local) Close() error { return nil }
+// Close implements Engine: disk-backed partitions (BuildLocalDurable
+// or OpenLocalDurable) flush and close their stores; a purely
+// in-memory engine holds no external resources.
+func (c *Local) Close() error {
+	for _, idx := range c.indexes {
+		closeDurable(idx)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 
 	"repose/internal/geo"
 	"repose/internal/rptrie"
+	"repose/internal/storage"
 	"repose/internal/topk"
 )
 
@@ -286,6 +287,14 @@ type Worker struct {
 	// lands, its queries fail with a distinctive diagnostic instead of
 	// the generic "no partitions".
 	awaitRestore bool
+	// dataDir, when set, backs every REPOSE partition with a durable
+	// store under dataDir/p<pid>; NewDurableWorker recovers them at
+	// startup so a restarted worker rejoins from its own WAL.
+	dataDir string
+	// restores counts Worker.Restore calls that installed state — the
+	// observable distinguishing a local-replay rejoin from a peer
+	// state transfer.
+	restores int
 }
 
 // maxPendingCancels bounds the early-cancel tombstone set.
@@ -309,6 +318,69 @@ func NewRejoinWorker() *Worker {
 	return w
 }
 
+// NewDurableWorker returns a worker whose REPOSE partitions are
+// disk-backed under dataDir. Partitions already recoverable there
+// (from a previous run of the same worker) are opened immediately,
+// each replaying its own WAL to its exact pre-crash generation — the
+// driver's failure detector then re-admits them without a peer state
+// transfer as long as they are current.
+// With rejoin set and nothing recoverable on disk, the worker starts
+// in the awaiting-restore state like NewRejoinWorker.
+func NewDurableWorker(dataDir string, rejoin bool) (*Worker, error) {
+	fs := storage.OSFS{}
+	if err := fs.MkdirAll(dataDir); err != nil {
+		return nil, err
+	}
+	recovered, err := recoverDurablePartitions(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	w := NewWorker()
+	w.dataDir = dataDir
+	w.awaitRestore = rejoin && len(recovered) == 0
+	for pid, d := range recovered {
+		w.indexes[pid] = d
+	}
+	return w, nil
+}
+
+// RecoveredPartitions lists the partitions a NewDurableWorker opened
+// from disk at startup, ascending.
+func (w *Worker) RecoveredPartitions() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var pids []int
+	for pid, idx := range w.indexes {
+		if _, ok := idx.(*rptrie.Durable); ok {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+	return pids
+}
+
+// RestoreCount reports how many Worker.Restore calls installed state.
+func (w *Worker) RestoreCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.restores
+}
+
+// CloseData flushes and closes every disk-backed partition store.
+// The worker keeps answering queries from memory; call it on process
+// shutdown so a restart recovers from a cleanly closed log.
+func (w *Worker) CloseData() {
+	w.mu.Lock()
+	indexes := make([]LocalIndex, 0, len(w.indexes))
+	for _, idx := range w.indexes {
+		indexes = append(indexes, idx)
+	}
+	w.mu.Unlock()
+	for _, idx := range indexes {
+		closeDurable(idx)
+	}
+}
+
 // Handshake verifies the driver and worker speak the same protocol.
 func (w *Worker) Handshake(args *HandshakeArgs, reply *HandshakeReply) error {
 	reply.Version = ProtocolVersion
@@ -324,6 +396,15 @@ func (w *Worker) Build(args *BuildArgs, reply *BuildReply) error {
 	idx, err := args.Spec.BuildLocal(args.Trajectories)
 	if err != nil {
 		return err
+	}
+	w.mu.Lock()
+	old := w.indexes[args.PartitionID]
+	w.mu.Unlock()
+	closeDurable(old) // release the store before WrapDurable wipes its directory
+	if w.dataDir != "" {
+		if idx, err = wrapDurablePartition(w.dataDir, args.PartitionID, idx); err != nil {
+			return err
+		}
 	}
 	w.mu.Lock()
 	w.indexes[args.PartitionID] = idx
@@ -608,8 +689,13 @@ func (w *Worker) Clear(args *ClearArgs, _ *struct{}) error {
 		return err
 	}
 	w.mu.Lock()
+	dropped := w.indexes
 	w.indexes = make(map[int]LocalIndex)
 	w.mu.Unlock()
+	// Wipe dropped stores so a restart does not resurrect them.
+	for _, idx := range dropped {
+		destroyDurable(idx)
+	}
 	return nil
 }
 
@@ -668,6 +754,12 @@ func (w *Worker) Snapshot(args *SnapshotArgs, reply *SnapshotReply) error {
 		}
 		reply.Succinct = true
 		reply.Gen = t.Generation()
+	case *rptrie.Durable:
+		if err := t.Save(&buf); err != nil {
+			return err
+		}
+		reply.Succinct = t.IsSuccinct()
+		reply.Gen = t.Generation()
 	default:
 		return fmt.Errorf("cluster: partition %d index (%T) does not support snapshots", args.PartitionID, idx)
 	}
@@ -699,8 +791,19 @@ func (w *Worker) Restore(args *RestoreArgs, reply *RestoreReply) error {
 		idx, gen = t, t.Generation()
 	}
 	w.mu.Lock()
+	old := w.indexes[args.PartitionID]
+	w.mu.Unlock()
+	closeDurable(old) // release the store before WrapDurable wipes its directory
+	if w.dataDir != "" {
+		var err error
+		if idx, err = wrapDurablePartition(w.dataDir, args.PartitionID, idx); err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
 	w.indexes[args.PartitionID] = idx
 	w.awaitRestore = false
+	w.restores++
 	w.mu.Unlock()
 	reply.Gen = gen
 	reply.Len = idx.Len()

@@ -28,6 +28,7 @@ type LocalIndex interface {
 var (
 	_ LocalIndex = (*rptrie.Trie)(nil)
 	_ LocalIndex = (*rptrie.Succinct)(nil)
+	_ LocalIndex = (*rptrie.Durable)(nil)
 	_ LocalIndex = (*ls.Index)(nil)
 	_ LocalIndex = (*dft.Index)(nil)
 	_ LocalIndex = (*dita.Index)(nil)

@@ -1,0 +1,228 @@
+package rptrie
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+	"repose/internal/grid"
+	"repose/internal/leakcheck"
+	"repose/internal/oracle"
+	"repose/internal/storage"
+	"repose/internal/storage/failpoint"
+)
+
+func durableCfg(t *testing.T) Config {
+	t.Helper()
+	region := geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 8, Y: 8}}
+	g, err := grid.NewWithBits(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Measure: dist.Hausdorff, Grid: g}
+}
+
+// TestDurableRoundTripOnDisk exercises the real filesystem: build,
+// mutate, close, reopen in a fresh process-equivalent, and compare
+// answers to the oracle. Both layouts.
+func TestDurableRoundTripOnDisk(t *testing.T) {
+	base := leakcheck.Base()
+	defer leakcheck.Settle(t, base)
+	for _, layout := range dynLayouts {
+		t.Run(layout, func(t *testing.T) {
+			dir := t.TempDir()
+			rng := rand.New(rand.NewSource(77))
+			ds := randomDataset(rng, 25)
+			cfg := durableCfg(t)
+			opts := DurableOptions{Succinct: layout == "succinct"}
+
+			d, err := BuildDurable(dir, cfg, ds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirror := oracle.NewSet(ds)
+			fresh := randomFresh(rng, 1000, 3)
+			if err := d.Insert(fresh...); err != nil {
+				t.Fatal(err)
+			}
+			mirror.Insert(fresh...)
+			if n := d.Delete(ds[0].ID, ds[1].ID); n != 2 {
+				t.Fatalf("delete removed %d, want 2", n)
+			}
+			mirror.Delete(ds[0].ID, ds[1].ID)
+			repl := randomFresh(rng, ds[2].ID, 1)
+			if err := d.Upsert(repl...); err != nil {
+				t.Fatal(err)
+			}
+			mirror.Insert(repl...)
+			gen := d.Generation()
+			if gen != 3 {
+				t.Fatalf("generation %d after three mutations, want 3", gen)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Mutations after close must fail, queries keep working.
+			if err := d.Insert(randomFresh(rng, 2000, 1)...); err == nil {
+				t.Fatal("insert after Close succeeded")
+			}
+			if got := d.Search(ds[3].Points, 1); len(got) == 0 {
+				t.Fatal("query after Close returned nothing")
+			}
+
+			d2, err := OpenDurable(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d2.Close()
+			if d2.Generation() != gen {
+				t.Fatalf("recovered generation %d, want %d", d2.Generation(), gen)
+			}
+			if d2.IsSuccinct() != (layout == "succinct") {
+				t.Fatalf("recovered layout succinct=%v", d2.IsSuccinct())
+			}
+			if d2.Len() != mirror.Len() {
+				t.Fatalf("recovered %d live, oracle %d", d2.Len(), mirror.Len())
+			}
+			ids := d2.LiveIDs()
+			sort.Ints(ids)
+			wantIDs := mirror.IDs()
+			sort.Ints(wantIDs)
+			if len(ids) != len(wantIDs) {
+				t.Fatalf("LiveIDs %v, want %v", ids, wantIDs)
+			}
+			for i := range ids {
+				if ids[i] != wantIDs[i] {
+					t.Fatalf("LiveIDs %v, want %v", ids, wantIDs)
+				}
+			}
+			for i := 0; i < 20; i++ {
+				q := randomDataset(rng, 1)[0]
+				k := 1 + rng.Intn(8)
+				diffAssertTopK(t, "reopen", cfg.Measure, cfg.Params, mirror, q.Points, k, d2.Search(q.Points, k))
+			}
+			// Compact on the recovered handle folds the replayed delta
+			// and checkpoints; a third open must land on the same state.
+			if err := d2.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if d2.DeltaLen() != 0 {
+				t.Fatalf("delta %d after compact", d2.DeltaLen())
+			}
+			if err := d2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d3, err := OpenDurable(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d3.Close()
+			if d3.Generation() != gen+1 || d3.Len() != mirror.Len() {
+				t.Fatalf("post-compact reopen: gen %d len %d, want gen %d len %d",
+					d3.Generation(), d3.Len(), gen+1, mirror.Len())
+			}
+		})
+	}
+}
+
+// TestDurableOpenMissing: a directory that never held an index (or
+// does not exist) fails with ErrNoDurable so callers can fall back to
+// a rebuild or a peer snapshot.
+func TestDurableOpenMissing(t *testing.T) {
+	if _, err := OpenDurable(t.TempDir(), DurableOptions{}); !errors.Is(err, ErrNoDurable) {
+		t.Fatalf("open of empty dir: %v, want ErrNoDurable", err)
+	}
+	fs := failpoint.New(9)
+	if _, err := OpenDurable("nope", DurableOptions{VFS: fs}); !errors.Is(err, ErrNoDurable) {
+		t.Fatalf("open of missing dir: %v, want ErrNoDurable", err)
+	}
+}
+
+// TestDurablePoisonOnSyncFailure: a dropped-write storage failure
+// rolls the mutation back, reports it, and poisons the handle
+// read-only so no later acknowledgement can lie.
+func TestDurablePoisonOnStorageFailure(t *testing.T) {
+	fs := failpoint.New(11)
+	rng := rand.New(rand.NewSource(11))
+	ds := randomDataset(rng, 10)
+	d, err := BuildDurable("part", durableCfg(t), ds, DurableOptions{VFS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenBefore, genBefore := d.Len(), d.Generation()
+	fs.Crash() // every IO from here on fails
+	if err := d.Insert(randomFresh(rng, 100, 1)...); err == nil {
+		t.Fatal("insert with dead storage succeeded")
+	} else if !errors.Is(err, ErrDurability) {
+		t.Fatalf("insert error %v, want ErrDurability", err)
+	}
+	if d.Err() == nil {
+		t.Fatal("handle not poisoned after storage failure")
+	}
+	if d.Len() != lenBefore || d.Generation() != genBefore {
+		t.Fatalf("failed insert left state: len %d gen %d, want %d/%d",
+			d.Len(), d.Generation(), lenBefore, genBefore)
+	}
+	// Every further mutation fails fast; deletes report zero.
+	if err := d.Upsert(randomFresh(rng, ds[0].ID, 1)...); err == nil {
+		t.Fatal("upsert on poisoned handle succeeded")
+	}
+	if n := d.Delete(ds[0].ID); n != 0 {
+		t.Fatalf("delete on poisoned handle acknowledged %d", n)
+	}
+	if err := d.Compact(); err == nil {
+		t.Fatal("compact on poisoned handle succeeded")
+	}
+	// Queries still serve the last acknowledged state.
+	if got := d.Search(ds[0].Points, 1); len(got) == 0 {
+		t.Fatal("poisoned handle stopped answering queries")
+	}
+	d.Close()
+}
+
+// TestDurableWrapRejectsForeignTypes: only the two index layouts can
+// be made durable.
+func TestDurableWrapRejectsForeignTypes(t *testing.T) {
+	if _, err := WrapDurable("x", 42, DurableOptions{VFS: failpoint.New(1)}); err == nil {
+		t.Fatal("WrapDurable(int) succeeded")
+	}
+}
+
+// TestDurableCompactCheckpointTrimsWAL: the automatic checkpoint
+// after Compact resets the log, so recovery replays nothing.
+func TestDurableCompactCheckpointTrimsWAL(t *testing.T) {
+	fs := failpoint.New(13)
+	rng := rand.New(rand.NewSource(13))
+	ds := randomDataset(rng, 12)
+	d, err := BuildDurable("part", durableCfg(t), ds, DurableOptions{VFS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(randomFresh(rng, 500, 4)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.Open("part", storage.Options{VFS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if gen := st.CheckpointGen(); gen != 2 {
+		t.Fatalf("checkpoint generation %d, want 2 (insert + compact)", gen)
+	}
+	records := 0
+	if err := st.Replay(func(storage.WALRecord) error { records++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if records != 0 {
+		t.Fatalf("%d WAL records survived the checkpoint, want 0", records)
+	}
+}

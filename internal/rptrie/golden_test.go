@@ -1,0 +1,196 @@
+package rptrie
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden persist fixtures under testdata/golden")
+
+// goldenIndex builds the fixture state: the paper's running example
+// (hand-written, so the fixture does not depend on any PRNG stream)
+// with pivots, one insert, and one delete — exercising config, pivot
+// ranges, generation, and tombstone folding in the saved image.
+func goldenIndex(t *testing.T) (*Trie, *geo.Trajectory) {
+	t.Helper()
+	ds, q, g := paperDataset()
+	cfg := Config{Measure: dist.Hausdorff, Grid: g, Pivots: []*geo.Trajectory{ds[0], ds[2]}, Optimize: true}
+	tr, err := Build(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(mkTraj(100, 3.5, 3.5, 4.5, 3.5, 4.5, 5.5)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delete(2) != 1 {
+		t.Fatal("fixture delete missed")
+	}
+	return tr, q
+}
+
+// checkGolden loads the committed fixture image (regenerating it
+// under -update) and pins its leading format-version byte. The
+// fixture's gob bytes are not compared against a fresh Save — gob
+// embeds process-global type IDs, so identical state does not imply
+// identical bytes across runs; what must hold is that an image
+// written by an OLD build keeps decoding to the exact same answers.
+// When the wire structs change incompatibly, decoding the fixture
+// fails (or the semantic assertions below do): bump wireVersion in
+// persist.go and regenerate with -update.
+func checkGolden(t *testing.T, name string, fresh []byte) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with go test -run Golden -update): %v", err)
+	}
+	if len(raw) == 0 || raw[0] != wireVersion {
+		t.Fatalf("%s: fixture carries format version %d, this build writes %d: regenerate with -update", name, raw[0], wireVersion)
+	}
+	return raw
+}
+
+func TestGoldenTrieImage(t *testing.T) {
+	tr, q := goldenIndex(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := checkGolden(t, "trie.img", buf.Bytes())
+
+	back, err := ReadTrie(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decoding committed fixture: %v", err)
+	}
+	if back.Generation() != 2 || back.Len() != 5 {
+		t.Fatalf("fixture decoded to gen=%d len=%d, want gen=2 len=5", back.Generation(), back.Len())
+	}
+	validate(t, back)
+	res := back.Search(q.Points, 2)
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 4 {
+		t.Fatalf("fixture top-2 = %v, want [1 4]", res)
+	}
+	// The old image must answer exactly like today's build of the same
+	// state — identical results AND identical traversal work. Save
+	// folds the staged delta, so fold the live index's too before
+	// comparing traversal counts (an overlay skews them).
+	if err := tr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range goldenProbes(q) {
+		got, gotStats := back.SearchWithStats(probe, 3)
+		want, wantStats := tr.SearchWithStats(probe, 3)
+		if len(got) != len(want) {
+			t.Fatalf("fixture result size %d, fresh %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("fixture result %d = %+v, fresh %+v", i, got[i], want[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("fixture traversal %+v, fresh %+v", gotStats, wantStats)
+		}
+	}
+}
+
+// goldenProbes returns fixed query point sets covering the paper
+// query, a fixture-inserted region, and an empty corner.
+func goldenProbes(q *geo.Trajectory) [][]geo.Point {
+	return [][]geo.Point{
+		q.Points,
+		{{X: 3.5, Y: 3.5}, {X: 4.5, Y: 4.5}},
+		{{X: 7.9, Y: 7.9}},
+	}
+}
+
+func TestGoldenSuccinctImage(t *testing.T) {
+	tr, q := goldenIndex(t)
+	suc, err := Compress(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := suc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := checkGolden(t, "succinct.img", buf.Bytes())
+
+	back, err := ReadSuccinct(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decoding committed fixture: %v", err)
+	}
+	if back.Generation() != 2 || back.Len() != 5 {
+		t.Fatalf("fixture decoded to gen=%d len=%d, want gen=2 len=5", back.Generation(), back.Len())
+	}
+	res := back.Search(q.Points, 2)
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 4 {
+		t.Fatalf("fixture top-2 = %v, want [1 4]", res)
+	}
+	if err := suc.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range goldenProbes(q) {
+		got, gotStats := back.SearchWithStats(probe, 3)
+		want, wantStats := suc.SearchWithStats(probe, 3)
+		if len(got) != len(want) {
+			t.Fatalf("fixture result size %d, fresh %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("fixture result %d = %+v, fresh %+v", i, got[i], want[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("fixture traversal %+v, fresh %+v", gotStats, wantStats)
+		}
+	}
+}
+
+// TestWireVersionRejected: images from a different format version must
+// fail with a version diagnostic, not a gob misdecode.
+func TestWireVersionRejected(t *testing.T) {
+	tr, _ := goldenIndex(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] ^= 0x80
+	if _, err := ReadTrie(bytes.NewReader(raw)); err == nil {
+		t.Fatal("future-version image decoded")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("format version")) {
+		t.Fatalf("want a version diagnostic, got: %v", err)
+	}
+	raw[0] ^= 0x80
+
+	suc, err := Compress(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := suc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sraw := buf.Bytes()
+	sraw[0] ^= 0x80
+	if _, err := ReadSuccinct(bytes.NewReader(sraw)); err == nil {
+		t.Fatal("future-version succinct image decoded")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("format version")) {
+		t.Fatalf("want a version diagnostic, got: %v", err)
+	}
+}

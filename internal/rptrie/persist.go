@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
@@ -20,6 +21,32 @@ import (
 
 // wireHeader identifies the format.
 const wireMagic = "RPTRIE1"
+
+// wireVersion is the single format-version byte every saved image
+// starts with, before the gob stream. Bump it on any change to the
+// wire structs or their encoding so an old decoder rejects a new
+// image (and vice versa) with a version diagnostic instead of a gob
+// misdecode. The golden fixtures under testdata/golden pin the
+// current encoding byte for byte.
+const wireVersion byte = 1
+
+// writeWireVersion prefixes a saved image with the format version.
+func writeWireVersion(w io.Writer) error {
+	_, err := w.Write([]byte{wireVersion})
+	return err
+}
+
+// readWireVersion checks the leading format-version byte.
+func readWireVersion(r io.Reader) error {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("rptrie: reading format version: %w", err)
+	}
+	if b[0] != wireVersion {
+		return fmt.Errorf("rptrie: unsupported snapshot format version %d (this build reads %d)", b[0], wireVersion)
+	}
+	return nil
+}
 
 type wireConfig struct {
 	Measure    dist.Measure
@@ -143,11 +170,22 @@ func (t *Trie) Save(w io.Writer) error {
 	for _, tr := range st.trajs {
 		wt.Trajs = append(wt.Trajs, tr)
 	}
+	// Sorted so the image is a deterministic function of the indexed
+	// state (map iteration order is not): replicas saving the same
+	// state emit identical bytes, and the golden fixtures can pin the
+	// encoding exactly.
+	sort.Slice(wt.Trajs, func(i, j int) bool { return wt.Trajs[i].ID < wt.Trajs[j].ID })
+	if err := writeWireVersion(w); err != nil {
+		return err
+	}
 	return gob.NewEncoder(w).Encode(&wt)
 }
 
 // ReadTrie deserializes a trie written by Save.
 func ReadTrie(r io.Reader) (*Trie, error) {
+	if err := readWireVersion(r); err != nil {
+		return nil, err
+	}
 	var wt wireTrie
 	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
 		return nil, fmt.Errorf("rptrie: decode: %w", err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repose/internal/bits"
 	"repose/internal/geo"
@@ -100,6 +101,11 @@ func (s *Succinct) Save(w io.Writer) error {
 	for _, tr := range trajs {
 		ws.Trajs = append(ws.Trajs, tr)
 	}
+	// Deterministic image bytes for identical state (see persist.go).
+	sort.Slice(ws.Trajs, func(i, j int) bool { return ws.Trajs[i].ID < ws.Trajs[j].ID })
+	if err := writeWireVersion(w); err != nil {
+		return err
+	}
 	return gob.NewEncoder(w).Encode(&ws)
 }
 
@@ -107,6 +113,9 @@ func (s *Succinct) Save(w io.Writer) error {
 // validating the structural invariants the searcher relies on so a
 // corrupted stream fails the read instead of a later query.
 func ReadSuccinct(r io.Reader) (*Succinct, error) {
+	if err := readWireVersion(r); err != nil {
+		return nil, err
+	}
 	var ws wireSuccinct
 	if err := gob.NewDecoder(r).Decode(&ws); err != nil {
 		return nil, fmt.Errorf("rptrie: decode: %w", err)

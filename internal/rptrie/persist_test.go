@@ -260,12 +260,18 @@ func corruptSuccinct(t *testing.T, mutate func(*wireSuccinct)) *bytes.Buffer {
 	if err := suc.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
+	if err := readWireVersion(&buf); err != nil {
+		t.Fatal(err)
+	}
 	var ws wireSuccinct
 	if err := gob.NewDecoder(&buf).Decode(&ws); err != nil {
 		t.Fatal(err)
 	}
 	mutate(&ws)
 	var out bytes.Buffer
+	if err := writeWireVersion(&out); err != nil {
+		t.Fatal(err)
+	}
 	if err := gob.NewEncoder(&out).Encode(&ws); err != nil {
 		t.Fatal(err)
 	}

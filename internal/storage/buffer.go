@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// lruK is the K in LRU-K: eviction ranks frames by their K-th most
+// recent access, which resists sequential-scan pollution better than
+// plain LRU (a page touched once has no K-th access and is evicted
+// first, in oldest-first order).
+const lruK = 2
+
+// DefaultPoolFrames is the default buffer-pool capacity.
+const DefaultPoolFrames = 64
+
+// frame is one resident page.
+type frame struct {
+	id    uint64
+	data  []byte // full raw page, len = pageSize
+	pins  int
+	dirty bool
+	// hist[0] is the most recent access stamp, hist[lruK-1] the K-th
+	// most recent; 0 means "no such access yet".
+	hist [lruK]uint64
+}
+
+// BufferPool caches raw pages over a DiskManager with pinned frames
+// and LRU-K eviction. A pinned frame (pins > 0) is never evicted; a
+// dirty frame is written back before eviction. Safe for concurrent
+// use.
+type BufferPool struct {
+	dm  *DiskManager
+	cap int
+
+	mu     sync.Mutex
+	frames map[uint64]*frame
+	clock  uint64 // logical access counter
+}
+
+// NewBufferPool builds a pool of at most capacity frames.
+func NewBufferPool(dm *DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{dm: dm, cap: capacity, frames: make(map[uint64]*frame, capacity)}
+}
+
+// touch records an access on f.
+func (bp *BufferPool) touch(f *frame) {
+	bp.clock++
+	copy(f.hist[1:], f.hist[:lruK-1])
+	f.hist[0] = bp.clock
+}
+
+// evictLocked makes room for one more frame, writing back a dirty
+// victim. Fails when every frame is pinned.
+func (bp *BufferPool) evictLocked() error {
+	if len(bp.frames) < bp.cap {
+		return nil
+	}
+	var victim *frame
+	for _, f := range bp.frames {
+		if f.pins > 0 {
+			continue
+		}
+		if victim == nil {
+			victim = f
+			continue
+		}
+		// Rank by K-th most recent access; a missing K-th access
+		// (zero) sorts before any real stamp, ties broken by the
+		// most recent access so eviction stays deterministic enough
+		// to reason about.
+		switch {
+		case f.hist[lruK-1] < victim.hist[lruK-1]:
+			victim = f
+		case f.hist[lruK-1] == victim.hist[lruK-1] && f.hist[0] < victim.hist[0]:
+			victim = f
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.cap)
+	}
+	if victim.dirty {
+		if err := bp.dm.WriteRaw(victim.id, victim.data); err != nil {
+			return err
+		}
+	}
+	delete(bp.frames, victim.id)
+	return nil
+}
+
+// Fetch pins the page in a frame, reading it from disk on a miss.
+// The returned buffer is the frame's raw page; it stays valid until
+// Unpin.
+func (bp *BufferPool) Fetch(id uint64) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		f.pins++
+		bp.touch(f)
+		return f.data, nil
+	}
+	if err := bp.evictLocked(); err != nil {
+		return nil, err
+	}
+	data, err := bp.dm.ReadRaw(id)
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: data, pins: 1}
+	bp.touch(f)
+	bp.frames[id] = f
+	return f.data, nil
+}
+
+// NewPage pins a zeroed frame for a freshly allocated page without
+// touching disk (the page's on-disk bytes are undefined anyway). The
+// frame starts dirty.
+func (bp *BufferPool) NewPage(id uint64) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		// Reallocating a cached page id: reset its contents.
+		for i := range f.data {
+			f.data[i] = 0
+		}
+		f.pins++
+		f.dirty = true
+		bp.touch(f)
+		return f.data, nil
+	}
+	if err := bp.evictLocked(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: make([]byte, bp.dm.PageSize()), pins: 1, dirty: true}
+	bp.touch(f)
+	bp.frames[id] = f
+	return f.data, nil
+}
+
+// Unpin releases one pin on the page, marking the frame dirty when
+// the caller wrote to it.
+func (bp *BufferPool) Unpin(id uint64, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident page %d", id)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// FlushAll writes every dirty frame back to disk (no fsync — the
+// caller syncs the disk manager when it needs durability).
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.dm.WriteRaw(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// Drop discards the frames for the given pages without writing them
+// back, for pages whose disk copies the caller is freeing. Dropping a
+// pinned page is an error.
+func (bp *BufferPool) Drop(ids ...uint64) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, id := range ids {
+		if f, ok := bp.frames[id]; ok {
+			if f.pins > 0 {
+				return fmt.Errorf("storage: drop of pinned page %d", id)
+			}
+			delete(bp.frames, id)
+		}
+	}
+	return nil
+}
+
+// Resident reports whether the page currently occupies a frame
+// (test hook).
+func (bp *BufferPool) Resident(id uint64) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	_, ok := bp.frames[id]
+	return ok
+}
+
+// Pins returns the pin count of the page's frame, 0 when absent
+// (test hook).
+func (bp *BufferPool) Pins(id uint64) int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		return f.pins
+	}
+	return 0
+}

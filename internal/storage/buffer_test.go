@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"testing"
+
+	"repose/internal/leakcheck"
+)
+
+var bufSeed = flag.Int64("buffer.seed", 0, "override the buffer pool property test seed (0 = derive per run)")
+
+// TestBufferPoolProperty drives a seeded random workload of
+// fetch/new/write/unpin/flush against a pool much smaller than the
+// page set, checking after every step that (1) page images read
+// through the pool match a shadow map, (2) pinned pages are never
+// evicted, and (3) flush+reopen round-trips the shadow map through
+// the disk layer. Failures print the seed.
+func TestBufferPoolProperty(t *testing.T) {
+	base := leakcheck.Base()
+	seeds := []int64{1, 7, 42, 1234, 99991}
+	if *bufSeed != 0 {
+		seeds = []int64{*bufSeed}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runBufferPoolWorkload(t, seed)
+		})
+	}
+	leakcheck.Settle(t, base)
+}
+
+func runBufferPoolWorkload(t *testing.T, seed int64) {
+	t.Helper()
+	const (
+		pageSize = 256
+		frames   = 4
+		numPages = 24
+		steps    = 2000
+	)
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PageSize: pageSize, PoolFrames: frames})
+	if err != nil {
+		t.Fatalf("seed %d: Open: %v", seed, err)
+	}
+	defer s.Close()
+	dm, bp := s.dm, s.bp
+
+	// Materialize the page range up front so fetches of any id are
+	// legal, and seed the shadow map with the zero images.
+	shadow := make(map[uint64][]byte, numPages)
+	zero := make([]byte, pageSize)
+	for len(shadow) < numPages {
+		id := dm.Alloc()
+		if err := dm.WriteRaw(id, zero); err != nil {
+			t.Fatalf("seed %d: seeding page %d: %v", seed, id, err)
+		}
+		shadow[id] = append([]byte(nil), zero...)
+	}
+	ids := make([]uint64, 0, numPages)
+	for id := range shadow {
+		ids = append(ids, id)
+	}
+
+	rnd := rand.New(rand.NewSource(seed))
+	pinned := make(map[uint64]int) // page id -> pins we hold
+	unpinOne := func(id uint64, dirty bool) {
+		if err := bp.Unpin(id, dirty); err != nil {
+			t.Fatalf("seed %d: unpin %d: %v", seed, id, err)
+		}
+		if pinned[id]--; pinned[id] == 0 {
+			delete(pinned, id)
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		// Keep at least two frames unpinned so fetches always have a
+		// victim available (holding every frame pinned is a
+		// legitimate error, tested separately).
+		for len(pinned) >= frames-1 {
+			for held := range pinned {
+				unpinOne(held, false)
+				break
+			}
+		}
+		id := ids[rnd.Intn(len(ids))]
+		switch op := rnd.Intn(10); {
+		case op < 4: // fetch, verify against shadow, maybe write, unpin
+			data, err := bp.Fetch(id)
+			if err != nil {
+				t.Fatalf("seed %d step %d: fetch %d: %v", seed, step, id, err)
+			}
+			pinned[id]++
+			if !bytes.Equal(data, shadow[id]) {
+				t.Fatalf("seed %d step %d: page %d image diverged from shadow map", seed, step, id)
+			}
+			if rnd.Intn(2) == 0 { // write a byte, release as dirty
+				off := rnd.Intn(pageSize)
+				data[off] = byte(rnd.Intn(256))
+				shadow[id][off] = data[off]
+				unpinOne(id, true)
+			} else if rnd.Intn(4) != 0 { // usually release clean pins too
+				unpinOne(id, false)
+			} // else: hold the (clean) pin across future steps
+		case op < 6: // unpin something we hold
+			for held := range pinned {
+				unpinOne(held, false)
+				break
+			}
+		case op < 7: // flush everything
+			if err := bp.FlushAll(); err != nil {
+				t.Fatalf("seed %d step %d: flush: %v", seed, step, err)
+			}
+		default: // verify a random page through a fresh fetch
+			data, err := bp.Fetch(id)
+			if err != nil {
+				t.Fatalf("seed %d step %d: fetch %d: %v", seed, step, id, err)
+			}
+			if !bytes.Equal(data, shadow[id]) {
+				t.Fatalf("seed %d step %d: page %d image diverged from shadow map", seed, step, id)
+			}
+			if err := bp.Unpin(id, false); err != nil {
+				t.Fatalf("seed %d step %d: unpin %d: %v", seed, step, id, err)
+			}
+		}
+		// Invariant: every page we hold a pin on is still resident —
+		// eviction must never touch a pinned frame.
+		for held := range pinned {
+			if !bp.Resident(held) {
+				t.Fatalf("seed %d step %d: pinned page %d was evicted", seed, step, held)
+			}
+		}
+	}
+	for held, n := range pinned {
+		for i := 0; i < n; i++ {
+			if err := bp.Unpin(held, false); err != nil {
+				t.Fatalf("seed %d: final unpin %d: %v", seed, held, err)
+			}
+		}
+	}
+	// Flush and re-read every page raw: the disk must now agree with
+	// the shadow map byte for byte.
+	if err := bp.FlushAll(); err != nil {
+		t.Fatalf("seed %d: final flush: %v", seed, err)
+	}
+	for _, id := range ids {
+		disk, err := dm.ReadRaw(id)
+		if err != nil {
+			t.Fatalf("seed %d: raw read %d: %v", seed, id, err)
+		}
+		if !bytes.Equal(disk, shadow[id]) {
+			t.Fatalf("seed %d: page %d on disk diverged from shadow map after flush", seed, id)
+		}
+	}
+}
+
+func TestBufferPoolAllPinnedErrors(t *testing.T) {
+	s, _ := openTemp(t, Options{PageSize: 256, PoolFrames: 2})
+	defer s.Close()
+	ids := []uint64{s.dm.Alloc(), s.dm.Alloc(), s.dm.Alloc()}
+	zero := make([]byte, 256)
+	for _, id := range ids {
+		if err := s.dm.WriteRaw(id, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids[:2] {
+		if _, err := s.bp.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.bp.Fetch(ids[2]); err == nil {
+		t.Fatal("fetch with every frame pinned should fail, not evict a pinned page")
+	}
+	if err := s.bp.Unpin(ids[0], false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.bp.Fetch(ids[2]); err != nil {
+		t.Fatalf("fetch after releasing a pin: %v", err)
+	}
+	if s.bp.Resident(ids[0]) {
+		t.Fatal("unpinned page should have been the eviction victim")
+	}
+	if !s.bp.Resident(ids[1]) {
+		t.Fatal("pinned page was evicted")
+	}
+	if err := s.bp.Unpin(ids[1], false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.bp.Unpin(ids[2], false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolLRUKPrefersColdPages(t *testing.T) {
+	s, _ := openTemp(t, Options{PageSize: 256, PoolFrames: 3})
+	defer s.Close()
+	zero := make([]byte, 256)
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		id := s.dm.Alloc()
+		if err := s.dm.WriteRaw(id, zero); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	hot, warm, cold := ids[0], ids[1], ids[2]
+	// hot: two accesses (has a K-th access stamp). warm: two accesses,
+	// older. cold: one access (no K-th stamp — LRU-K evicts it first
+	// even though its single access is the most recent).
+	for _, seq := range []uint64{warm, warm, hot, hot, cold} {
+		if _, err := s.bp.Fetch(seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.bp.Unpin(seq, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.bp.Fetch(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.bp.Unpin(ids[3], false); err != nil {
+		t.Fatal(err)
+	}
+	if s.bp.Resident(cold) {
+		t.Fatal("LRU-K should evict the page with no K-th access first")
+	}
+	if !s.bp.Resident(hot) || !s.bp.Resident(warm) {
+		t.Fatal("pages with K accesses were evicted before the scan-once page")
+	}
+}

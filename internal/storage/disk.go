@@ -1,0 +1,377 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Disk manager: fixed-size pages in one file. Pages 0 and 1 are the
+// two meta slots (written alternately, newest valid epoch wins — the
+// classic double-meta commit); data pages follow. All multi-byte
+// fields are little-endian.
+
+const (
+	// DefaultPageSize is the page size new stores are created with.
+	DefaultPageSize = 4096
+
+	// minPageSize bounds how small a configured page may be; the
+	// header plus a meta slot must fit with room for a payload.
+	minPageSize = 128
+
+	// FormatVersion is the on-disk format version byte shared by the
+	// meta slots, page headers, and the WAL header. Readers reject
+	// any other value instead of misdecoding a future layout.
+	FormatVersion = 1
+
+	// PageHeaderSize is the length of the fixed data-page header.
+	PageHeaderSize = 24
+
+	metaSlotSize = 64
+)
+
+// Page types.
+const (
+	// PageCheckpoint is one link of a checkpoint-image chain.
+	PageCheckpoint = byte(1)
+)
+
+var (
+	pageMagic = [4]byte{'R', 'P', 'P', 'G'}
+	metaMagic = [7]byte{'R', 'P', 'S', 'T', 'O', 'R', '1'}
+)
+
+// ErrCorrupt reports an on-disk structure that failed validation
+// (bad magic, version, bounds, or CRC). Match with errors.Is.
+var ErrCorrupt = errors.New("storage: corrupt on-disk structure")
+
+// PageHeader is the decoded fixed header of one data page.
+type PageHeader struct {
+	Type       byte
+	Next       uint64 // next page id in the chain; 0 terminates
+	PayloadLen uint32
+	CRC        uint32 // over the payload bytes
+}
+
+// EncodePage serializes a page into buf (len(buf) = pageSize):
+// header followed by payload, zero padding after.
+func EncodePage(buf []byte, typ byte, next uint64, payload []byte) error {
+	if PageHeaderSize+len(payload) > len(buf) {
+		return fmt.Errorf("storage: payload of %d bytes exceeds page capacity %d", len(payload), len(buf)-PageHeaderSize)
+	}
+	copy(buf[0:4], pageMagic[:])
+	buf[4] = FormatVersion
+	buf[5] = typ
+	buf[6], buf[7] = 0, 0
+	binary.LittleEndian.PutUint64(buf[8:16], next)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(payload))
+	copy(buf[PageHeaderSize:], payload)
+	for i := PageHeaderSize + len(payload); i < len(buf); i++ {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// DecodePageHeader parses and validates a data page's header against
+// the page buffer, returning the header and the payload slice (a view
+// into buf). Corrupt or truncated input errors with ErrCorrupt; it
+// never panics, whatever the input (fuzzed by FuzzPageHeaderDecode).
+func DecodePageHeader(buf []byte) (PageHeader, []byte, error) {
+	var h PageHeader
+	if len(buf) < PageHeaderSize {
+		return h, nil, fmt.Errorf("%w: page of %d bytes is shorter than its header", ErrCorrupt, len(buf))
+	}
+	if [4]byte(buf[0:4]) != pageMagic {
+		return h, nil, fmt.Errorf("%w: bad page magic %q", ErrCorrupt, buf[0:4])
+	}
+	if buf[4] != FormatVersion {
+		return h, nil, fmt.Errorf("%w: page format version %d, this build reads %d", ErrCorrupt, buf[4], FormatVersion)
+	}
+	if buf[6] != 0 || buf[7] != 0 {
+		return h, nil, fmt.Errorf("%w: nonzero reserved bytes in page header", ErrCorrupt)
+	}
+	h.Type = buf[5]
+	h.Next = binary.LittleEndian.Uint64(buf[8:16])
+	h.PayloadLen = binary.LittleEndian.Uint32(buf[16:20])
+	h.CRC = binary.LittleEndian.Uint32(buf[20:24])
+	if int64(h.PayloadLen) > int64(len(buf)-PageHeaderSize) {
+		return h, nil, fmt.Errorf("%w: payload length %d exceeds page capacity %d", ErrCorrupt, h.PayloadLen, len(buf)-PageHeaderSize)
+	}
+	payload := buf[PageHeaderSize : PageHeaderSize+int(h.PayloadLen)]
+	if crc32.ChecksumIEEE(payload) != h.CRC {
+		return h, nil, fmt.Errorf("%w: page payload CRC mismatch", ErrCorrupt)
+	}
+	return h, payload, nil
+}
+
+// meta is one decoded meta slot.
+type meta struct {
+	epoch    uint64
+	ckptHead uint64 // first page of the checkpoint chain; 0 = none
+	ckptLen  uint64 // total checkpoint payload length
+	ckptGen  uint64 // generation the checkpoint image carries
+	ckptCRC  uint32 // over the whole reassembled image
+	walBase  uint64 // first LSN of the current wal.log
+}
+
+// encodeMeta serializes a meta slot (metaSlotSize bytes).
+func encodeMeta(m meta) []byte {
+	buf := make([]byte, metaSlotSize)
+	copy(buf[0:7], metaMagic[:])
+	buf[7] = FormatVersion
+	binary.LittleEndian.PutUint64(buf[8:16], m.epoch)
+	binary.LittleEndian.PutUint64(buf[16:24], m.ckptHead)
+	binary.LittleEndian.PutUint64(buf[24:32], m.ckptLen)
+	binary.LittleEndian.PutUint64(buf[32:40], m.ckptGen)
+	binary.LittleEndian.PutUint32(buf[40:44], m.ckptCRC)
+	binary.LittleEndian.PutUint64(buf[44:52], m.walBase)
+	binary.LittleEndian.PutUint32(buf[60:64], crc32.ChecksumIEEE(buf[0:60]))
+	return buf
+}
+
+// decodeMeta parses one meta slot, reporting ok=false (not an error —
+// a torn slot is expected after a crash) when it fails validation.
+func decodeMeta(buf []byte) (meta, bool) {
+	var m meta
+	if len(buf) < metaSlotSize {
+		return m, false
+	}
+	if [7]byte(buf[0:7]) != metaMagic || buf[7] != FormatVersion {
+		return m, false
+	}
+	if crc32.ChecksumIEEE(buf[0:60]) != binary.LittleEndian.Uint32(buf[60:64]) {
+		return m, false
+	}
+	m.epoch = binary.LittleEndian.Uint64(buf[8:16])
+	m.ckptHead = binary.LittleEndian.Uint64(buf[16:24])
+	m.ckptLen = binary.LittleEndian.Uint64(buf[24:32])
+	m.ckptGen = binary.LittleEndian.Uint64(buf[32:40])
+	m.ckptCRC = binary.LittleEndian.Uint32(buf[40:44])
+	m.walBase = binary.LittleEndian.Uint64(buf[44:52])
+	return m, true
+}
+
+// Freelist tracks the data pages available for allocation. It is
+// rebuilt at every open by sweeping the live checkpoint chain out of
+// the file's page range (pages referenced by no durable structure are
+// free by construction — the copy-on-write discipline never writes a
+// live page), so it needs no persistence of its own and cannot be
+// corrupted by a crash.
+type Freelist struct {
+	free []uint64 // LIFO
+}
+
+// Pop takes one free page id, ok=false when empty.
+func (fl *Freelist) Pop() (uint64, bool) {
+	if len(fl.free) == 0 {
+		return 0, false
+	}
+	id := fl.free[len(fl.free)-1]
+	fl.free = fl.free[:len(fl.free)-1]
+	return id, true
+}
+
+// Push returns page ids to the free set.
+func (fl *Freelist) Push(ids ...uint64) { fl.free = append(fl.free, ids...) }
+
+// Len returns the number of free pages.
+func (fl *Freelist) Len() int { return len(fl.free) }
+
+// DiskManager performs page-granular IO on the store's page file and
+// owns the meta slots and the freelist. It is not safe for concurrent
+// use; the Store serializes access.
+type DiskManager struct {
+	f        File
+	pageSize int
+	numPages uint64 // pages the file logically holds, including metas
+	cur      meta
+	curSlot  uint64 // page id (0 or 1) holding cur
+	free     Freelist
+}
+
+// OpenDiskManager opens or bootstraps the page file. A zero-length
+// file is initialized with an empty meta in slot 0 (the meta page +
+// freelist bootstrap); an existing file has both meta slots read, the
+// newest valid one adopted, and the freelist rebuilt by sweeping its
+// checkpoint chain out of the page range.
+func OpenDiskManager(f File, pageSize int) (*DiskManager, error) {
+	if pageSize < minPageSize {
+		return nil, fmt.Errorf("storage: page size %d below minimum %d", pageSize, minPageSize)
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	dm := &DiskManager{f: f, pageSize: pageSize, numPages: uint64(size) / uint64(pageSize)}
+	if dm.numPages < 2 {
+		// Fresh (or hopelessly truncated) file: bootstrap.
+		dm.numPages = 2
+		dm.cur = meta{epoch: 1, walBase: 1}
+		dm.curSlot = 0
+		if err := dm.writeMetaSlot(0, dm.cur); err != nil {
+			return nil, err
+		}
+		// Zero slot 1 so the file spans both meta pages; an all-zero
+		// slot decodes as invalid, which is what "never committed"
+		// should look like.
+		if _, err := f.WriteAt(make([]byte, pageSize), int64(pageSize)); err != nil {
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+		return dm, nil
+	}
+	slots := [2]meta{}
+	valid := [2]bool{}
+	buf := make([]byte, metaSlotSize)
+	for slot := uint64(0); slot < 2; slot++ {
+		if _, err := f.ReadAt(buf, int64(slot)*int64(pageSize)); err != nil {
+			continue // a short meta page is just an invalid slot
+		}
+		slots[slot], valid[slot] = decodeMeta(buf)
+	}
+	switch {
+	case !valid[0] && !valid[1]:
+		return nil, fmt.Errorf("%w: no valid meta slot", ErrCorrupt)
+	case valid[0] && (!valid[1] || slots[0].epoch >= slots[1].epoch):
+		dm.cur, dm.curSlot = slots[0], 0
+	default:
+		dm.cur, dm.curSlot = slots[1], 1
+	}
+	used, err := dm.chainPages(dm.cur.ckptHead)
+	if err != nil {
+		return nil, fmt.Errorf("storage: live checkpoint chain: %w", err)
+	}
+	inUse := make(map[uint64]bool, len(used))
+	for _, id := range used {
+		inUse[id] = true
+	}
+	for id := dm.numPages; id > 2; id-- {
+		if !inUse[id-1] {
+			dm.free.Push(id - 1)
+		}
+	}
+	return dm, nil
+}
+
+// writeMetaSlot serializes m into the given slot's page.
+func (dm *DiskManager) writeMetaSlot(slot uint64, m meta) error {
+	buf := make([]byte, dm.pageSize)
+	copy(buf, encodeMeta(m))
+	_, err := dm.f.WriteAt(buf, int64(slot)*int64(dm.pageSize))
+	return err
+}
+
+// Meta returns the current committed meta state.
+func (dm *DiskManager) Meta() (ckptHead, ckptLen, ckptGen uint64, ckptCRC uint32, walBase uint64) {
+	return dm.cur.ckptHead, dm.cur.ckptLen, dm.cur.ckptGen, dm.cur.ckptCRC, dm.cur.walBase
+}
+
+// PageSize returns the page size.
+func (dm *DiskManager) PageSize() int { return dm.pageSize }
+
+// PayloadSize returns the usable payload bytes per page.
+func (dm *DiskManager) PayloadSize() int { return dm.pageSize - PageHeaderSize }
+
+// NumPages returns the logical page count, including the meta slots.
+func (dm *DiskManager) NumPages() uint64 { return dm.numPages }
+
+// FreePages returns how many pages are currently free.
+func (dm *DiskManager) FreePages() int { return dm.free.Len() }
+
+// Alloc takes a free page, extending the file range when none is
+// available. The page's contents are undefined until written.
+func (dm *DiskManager) Alloc() uint64 {
+	if id, ok := dm.free.Pop(); ok {
+		return id
+	}
+	id := dm.numPages
+	dm.numPages++
+	return id
+}
+
+// Free returns pages to the free set. Callers must only free pages
+// that no durable meta slot references anymore.
+func (dm *DiskManager) Free(ids ...uint64) { dm.free.Push(ids...) }
+
+// ReadRaw reads one raw page into a fresh buffer.
+func (dm *DiskManager) ReadRaw(id uint64) ([]byte, error) {
+	if id < 2 || id >= dm.numPages {
+		return nil, fmt.Errorf("%w: page %d out of range [2, %d)", ErrCorrupt, id, dm.numPages)
+	}
+	buf := make([]byte, dm.pageSize)
+	if _, err := dm.f.ReadAt(buf, int64(id)*int64(dm.pageSize)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteRaw writes one raw page buffer (len = pageSize).
+func (dm *DiskManager) WriteRaw(id uint64, buf []byte) error {
+	if id < 2 {
+		return fmt.Errorf("storage: refusing to write data over meta slot %d", id)
+	}
+	if len(buf) != dm.pageSize {
+		return fmt.Errorf("storage: raw page write of %d bytes, page size %d", len(buf), dm.pageSize)
+	}
+	_, err := dm.f.WriteAt(buf, int64(id)*int64(dm.pageSize))
+	return err
+}
+
+// Sync fsyncs the page file.
+func (dm *DiskManager) Sync() error { return dm.f.Sync() }
+
+// CommitMeta durably installs a new meta state: it writes the stale
+// slot with an incremented epoch and fsyncs. The caller must have
+// already flushed and fsynced every page the new state references
+// (the copy-on-write checkpoint invariant).
+func (dm *DiskManager) CommitMeta(ckptHead, ckptLen, ckptGen uint64, ckptCRC uint32, walBase uint64) error {
+	next := meta{
+		epoch:    dm.cur.epoch + 1,
+		ckptHead: ckptHead,
+		ckptLen:  ckptLen,
+		ckptGen:  ckptGen,
+		ckptCRC:  ckptCRC,
+		walBase:  walBase,
+	}
+	slot := 1 - dm.curSlot
+	if err := dm.writeMetaSlot(slot, next); err != nil {
+		return err
+	}
+	if err := dm.f.Sync(); err != nil {
+		return err
+	}
+	dm.cur, dm.curSlot = next, slot
+	return nil
+}
+
+// chainPages walks a checkpoint chain from head, validating each
+// page, and returns the page ids in order. A nil result for head 0.
+func (dm *DiskManager) chainPages(head uint64) ([]uint64, error) {
+	var ids []uint64
+	for id := head; id != 0; {
+		if uint64(len(ids)) > dm.numPages {
+			return nil, fmt.Errorf("%w: checkpoint chain cycles", ErrCorrupt)
+		}
+		buf, err := dm.ReadRaw(id)
+		if err != nil {
+			return nil, err
+		}
+		h, _, err := DecodePageHeader(buf)
+		if err != nil {
+			return nil, err
+		}
+		if h.Type != PageCheckpoint {
+			return nil, fmt.Errorf("%w: page %d has type %d, want checkpoint", ErrCorrupt, id, h.Type)
+		}
+		ids = append(ids, id)
+		id = h.Next
+	}
+	return ids, nil
+}
+
+// Close closes the page file.
+func (dm *DiskManager) Close() error { return dm.f.Close() }

@@ -1,0 +1,431 @@
+// Package failpoint is a deterministic fault-injecting storage.VFS
+// for crash-recovery testing. It keeps every file in memory twice: a
+// durable image (what has survived an fsync) and an ordered list of
+// pending writes (what sits in the "page cache"). A seeded schedule
+// decides which faults fire:
+//
+//   - torn/partial writes: at a crash, each pending write survives
+//     independently with probability ½, and the last survivor may be
+//     torn to a prefix — modelling unordered, sector-granular
+//     writeback of an unsynced page cache;
+//   - short writes: a WriteAt persists only a prefix and reports
+//     ErrShortWrite, like a full disk;
+//   - dropped fsyncs: a Sync reports success without promoting
+//     anything, like a lying disk — acknowledged durability claims do
+//     not hold under this fault, so harnesses enable it only for
+//     self-consistency (not durability-floor) assertions;
+//   - crash-at-Nth-IO: the Nth mutating operation (write, truncate,
+//     sync, remove) fails with ErrCrashed and freezes the filesystem,
+//     so a harness can first dry-run a workload to count its IO
+//     points (Ops) and then re-run it crashing at every single one.
+//
+// Everything is driven by one seeded PRNG: the same seed and the same
+// operation sequence produce the same faults, so failures reproduce
+// by printing the seed. After a crash, Restart collapses each file to
+// its durable image (applying the seeded torn-write model to the
+// pending writes lost in the crash), invalidates every open handle,
+// and lets the store be reopened for recovery.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"repose/internal/storage"
+)
+
+// ErrCrashed is returned by every operation after the simulated
+// machine has crashed (and by stale handles after a Restart).
+var ErrCrashed = errors.New("failpoint: simulated crash")
+
+// Option configures the fault schedule.
+type Option func(*FS)
+
+// WithCrashAt arranges for the nth mutating IO operation (1-based) to
+// crash the filesystem. Zero (the default) never crashes.
+func WithCrashAt(n int64) Option { return func(fs *FS) { fs.crashAt = n } }
+
+// WithTornWrites sets the probability that the last pending write
+// surviving a crash is torn to a prefix. Default 0.5.
+func WithTornWrites(p float64) Option { return func(fs *FS) { fs.tornProb = p } }
+
+// WithShortWrites sets the probability that a WriteAt persists only a
+// prefix and fails with ErrShortWrite. Default 0.
+func WithShortWrites(p float64) Option { return func(fs *FS) { fs.shortProb = p } }
+
+// WithDroppedSyncs sets the probability that a Sync lies: it reports
+// success without making anything durable. Default 0.
+func WithDroppedSyncs(p float64) Option { return func(fs *FS) { fs.dropSyncProb = p } }
+
+// pendingOp is one unsynced mutation.
+type pendingOp struct {
+	truncate bool
+	size     int64  // truncate target
+	off      int64  // write offset
+	data     []byte // write payload (owned copy)
+}
+
+type file struct {
+	durable []byte
+	pending []pendingOp
+}
+
+// visible materializes the file content a reader observes: the
+// durable image with every pending op applied in order.
+func (f *file) visible() []byte {
+	buf := append([]byte(nil), f.durable...)
+	for _, op := range f.pending {
+		buf = applyOp(buf, op)
+	}
+	return buf
+}
+
+func applyOp(buf []byte, op pendingOp) []byte {
+	if op.truncate {
+		if op.size <= int64(len(buf)) {
+			return buf[:op.size]
+		}
+		return append(buf, make([]byte, op.size-int64(len(buf)))...)
+	}
+	end := op.off + int64(len(op.data))
+	if end > int64(len(buf)) {
+		buf = append(buf, make([]byte, end-int64(len(buf)))...)
+	}
+	copy(buf[op.off:end], op.data)
+	return buf
+}
+
+// FS is the deterministic fault-injecting filesystem. It implements
+// storage.VFS. Safe for concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	seed  int64
+	files map[string]*file
+	dirs  map[string]bool
+
+	ops     int64
+	crashAt int64
+	crashed bool
+	gen     uint64 // bumped by Restart; stale handles die
+
+	tornProb     float64
+	shortProb    float64
+	dropSyncProb float64
+}
+
+var _ storage.VFS = (*FS)(nil)
+
+// New builds a filesystem whose entire fault schedule derives from
+// seed.
+func New(seed int64, opts ...Option) *FS {
+	fs := &FS{
+		rnd:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+		files:    make(map[string]*file),
+		dirs:     map[string]bool{".": true},
+		tornProb: 0.5,
+	}
+	for _, o := range opts {
+		o(fs)
+	}
+	return fs
+}
+
+// Seed returns the seed, for failure messages.
+func (fs *FS) Seed() int64 { return fs.seed }
+
+// Ops returns how many mutating IO operations have run, the
+// coordinate system WithCrashAt counts in.
+func (fs *FS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the simulated machine is down.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Crash takes the machine down now, as if the process got kill -9'd:
+// pending writes go through the seeded torn-write model and every
+// subsequent operation fails with ErrCrashed until Restart.
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashLocked()
+}
+
+func (fs *FS) crashLocked() {
+	if fs.crashed {
+		return
+	}
+	fs.crashed = true
+	// Deterministic iteration order for the PRNG draw.
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fs.files[name]
+		// Unordered writeback: each pending op survives the crash
+		// independently; the last survivor may be torn to a prefix.
+		var kept []pendingOp
+		for _, op := range f.pending {
+			if fs.rnd.Intn(2) == 0 {
+				kept = append(kept, op)
+			}
+		}
+		if len(kept) > 0 && fs.rnd.Float64() < fs.tornProb {
+			last := &kept[len(kept)-1]
+			if !last.truncate && len(last.data) > 0 {
+				last.data = last.data[:fs.rnd.Intn(len(last.data))]
+			}
+		}
+		for _, op := range kept {
+			f.durable = applyOp(f.durable, op)
+		}
+		f.pending = nil
+	}
+}
+
+// Restart brings the machine back up: files hold exactly their
+// durable images, previously open handles are dead, and the fault
+// clock keeps running (a one-shot crashAt has already fired).
+func (fs *FS) Restart() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.crashed {
+		// Crash first so pending writes go through the loss model
+		// even on a "clean" kill.
+		fs.crashLocked()
+	}
+	fs.crashed = false
+	fs.gen++
+}
+
+// step gates one mutating IO operation: it fails if crashed, counts
+// the op, and fires a scheduled crash.
+func (fs *FS) step() error {
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.ops++
+	if fs.crashAt > 0 && fs.ops >= fs.crashAt {
+		fs.crashAt = 0
+		fs.crashLocked()
+		return ErrCrashed
+	}
+	return nil
+}
+
+// OpenFile implements storage.VFS.
+func (fs *FS) OpenFile(name string) (storage.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	name = path.Clean(name)
+	f, ok := fs.files[name]
+	if !ok {
+		f = &file{}
+		fs.files[name] = f
+		// Creating a file is itself metadata the directory must
+		// sync; modelled as instantly durable for simplicity (the
+		// stores create their files once, at bootstrap).
+	}
+	return &handle{fs: fs, f: f, gen: fs.gen, name: name}, nil
+}
+
+// Remove implements storage.VFS.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	delete(fs.files, path.Clean(name))
+	return nil
+}
+
+// MkdirAll implements storage.VFS.
+func (fs *FS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.dirs[path.Clean(dir)] = true
+	return nil
+}
+
+// ReadDir implements storage.VFS.
+func (fs *FS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	dir = path.Clean(dir)
+	seen := make(map[string]bool)
+	for name := range fs.files {
+		if path.Dir(name) == dir {
+			seen[path.Base(name)] = true
+		}
+	}
+	for name := range fs.dirs {
+		if name != "." && name != dir && path.Dir(name) == dir {
+			seen[path.Base(name)] = true
+		}
+	}
+	// Subdirectories implied by deeper files.
+	for name := range fs.files {
+		d := path.Dir(name)
+		for d != "." && d != "/" && d != dir {
+			if path.Dir(d) == dir {
+				seen[path.Base(d)] = true
+			}
+			d = path.Dir(d)
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DurableBytes returns a copy of a file's durable image (test hook).
+func (fs *FS) DurableBytes(name string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[path.Clean(name)]; ok {
+		return append([]byte(nil), f.durable...)
+	}
+	return nil
+}
+
+// String identifies the schedule for failure messages.
+func (fs *FS) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "failpoint.FS(seed=%d", fs.seed)
+	if fs.crashAt > 0 {
+		fmt.Fprintf(&b, ", crashAt=%d", fs.crashAt)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// handle is one open file descriptor.
+type handle struct {
+	fs   *FS
+	f    *file
+	gen  uint64
+	name string
+}
+
+var _ storage.File = (*handle)(nil)
+
+// stale reports whether the handle predates the last Restart.
+func (h *handle) stale() bool { return h.gen != h.fs.gen }
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed || h.stale() {
+		return 0, ErrCrashed
+	}
+	buf := h.f.visible()
+	if off >= int64(len(buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() {
+		return 0, ErrCrashed
+	}
+	if err := h.fs.step(); err != nil {
+		return 0, err
+	}
+	data := append([]byte(nil), p...)
+	short := false
+	if h.fs.shortProb > 0 && h.fs.rnd.Float64() < h.fs.shortProb && len(data) > 0 {
+		data = data[:h.fs.rnd.Intn(len(data))]
+		short = true
+	}
+	h.f.pending = append(h.f.pending, pendingOp{off: off, data: data})
+	if short {
+		return len(data), fmt.Errorf("failpoint: %w (seed %d)", io.ErrShortWrite, h.fs.seed)
+	}
+	return len(p), nil
+}
+
+func (h *handle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() {
+		return ErrCrashed
+	}
+	if err := h.fs.step(); err != nil {
+		return err
+	}
+	h.f.pending = append(h.f.pending, pendingOp{truncate: true, size: size})
+	return nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() {
+		return ErrCrashed
+	}
+	if err := h.fs.step(); err != nil {
+		return err
+	}
+	if h.fs.dropSyncProb > 0 && h.fs.rnd.Float64() < h.fs.dropSyncProb {
+		return nil // the lying disk: reports durability it didn't deliver
+	}
+	for _, op := range h.f.pending {
+		h.f.durable = applyOp(h.f.durable, op)
+	}
+	h.f.pending = nil
+	return nil
+}
+
+func (h *handle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed || h.stale() {
+		return 0, ErrCrashed
+	}
+	return int64(len(h.f.visible())), nil
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() {
+		return nil // closing a pre-crash handle is how recovery lets go
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package failpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repose/internal/storage"
+)
+
+func write(t *testing.T, f storage.File, off int64, data string) {
+	t.Helper()
+	if _, err := f.WriteAt([]byte(data), off); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+}
+
+func TestSyncedDataSurvivesCrash(t *testing.T) {
+	fs := New(1)
+	f, err := fs.OpenFile("a/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, 0, "durable bytes")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, 0, "VOLATILE over") // unsynced
+	fs.Crash()
+	fs.Restart()
+	f2, err := fs.OpenFile("a/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := f2.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	got := buf[:n]
+	// The synced prefix must be intact wherever the unsynced
+	// overwrite did not survive; bytes the lost write covered are
+	// either the old ones or the new ones per the torn model — but a
+	// fully synced image with NO later writes must be bit-exact:
+	fs2 := New(2)
+	g, _ := fs2.OpenFile("x")
+	write(t, g, 0, "only synced")
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2.Crash()
+	fs2.Restart()
+	g2, _ := fs2.OpenFile("x")
+	buf2 := make([]byte, 32)
+	n2, err := g2.ReadAt(buf2, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf2[:n2]) != "only synced" {
+		t.Fatalf("synced-only file corrupted by crash: %q", buf2[:n2])
+	}
+	if len(got) != len("durable bytes") {
+		t.Fatalf("file length changed across crash: %d", len(got))
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		fs := New(12345)
+		f, _ := fs.OpenFile("f")
+		write(t, f, 0, "base image that is long enough to tear interestingly")
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, 5, "AAAAAAAAAA")
+		write(t, f, 20, "BBBBBBBBBB")
+		write(t, f, 35, "CCCCCCCCCC")
+		fs.Crash()
+		fs.Restart()
+		return fs.DurableBytes("f")
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(run(), first) {
+			t.Fatal("same seed and op sequence produced different crash images")
+		}
+	}
+	// A different seed should (for this schedule) tear differently.
+	fs := New(54321)
+	f, _ := fs.OpenFile("f")
+	write(t, f, 0, "base image that is long enough to tear interestingly")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, 5, "AAAAAAAAAA")
+	write(t, f, 20, "BBBBBBBBBB")
+	write(t, f, 35, "CCCCCCCCCC")
+	fs.Crash()
+	fs.Restart()
+	if bytes.Equal(fs.DurableBytes("f"), first) {
+		t.Log("note: different seed happened to produce the same image (possible, not a failure)")
+	}
+}
+
+func TestCrashAtNthIO(t *testing.T) {
+	fs := New(3, WithCrashAt(3))
+	f, err := fs.OpenFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("one"), 0); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("three"), 0); err == nil { // op 3: crash
+		t.Fatal("op 3 should have crashed")
+	} else if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 3 error = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs not crashed after scheduled crash point")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op error = %v, want ErrCrashed", err)
+	}
+	if _, err := fs.OpenFile("g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open error = %v, want ErrCrashed", err)
+	}
+	fs.Restart()
+	if fs.Crashed() {
+		t.Fatal("still crashed after Restart")
+	}
+	// The crashed op never became visible even as pending.
+	g, err := fs.OpenFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := g.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "one" {
+		t.Fatalf("recovered content %q, want %q", buf[:n], "one")
+	}
+	// Stale pre-crash handles stay dead.
+	if _, err := f.WriteAt([]byte("zombie"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write error = %v, want ErrCrashed", err)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	fs := New(4)
+	f, _ := fs.OpenFile("f")
+	if fs.Ops() != 0 {
+		t.Fatalf("ops after open = %d, want 0 (opens are not IO points)", fs.Ops())
+	}
+	write(t, f, 0, "x") // 1
+	f.Sync()            // 2
+	f.Truncate(0)       // 3
+	fs.Remove("f")      // 4
+	if fs.Ops() != 4 {
+		t.Fatalf("ops = %d, want 4", fs.Ops())
+	}
+}
+
+func TestShortWrites(t *testing.T) {
+	// With shortProb 1 every nonempty write is cut short and errors.
+	fs := New(5, WithShortWrites(1))
+	f, _ := fs.OpenFile("f")
+	n, err := f.WriteAt([]byte("full payload"), 0)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write error = %v, want io.ErrShortWrite", err)
+	}
+	if n >= len("full payload") {
+		t.Fatalf("short write persisted %d bytes, want a strict prefix", n)
+	}
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(n) {
+		t.Fatalf("file size %d after short write of %d bytes", size, n)
+	}
+}
+
+func TestDroppedSyncLosesDataOnCrash(t *testing.T) {
+	fs := New(6, WithDroppedSyncs(1), WithTornWrites(0))
+	f, _ := fs.OpenFile("f")
+	write(t, f, 0, "acknowledged but not really durable")
+	if err := f.Sync(); err != nil {
+		t.Fatalf("the lying sync should report success, got %v", err)
+	}
+	// Visible before the crash...
+	buf := make([]byte, 64)
+	if n, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	} else if n == 0 {
+		t.Fatal("data invisible before crash")
+	}
+	// ...but the durable image may have lost it (with tornProb 0 the
+	// subset model still applies; run a few crashes to see loss).
+	lost := false
+	for seed := int64(0); seed < 20 && !lost; seed++ {
+		fs := New(seed, WithDroppedSyncs(1), WithTornWrites(0))
+		f, _ := fs.OpenFile("f")
+		write(t, f, 0, "gone")
+		f.Sync()
+		fs.Crash()
+		if len(fs.DurableBytes("f")) == 0 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("dropped fsyncs never lost data across 20 seeds; the fault is not firing")
+	}
+}
+
+func TestReadDirListsPartitionDirs(t *testing.T) {
+	fs := New(7)
+	if err := fs.MkdirAll("data/p0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("data/p1"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.OpenFile("data/p0/pages.db")
+	write(t, f, 0, "x")
+	names, err := fs.ReadDir("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p0", "p1"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("ReadDir = %v, want %v", names, want)
+	}
+}

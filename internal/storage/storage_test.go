@@ -1,0 +1,414 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repose/internal/leakcheck"
+)
+
+func openTemp(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, dir
+}
+
+func TestStoreBootstrapAndReopen(t *testing.T) {
+	base := leakcheck.Base()
+	s, dir := openTemp(t, Options{})
+	if s.HasCheckpoint() {
+		t.Fatal("fresh store claims a checkpoint")
+	}
+	if got := s.NextLSN(); got != 1 {
+		t.Fatalf("fresh store NextLSN = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Reopen: same empty state, no corruption.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if s2.HasCheckpoint() {
+		t.Fatal("reopened empty store claims a checkpoint")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	leakcheck.Settle(t, base)
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, dir := openTemp(t, Options{PageSize: 256, PoolFrames: 4})
+	defer s.Close()
+	// An image spanning many pages, incompressible-ish content.
+	image := make([]byte, 10_000)
+	rnd := rand.New(rand.NewSource(7))
+	rnd.Read(image)
+	if err := s.Checkpoint(image, 42); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	got, gen, err := s.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if gen != 42 || !bytes.Equal(got, image) {
+		t.Fatalf("LoadCheckpoint = gen %d, %d bytes; want gen 42, identical image", gen, len(got))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Recover from disk.
+	s2, err := Open(dir, Options{PageSize: 256, PoolFrames: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, gen, err = s2.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint after reopen: %v", err)
+	}
+	if gen != 42 || !bytes.Equal(got, image) {
+		t.Fatalf("recovered checkpoint = gen %d, %d bytes; want gen 42, identical image", gen, len(got))
+	}
+}
+
+func TestCheckpointReusesPages(t *testing.T) {
+	s, _ := openTemp(t, Options{PageSize: 256, PoolFrames: 8})
+	defer s.Close()
+	image := make([]byte, 4_000)
+	for i := 0; i < 12; i++ {
+		for j := range image {
+			image[j] = byte(i + j)
+		}
+		if err := s.Checkpoint(image, uint64(i+1)); err != nil {
+			t.Fatalf("Checkpoint %d: %v", i, err)
+		}
+	}
+	// Steady state: each checkpoint frees the previous chain, so the
+	// file holds roughly two chains' worth of pages, not twelve.
+	chains := uint64(len(s.chain))
+	if max := 2 + 3*chains; s.dm.NumPages() > max {
+		t.Fatalf("after 12 same-size checkpoints the file has %d pages (chain is %d); COW reuse should cap it near %d",
+			s.dm.NumPages(), chains, max)
+	}
+	got, gen, err := s.LoadCheckpoint()
+	if err != nil || gen != 12 {
+		t.Fatalf("LoadCheckpoint = gen %d, err %v; want gen 12", gen, err)
+	}
+	if !bytes.Equal(got, image) {
+		t.Fatal("final checkpoint image mismatch")
+	}
+}
+
+func TestWALAppendSyncReplay(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	records := [][]byte{[]byte("alpha"), []byte("beta"), {}, bytes.Repeat([]byte{0xAB}, 5000)}
+	var last uint64
+	for i, p := range records {
+		lsn, err := s.Append(byte(i+1), p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if want := uint64(i + 1); lsn != want {
+			t.Fatalf("Append %d returned LSN %d, want %d", i, lsn, want)
+		}
+		last = lsn
+	}
+	if err := s.Sync(last); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	var got []WALRecord
+	if err := s2.Replay(func(r WALRecord) error {
+		got = append(got, WALRecord{r.LSN, r.Type, append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) || r.Type != byte(i+1) || !bytes.Equal(r.Payload, records[i]) {
+			t.Fatalf("record %d = %+v, mismatch", i, r)
+		}
+	}
+	if next := s2.NextLSN(); next != uint64(len(records)+1) {
+		t.Fatalf("NextLSN after recovery = %d, want %d", next, len(records)+1)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	if _, err := s.Append(1, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append: garbage bytes at the tail.
+	walPath := filepath.Join(dir, WALFileName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer s2.Close()
+	var n int
+	if err := s2.Replay(func(r WALRecord) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records, want 1 (torn tail dropped)", n)
+	}
+	// The tail was truncated, so a fresh append lands cleanly.
+	if lsn, err := s2.Append(2, []byte("after")); err != nil || lsn != 2 {
+		t.Fatalf("Append after torn-tail recovery = LSN %d, err %v; want 2", lsn, err)
+	}
+}
+
+func TestCheckpointResetsWAL(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint([]byte("state at gen 9"), 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var n int
+	if err := s2.Replay(func(WALRecord) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d records after checkpoint, want 0", n)
+	}
+	if next := s2.NextLSN(); next != 6 {
+		t.Fatalf("NextLSN = %d, want 6 (base advanced past obsolete records)", next)
+	}
+	if gen := s2.CheckpointGen(); gen != 9 {
+		t.Fatalf("CheckpointGen = %d, want 9", gen)
+	}
+}
+
+func TestTornMetaSlotFallsBack(t *testing.T) {
+	s, dir := openTemp(t, Options{PageSize: 256})
+	img1 := bytes.Repeat([]byte{1}, 300)
+	img2 := bytes.Repeat([]byte{2}, 300)
+	if err := s.Checkpoint(img1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(img2, 2); err != nil {
+		t.Fatal(err)
+	}
+	newerSlot := s.dm.curSlot
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newer meta slot: recovery must fall back to the older
+	// one, whose chain the COW discipline left intact.
+	pf, err := os.OpenFile(filepath.Join(dir, PagesFileName), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pf.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, int64(newerSlot)*256); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{PageSize: 256})
+	if err != nil {
+		t.Fatalf("reopen with torn meta: %v", err)
+	}
+	defer s2.Close()
+	got, gen, err := s2.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if gen != 1 || !bytes.Equal(got, img1) {
+		t.Fatalf("fallback checkpoint = gen %d; want gen 1 with the older image", gen)
+	}
+}
+
+func TestBothMetaSlotsTornErrors(t *testing.T) {
+	s, dir := openTemp(t, Options{PageSize: 256})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := os.OpenFile(filepath.Join(dir, PagesFileName), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := bytes.Repeat([]byte{0x55}, 64)
+	for slot := int64(0); slot < 2; slot++ {
+		if _, err := pf.WriteAt(junk, slot*256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{PageSize: 256}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with both metas torn = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	base := leakcheck.Base()
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	const writers, each = 8, 25
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				lsn, err := s.Append(1, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err == nil {
+					err = s.Sync(lsn)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+	var n int
+	seen := make(map[uint64]bool)
+	if err := s.Replay(func(r WALRecord) error {
+		if seen[r.LSN] {
+			return fmt.Errorf("duplicate LSN %d", r.LSN)
+		}
+		seen[r.LSN] = true
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*each {
+		t.Fatalf("replayed %d records, want %d", n, writers*each)
+	}
+	leakcheck.Settle(t, base)
+}
+
+func TestDecodePageHeaderRejectsCorruption(t *testing.T) {
+	buf := make([]byte, 256)
+	payload := []byte("hello page")
+	if err := EncodePage(buf, PageCheckpoint, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	if h, got, err := DecodePageHeader(buf); err != nil || h.Next != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("DecodePageHeader on valid page = %+v, %q, %v", h, got, err)
+	}
+	mutations := map[string]func([]byte){
+		"magic":    func(b []byte) { b[0] ^= 0xFF },
+		"version":  func(b []byte) { b[4] = 99 },
+		"length":   func(b []byte) { b[16] = 0xFF; b[17] = 0xFF },
+		"payload":  func(b []byte) { b[PageHeaderSize] ^= 1 },
+		"crc":      func(b []byte) { b[20] ^= 1 },
+		"truncate": nil,
+	}
+	for name, mutate := range mutations {
+		c := append([]byte(nil), buf...)
+		if mutate == nil {
+			c = c[:PageHeaderSize-1]
+		} else {
+			mutate(c)
+		}
+		if _, _, err := DecodePageHeader(c); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s corruption: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestDecodeWALRecordRejectsCorruption(t *testing.T) {
+	rec := appendWALRecord(nil, 5, 2, []byte("record body"))
+	if r, n, err := DecodeWALRecord(rec); err != nil || r.LSN != 5 || r.Type != 2 || n != len(rec) {
+		t.Fatalf("DecodeWALRecord on valid record = %+v, %d, %v", r, n, err)
+	}
+	mutations := map[string]func([]byte) []byte{
+		"lsn":        func(b []byte) []byte { b[0] ^= 1; return b },
+		"type":       func(b []byte) []byte { b[8] ^= 1; return b },
+		"length":     func(b []byte) []byte { b[9] = 0xFF; b[10] = 0xFF; b[11] = 0xFF; b[12] = 0x7F; return b },
+		"payload":    func(b []byte) []byte { b[len(b)-1] ^= 1; return b },
+		"crc":        func(b []byte) []byte { b[13] ^= 1; return b },
+		"short-head": func(b []byte) []byte { return b[:walRecordHeaderSize-3] },
+		"short-body": func(b []byte) []byte { return b[:len(b)-2] },
+	}
+	for name, mutate := range mutations {
+		c := mutate(append([]byte(nil), rec...))
+		if _, _, err := DecodeWALRecord(c); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s corruption: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestDestroyThenOpenIsFresh(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	if err := s.Checkpoint([]byte("old state"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Destroy(dir, nil); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.HasCheckpoint() {
+		t.Fatal("store survived Destroy")
+	}
+}

@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sync"
+)
+
+// File names inside a Store's directory.
+const (
+	PagesFileName = "pages.db"
+	WALFileName   = "wal.log"
+)
+
+// Options configures a Store.
+type Options struct {
+	// VFS is the filesystem to run on; nil means the real one (OSFS).
+	VFS VFS
+	// PageSize is the page size for a freshly created store; an
+	// existing store keeps the size it was created with. Zero means
+	// DefaultPageSize.
+	PageSize int
+	// PoolFrames caps the buffer pool; zero means DefaultPoolFrames.
+	PoolFrames int
+}
+
+// Store is one partition's durable backing: a checkpoint image in the
+// page file plus a WAL of the mutations applied since. Checkpoint and
+// Close must not race Append/Sync (the owning index's writer lock
+// already serializes them); Replay is only legal before the first
+// mutation.
+type Store struct {
+	dir string
+	vfs VFS
+
+	mu sync.Mutex // serializes Checkpoint/Close against each other
+	dm *DiskManager
+	bp *BufferPool
+	w  *WAL
+
+	chain []uint64 // pages of the live checkpoint chain, in order
+}
+
+// Open opens or creates the store rooted at dir, recovering whatever
+// prior state the crash discipline preserved. After Open, the caller
+// loads the checkpoint (if HasCheckpoint), replays the WAL, and only
+// then starts appending.
+func Open(dir string, opts Options) (*Store, error) {
+	vfs := opts.VFS
+	if vfs == nil {
+		vfs = OSFS{}
+	}
+	pageSize := opts.PageSize
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	frames := opts.PoolFrames
+	if frames == 0 {
+		frames = DefaultPoolFrames
+	}
+	if err := vfs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	pf, err := vfs.OpenFile(path.Join(dir, PagesFileName))
+	if err != nil {
+		return nil, err
+	}
+	dm, err := OpenDiskManager(pf, pageSize)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	head, _, _, _, walBase := dm.Meta()
+	wf, err := vfs.OpenFile(path.Join(dir, WALFileName))
+	if err != nil {
+		dm.Close()
+		return nil, err
+	}
+	w, err := OpenWAL(wf, walBase)
+	if err != nil {
+		dm.Close()
+		wf.Close()
+		return nil, err
+	}
+	s := &Store{dir: dir, vfs: vfs, dm: dm, bp: NewBufferPool(dm, frames), w: w}
+	if head != 0 {
+		chain, err := dm.chainPages(head)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.chain = chain
+	}
+	return s, nil
+}
+
+// Destroy removes the store's files from dir. The store must not be
+// open.
+func Destroy(dir string, vfs VFS) error {
+	if vfs == nil {
+		vfs = OSFS{}
+	}
+	if err := vfs.Remove(path.Join(dir, PagesFileName)); err != nil {
+		return err
+	}
+	return vfs.Remove(path.Join(dir, WALFileName))
+}
+
+// HasCheckpoint reports whether a checkpoint image exists.
+func (s *Store) HasCheckpoint() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, _, _, _, _ := s.dm.Meta()
+	return head != 0
+}
+
+// CheckpointGen returns the generation the live checkpoint carries
+// (zero when none exists).
+func (s *Store) CheckpointGen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _, gen, _, _ := s.dm.Meta()
+	return gen
+}
+
+// Pool returns the store's buffer pool (test hook).
+func (s *Store) Pool() *BufferPool { return s.bp }
+
+// LoadCheckpoint reassembles the live checkpoint image by walking its
+// page chain through the buffer pool, verifying the whole-image CRC.
+func (s *Store) LoadCheckpoint() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head, total, gen, wantCRC, _ := s.dm.Meta()
+	if head == 0 {
+		return nil, 0, fmt.Errorf("storage: no checkpoint in %s", s.dir)
+	}
+	image := make([]byte, 0, total)
+	for id := head; id != 0; {
+		buf, err := s.bp.Fetch(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		h, payload, err := DecodePageHeader(buf)
+		if err != nil {
+			s.bp.Unpin(id, false)
+			return nil, 0, err
+		}
+		image = append(image, payload...)
+		if err := s.bp.Unpin(id, false); err != nil {
+			return nil, 0, err
+		}
+		if uint64(len(image)) > total {
+			return nil, 0, fmt.Errorf("%w: checkpoint chain longer than its meta length %d", ErrCorrupt, total)
+		}
+		id = h.Next
+	}
+	if uint64(len(image)) != total {
+		return nil, 0, fmt.Errorf("%w: checkpoint image is %d bytes, meta says %d", ErrCorrupt, len(image), total)
+	}
+	if crc32.ChecksumIEEE(image) != wantCRC {
+		return nil, 0, fmt.Errorf("%w: checkpoint image CRC mismatch", ErrCorrupt)
+	}
+	return image, gen, nil
+}
+
+// Checkpoint durably installs image as the new checkpoint at gen and
+// resets the WAL. The copy-on-write protocol: chunk the image onto
+// free pages (never touching the live chain), flush and fsync them,
+// commit the meta slot pointing at the new chain (with the WAL base
+// advanced past every record the checkpoint obsoletes), and only then
+// free the old chain and truncate the WAL. A crash at any point
+// leaves one meta slot whose chain is intact.
+func (s *Store) Checkpoint(image []byte, gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunk := s.dm.PayloadSize()
+	var ids []uint64
+	for off := 0; ; off += chunk {
+		ids = append(ids, s.dm.Alloc())
+		if off+chunk >= len(image) {
+			break
+		}
+	}
+	// Write the chain through the pool, back to front so each page
+	// knows its successor.
+	for i := len(ids) - 1; i >= 0; i-- {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(image) {
+			hi = len(image)
+		}
+		var next uint64
+		if i+1 < len(ids) {
+			next = ids[i+1]
+		}
+		buf, err := s.bp.NewPage(ids[i])
+		if err != nil {
+			return err
+		}
+		if err := EncodePage(buf, PageCheckpoint, next, image[lo:hi]); err != nil {
+			s.bp.Unpin(ids[i], false)
+			return err
+		}
+		if err := s.bp.Unpin(ids[i], true); err != nil {
+			return err
+		}
+	}
+	if err := s.bp.FlushAll(); err != nil {
+		return err
+	}
+	if err := s.dm.Sync(); err != nil {
+		return err
+	}
+	newBase := s.w.NextLSN()
+	if err := s.dm.CommitMeta(ids[0], uint64(len(image)), gen, crc32.ChecksumIEEE(image), newBase); err != nil {
+		return err
+	}
+	// The new meta is durable: the old chain is garbage and the WAL's
+	// records are obsolete. Neither cleanup affects recoverability.
+	old := s.chain
+	s.chain = ids
+	if err := s.bp.Drop(old...); err != nil {
+		return err
+	}
+	s.dm.Free(old...)
+	return s.w.Reset(newBase)
+}
+
+// Append writes one WAL record, returning its LSN. Not durable until
+// Sync covers the LSN.
+func (s *Store) Append(typ byte, payload []byte) (uint64, error) {
+	return s.w.Append(typ, payload)
+}
+
+// Sync makes every record up to lsn durable (group commit).
+func (s *Store) Sync(lsn uint64) error { return s.w.Sync(lsn) }
+
+// NextLSN returns the LSN the next Append will get.
+func (s *Store) NextLSN() uint64 { return s.w.NextLSN() }
+
+// Replay iterates the WAL's well-formed records in LSN order.
+func (s *Store) Replay(fn func(WALRecord) error) error { return s.w.Replay(fn) }
+
+// closeFiles closes both files, keeping the first error.
+func (s *Store) closeFiles() error {
+	err := s.dm.Close()
+	if werr := s.w.Close(); err == nil {
+		err = werr
+	}
+	return err
+}
+
+// Close flushes the buffer pool and closes the store's files. It does
+// NOT fsync: durability comes from the WAL, and a close without a
+// prior Checkpoint simply means the next Open replays the log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bp.FlushAll(); err != nil {
+		s.closeFiles()
+		return err
+	}
+	return s.closeFiles()
+}

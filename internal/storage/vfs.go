@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// VFS is the filesystem surface the storage layer runs on. The
+// production implementation is OSFS; the failpoint package provides a
+// deterministic in-memory implementation that injects torn writes,
+// short writes, dropped fsyncs, and crash-at-Nth-IO cut points.
+type VFS interface {
+	// OpenFile opens (creating if absent) the named file for random
+	// read/write access.
+	OpenFile(name string) (File, error)
+	// Remove deletes the named file; removing a missing file is not
+	// an error.
+	Remove(name string) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the names of the entries in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// File is one random-access file. Implementations need not be safe
+// for concurrent use; the storage layer serializes access per file.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current file length.
+	Size() (int64, error)
+	// Truncate changes the file length.
+	Truncate(size int64) error
+	// Sync makes every prior write durable.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenFile implements VFS.
+func (OSFS) OpenFile(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements VFS.
+func (OSFS) Remove(name string) error {
+	err := os.Remove(name)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// MkdirAll implements VFS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements VFS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, filepath.Base(e.Name()))
+	}
+	return names, nil
+}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

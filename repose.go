@@ -147,6 +147,14 @@ type Options struct {
 	// breaker threshold, probe cadence, per-attempt timeout, hedging).
 	// Zero fields take defaults; ignored by the in-process engine.
 	Failover FailoverConfig
+
+	// DurableDir, when set, backs every partition of the in-process
+	// engine with a disk store (checkpoint + write-ahead log) under
+	// this directory, recoverable later with OpenDurable. Mutations
+	// then return only after their log record is fsynced. Ignored by
+	// BuildRemote — workers persist via repose-worker -data-dir.
+	// WithDurableDir sets it as a build option.
+	DurableDir string
 }
 
 // FailoverConfig tunes a remote index's failure handling; see
@@ -280,7 +288,19 @@ func Build(ds []*Trajectory, opts Options, extra ...BuildOption) (*Index, error)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := cluster.BuildLocal(opts.spec(ds, region), parts, opts.Workers)
+	spec := opts.spec(ds, region)
+	if opts.DurableDir != "" {
+		eng, err := cluster.BuildLocalDurable(spec, parts, opts.Workers, opts.DurableDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeManifest(opts.DurableDir, durableManifest{Opts: opts, Region: region, Spec: spec}); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		return &Index{eng: engineLocal{eng}, region: region, opts: opts}, nil
+	}
+	eng, err := cluster.BuildLocal(spec, parts, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -515,6 +535,15 @@ type WorkerOptions struct {
 	// misconfigured cluster. The repose-worker binary sets it with
 	// -rejoin.
 	Rejoin bool
+
+	// DataDir backs every REPOSE partition this worker builds with a
+	// durable store under DataDir/p<pid>. A worker restarted on the
+	// same directory recovers its partitions from their own
+	// write-ahead logs before serving, so the driver re-admits it
+	// without streaming state from a peer as long as the recovered
+	// generations are current. The repose-worker binary sets it with
+	// -data-dir.
+	DataDir string
 }
 
 // ServeWorkerOptions is ServeWorkerContext with worker configuration.
@@ -535,9 +564,18 @@ func ServeWorkerOptions(ctx context.Context, addr string, wo WorkerOptions, onRe
 		case <-done:
 		}
 	}()
-	w := cluster.NewWorker()
-	if wo.Rejoin {
+	var w *cluster.Worker
+	if wo.DataDir != "" {
+		w, err = cluster.NewDurableWorker(wo.DataDir, wo.Rejoin)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer w.CloseData()
+	} else if wo.Rejoin {
 		w = cluster.NewRejoinWorker()
+	} else {
+		w = cluster.NewWorker()
 	}
 	err = cluster.Serve(ln, w)
 	if ctxErr := ctx.Err(); ctxErr != nil {
