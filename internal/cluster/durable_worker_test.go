@@ -149,6 +149,72 @@ func TestDurableWorkerClearWipesDisk(t *testing.T) {
 	}
 }
 
+// TestDurableWorkerFailedInstallUninstallsPartition regresses the
+// Build/Restore replacement path: installing a rebuilt partition
+// closes the old index's store and wipes its directory before the new
+// durable wrap, so when the wrap fails the old index must come OUT of
+// the worker — a closed index with destroyed on-disk state must not
+// keep answering for the partition. The partition reads as absent
+// (the driver rebuilds or restores it) and a retried build succeeds.
+func TestDurableWorkerFailedInstallUninstallsPartition(t *testing.T) {
+	base := leakcheck.Base()
+	defer leakcheck.Settle(t, base)
+	dir := t.TempDir()
+	_, parts, spec := testWorld(t, 60, 1)
+	w, err := NewDurableWorker(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br BuildReply
+	build := func() error {
+		return w.Build(&BuildArgs{Version: ProtocolVersion, PartitionID: 0, Spec: spec, Trajectories: parts[0]}, &br)
+	}
+	if err := build(); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: replace the partition's directory with a regular file,
+	// so the rebuild's wipe-and-reopen of the store fails.
+	pdir := filepath.Join(dir, partDirName(0))
+	if err := os.RemoveAll(pdir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pdir, []byte("roadblock"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(); err == nil {
+		t.Fatal("rebuild over a blocked partition directory succeeded")
+	}
+	// The failed install leaves the partition absent, not closed.
+	var st StatusReply
+	if err := w.Status(&StatusArgs{Version: ProtocolVersion}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Gens[0]; ok {
+		t.Fatal("partition 0 still installed after its durable install failed")
+	}
+	var ir InsertReply
+	add := freshTrajs(rand.New(rand.NewSource(5)), 900_000, 1)
+	if err := w.Insert(&InsertArgs{Version: ProtocolVersion, PartitionID: 0, Trajectories: add}, &ir); err == nil {
+		t.Fatal("insert into the uninstalled partition succeeded")
+	}
+	// With the roadblock cleared, a retried build installs durably.
+	if err := os.Remove(pdir); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(); err != nil {
+		t.Fatalf("retry build: %v", err)
+	}
+	w.CloseData()
+	w2, err := NewDurableWorker(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.CloseData()
+	if got := w2.RecoveredPartitions(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("recovered partitions %v, want [0]", got)
+	}
+}
+
 // TestWorkerRestartRejoinsViaLocalWAL is the acceptance regression
 // for the data-dir rejoin path: with replication factor 1 there is no
 // peer to restore from, so when the lone worker owning a partition

@@ -397,8 +397,13 @@ func (w *Worker) Build(args *BuildArgs, reply *BuildReply) error {
 	if err != nil {
 		return err
 	}
+	// Uninstall the old index before closing its store and wiping its
+	// directory: if the durable install below fails, the partition
+	// must read as absent (the driver rebuilds or restores it), not be
+	// served by a closed index whose on-disk state is gone.
 	w.mu.Lock()
 	old := w.indexes[args.PartitionID]
+	delete(w.indexes, args.PartitionID)
 	w.mu.Unlock()
 	closeDurable(old) // release the store before WrapDurable wipes its directory
 	if w.dataDir != "" {
@@ -790,8 +795,12 @@ func (w *Worker) Restore(args *RestoreArgs, reply *RestoreReply) error {
 		}
 		idx, gen = t, t.Generation()
 	}
+	// As in Build: uninstall before wiping, so a failed durable
+	// install leaves the partition absent rather than installed with a
+	// closed store and a destroyed directory.
 	w.mu.Lock()
 	old := w.indexes[args.PartitionID]
+	delete(w.indexes, args.PartitionID)
 	w.mu.Unlock()
 	closeDurable(old) // release the store before WrapDurable wipes its directory
 	if w.dataDir != "" {

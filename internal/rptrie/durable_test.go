@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
@@ -224,5 +226,71 @@ func TestDurableCompactCheckpointTrimsWAL(t *testing.T) {
 	}
 	if records != 0 {
 		t.Fatalf("%d WAL records survived the checkpoint, want 0", records)
+	}
+}
+
+// TestDurableConcurrentInsertCompactNoDeadlock regresses the WAL
+// lock-order inversion end to end: an Insert's acknowledge fsync runs
+// outside d.mu (group commit), so it can race the WAL reset inside a
+// Compact-triggered checkpoint. With the inverted lock order that
+// pairing deadlocked and hung every writer permanently; the watchdog
+// turns a recurrence into a failure. Afterwards the store must still
+// recover every acknowledged insert.
+func TestDurableConcurrentInsertCompactNoDeadlock(t *testing.T) {
+	base := leakcheck.Base()
+	defer leakcheck.Settle(t, base)
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(99))
+	ds := randomDataset(rng, 10)
+	d, err := BuildDurable(dir, durableCfg(t), ds, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each, compacts = 4, 50, 25
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(100 + g)))
+				for i := 0; i < each; i++ {
+					if err := d.Insert(randomFresh(rng, 10_000+g*1_000+i, 1)...); err != nil {
+						t.Errorf("writer %d insert %d: %v", g, i, err)
+						return
+					}
+				}
+			}(g)
+		}
+		for i := 0; i < compacts; i++ {
+			if err := d.Compact(); err != nil {
+				t.Errorf("Compact %d: %v", i, err)
+				break
+			}
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("deadlock: concurrent Insert and Compact hung (WAL Sync vs Reset lock order)")
+	}
+	wantLen, wantGen := d.Len(), d.Generation()
+	if wantLen != len(ds)+writers*each {
+		t.Fatalf("in-memory index holds %d trajectories, want %d", wantLen, len(ds)+writers*each)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("reopen after concurrent workload: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != wantLen || re.Generation() != wantGen {
+		t.Fatalf("recovered len=%d gen=%d, want len=%d gen=%d",
+			re.Len(), re.Generation(), wantLen, wantGen)
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"repose/internal/leakcheck"
 )
@@ -336,6 +338,146 @@ func TestGroupCommitConcurrent(t *testing.T) {
 	}
 	if n != writers*each {
 		t.Fatalf("replayed %d records, want %d", n, writers*each)
+	}
+	leakcheck.Settle(t, base)
+}
+
+// failingVFS wraps OSFS so every WriteAt fails while *arm is set —
+// enough to abort a checkpoint partway through its flush.
+type failingVFS struct {
+	OSFS
+	arm *bool
+}
+
+func (v failingVFS) OpenFile(name string) (File, error) {
+	f, err := v.OSFS.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return failingWriteFile{f, v.arm}, nil
+}
+
+type failingWriteFile struct {
+	File
+	arm *bool
+}
+
+func (f failingWriteFile) WriteAt(p []byte, off int64) (int, error) {
+	if *f.arm {
+		return 0, errors.New("injected write failure")
+	}
+	return f.File.WriteAt(p, off)
+}
+
+// TestCheckpointFailureReleasesPages: a checkpoint that fails before
+// its meta commit must return the aborted chain's pages to the
+// freelist and drop their half-written frames — otherwise every
+// failed attempt leaks the chain's pages until reopen, and stale
+// dirty frames could later flush garbage over reused pages.
+func TestCheckpointFailureReleasesPages(t *testing.T) {
+	arm := false
+	s, _ := openTemp(t, Options{VFS: failingVFS{arm: &arm}, PageSize: 256, PoolFrames: 4})
+	defer s.Close()
+	rnd := rand.New(rand.NewSource(3))
+	image := make([]byte, 4000)
+	rnd.Read(image)
+	if err := s.Checkpoint(image, 1); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore, numBefore := s.dm.FreePages(), s.dm.NumPages()
+	arm = true
+	if err := s.Checkpoint(image, 2); err == nil {
+		t.Fatal("checkpoint with failing writes succeeded")
+	}
+	grown := s.dm.NumPages() - numBefore
+	if got := s.dm.FreePages(); uint64(got) != uint64(freeBefore)+grown {
+		t.Fatalf("failed checkpoint leaked pages: free %d -> %d while the file grew by %d pages",
+			freeBefore, got, grown)
+	}
+	// A second failure must not grow the file again: the restored
+	// freelist satisfies the retry's allocations.
+	numAfterFirst := s.dm.NumPages()
+	if err := s.Checkpoint(image, 2); err == nil {
+		t.Fatal("checkpoint with failing writes succeeded")
+	}
+	if got := s.dm.NumPages(); got != numAfterFirst {
+		t.Fatalf("second failed checkpoint grew the file %d -> %d pages", numAfterFirst, got)
+	}
+	arm = false
+	// With writes healthy again, a retry lands and round-trips a new
+	// image — no stale frame from the aborted attempts survives.
+	image2 := make([]byte, 4000)
+	rnd.Read(image2)
+	if err := s.Checkpoint(image2, 2); err != nil {
+		t.Fatalf("checkpoint retry: %v", err)
+	}
+	got, gen, err := s.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || !bytes.Equal(got, image2) {
+		t.Fatalf("recovered gen=%d image mismatch after failed attempts", gen)
+	}
+}
+
+// TestWALSyncResetNoDeadlock regresses a lock-order inversion: Sync
+// acquires syncMu before mu, so Reset must too. The old order (mu
+// then syncMu) let a group-commit Sync racing a checkpoint's Reset
+// deadlock AB-BA, hanging every writer; the watchdog turns that hang
+// into a failure. Appends are serialized against resets by a caller
+// lock — matching how Durable drives the WAL — while Syncs run free.
+func TestWALSyncResetNoDeadlock(t *testing.T) {
+	base := leakcheck.Base()
+	dir := t.TempDir()
+	f, err := OSFS{}.OpenFile(filepath.Join(dir, WALFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(f, 1)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var callerMu sync.Mutex // the owning index's writer lock
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		const writers, each, resets = 4, 100, 50
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					callerMu.Lock()
+					lsn, err := w.Append(1, []byte{byte(g), byte(i)})
+					callerMu.Unlock()
+					if err == nil {
+						err = w.Sync(lsn)
+					}
+					if err != nil {
+						t.Errorf("writer %d: %v", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		for i := 0; i < resets; i++ {
+			callerMu.Lock()
+			err := w.Reset(w.NextLSN())
+			callerMu.Unlock()
+			if err != nil {
+				t.Errorf("Reset: %v", err)
+				break
+			}
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock: WAL.Sync and WAL.Reset stuck on each other's locks")
 	}
 	leakcheck.Settle(t, base)
 }

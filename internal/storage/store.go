@@ -183,6 +183,16 @@ func (s *Store) Checkpoint(image []byte, gen uint64) error {
 			break
 		}
 	}
+	// Until CommitMeta lands, the new chain is garbage on failure:
+	// drop whatever frames it occupies (so half-encoded dirty pages
+	// never get flushed later) and return its ids to the freelist.
+	// Drop is best-effort — it only refuses pinned frames, which the
+	// error paths below have already unpinned.
+	fail := func(err error) error {
+		s.bp.Drop(ids...)
+		s.dm.Free(ids...)
+		return err
+	}
 	// Write the chain through the pool, back to front so each page
 	// knows its successor.
 	for i := len(ids) - 1; i >= 0; i-- {
@@ -197,25 +207,25 @@ func (s *Store) Checkpoint(image []byte, gen uint64) error {
 		}
 		buf, err := s.bp.NewPage(ids[i])
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		if err := EncodePage(buf, PageCheckpoint, next, image[lo:hi]); err != nil {
 			s.bp.Unpin(ids[i], false)
-			return err
+			return fail(err)
 		}
 		if err := s.bp.Unpin(ids[i], true); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	if err := s.bp.FlushAll(); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := s.dm.Sync(); err != nil {
-		return err
+		return fail(err)
 	}
 	newBase := s.w.NextLSN()
 	if err := s.dm.CommitMeta(ids[0], uint64(len(image)), gen, crc32.ChecksumIEEE(image), newBase); err != nil {
-		return err
+		return fail(err)
 	}
 	// The new meta is durable: the old chain is garbage and the WAL's
 	// records are obsolete. Neither cleanup affects recoverability.

@@ -23,8 +23,13 @@ type VFS interface {
 	ReadDir(dir string) ([]string, error)
 }
 
-// File is one random-access file. Implementations need not be safe
-// for concurrent use; the storage layer serializes access per file.
+// File is one random-access file. Implementations must allow ReadAt,
+// WriteAt, and Sync to be called concurrently with each other: the
+// WAL overlaps appends with group-commit fsyncs, and replay reads can
+// overlap both. Truncate and Close are only called with all other
+// operations quiesced, so they need no internal synchronization
+// beyond that. OSFS inherits this from *os.File; the failpoint
+// implementation serializes everything under one lock.
 type File interface {
 	io.ReaderAt
 	io.WriterAt

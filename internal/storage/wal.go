@@ -112,6 +112,10 @@ type WAL struct {
 	nextLSN uint64
 	base    uint64
 
+	// Lock order: syncMu before mu. Sync holds syncMu across the
+	// fsync and takes mu only in short sections inside it; Reset needs
+	// both and must take syncMu first, or a concurrent Sync deadlocks
+	// against it. Never acquire syncMu while holding mu.
 	syncMu sync.Mutex // serializes fsyncs
 	synced uint64     // highest LSN known durable (atomic under syncMu+mu)
 }
@@ -173,7 +177,7 @@ func OpenWAL(f File, baseLSN uint64) (*WAL, error) {
 }
 
 // reset truncates the log and writes a fresh header at baseLSN.
-// Callers must hold no locks (OpenWAL) or w.mu (Reset).
+// Callers must hold no locks (OpenWAL) or both syncMu and mu (Reset).
 func (w *WAL) reset(baseLSN uint64) error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
@@ -192,12 +196,15 @@ func (w *WAL) reset(baseLSN uint64) error {
 }
 
 // Reset truncates the log to empty with a new base LSN, after a
-// checkpoint has made its records obsolete.
+// checkpoint has made its records obsolete. Safe against concurrent
+// Append/Sync: an in-flight group commit either completes before the
+// truncation or fsyncs the fresh header afterwards — its records are
+// obsolete either way, so acknowledging them stays correct.
 func (w *WAL) Reset(baseLSN uint64) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.reset(baseLSN)
 }
 
