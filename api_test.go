@@ -285,8 +285,8 @@ func TestReplicatedFacadeFailover(t *testing.T) {
 	if down == 0 {
 		t.Fatal("Health reports no dead worker while one is down")
 	}
-	if local.Health() != nil {
-		t.Fatal("local index should report nil health")
+	if lh := local.Health(); len(lh) != 1 || lh[0].Addr != "local" || lh[0].Down {
+		t.Fatalf("local index Health() = %+v, want one healthy synthetic worker", lh)
 	}
 	p.Up()
 	deadline := time.Now().Add(20 * time.Second)

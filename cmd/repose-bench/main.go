@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repose/internal/experiments"
 )
@@ -42,6 +43,9 @@ func main() {
 		baseline   = flag.String("baseline", "", "earlier -benchjson report to compute speedups against")
 		benchData  = flag.String("benchdataset", "T-drive", "dataset for -benchjson")
 		storJSON   = flag.String("storagejson", "", "run the cold-start benchmark suite (WAL replay vs rebuild vs peer restore) and write JSON results to this path (skips -exp)")
+		serveJSON  = flag.String("servejson", "", "run the serve-gateway closed-loop load test (cache+coalesce vs cache-off vs mutation-heavy) and write JSON results to this path (skips -exp)")
+		serveDur   = flag.Duration("serveduration", 2*time.Second, "per-phase duration for -servejson")
+		serveConc  = flag.Int("serveclients", 16, "closed-loop client count for -servejson")
 	)
 	flag.Parse()
 
@@ -54,6 +58,13 @@ func main() {
 	}
 	if *storJSON != "" {
 		if err := runBenchStorage(*storJSON, *benchData, *scale, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveJSON != "" {
+		if err := runServeJSON(*serveJSON, *benchData, *scale, *k, *serveDur, *serveConc); err != nil {
 			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
 			os.Exit(1)
 		}

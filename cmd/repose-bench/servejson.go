@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repose"
+	"repose/internal/dataset"
+	"repose/internal/serve"
+)
+
+// servePhase is one closed-loop load phase against the gateway.
+type servePhase struct {
+	Name       string  `json:"name"`
+	DurationMS int64   `json:"duration_ms"`
+	Clients    int     `json:"clients"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	QPS        float64 `json:"qps"`
+	P50US      float64 `json:"p50_us"`
+	P90US      float64 `json:"p90_us"`
+	P99US      float64 `json:"p99_us"`
+
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+	Invalidations int64   `json:"invalidations"`
+	Mutations     int64   `json:"mutations,omitempty"`
+}
+
+// serveFile is the gateway load report (BENCH_serve.json).
+type serveFile struct {
+	Generated string       `json:"generated"`
+	Dataset   string       `json:"dataset"`
+	Scale     float64      `json:"scale"`
+	K         int          `json:"k"`
+	Phases    []servePhase `json:"phases"`
+	// SpeedupCacheOn is phase cache+coalesce QPS over phase cache-off
+	// QPS — the number the serving layer exists to raise.
+	SpeedupCacheOn float64 `json:"speedup_cache_on"`
+}
+
+// runServeJSON load-tests the serve gateway end to end over HTTP
+// (loopback) with closed-loop clients and a skewed query mix, in
+// three phases: caching+coalescing on, both off (every request runs
+// the engine), and caching on under a concurrent mutation stream
+// (every mutation invalidates by advancing the generation vector).
+func runServeJSON(outPath, dsName string, scale float64, k int, dur time.Duration, clients int) error {
+	spec, err := dataset.ByName(dsName, scale)
+	if err != nil {
+		return err
+	}
+	ds := dataset.Generate(spec)
+	queries := dataset.Queries(ds, 32, 999)
+	delta := dataset.DefaultDelta(dsName)
+
+	report := serveFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Dataset:   dsName,
+		Scale:     scale,
+		K:         k,
+	}
+
+	run := func(name string, cfg serve.Config, mutate bool) (servePhase, error) {
+		// A fresh index per phase: mutation phases must not leak
+		// state into the next phase's dataset.
+		idx, err := repose.Build(ds, repose.Options{Partitions: 4, Delta: delta})
+		if err != nil {
+			return servePhase{}, err
+		}
+		defer idx.Close()
+
+		gw := serve.New(idx, cfg)
+		ts := httptest.NewServer(gw.Handler())
+		defer ts.Close()
+		defer gw.Shutdown(context.Background())
+
+		stop := make(chan struct{})
+		var mutations atomic.Int64
+		var mwg sync.WaitGroup
+		if mutate {
+			mwg.Add(1)
+			go func() {
+				defer mwg.Done()
+				rng := rand.New(rand.NewSource(7))
+				nextID := 1 << 20
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+					tr := ds[rng.Intn(len(ds))]
+					cp := &repose.Trajectory{ID: nextID, Points: tr.Points}
+					nextID++
+					if err := idx.Insert(context.Background(), []*repose.Trajectory{cp}); err != nil {
+						return
+					}
+					mutations.Add(1)
+					if nextID%8 == 0 {
+						if _, err := idx.Delete(context.Background(), []int{nextID - 4}); err != nil {
+							return
+						}
+						mutations.Add(1)
+					}
+				}
+			}()
+		}
+
+		// Closed-loop clients over a skewed mix: 80% of requests
+		// draw from the 4 hottest queries (cacheable, coalescable),
+		// 20% from the long tail.
+		var requests, errors atomic.Int64
+		latencies := make([][]time.Duration, clients)
+		deadline := time.Now().Add(dur)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(c)))
+				client := &http.Client{}
+				for time.Now().Before(deadline) {
+					var q *repose.Trajectory
+					if rng.Float64() < 0.8 {
+						q = queries[rng.Intn(4)]
+					} else {
+						q = queries[rng.Intn(len(queries))]
+					}
+					body := searchBody(q, k)
+					t0 := time.Now()
+					resp, err := client.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errors.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					requests.Add(1)
+					if resp.StatusCode != http.StatusOK {
+						errors.Add(1)
+						continue
+					}
+					latencies[c] = append(latencies[c], time.Since(t0))
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(stop)
+		mwg.Wait()
+
+		// Pull the gateway's own counters for hit/coalesce ratios.
+		var metricsDoc struct {
+			Cache struct {
+				HitRatio      float64 `json:"hit_ratio"`
+				Invalidations int64   `json:"invalidations"`
+			} `json:"cache"`
+			Coalesce struct {
+				Ratio float64 `json:"ratio"`
+			} `json:"coalesce"`
+		}
+		if resp, err := http.Get(ts.URL + "/metrics"); err == nil {
+			json.NewDecoder(resp.Body).Decode(&metricsDoc)
+			resp.Body.Close()
+		}
+
+		var all []time.Duration
+		for _, l := range latencies {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(q float64) float64 {
+			if len(all) == 0 {
+				return 0
+			}
+			i := int(q * float64(len(all)-1))
+			return float64(all[i].Microseconds())
+		}
+		p := servePhase{
+			Name:          name,
+			DurationMS:    dur.Milliseconds(),
+			Clients:       clients,
+			Requests:      requests.Load(),
+			Errors:        errors.Load(),
+			QPS:           float64(requests.Load()) / dur.Seconds(),
+			P50US:         pct(0.50),
+			P90US:         pct(0.90),
+			P99US:         pct(0.99),
+			CacheHitRatio: metricsDoc.Cache.HitRatio,
+			CoalesceRatio: metricsDoc.Coalesce.Ratio,
+			Invalidations: metricsDoc.Cache.Invalidations,
+			Mutations:     mutations.Load(),
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %8d req %8.0f qps  p50 %6.0fus p99 %8.0fus  hit %.2f coalesce %.2f\n",
+			name, p.Requests, p.QPS, p.P50US, p.P99US, p.CacheHitRatio, p.CoalesceRatio)
+		return p, nil
+	}
+
+	on := serve.Config{MaxConcurrent: 8, MaxQueue: 4 * clients, QueryTimeout: 30 * time.Second}
+	off := on
+	off.CacheEntries = -1
+	off.BatchWindow = -1
+
+	for _, ph := range []struct {
+		name   string
+		cfg    serve.Config
+		mutate bool
+	}{
+		{"cache+coalesce", on, false},
+		{"cache-off", off, false},
+		{"mutation-heavy", on, true},
+	} {
+		p, err := run(ph.name, ph.cfg, ph.mutate)
+		if err != nil {
+			return err
+		}
+		report.Phases = append(report.Phases, p)
+	}
+
+	if report.Phases[1].QPS > 0 {
+		report.SpeedupCacheOn = report.Phases[0].QPS / report.Phases[1].QPS
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+func searchBody(q *repose.Trajectory, k int) []byte {
+	pts := make([][2]float64, len(q.Points))
+	for i, p := range q.Points {
+		pts[i] = [2]float64{p.X, p.Y}
+	}
+	b, _ := json.Marshal(map[string]any{"points": pts, "k": k})
+	return b
+}

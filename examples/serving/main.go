@@ -1,0 +1,168 @@
+// Serving: run the HTTP query gateway in-process and walk its whole
+// surface — a cold query, a generation-keyed cache hit, a burst of
+// identical queries coalesced into one execution, a mutation that
+// invalidates exactly (the cache key includes the index's generation
+// vector, so a stale answer is unreachable by construction), the
+// /healthz and /metrics endpoints, and a graceful drain.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repose"
+	"repose/internal/serve"
+)
+
+func trip(rng *rand.Rand, id int) *repose.Trajectory {
+	tr := &repose.Trajectory{ID: id}
+	x, y := rng.Float64()*8, rng.Float64()*8
+	for s := 0; s < 15; s++ {
+		x += rng.NormFloat64() * 0.2
+		y += rng.NormFloat64() * 0.2
+		tr.Points = append(tr.Points, repose.Point{X: x, Y: y})
+	}
+	return tr
+}
+
+type answer struct {
+	Results []struct {
+		ID       int     `json:"id"`
+		Distance float64 `json:"distance"`
+	} `json:"results"`
+	Generations []uint64 `json:"generations"`
+	Cached      bool     `json:"cached"`
+	Coalesced   bool     `json:"coalesced"`
+}
+
+func search(url string, q *repose.Trajectory, k int) answer {
+	pts := make([][2]float64, len(q.Points))
+	for i, p := range q.Points {
+		pts[i] = [2]float64{p.X, p.Y}
+	}
+	body, _ := json.Marshal(map[string]any{"points": pts, "k": k})
+	resp, err := http.Post(url+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var a answer
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	var fleet []*repose.Trajectory
+	for id := 0; id < 500; id++ {
+		fleet = append(fleet, trip(rng, id))
+	}
+	idx, err := repose.Build(fleet, repose.Options{Partitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	gw := serve.New(idx, serve.Config{})
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+	fmt.Printf("gateway up at %s over %d trajectories\n\n", ts.URL, len(fleet))
+
+	// A cold query executes in the engine; an identical repeat is a
+	// cache hit at the same generation vector.
+	q := fleet[42]
+	first := search(ts.URL, q, 3)
+	fmt.Printf("cold query:   cached=%-5v generations=%v top hit id=%d\n",
+		first.Cached, first.Generations, first.Results[0].ID)
+	repeat := search(ts.URL, q, 3)
+	fmt.Printf("repeat:       cached=%-5v (same answer, zero engine work)\n\n", repeat.Cached)
+
+	// A mutation advances the touched partition's generation — the
+	// cached entry's key vector can never be read again, so the next
+	// query recomputes. Exact invalidation, no TTLs.
+	if err := idx.Insert(context.Background(), []*repose.Trajectory{trip(rng, 10_000)}); err != nil {
+		log.Fatal(err)
+	}
+	after := search(ts.URL, q, 3)
+	fmt.Printf("after insert: cached=%-5v generations=%v (entry invalidated exactly)\n\n",
+		after.Cached, after.Generations)
+
+	// A burst of identical queries while none is cached: one leader
+	// executes, the rest coalesce onto its answer.
+	burstQ := fleet[77]
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	coalesced := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if search(ts.URL, burstQ, 5).Coalesced {
+				mu.Lock()
+				coalesced++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("burst of 8 identical queries: %d coalesced onto the leader's execution\n\n", coalesced)
+
+	// Operational surface.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	fmt.Printf("healthz: %d %s\n", resp.StatusCode, health.Status)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var metrics struct {
+		Requests float64 `json:"requests_search"`
+		Cache    struct {
+			Hits          float64 `json:"hits"`
+			Invalidations float64 `json:"invalidations"`
+			HitRatio      float64 `json:"hit_ratio"`
+		} `json:"cache"`
+		Coalesce struct {
+			Coalesced float64 `json:"coalesced_requests"`
+		} `json:"coalesce"`
+	}
+	json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	fmt.Printf("metrics: %.0f search requests, %.0f cache hits (ratio %.2f), %.0f invalidations, %.0f coalesced\n\n",
+		metrics.Requests, metrics.Cache.Hits, metrics.Cache.HitRatio,
+		metrics.Cache.Invalidations, metrics.Coalesce.Coalesced)
+
+	// Graceful drain: in-flight work finishes, new work is refused.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/search", "application/json",
+		bytes.NewReader([]byte(`{"points":[[1,1]],"k":1}`)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("after drain: POST /search -> %d (server refuses new work)\n", resp.StatusCode)
+}

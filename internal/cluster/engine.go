@@ -45,6 +45,13 @@ type Engine interface {
 	// into its index (nil/empty partitions selects all), returning
 	// the new generations of the compacted partitions.
 	Compact(ctx context.Context, partitions []int) (Gens, error)
+	// Generations snapshots the authoritative per-partition
+	// generation vector (indexed by global partition id; immutable
+	// partition indexes report 0). Generations only advance, and a
+	// mutation's generations are visible here no later than the
+	// mutation call returns — the property an answer cache keys on
+	// (see QueryReport.Generations).
+	Generations() []uint64
 	// Len returns the total number of live indexed trajectories.
 	Len() int
 	// NumPartitions returns the global partition count.

@@ -38,6 +38,22 @@ type QueryReport struct {
 	PartitionTimes []time.Duration // per-partition local search time
 	MaxPartition   time.Duration   // slowest partition (the straggler)
 	SumPartition   time.Duration   // total compute across partitions
+
+	// Generations is the per-partition generation floor of the
+	// answer: the engine's authoritative generation vector snapshotted
+	// at dispatch, before any partition was scanned. Every partition's
+	// snapshot-isolated scan observed at least this generation (on the
+	// local engine the scan reads the then-current state; on the
+	// remote engine only replicas at or above the authoritative
+	// generation serve reads), so an answer cache keyed by this vector
+	// can never serve a result missing a mutation that was
+	// acknowledged before the cached query began.
+	Generations []uint64
+	// CacheEligible reports that the answer is canonical for
+	// (query, k) — it covered every partition. A query restricted
+	// with QueryOptions.Partitions answers a sub-question that must
+	// not be cached as the full answer.
+	CacheEligible bool
 }
 
 // Imbalance returns the straggler ratio MaxPartition/mean; 1.0 is a
@@ -168,13 +184,29 @@ func (c *Local) scatter(ctx context.Context, opt QueryOptions, what string, fn f
 // is cancelled mid-query the partition scans stop early and ctx's
 // error is returned.
 func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	gens := c.Generations()
 	locals, report, err := c.scatter(ctx, opt, "search", func(pi int, idx LocalIndex) ([]topk.Item, error) {
 		return searchOne(ctx, c.gpid(pi), idx, q, k, opt)
 	})
+	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
 	if err != nil {
 		return nil, report, err
 	}
 	return topk.Merge(k, locals...), report, nil
+}
+
+// Generations implements Engine: each partition index's current
+// generation, 0 for immutable (baseline) indexes. The snapshot is
+// taken partition by partition, but each coordinate is a valid floor:
+// generations only advance.
+func (c *Local) Generations() []uint64 {
+	gens := make([]uint64, len(c.indexes))
+	for i, idx := range c.indexes {
+		if m, ok := idx.(MutableIndex); ok {
+			gens[i] = m.Generation()
+		}
+	}
+	return gens
 }
 
 // SearchRadius returns every trajectory within radius of q, merged
@@ -182,9 +214,11 @@ func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptio
 // (distance, id). It fails if any selected partition's index lacks
 // range support.
 func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	gens := c.Generations()
 	locals, report, err := c.scatter(ctx, opt, "radius search", func(pi int, idx LocalIndex) ([]topk.Item, error) {
 		return radiusOne(ctx, pi, c.gpid(pi), idx, q, radius, opt)
 	})
+	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
 	if err != nil {
 		return nil, report, err
 	}

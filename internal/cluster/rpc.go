@@ -991,6 +991,7 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 	if err != nil {
 		return nil, QueryReport{}, err
 	}
+	gens := r.Generations()
 	start := time.Now()
 	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
 		method: "Worker.Search",
@@ -1012,7 +1013,18 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 		}
 	}
 	report.finish(start)
+	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
 	return topk.Merge(k, lists...), report, nil
+}
+
+// Generations implements Engine: a copy of the authoritative
+// generation vector (curGen — the newest generation any replica
+// acknowledged per partition). Replicas behind it never serve reads,
+// so it is a valid answer floor for queries dispatched afterwards.
+func (r *Remote) Generations() []uint64 {
+	r.genMu.Lock()
+	defer r.genMu.Unlock()
+	return append([]uint64(nil), r.curGen...)
 }
 
 // SearchRadius routes the range query to one in-sync replica per
@@ -1023,6 +1035,7 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 	if err != nil {
 		return nil, QueryReport{}, err
 	}
+	gens := r.Generations()
 	start := time.Now()
 	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
 		method: "Worker.SearchRadius",
@@ -1044,6 +1057,7 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 		}
 	}
 	report.finish(start)
+	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
 	topk.SortItems(out)
 	return out, report, nil
 }

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission bounds concurrent executing queries with a prefilled
+// token channel, plus a bounded wait queue in front of it. A request
+// that cannot get a token and finds the queue full is rejected
+// immediately (429) rather than piling onto an already-saturated
+// engine — the same semaphore discipline the engine's internal
+// scheduler uses, surfaced at the front door.
+type admission struct {
+	tokens   chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	m        *metrics
+}
+
+func newAdmission(maxConcurrent, maxQueue int, m *metrics) *admission {
+	a := &admission{
+		tokens:   make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+		m:        m,
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		a.tokens <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue if
+// none is free. It returns false if the queue is full or ctx is
+// cancelled while waiting; the caller then rejects the request.
+func (a *admission) acquire(ctx context.Context) bool {
+	select {
+	case <-a.tokens:
+		a.m.active.Add(1)
+		return true
+	default:
+	}
+	// Slow path: take a queue position if one is left.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return false
+	}
+	a.m.queueDepth.Store(a.queued.Load())
+	defer func() {
+		a.queued.Add(-1)
+		a.m.queueDepth.Store(a.queued.Load())
+	}()
+	select {
+	case <-a.tokens:
+		a.m.active.Add(1)
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (a *admission) release() {
+	a.m.active.Add(-1)
+	a.tokens <- struct{}{}
+}
+
+// retryAfter estimates how long a rejected client should back off:
+// one mean service time per queued-or-active request ahead of it,
+// floored at a second. Coarse on purpose — it is a hint, not a
+// reservation.
+func (a *admission) retryAfter() time.Duration {
+	waiting := a.queued.Load() + int64(cap(a.tokens))
+	mean := time.Duration(0)
+	if n := a.m.searchLatency.count.Load(); n > 0 {
+		mean = time.Duration(a.m.searchLatency.sumUS.Load()/n) * time.Microsecond
+	}
+	d := time.Duration(waiting) * mean / time.Duration(cap(a.tokens))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token bucket map: rate tokens/second,
+// burst capacity, keyed by client id. The clock is injectable so
+// tests advance it deterministically.
+type rateLimiter struct {
+	rate       float64
+	burst      float64
+	now        func() time.Time
+	maxClients int
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+}
+
+// newRateLimiter returns nil (no limiting) when rate <= 0.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:       rate,
+		burst:      float64(burst),
+		now:        now,
+		maxClients: 10_000,
+		clients:    make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from key's bucket. On refusal it also
+// returns how long until a token accrues.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[key]
+	if b == nil {
+		if len(l.clients) >= l.maxClients {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	return true, 0
+}
+
+// sweepLocked evicts buckets idle long enough to have refilled, which
+// makes them indistinguishable from fresh ones. Caller holds l.mu.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.clients {
+		if now.Sub(b.last) >= full {
+			delete(l.clients, k)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repose"
+)
+
+// Backend is the slice of *repose.Index the gateway needs; narrowed
+// to an interface so tests can substitute instrumented fakes.
+type Backend interface {
+	Search(ctx context.Context, q *repose.Trajectory, k int, opts ...repose.QueryOption) ([]repose.Result, error)
+	SearchRadius(ctx context.Context, q *repose.Trajectory, radius float64, opts ...repose.QueryOption) ([]repose.Result, error)
+	SearchBatch(ctx context.Context, qs []*repose.Trajectory, k int, opts ...repose.QueryOption) ([][]repose.Result, error)
+	Generations() []uint64
+	Health() []repose.WorkerHealth
+	Stats() repose.Stats
+}
+
+// Config tunes the gateway. The zero value is usable: every field
+// has a serving-appropriate default applied by New.
+type Config struct {
+	// MaxConcurrent bounds queries executing in the engine at once
+	// (admission tokens). Default 2×NumCPU.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an admission token; one
+	// more is rejected with 429 + Retry-After. Default 4×MaxConcurrent.
+	MaxQueue int
+
+	// RatePerClient is the sustained per-client request rate
+	// (tokens/second); 0 disables rate limiting. Default 0.
+	RatePerClient float64
+	// Burst is the token-bucket depth when rate limiting is on.
+	// Default 2×ceil(RatePerClient), minimum 1.
+	Burst int
+
+	// CacheEntries caps the answer cache across all shards; 0 means
+	// the default 4096, negative disables caching. CacheShards is
+	// rounded up to a power of two; default 16.
+	CacheEntries int
+	CacheShards  int
+
+	// BatchWindow is how long the first top-k arrival waits for
+	// ride-alongs before its micro-batch dispatches; 0 means the
+	// default 2ms, negative disables batching (every query runs
+	// solo). MaxBatch dispatches a window early once that many
+	// queries are waiting; default 32.
+	BatchWindow time.Duration
+	MaxBatch    int
+
+	// MaxK rejects unreasonable k values (400); default 1000.
+	// DefaultK applies when a search request omits k; default 10.
+	MaxK     int
+	DefaultK int
+
+	// QueryTimeout bounds each engine call, independent of the client
+	// connection (coalesced followers share the leader's call).
+	// Default 30s.
+	QueryTimeout time.Duration
+
+	// now is the rate limiter's clock; tests inject a manual one.
+	now func() time.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.NumCPU()
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(2 * c.RatePerClient)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 10
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Server is the HTTP gateway. Create with New, mount via Handler,
+// stop with Shutdown.
+type Server struct {
+	be  Backend
+	cfg Config
+	m   metrics
+
+	adm     *admission
+	limiter *rateLimiter
+	cache   *answerCache
+	flights *flightGroup
+	batch   *batcher
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// New builds a Server over be. The returned server owns background
+// work (micro-batch dispatches); call Shutdown to release it.
+func New(be Backend, cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{be: be, cfg: cfg}
+	s.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, &s.m)
+	s.limiter = newRateLimiter(cfg.RatePerClient, cfg.Burst, cfg.now)
+	s.cache = newCache(cfg.CacheEntries, cfg.CacheShards, &s.m)
+	s.flights = newFlightGroup()
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	if cfg.BatchWindow > 0 {
+		s.batch = newBatcher(be, cfg.BatchWindow, cfg.MaxBatch, s.baseCtx, cfg.QueryTimeout, &s.m)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/search", method(http.MethodPost, s.handleSearch))
+	s.mux.HandleFunc("/radius", method(http.MethodPost, s.handleRadius))
+	s.mux.HandleFunc("/healthz", method(http.MethodGet, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", method(http.MethodGet, s.handleMetrics))
+	return s
+}
+
+// method gates a handler on one HTTP method. (The go.mod go
+// directive predates 1.22's ServeMux method patterns.)
+func method(m string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != m {
+			w.Header().Set("Allow", m)
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// Handler returns the gateway's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new query requests get 503, in-flight
+// requests (and the micro-batches they ride in) run to completion,
+// bounded by ctx. Afterwards the base context is cancelled so nothing
+// can start engine work through this server again.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		if s.batch != nil {
+			s.batch.drain()
+		}
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cancelBase()
+	return err
+}
+
+// enter registers a query request with the drain protocol. ok=false
+// means the server is draining and the request must be rejected; on
+// ok the caller must call the returned leave func.
+func (s *Server) enter() (leave func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return s.inflight.Done, true
+}
+
+// Request/response wire shapes.
+
+type searchRequest struct {
+	Points [][2]float64 `json:"points"`
+	K      int          `json:"k"`
+}
+
+type radiusRequest struct {
+	Points [][2]float64 `json:"points"`
+	Radius float64      `json:"radius"`
+}
+
+type resultJSON struct {
+	ID       int     `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+type answerJSON struct {
+	Results     []resultJSON `json:"results"`
+	Generations []uint64     `json:"generations"`
+	Cached      bool         `json:"cached"`
+	Coalesced   bool         `json:"coalesced"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientKey identifies a client for rate limiting: the X-Client-ID
+// header when present, else the remote address's host part.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func decodePoints(raw [][2]float64) ([]repose.Point, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("empty query: need at least one point")
+	}
+	pts := make([]repose.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = repose.Point{X: p[0], Y: p[1]}
+	}
+	return pts, nil
+}
+
+// gate runs the request-independent front half shared by /search and
+// /radius: rate limit, then the drain check. It writes the rejection
+// itself and returns ok=false if the request is not to proceed.
+func (s *Server) gate(w http.ResponseWriter, r *http.Request) (leave func(), ok bool) {
+	if allowed, wait := s.limiter.allow(clientKey(r)); !allowed {
+		s.m.rejectedRate.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return nil, false
+	}
+	leave, ok = s.enter()
+	if !ok {
+		s.m.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return nil, false
+	}
+	return leave, true
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	leave, ok := s.gate(w, r)
+	if !ok {
+		return
+	}
+	defer leave()
+	start := time.Now()
+	s.m.searchRequests.Add(1)
+
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.K == 0 {
+		req.K = s.cfg.DefaultK
+	}
+	if req.K < 0 || req.K > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, "k out of range [1,%d]", s.cfg.MaxK)
+		return
+	}
+	pts, err := decodePoints(req.Points)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	q := query{kind: kindTopK, k: req.K, pts: pts}
+	q.sig = signature(q.kind, q.k, 0, pts)
+	s.answer(w, r, q, start, &s.m.searchLatency, func(ctx context.Context) ([]repose.Result, error) {
+		if s.batch != nil {
+			return s.batch.search(ctx, pts, req.K)
+		}
+		return s.be.Search(ctx, &repose.Trajectory{Points: pts}, req.K)
+	})
+}
+
+func (s *Server) handleRadius(w http.ResponseWriter, r *http.Request) {
+	leave, ok := s.gate(w, r)
+	if !ok {
+		return
+	}
+	defer leave()
+	start := time.Now()
+	s.m.radiusRequests.Add(1)
+
+	var req radiusRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Radius < 0 {
+		writeError(w, http.StatusBadRequest, "radius must be >= 0")
+		return
+	}
+	pts, err := decodePoints(req.Points)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	q := query{kind: kindRadius, radius: req.Radius, pts: pts}
+	q.sig = signature(q.kind, 0, q.radius, pts)
+	s.answer(w, r, q, start, &s.m.radiusLatency, func(ctx context.Context) ([]repose.Result, error) {
+		return s.be.SearchRadius(ctx, &repose.Trajectory{Points: pts}, req.Radius)
+	})
+}
+
+// answer drives a parsed query through cache → coalescing →
+// admission → execution and writes the response. exec runs the
+// engine call; it receives a context detached from the client
+// connection (coalesced followers and batch members share it).
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, q query, start time.Time, lat *histogram, exec func(context.Context) ([]repose.Result, error)) {
+	// Read the generation vector BEFORE the cache lookup: the hit
+	// condition is exact equality with the entry's vector, which is
+	// what makes stale answers unreachable (see doc.go).
+	gens := s.be.Generations()
+	if items, ok := s.cache.get(q, gens); ok {
+		lat.observe(time.Since(start))
+		s.respond(w, items, gens, true, false)
+		return
+	}
+
+	genHash := hashGens(gens)
+	c, leader, shared := s.flights.join(q, gens, genHash)
+	if shared && !leader {
+		// Follower: the identical query is already executing under
+		// the same generation vector — wait for the leader's answer.
+		s.m.coalesced.Add(1)
+		select {
+		case <-c.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "client cancelled")
+			return
+		}
+		if c.err != nil {
+			s.m.errors.Add(1)
+			writeError(w, http.StatusInternalServerError, "%v", c.err)
+			return
+		}
+		lat.observe(time.Since(start))
+		s.respond(w, c.items, gens, false, true)
+		return
+	}
+
+	// Leader (or unshared on flight-key collision): pay admission.
+	if !s.adm.acquire(r.Context()) {
+		if leader {
+			s.flights.complete(c, genHash, nil, errors.New("rejected: server overloaded"))
+		}
+		s.m.rejectedQueue.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.adm.retryAfter()/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+
+	// Execute on the server's base context so a leader's client
+	// disconnecting cannot kill work its followers share.
+	ctx := s.baseCtx
+	if s.batch == nil || q.kind != kindTopK {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	items, err := exec(ctx)
+	s.adm.release()
+
+	if leader {
+		s.flights.complete(c, genHash, items, err)
+	}
+	if err != nil {
+		s.m.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.cache.put(q, gens, items)
+	lat.observe(time.Since(start))
+	s.respond(w, items, gens, false, false)
+}
+
+func (s *Server) respond(w http.ResponseWriter, items []repose.Result, gens []uint64, cached, coalesced bool) {
+	res := make([]resultJSON, len(items))
+	for i, it := range items {
+		res[i] = resultJSON{ID: it.ID, Distance: it.Dist}
+	}
+	writeJSON(w, http.StatusOK, answerJSON{
+		Results:     res,
+		Generations: gens,
+		Cached:      cached,
+		Coalesced:   coalesced,
+	})
+}
+
+// handleHealthz reports 200 when every worker is serving and the
+// server is accepting queries, 503 otherwise — the shape load
+// balancers expect.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+
+	health := s.be.Health()
+	degraded := draining
+	workers := make([]map[string]any, len(health))
+	for i, h := range health {
+		if h.Down {
+			degraded = true
+		}
+		workers[i] = map[string]any{
+			"addr":        h.Addr,
+			"down":        h.Down,
+			"stale_parts": h.StaleParts,
+		}
+	}
+	status := http.StatusOK
+	state := "ok"
+	if degraded {
+		status = http.StatusServiceUnavailable
+		state = "degraded"
+		if draining {
+			state = "draining"
+		}
+	}
+	writeJSON(w, status, map[string]any{"status": state, "workers": workers})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.be.Stats()
+	s.m.serveMetrics(w, s.cache.len(), map[string]any{
+		"trajectories": st.Trajectories,
+		"partitions":   st.Partitions,
+		"generations":  st.Generations,
+	})
+}

@@ -1,0 +1,671 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repose"
+	"repose/internal/leakcheck"
+)
+
+// fakeBackend is an instrumented Backend for unit tests: canned
+// results, a controllable generation vector, and an optional gate
+// that blocks Search until released.
+type fakeBackend struct {
+	mu      sync.Mutex
+	gens    []uint64
+	healthy []repose.WorkerHealth
+
+	searchCalls atomic.Int64
+	radiusCalls atomic.Int64
+	batchCalls  atomic.Int64
+
+	entered chan struct{} // receives one token per Search/SearchBatch entry
+	gate    chan struct{} // when non-nil, Search blocks until closed
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		gens:    []uint64{1, 2},
+		healthy: []repose.WorkerHealth{{Addr: "local"}},
+		entered: make(chan struct{}, 128),
+	}
+}
+
+func (f *fakeBackend) result(q *repose.Trajectory) []repose.Result {
+	// Derive a per-query result so tests can tell answers apart.
+	return []repose.Result{{ID: len(q.Points), Dist: q.Points[0].X}}
+}
+
+func (f *fakeBackend) Search(ctx context.Context, q *repose.Trajectory, k int, opts ...repose.QueryOption) ([]repose.Result, error) {
+	f.searchCalls.Add(1)
+	f.entered <- struct{}{}
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return f.result(q), nil
+}
+
+func (f *fakeBackend) SearchRadius(ctx context.Context, q *repose.Trajectory, radius float64, opts ...repose.QueryOption) ([]repose.Result, error) {
+	f.radiusCalls.Add(1)
+	return f.result(q), nil
+}
+
+func (f *fakeBackend) SearchBatch(ctx context.Context, qs []*repose.Trajectory, k int, opts ...repose.QueryOption) ([][]repose.Result, error) {
+	f.batchCalls.Add(1)
+	f.entered <- struct{}{}
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([][]repose.Result, len(qs))
+	for i, q := range qs {
+		out[i] = f.result(q)
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) Generations() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint64(nil), f.gens...)
+}
+
+func (f *fakeBackend) bumpGen() {
+	f.mu.Lock()
+	f.gens[0]++
+	f.mu.Unlock()
+}
+
+func (f *fakeBackend) Health() []repose.WorkerHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]repose.WorkerHealth(nil), f.healthy...)
+}
+
+func (f *fakeBackend) Stats() repose.Stats {
+	return repose.Stats{Trajectories: 1, Partitions: len(f.gens), Generations: f.Generations()}
+}
+
+// noBatch disables micro-batching and caching so tests exercise one
+// layer at a time.
+func bareConfig() Config {
+	return Config{
+		MaxConcurrent: 8,
+		CacheEntries:  -1,
+		BatchWindow:   -1,
+	}
+}
+
+func searchReq(ts *httptest.Server, x float64, n, k int, hdr map[string]string) (*http.Response, answerJSON, error) {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{x, float64(i)}
+	}
+	body, _ := json.Marshal(map[string]any{"points": pts, "k": k})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/search", bytes.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, answerJSON{}, err
+	}
+	defer resp.Body.Close()
+	var ans answerJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+			return resp, ans, err
+		}
+	}
+	return resp, ans, nil
+}
+
+func newTestServer(t *testing.T, be Backend, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(be, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// TestAdmissionRejection pins the queue-depth rejection contract:
+// with one worker slot and a one-deep queue, a third concurrent
+// request is rejected immediately with 429 + Retry-After, and the
+// queued request completes once the slot frees.
+func TestAdmissionRejection(t *testing.T) {
+	be := newFakeBackend()
+	be.gate = make(chan struct{})
+	cfg := bareConfig()
+	cfg.MaxConcurrent = 1
+	cfg.MaxQueue = 1
+	s, ts := newTestServer(t, be, cfg)
+
+	type outcome struct {
+		status int
+		err    error
+	}
+	results := make(chan outcome, 2)
+	issue := func(x float64) {
+		resp, _, err := searchReq(ts, x, 3, 2, nil)
+		if err != nil {
+			results <- outcome{0, err}
+			return
+		}
+		results <- outcome{resp.StatusCode, nil}
+	}
+
+	go issue(1) // takes the slot and blocks in the backend
+	<-be.entered
+	go issue(2) // distinct query: occupies the queue position
+	// Wait until the second request is actually queued.
+	for i := 0; ; i++ {
+		if s.m.queueDepth.Load() == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, _, err := searchReq(ts, 3, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if got := s.m.rejectedQueue.Value(); got != 1 {
+		t.Errorf("rejectedQueue = %d, want 1", got)
+	}
+
+	close(be.gate)
+	for i := 0; i < 2; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.status != http.StatusOK {
+			t.Errorf("admitted request: status %d, want 200", o.status)
+		}
+	}
+}
+
+// TestRateLimit pins the token-bucket contract under a manual clock:
+// burst requests pass, the next is rejected with Retry-After, a
+// second's worth of refill admits exactly one more, and clients are
+// isolated from each other.
+func TestRateLimit(t *testing.T) {
+	be := newFakeBackend()
+	cfg := bareConfig()
+	cfg.RatePerClient = 1
+	cfg.Burst = 2
+	var clock atomic.Int64 // seconds
+	cfg.now = func() time.Time {
+		return time.Unix(1_000_000+clock.Load(), 0)
+	}
+	s, ts := newTestServer(t, be, cfg)
+
+	alice := map[string]string{"X-Client-ID": "alice"}
+	for i := 0; i < 2; i++ {
+		resp, _, err := searchReq(ts, 1, 3, 2, alice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, _, err := searchReq(ts, 1, 3, 2, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.m.rejectedRate.Value(); got != 1 {
+		t.Errorf("rejectedRate = %d, want 1", got)
+	}
+
+	// A different client has its own bucket.
+	resp, _, err = searchReq(ts, 1, 3, 2, map[string]string{"X-Client-ID": "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: status %d, want 200", resp.StatusCode)
+	}
+
+	// One second refills one token for alice — exactly one request.
+	clock.Add(1)
+	for i, want := range []int{http.StatusOK, http.StatusTooManyRequests} {
+		resp, _, err := searchReq(ts, 1, 3, 2, alice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("post-refill request %d: status %d, want %d", i, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestCacheHitAndInvalidation pins the generation-keyed cache: an
+// identical repeat is served from cache without touching the engine,
+// and a generation bump makes the entry unreachable (counted as an
+// invalidation) so the next request recomputes.
+func TestCacheHitAndInvalidation(t *testing.T) {
+	be := newFakeBackend()
+	cfg := bareConfig()
+	cfg.CacheEntries = 64
+	s, ts := newTestServer(t, be, cfg)
+
+	_, ans, err := searchReq(ts, 1, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Cached {
+		t.Error("first request reported cached")
+	}
+	if want := []uint64{1, 2}; !equalU64(ans.Generations, want) {
+		t.Errorf("generations = %v, want %v", ans.Generations, want)
+	}
+
+	_, ans2, err := searchReq(ts, 1, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans2.Cached {
+		t.Error("identical repeat not served from cache")
+	}
+	if got := be.searchCalls.Load(); got != 1 {
+		t.Errorf("engine calls after cached repeat = %d, want 1", got)
+	}
+	if len(ans2.Results) != len(ans.Results) || ans2.Results[0] != ans.Results[0] {
+		t.Errorf("cached answer %v differs from original %v", ans2.Results, ans.Results)
+	}
+
+	be.bumpGen() // a mutation: the old vector can never be read again
+	_, ans3, err := searchReq(ts, 1, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans3.Cached {
+		t.Error("request after generation bump served stale cache entry")
+	}
+	if want := []uint64{2, 2}; !equalU64(ans3.Generations, want) {
+		t.Errorf("post-bump generations = %v, want %v", ans3.Generations, want)
+	}
+	if got := s.m.cacheInvalidations.Value(); got != 1 {
+		t.Errorf("cacheInvalidations = %d, want 1", got)
+	}
+	if got := be.searchCalls.Load(); got != 2 {
+		t.Errorf("engine calls after invalidation = %d, want 2", got)
+	}
+}
+
+// TestCoalescing pins singleflight: concurrent identical queries
+// share one engine execution, followers report coalesced and receive
+// the leader's exact answer.
+func TestCoalescing(t *testing.T) {
+	be := newFakeBackend()
+	be.gate = make(chan struct{})
+	s, ts := newTestServer(t, be, bareConfig())
+
+	const followers = 4
+	var wg sync.WaitGroup
+	answers := make(chan answerJSON, followers+1)
+	issue := func() {
+		defer wg.Done()
+		resp, ans, err := searchReq(ts, 7, 4, 3, nil)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Errorf("request failed: status=%v err=%v", resp, err)
+			return
+		}
+		answers <- ans
+	}
+
+	wg.Add(1)
+	go issue()
+	<-be.entered // leader is inside the engine
+
+	wg.Add(followers)
+	for i := 0; i < followers; i++ {
+		go issue()
+	}
+	// Wait until every follower joined the flight.
+	for i := 0; ; i++ {
+		if s.m.coalesced.Value() == followers {
+			break
+		}
+		if i > 5000 {
+			t.Fatalf("followers joined = %d, want %d", s.m.coalesced.Value(), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(be.gate)
+	wg.Wait()
+	close(answers)
+
+	if got := be.searchCalls.Load(); got != 1 {
+		t.Errorf("engine executions = %d, want 1 (shared)", got)
+	}
+	coalesced := 0
+	var first *answerJSON
+	for ans := range answers {
+		ans := ans
+		if first == nil {
+			first = &ans
+		} else if len(ans.Results) != len(first.Results) || ans.Results[0] != first.Results[0] {
+			t.Errorf("answers diverged: %v vs %v", ans.Results, first.Results)
+		}
+		if ans.Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != followers {
+		t.Errorf("coalesced answers = %d, want %d", coalesced, followers)
+	}
+}
+
+// TestMicroBatching pins the batcher: concurrent distinct top-k
+// queries inside one window run as a single SearchBatch scatter.
+func TestMicroBatching(t *testing.T) {
+	be := newFakeBackend()
+	cfg := bareConfig()
+	cfg.BatchWindow = 100 * time.Millisecond // wide, so all three land in it
+	cfg.MaxBatch = 8
+	s, ts := newTestServer(t, be, cfg)
+
+	const n = 3
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, ans, err := searchReq(ts, float64(10+i), 3, 2, nil)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status=%v err=%v", i, resp, err)
+				return
+			}
+			// Each distinct query must get its own answer back.
+			if want := float64(10 + i); len(ans.Results) != 1 || ans.Results[0].Distance != want {
+				t.Errorf("request %d: results %v, want distance %v", i, ans.Results, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := be.batchCalls.Load(); got != 1 {
+		t.Errorf("SearchBatch calls = %d, want 1", got)
+	}
+	if got := be.searchCalls.Load(); got != 0 {
+		t.Errorf("solo Search calls = %d, want 0 (all batched)", got)
+	}
+	if got := s.m.batchedQueries.Value(); got != n {
+		t.Errorf("batchedQueries = %d, want %d", got, n)
+	}
+}
+
+// TestDrain pins graceful shutdown: Shutdown waits for in-flight
+// requests, rejects new ones with 503, and leaves no goroutines
+// behind.
+func TestDrain(t *testing.T) {
+	base := leakcheck.Base()
+	be := newFakeBackend()
+	be.gate = make(chan struct{})
+	s := New(be, bareConfig())
+	ts := httptest.NewServer(s.Handler())
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _, err := searchReq(ts, 1, 3, 2, nil)
+		if err != nil {
+			inflight <- 0
+			return
+		}
+		inflight <- resp.StatusCode
+	}()
+	<-be.entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Shutdown must be draining before we probe rejection.
+	for i := 0; ; i++ {
+		s.mu.Lock()
+		d := s.draining
+		s.mu.Unlock()
+		if d {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("Shutdown never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, _, err := searchReq(ts, 2, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", resp.StatusCode)
+	}
+
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(be.gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := <-inflight; got != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", got)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	ts.Close()
+	leakcheck.Settle(t, base)
+}
+
+// TestHealthz pins the health endpoint: 200 while every worker
+// serves, 503 once any is down or the server is draining.
+func TestHealthz(t *testing.T) {
+	be := newFakeBackend()
+	s, ts := newTestServer(t, be, bareConfig())
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy: status %d, want 200", resp.StatusCode)
+	}
+
+	be.mu.Lock()
+	be.healthy[0].Down = true
+	be.mu.Unlock()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || doc.Status != "degraded" {
+		t.Fatalf("down worker: status %d %q, want 503 degraded", resp.StatusCode, doc.Status)
+	}
+
+	be.mu.Lock()
+	be.healthy[0].Down = false
+	be.mu.Unlock()
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || doc.Status != "draining" {
+		t.Fatalf("draining: status %d %q, want 503 draining", resp.StatusCode, doc.Status)
+	}
+	s.mu.Lock()
+	s.draining = false
+	s.mu.Unlock()
+}
+
+// TestRequestValidation pins the 400/405 surface.
+func TestRequestValidation(t *testing.T) {
+	be := newFakeBackend()
+	cfg := bareConfig()
+	cfg.MaxK = 100
+	_, ts := newTestServer(t, be, cfg)
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{"points":`); got != http.StatusBadRequest {
+		t.Errorf("truncated JSON: %d, want 400", got)
+	}
+	if got := post(`{"points":[],"k":3}`); got != http.StatusBadRequest {
+		t.Errorf("empty points: %d, want 400", got)
+	}
+	if got := post(`{"points":[[1,2]],"k":101}`); got != http.StatusBadRequest {
+		t.Errorf("k over MaxK: %d, want 400", got)
+	}
+	if got := post(`{"points":[[1,2]],"k":-1}`); got != http.StatusBadRequest {
+		t.Errorf("negative k: %d, want 400", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search: %d, want 405", resp.StatusCode)
+	}
+
+	// Radius negative.
+	resp, err = http.Post(ts.URL+"/radius", "application/json",
+		bytes.NewReader([]byte(`{"points":[[1,2]],"radius":-1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative radius: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint sanity-checks the /metrics document shape.
+func TestMetricsEndpoint(t *testing.T) {
+	be := newFakeBackend()
+	cfg := bareConfig()
+	cfg.CacheEntries = 8
+	_, ts := newTestServer(t, be, cfg)
+
+	if _, _, err := searchReq(ts, 1, 3, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := searchReq(ts, 1, 3, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["requests_search"].(float64) != 2 {
+		t.Errorf("requests_search = %v, want 2", doc["requests_search"])
+	}
+	cache := doc["cache"].(map[string]any)
+	if cache["hits"].(float64) != 1 || cache["misses"].(float64) != 1 {
+		t.Errorf("cache hits/misses = %v/%v, want 1/1", cache["hits"], cache["misses"])
+	}
+	lat := doc["latency_us"].(map[string]any)["search"].(map[string]any)
+	if lat["count"].(float64) != 2 {
+		t.Errorf("latency count = %v, want 2", lat["count"])
+	}
+	if _, ok := doc["index"]; !ok {
+		t.Error("metrics missing index section")
+	}
+}
+
+// TestHistogramQuantiles pins the estimator on a known distribution.
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	for i := 0; i < 100; i++ {
+		h.observe(200 * time.Microsecond) // bucket (100, 250]
+	}
+	p50 := h.quantile(0.50)
+	if p50 < 100 || p50 > 250 {
+		t.Errorf("p50 = %v, want within (100, 250]", p50)
+	}
+	if h.snapshot().Count != 100 {
+		t.Errorf("count = %d, want 100", h.snapshot().Count)
+	}
+	var empty histogram
+	if got := empty.quantile(0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -229,6 +229,9 @@ type Stats struct {
 	Partitions   int
 	IndexBytes   int
 	BuildTime    time.Duration
+	// Generations is the current per-partition generation vector, as
+	// returned by Index.Generations.
+	Generations []uint64
 }
 
 // normalize fills option defaults against a dataset region.
@@ -333,14 +336,30 @@ func BuildRemote(ds []*Trajectory, opts Options, workers []string, extra ...Buil
 	return &Index{eng: engineRemote{remote}, region: region, opts: opts}, nil
 }
 
-// Health reports per-worker availability of a remote index: circuit
-// state and how many partition replicas await restore. A local index
-// reports nil — it has no workers.
+// Health reports per-worker availability: circuit state and how many
+// partition replicas await restore. A local index reports a synthetic
+// single-entry snapshot (addr "local", never down) so health-gated
+// consumers — /healthz endpoints, load balancers — treat both
+// backends identically instead of special-casing a nil slice.
 func (x *Index) Health() []WorkerHealth {
 	if er, ok := x.eng.(engineRemote); ok {
 		return er.r.Health()
 	}
-	return nil
+	if x.closed.Load() {
+		return []WorkerHealth{{Addr: "local", Down: true}}
+	}
+	return []WorkerHealth{{Addr: "local"}}
+}
+
+// Generations snapshots the per-partition generation vector: entry p
+// is the authoritative generation of partition p, advanced by every
+// Insert/Delete/Upsert/Compact that touches it (0 until then, and
+// always 0 for immutable backends). Generations only move forward,
+// and a mutation's new generations are visible here by the time the
+// mutation call returns — the property that lets an answer cache key
+// on this vector for exact invalidation (see internal/serve).
+func (x *Index) Generations() []uint64 {
+	return x.eng.exec().Generations()
 }
 
 // prepare validates the dataset and computes the region, normalized
@@ -476,6 +495,7 @@ func (x *Index) Stats() Stats {
 		Partitions:   eng.NumPartitions(),
 		IndexBytes:   eng.IndexSizeBytes(),
 		BuildTime:    eng.BuildTime(),
+		Generations:  eng.Generations(),
 	}
 }
 
