@@ -76,7 +76,7 @@ type engineOpts struct {
 	np         int     // 0 → 5, <0 → none
 	partitions int     // 0 → 8
 	optimize   bool
-	succinct   bool
+	layout     rptrie.Layout
 	disableLBt bool
 	disableLBp bool
 }
@@ -126,7 +126,7 @@ func (w *world) engine(b *testing.B, name string, o engineOpts) *cluster.Local {
 		Delta:      delta,
 		Pivots:     pivots,
 		Optimize:   o.optimize && o.measure.OrderIndependent(),
-		Succinct:   o.succinct,
+		Layout:     o.layout,
 		DisableLBt: o.disableLBt,
 		DisableLBp: o.disableLBp,
 		DFTC:       5,
@@ -214,6 +214,49 @@ func BenchmarkSearch(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			q := w.queries[i%len(w.queries)]
 			out = trie.SearchAppend(out[:0], q.Points, benchK)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty result")
+		}
+	})
+	// The trit-array layout on the same queries: the cmpRef arena and
+	// pooled scratch keep the delta-empty path at 0 allocs/op too
+	// (asserted in CI next to /trie), and ns/op here against a
+	// Compress()d succinct baseline is the ~1.3× headline bound.
+	b.Run("compressed", func(b *testing.B) {
+		cmp, err := rptrie.CompressTST(benchTrie(b, w, "T-drive", dist.Hausdorff))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out []repose.Result
+		for _, q := range w.queries { // warm the pooled scratch
+			out = cmp.SearchAppend(out[:0], q.Points, benchK)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			out = cmp.SearchAppend(out[:0], q.Points, benchK)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty result")
+		}
+	})
+	// The two-tier bitmap layout, for the latency comparison.
+	b.Run("succinct", func(b *testing.B) {
+		suc, err := rptrie.Compress(benchTrie(b, w, "T-drive", dist.Hausdorff))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out []repose.Result
+		for _, q := range w.queries { // warm the pooled scratch
+			out = suc.SearchAppend(out[:0], q.Points, benchK)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			out = suc.SearchAppend(out[:0], q.Points, benchK)
 		}
 		if len(out) == 0 {
 			b.Fatal("empty result")
@@ -640,19 +683,16 @@ func BenchmarkAblationBounds(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationSuccinct compares the pointer and succinct trie
-// layouts on the same queries.
-func BenchmarkAblationSuccinct(b *testing.B) {
+// BenchmarkAblationLayout compares the pointer, succinct, and
+// compressed (tSTAT) trie layouts on the same queries; index_MB shows
+// each layout's footprint next to its latency.
+func BenchmarkAblationLayout(b *testing.B) {
 	w := getWorld(b, "T-drive")
-	for _, succinct := range []bool{false, true} {
-		label := "pointer"
-		if succinct {
-			label = "succinct"
-		}
-		b.Run(label, func(b *testing.B) {
+	for _, layout := range []rptrie.Layout{rptrie.LayoutPointer, rptrie.LayoutSuccinct, rptrie.LayoutCompressed} {
+		b.Run(layout.String(), func(b *testing.B) {
 			eng := w.engine(b, "T-drive", engineOpts{
 				algo: cluster.REPOSE, measure: dist.Hausdorff,
-				strategy: partition.Heterogeneous, optimize: true, succinct: succinct,
+				strategy: partition.Heterogeneous, optimize: true, layout: layout,
 			})
 			benchQueries(b, eng, w.queries, benchK)
 		})

@@ -17,7 +17,7 @@ import (
 )
 
 // runBenchStorage measures the three ways a partition comes back after
-// its process dies, for both trie layouts (BENCH_storage.json):
+// its process dies, for each trie layout (BENCH_storage.json):
 //
 //   - coldstart/rebuild: reindex the dataset from trajectories already
 //     in memory — what a non-durable worker pays on every restart,
@@ -84,10 +84,14 @@ func runBenchStorage(outPath, dsName string, scale float64, k int) error {
 	defer os.RemoveAll(tmp)
 
 	for _, layout := range []struct {
-		name     string
-		succinct bool
-	}{{"trie", false}, {"succinct", true}} {
-		opts := rptrie.DurableOptions{Succinct: layout.succinct, NoCheckpointOnCompact: true}
+		name   string
+		layout rptrie.Layout
+	}{
+		{"trie", rptrie.LayoutPointer},
+		{"succinct", rptrie.LayoutSuccinct},
+		{"compressed", rptrie.LayoutCompressed},
+	} {
+		opts := rptrie.DurableOptions{Layout: layout.layout, NoCheckpointOnCompact: true}
 
 		// Stage the durable directory once: build on the first half,
 		// then journal the tail as insert batches.
@@ -138,13 +142,20 @@ func runBenchStorage(outPath, dsName string, scale float64, k int) error {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if layout.succinct {
+				switch layout.layout {
+				case rptrie.LayoutSuccinct:
 					s, err := rptrie.Compress(t)
 					if err != nil {
 						b.Fatal(err)
 					}
 					s.Search(queries[0].Points, k)
-				} else {
+				case rptrie.LayoutCompressed:
+					c, err := rptrie.CompressTST(t)
+					if err != nil {
+						b.Fatal(err)
+					}
+					c.Search(queries[0].Points, k)
+				default:
 					t.Search(queries[0].Points, k)
 				}
 			}
@@ -152,13 +163,20 @@ func runBenchStorage(outPath, dsName string, scale float64, k int) error {
 		record("coldstart/restore/"+layout.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if layout.succinct {
+				switch layout.layout {
+				case rptrie.LayoutSuccinct:
 					s, err := rptrie.ReadSuccinct(bytes.NewReader(image.Bytes()))
 					if err != nil {
 						b.Fatal(err)
 					}
 					s.Search(queries[0].Points, k)
-				} else {
+				case rptrie.LayoutCompressed:
+					c, err := rptrie.ReadCompressed(bytes.NewReader(image.Bytes()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					c.Search(queries[0].Points, k)
+				default:
 					t, err := rptrie.ReadTrie(bytes.NewReader(image.Bytes()))
 					if err != nil {
 						b.Fatal(err)

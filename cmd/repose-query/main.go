@@ -42,10 +42,15 @@ func main() {
 		replication = flag.Int("replication", 0, "remote replication factor: place each partition on this many workers and fail over between them (0/1 = off)")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		excludeSelf = flag.Bool("exclude-self", false, "drop the query trajectory from results")
+		layoutName  = flag.String("layout", "", "per-partition index layout: pointer|succinct|compressed (empty = pointer)")
 	)
 	flag.Parse()
 
 	m, err := dist.ParseMeasure(*measureName)
+	if err != nil {
+		fail(err)
+	}
+	layout, err := repose.ParseLayout(*layoutName)
 	if err != nil {
 		fail(err)
 	}
@@ -68,6 +73,7 @@ func main() {
 		Measure:    m,
 		Delta:      *delta,
 		Partitions: *partitions,
+		Layout:     layout,
 	}
 	start := time.Now()
 	var idx *repose.Index
@@ -81,8 +87,8 @@ func main() {
 	}
 	defer idx.Close()
 	st := idx.Stats()
-	fmt.Printf("built %s index: %d trajectories, %d partitions, %.2f MB, %v\n",
-		idx.Engine(), st.Trajectories, st.Partitions, float64(st.IndexBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("built %s index (%v layout): %d trajectories, %d partitions, %.2f MB, %v\n",
+		idx.Engine(), st.Layout, st.Trajectories, st.Partitions, float64(st.IndexBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
 
 	kk := *k
 	if *excludeSelf {

@@ -51,6 +51,7 @@ func main() {
 		partitions  = flag.Int("partitions", 0, "partitions (0 = one per core)")
 		workers     = flag.String("workers", "", "comma-separated worker addresses (empty = in-process)")
 		replication = flag.Int("replication", 0, "remote replication factor (0/1 = off)")
+		layoutName  = flag.String("layout", "", "per-partition index layout: pointer|succinct|compressed (empty = pointer)")
 
 		maxConcurrent = flag.Int("max-concurrent", 0, "executing-query bound (0 = 2×NumCPU)")
 		maxQueue      = flag.Int("max-queue", 0, "admission queue depth (0 = 4×max-concurrent)")
@@ -74,7 +75,11 @@ func main() {
 		fail(err)
 	}
 
-	opts := repose.Options{Measure: m, Delta: *delta, Partitions: *partitions}
+	layout, err := repose.ParseLayout(*layoutName)
+	if err != nil {
+		fail(err)
+	}
+	opts := repose.Options{Measure: m, Delta: *delta, Partitions: *partitions, Layout: layout}
 	start := time.Now()
 	var idx *repose.Index
 	if *workers != "" {
@@ -87,8 +92,8 @@ func main() {
 	}
 	defer idx.Close()
 	st := idx.Stats()
-	log.Printf("built %s index: %d trajectories, %d partitions in %v",
-		idx.Engine(), st.Trajectories, st.Partitions, time.Since(start).Round(time.Millisecond))
+	log.Printf("built %s index (%v layout): %d trajectories, %d partitions, %.2f MB in %v",
+		idx.Engine(), st.Layout, st.Trajectories, st.Partitions, float64(st.IndexBytes)/(1<<20), time.Since(start).Round(time.Millisecond))
 
 	gw := serve.New(idx, serve.Config{
 		MaxConcurrent: *maxConcurrent,

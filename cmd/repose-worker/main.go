@@ -38,18 +38,22 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7701", "listen address (host:port, :0 for ephemeral)")
 	rejoin := flag.Bool("rejoin", false, "rejoin a replicated cluster as the replacement for a dead worker: start empty and await a state restore from the driver")
 	dataDir := flag.String("data-dir", "", "directory for durable partition stores; a restart on the same directory recovers them from their write-ahead logs")
+	layout := flag.String("layout", "", "force every partition this worker builds to this index layout (pointer|succinct|compressed), overriding the driver; answers are identical across layouts")
 	flag.Parse()
 
 	log.SetPrefix("repose-worker: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := repose.ServeWorkerOptions(ctx, *addr, repose.WorkerOptions{Rejoin: *rejoin, DataDir: *dataDir}, func(bound string) {
+	err := repose.ServeWorkerOptions(ctx, *addr, repose.WorkerOptions{Rejoin: *rejoin, DataDir: *dataDir, Layout: *layout}, func(bound string) {
 		fmt.Printf("listening on %s (protocol v%d)\n", bound, repose.ProtocolVersion)
 		if *rejoin {
 			log.Print("rejoin mode: awaiting state restore from the driver")
 		}
 		if *dataDir != "" {
 			log.Printf("durable partitions under %s", *dataDir)
+		}
+		if *layout != "" {
+			log.Printf("forcing the %s layout on every partition built here", *layout)
 		}
 	})
 	if errors.Is(err, context.Canceled) {

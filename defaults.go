@@ -27,10 +27,11 @@ var (
 	// ErrClosed rejects queries on a closed Index.
 	ErrClosed = errors.New("repose: index closed")
 	// ErrSuccinctUnsupported rejects SearchRadius on indexes built
-	// with Options.Succinct: the compressed layout shares the top-k
-	// search machinery but has no range-walk implementation. Online
-	// updates (Insert/Delete/Upsert/CompactNow) are fully supported
-	// on succinct indexes.
+	// with LayoutSuccinct: that layout shares the top-k search
+	// machinery but has no range-walk implementation (LayoutCompressed
+	// does, as does LayoutPointer). Online updates
+	// (Insert/Delete/Upsert/CompactNow) are fully supported on
+	// succinct indexes.
 	ErrSuccinctUnsupported = errors.New("repose: radius search is not supported on succinct indexes")
 	// ErrEmptyTrajectory rejects inserting a nil trajectory or one
 	// without points.

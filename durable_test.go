@@ -15,10 +15,11 @@ import (
 func TestDurableBuildReopen(t *testing.T) {
 	ds := testData(t, 140)
 	ctx := context.Background()
-	for _, succinct := range []bool{false, true} {
-		t.Run(fmt.Sprintf("succinct=%v", succinct), func(t *testing.T) {
+	for _, layout := range []Layout{LayoutPointer, LayoutSuccinct, LayoutCompressed} {
+		hasRadius := layout != LayoutSuccinct
+		t.Run(fmt.Sprintf("layout=%v", layout), func(t *testing.T) {
 			dir := t.TempDir()
-			idx, err := Build(ds, Options{Partitions: 3, Succinct: succinct}, WithDurableDir(dir))
+			idx, err := Build(ds, Options{Partitions: 3}, WithDurableDir(dir), WithLayout(layout))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,7 +41,7 @@ func TestDurableBuildReopen(t *testing.T) {
 			}
 			wantStats := idx.Stats()
 			var wantRadius []Result
-			if !succinct {
+			if hasRadius {
 				if wantRadius, err = idx.SearchRadius(ctx, probe, 0.5); err != nil {
 					t.Fatal(err)
 				}
@@ -64,7 +65,7 @@ func TestDurableBuildReopen(t *testing.T) {
 			if st := re.Stats(); st.Trajectories != wantStats.Trajectories {
 				t.Fatalf("recovered Stats.Trajectories = %d, want %d", st.Trajectories, wantStats.Trajectories)
 			}
-			if !succinct {
+			if hasRadius {
 				gr, err := re.SearchRadius(ctx, probe, 0.5)
 				if err != nil {
 					t.Fatal(err)

@@ -1,6 +1,7 @@
 // Package bits provides a bitset with constant-time rank and
-// logarithmic select, the substrate for the succinct RP-Trie layout
-// (Section III-B, "Succinct trie structure", after SuRF).
+// sample-accelerated select, the substrate for the succinct RP-Trie
+// layouts (Section III-B, "Succinct trie structure", after SuRF, and
+// the tSTAT trit-array layout after Kanda & Fujii).
 package bits
 
 import (
@@ -12,17 +13,43 @@ import (
 const (
 	wordBits = 64
 	// rankBlockWords is the number of 64-bit words per rank
-	// directory entry. 8 words = 512 bits per block.
+	// directory block. 8 words = 512 bits per block.
 	rankBlockWords = 8
+	// superBlocks is the number of rank blocks per superblock.
+	// 8 blocks = 4096 bits, so a block's offset from its superblock
+	// rank always fits a uint16.
+	superBlocks = 8
+	superWords  = rankBlockWords * superBlocks
+	// selectSampleRate is the 1-bit sampling stride for Select1: one
+	// sample per selectSampleRate ones, recording the rank block that
+	// holds the sampled bit. Select binary-searches only the blocks
+	// between two adjacent samples, so its worst case is
+	// O(log(blocks spanned by selectSampleRate ones)) instead of
+	// O(log(all blocks)).
+	selectSampleRate = 512
 )
 
-// Set is an append-only bitset with a rank directory. Bits are
-// appended with PushBit/PushWord; Rank and Select become available
-// after Seal (or are computed on demand if the set was sealed).
+// Set is an append-only bitset with a two-level rank directory and
+// sampled select. Bits are appended with PushBit/PushWord; Rank and
+// Select become available after Seal. The directories are derived
+// (never serialized): MarshalBinary emits only the bit count and the
+// packed words, and UnmarshalBinary re-seals, so the wire format is
+// stable across directory layout changes.
 type Set struct {
-	words  []uint64
-	n      int      // number of valid bits
-	ranks  []uint32 // ones before each block, built by Seal
+	words []uint64
+	n     int // number of valid bits
+
+	// Rank directory, built by Seal. super[s] is the number of ones
+	// before superblock s (64 words); blockOff[b] is the number of
+	// ones between block b's superblock start and block b (8 words).
+	super    []uint64
+	blockOff []uint16
+	ones     int
+
+	// selectSamples[k] is the rank-block index containing the
+	// (k*selectSampleRate+1)-th 1-bit.
+	selectSamples []uint32
+
 	sealed bool
 }
 
@@ -75,30 +102,56 @@ func (s *Set) SetBit(i int) {
 	s.words[i/wordBits] |= 1 << uint(i%wordBits)
 }
 
-// Seal builds the rank directory. After Seal the set is immutable.
+// Seal builds the rank directory and select samples. After Seal the
+// set is immutable.
 func (s *Set) Seal() {
 	if s.sealed {
 		return
 	}
 	nblocks := (len(s.words) + rankBlockWords - 1) / rankBlockWords
-	s.ranks = make([]uint32, nblocks+1)
-	var total uint32
+	nsupers := (nblocks + superBlocks - 1) / superBlocks
+	s.super = make([]uint64, nsupers+1)
+	s.blockOff = make([]uint16, nblocks)
+	var total uint64
+	var superBase uint64
 	for b := 0; b < nblocks; b++ {
-		s.ranks[b] = total
+		if b%superBlocks == 0 {
+			s.super[b/superBlocks] = total
+			superBase = total
+		}
+		s.blockOff[b] = uint16(total - superBase)
 		end := (b + 1) * rankBlockWords
 		if end > len(s.words) {
 			end = len(s.words)
 		}
 		for _, w := range s.words[b*rankBlockWords : end] {
-			total += uint32(bits.OnesCount64(w))
+			c := uint64(bits.OnesCount64(w))
+			// Record the block of every selectSampleRate-th one.
+			// Invariant: every sample with 1-bit index < total is
+			// already recorded, so pending samples land in this word.
+			for uint64(len(s.selectSamples))*selectSampleRate < total+c {
+				s.selectSamples = append(s.selectSamples, uint32(b))
+			}
+			total += c
 		}
 	}
-	s.ranks[nblocks] = total
+	s.super[nsupers] = total
+	s.ones = int(total)
 	s.sealed = true
 }
 
+// rankOfBlock returns the number of ones before rank block b; b may
+// equal the block count (yielding Ones).
+func (s *Set) rankOfBlock(b int) int {
+	if b >= len(s.blockOff) {
+		return s.ones
+	}
+	return int(s.super[b/superBlocks]) + int(s.blockOff[b])
+}
+
 // Rank1 returns the number of 1-bits in positions [0, i); i may equal
-// Len. The set must be sealed.
+// Len. The set must be sealed. Constant time: one superblock load,
+// one block offset load, and at most eight popcounts.
 func (s *Set) Rank1(i int) int {
 	if !s.sealed {
 		panic("bits: Rank1 before Seal")
@@ -108,7 +161,7 @@ func (s *Set) Rank1(i int) int {
 	}
 	w := i / wordBits
 	block := w / rankBlockWords
-	r := int(s.ranks[block])
+	r := s.rankOfBlock(block)
 	for j := block * rankBlockWords; j < w; j++ {
 		r += bits.OnesCount64(s.words[j])
 	}
@@ -126,31 +179,43 @@ func (s *Set) Ones() int {
 	if !s.sealed {
 		panic("bits: Ones before Seal")
 	}
-	return int(s.ranks[len(s.ranks)-1])
+	return s.ones
 }
 
 // Select1 returns the position of the (j+1)-th 1-bit (0-based j), or
-// -1 if there are not that many. The set must be sealed.
+// -1 if there are not that many. The set must be sealed. The select
+// samples bound the search to the blocks between two adjacent sampled
+// ones, then one block (at most eight words) is scanned.
 func (s *Set) Select1(j int) int {
 	if !s.sealed {
 		panic("bits: Select1 before Seal")
 	}
-	if j < 0 || j >= s.Ones() {
+	if j < 0 || j >= s.ones {
 		return -1
 	}
-	// Binary search the rank directory for the block.
-	lo, hi := 0, len(s.ranks)-1
+	// Narrow to the inter-sample block range containing the bit.
+	k := j / selectSampleRate
+	lo := int(s.selectSamples[k])
+	hi := len(s.blockOff)
+	if k+1 < len(s.selectSamples) {
+		hi = int(s.selectSamples[k+1]) + 1
+	}
+	// Binary search for the last block whose rank is <= j.
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if int(s.ranks[mid]) <= j {
+		if s.rankOfBlock(mid) <= j {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	block := lo - 1
-	r := int(s.ranks[block])
-	for w := block * rankBlockWords; w < len(s.words); w++ {
+	r := s.rankOfBlock(block)
+	end := (block + 1) * rankBlockWords
+	if end > len(s.words) {
+		end = len(s.words)
+	}
+	for w := block * rankBlockWords; w < end; w++ {
 		c := bits.OnesCount64(s.words[w])
 		if r+c > j {
 			// The target bit is inside word w.
@@ -169,14 +234,18 @@ func selectInWord(w uint64, j int) int {
 	return bits.TrailingZeros64(w)
 }
 
-// SizeBytes returns the approximate in-memory footprint.
+// SizeBytes returns the approximate in-memory footprint, directories
+// included.
 func (s *Set) SizeBytes() int {
-	return len(s.words)*8 + len(s.ranks)*4 + 24
+	return len(s.words)*8 + len(s.super)*8 + len(s.blockOff)*2 +
+		len(s.selectSamples)*4 + 96
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler (used by gob for
 // index persistence): a little-endian uint64 bit count followed by the
-// packed words. The rank directory is derivable and not serialized.
+// packed words. The rank directory and select samples are derivable
+// and not serialized, so the encoding is identical across directory
+// layout revisions.
 func (s *Set) MarshalBinary() ([]byte, error) {
 	out := make([]byte, 8+len(s.words)*8)
 	binary.LittleEndian.PutUint64(out, uint64(s.n))

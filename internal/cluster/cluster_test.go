@@ -13,6 +13,7 @@ import (
 	"repose/internal/oracle"
 	"repose/internal/partition"
 	"repose/internal/pivot"
+	"repose/internal/rptrie"
 	"repose/internal/topk"
 )
 
@@ -72,6 +73,7 @@ func TestLocalClusterAllAlgorithms(t *testing.T) {
 		{"REPOSE", func(s *IndexSpec) {}},
 		{"REPOSE-opt", func(s *IndexSpec) { s.Optimize = true }},
 		{"REPOSE-succinct", func(s *IndexSpec) { s.Succinct = true }},
+		{"REPOSE-compressed", func(s *IndexSpec) { s.Layout = rptrie.LayoutCompressed }},
 		{"LS", func(s *IndexSpec) { s.Algorithm = LS }},
 		{"DFT", func(s *IndexSpec) { s.Algorithm = DFT }},
 		{"DITA", func(s *IndexSpec) { s.Algorithm = DITA; s.Measure = dist.Frechet }},

@@ -46,7 +46,7 @@ func parsePartDir(name string) (int, bool) {
 // (baselines) pass through unchanged — they have no persistence.
 func wrapDurablePartition(dataDir string, pid int, idx LocalIndex) (LocalIndex, error) {
 	switch idx.(type) {
-	case *rptrie.Trie, *rptrie.Succinct:
+	case *rptrie.Trie, *rptrie.Succinct, *rptrie.Compressed:
 	default:
 		return idx, nil
 	}

@@ -12,23 +12,25 @@ import (
 	"repose/internal/dataset"
 	"repose/internal/geo"
 	"repose/internal/leakcheck"
+	"repose/internal/rptrie"
 	"repose/internal/storage"
 	"repose/internal/topk"
 )
 
-// TestLocalDurableBuildOpen: the local engine's disk-backed mode, both
-// layouts. Build installs every partition under the data directory,
-// mutations journal, Close flushes, and OpenLocalDurable recovers the
-// engine — routing directory included — to bit-identical answers,
-// with mutation routing still working after recovery.
+// TestLocalDurableBuildOpen: the local engine's disk-backed mode, all
+// three layouts. Build installs every partition under the data
+// directory, mutations journal, Close flushes, and OpenLocalDurable
+// recovers the engine — routing directory included — to bit-identical
+// answers, with mutation routing still working after recovery.
 func TestLocalDurableBuildOpen(t *testing.T) {
-	for _, succinct := range []bool{false, true} {
-		t.Run(fmt.Sprintf("succinct=%v", succinct), func(t *testing.T) {
+	for _, layout := range []rptrie.Layout{rptrie.LayoutPointer, rptrie.LayoutSuccinct, rptrie.LayoutCompressed} {
+		t.Run(fmt.Sprintf("layout=%v", layout), func(t *testing.T) {
 			base := leakcheck.Base()
 			defer leakcheck.Settle(t, base)
 			dir := t.TempDir()
 			ds, parts, spec := testWorld(t, 150, 3)
-			spec.Succinct = succinct
+			spec.Layout = layout
+			hasRadius := layout != rptrie.LayoutSuccinct
 			ctx := context.Background()
 
 			eng, err := BuildLocalDurable(spec, parts, 4, dir)
@@ -52,7 +54,7 @@ func TestLocalDurableBuildOpen(t *testing.T) {
 				t.Fatal(err)
 			}
 			var wantRad []topk.Item
-			if !succinct {
+			if hasRadius {
 				wantRad, _, err = eng.SearchRadius(ctx, q.Points, 0.8, QueryOptions{})
 				if err != nil {
 					t.Fatal(err)
@@ -80,7 +82,7 @@ func TestLocalDurableBuildOpen(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertBitIdentical(t, "recovered local search", 9, got, want)
-			if succinct {
+			if !hasRadius {
 				// The succinct layout has no range search; the durable
 				// wrapper must surface that, naming the partition.
 				if _, _, err := re.SearchRadius(ctx, q.Points, 0.8, QueryOptions{}); err == nil ||

@@ -58,6 +58,11 @@ type Engine interface {
 	NumPartitions() int
 	// IndexSizeBytes sums the index footprints across partitions.
 	IndexSizeBytes() int
+	// PartitionIndexBytes reports each partition's index footprint,
+	// indexed by global partition id. The local engine reads live
+	// values (cached per generation); the remote engine reports the
+	// sizes workers declared at build time.
+	PartitionIndexBytes() []int
 	// BuildTime returns the wall time of index construction.
 	BuildTime() time.Duration
 	// Close releases the engine's resources (for Remote, the worker
@@ -116,7 +121,7 @@ type MutateOptions struct {
 type Gens map[int]uint64
 
 // MutableIndex is the optional online-maintenance capability of a
-// partition index. Both rptrie layouts implement it; the baselines do
+// partition index. All rptrie layouts implement it; the baselines do
 // not — mutating them fails with ErrImmutable.
 type MutableIndex interface {
 	Insert(trs ...*geo.Trajectory) error
@@ -130,6 +135,7 @@ type MutableIndex interface {
 var (
 	_ MutableIndex = (*rptrie.Trie)(nil)
 	_ MutableIndex = (*rptrie.Succinct)(nil)
+	_ MutableIndex = (*rptrie.Compressed)(nil)
 	_ MutableIndex = (*rptrie.Durable)(nil)
 )
 
@@ -194,6 +200,8 @@ func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k i
 		return t.SearchContext(ctx, q, k, sopt)
 	case *rptrie.Succinct:
 		return t.SearchContext(ctx, q, k, sopt)
+	case *rptrie.Compressed:
+		return t.SearchContext(ctx, q, k, sopt)
 	case *rptrie.Durable:
 		return t.SearchContext(ctx, q, k, sopt)
 	default:
@@ -209,11 +217,15 @@ func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k i
 // range support (the baselines and the succinct layout) are rejected,
 // naming the partition so mixed-index failures are diagnosable.
 func radiusOne(ctx context.Context, pi, gpid int, idx LocalIndex, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, error) {
+	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)}
 	if t, ok := idx.(*rptrie.Trie); ok {
-		return t.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)})
+		return t.SearchRadiusContext(ctx, q, radius, sopt)
 	}
-	if d, ok := idx.(*rptrie.Durable); ok && !d.IsSuccinct() {
-		return d.SearchRadiusContext(ctx, q, radius, rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)})
+	if c, ok := idx.(*rptrie.Compressed); ok {
+		return c.SearchRadiusContext(ctx, q, radius, sopt)
+	}
+	if d, ok := idx.(*rptrie.Durable); ok && d.Layout() != rptrie.LayoutSuccinct {
+		return d.SearchRadiusContext(ctx, q, radius, sopt)
 	}
 	if rs, ok := idx.(RadiusSearcher); ok {
 		if err := ctx.Err(); err != nil {

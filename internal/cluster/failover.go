@@ -523,7 +523,7 @@ func (r *Remote) restoreReplica(pid, j, donorSlot, targetSlot int) {
 		return
 	}
 	var rr RestoreReply
-	args := &RestoreArgs{Version: ProtocolVersion, PartitionID: pid, Succinct: snap.Succinct, Data: snap.Data}
+	args := &RestoreArgs{Version: ProtocolVersion, PartitionID: pid, Layout: snap.Layout, Data: snap.Data}
 	if err := r.probeCall(target, "Worker.Restore", args, &rr, restoreTimeout); err != nil {
 		if !isServerError(err) {
 			r.slots[targetSlot].noteFailure(1, true)

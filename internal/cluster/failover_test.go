@@ -18,6 +18,7 @@ import (
 	"repose/internal/geo"
 	"repose/internal/leakcheck"
 	"repose/internal/oracle"
+	"repose/internal/rptrie"
 	"repose/internal/topk"
 )
 
@@ -297,11 +298,23 @@ func TestChaosFailoverDifferential(t *testing.T) {
 // and afterwards serves its partitions alone, bit-identical to a
 // fault-free engine that applied the same mutations.
 func TestWorkerRestartRejoinsViaRestore(t *testing.T) {
+	// The compressed layout ships a different snapshot image over the
+	// heal path, so the rejoin flow runs for both it and the pointer
+	// trie.
+	for _, layout := range []rptrie.Layout{rptrie.LayoutPointer, rptrie.LayoutCompressed} {
+		t.Run("layout="+layout.String(), func(t *testing.T) {
+			testWorkerRestartRejoinsViaRestore(t, layout)
+		})
+	}
+}
+
+func testWorkerRestartRejoinsViaRestore(t *testing.T, layout rptrie.Layout) {
 	seed := chaosSeed()
 	// 4 partitions on 3 workers at factor 2: worker 0 hosts partition
 	// 0 and 3 as primary and partition 2 as backup.
 	ds, parts, spec := testWorld(t, 220, 4)
 	spec.Replicas = 2
+	spec.Layout = layout
 	addrs := startWorkers(t, 3)
 	fleet, err := chaos.NewFleet(addrs, chaos.Schedule{})
 	if err != nil {
@@ -693,8 +706,8 @@ func TestWorkerStatusSnapshotRestoreRPCs(t *testing.T) {
 	if err := w.Snapshot(&SnapshotArgs{Version: ProtocolVersion, PartitionID: 0}, &snap); err != nil {
 		t.Fatal(err)
 	}
-	if len(snap.Data) == 0 || snap.Len != len(parts[0]) || snap.Succinct {
-		t.Fatalf("snapshot reply: %d bytes, len %d, succinct %v", len(snap.Data), snap.Len, snap.Succinct)
+	if len(snap.Data) == 0 || snap.Len != len(parts[0]) || snap.Layout != rptrie.LayoutPointer {
+		t.Fatalf("snapshot reply: %d bytes, len %d, layout %v", len(snap.Data), snap.Len, snap.Layout)
 	}
 	if err := w.Snapshot(&SnapshotArgs{Version: ProtocolVersion, PartitionID: 9}, &snap); err == nil {
 		t.Error("snapshot of unowned partition should fail")
@@ -733,24 +746,66 @@ func TestWorkerStatusSnapshotRestoreRPCs(t *testing.T) {
 		t.Error("unversioned restore should fail")
 	}
 
-	// The succinct layout round-trips through Snapshot/Restore too.
-	sspec := spec
-	sspec.Succinct = true
-	ws := NewWorker()
-	if err := ws.Build(&BuildArgs{Version: ProtocolVersion, PartitionID: 1, Spec: sspec, Trajectories: parts[1]}, &br); err != nil {
+	// The succinct and compressed layouts round-trip through
+	// Snapshot/Restore too, each flagged with its layout.
+	for _, layout := range []rptrie.Layout{rptrie.LayoutSuccinct, rptrie.LayoutCompressed} {
+		sspec := spec
+		sspec.Layout = layout
+		ws := NewWorker()
+		if err := ws.Build(&BuildArgs{Version: ProtocolVersion, PartitionID: 1, Spec: sspec, Trajectories: parts[1]}, &br); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.Snapshot(&SnapshotArgs{Version: ProtocolVersion, PartitionID: 1}, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Layout != layout {
+			t.Fatalf("%v snapshot flagged %v", layout, snap.Layout)
+		}
+		ws2 := NewWorker()
+		if err := ws2.Restore(&RestoreArgs{Version: ProtocolVersion, PartitionID: 1, Layout: layout, Data: snap.Data}, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Len != len(parts[1]) {
+			t.Fatalf("%v restore reply %+v", layout, rr)
+		}
+		var srA, srB SearchReply
+		if err := ws.Search(searchArgsV2(parts[1][0].Points, 5), &srA); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws2.Search(searchArgsV2(parts[1][0].Points, 5), &srB); err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, layout.String()+" restored worker parity", 1, srB.Items, srA.Items)
+	}
+}
+
+// TestWorkerForceLayout: a worker with a forced layout builds its
+// partitions in that layout whatever the driver's spec says, answers
+// bit-identically to an unforced worker, and flags its snapshots with
+// the layout it actually holds.
+func TestWorkerForceLayout(t *testing.T) {
+	_, parts, spec := testWorld(t, 80, 2)
+	plain, forced := NewWorker(), NewWorker()
+	forced.ForceLayout(rptrie.LayoutCompressed)
+	var br BuildReply
+	for _, w := range []*Worker{plain, forced} {
+		if err := w.Build(&BuildArgs{Version: ProtocolVersion, PartitionID: 0, Spec: spec, Trajectories: parts[0]}, &br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap SnapshotReply
+	if err := forced.Snapshot(&SnapshotArgs{Version: ProtocolVersion, PartitionID: 0}, &snap); err != nil {
 		t.Fatal(err)
 	}
-	if err := ws.Snapshot(&SnapshotArgs{Version: ProtocolVersion, PartitionID: 1}, &snap); err != nil {
+	if snap.Layout != rptrie.LayoutCompressed {
+		t.Fatalf("forced worker snapshot layout %v, want compressed", snap.Layout)
+	}
+	var want, got SearchReply
+	if err := plain.Search(searchArgsV2(parts[0][0].Points, 6), &want); err != nil {
 		t.Fatal(err)
 	}
-	if !snap.Succinct {
-		t.Fatal("succinct snapshot not flagged")
-	}
-	ws2 := NewWorker()
-	if err := ws2.Restore(&RestoreArgs{Version: ProtocolVersion, PartitionID: 1, Succinct: true, Data: snap.Data}, &rr); err != nil {
+	if err := forced.Search(searchArgsV2(parts[0][0].Points, 6), &got); err != nil {
 		t.Fatal(err)
 	}
-	if rr.Len != len(parts[1]) {
-		t.Fatalf("succinct restore reply %+v", rr)
-	}
+	assertBitIdentical(t, "forced-layout parity", 0, got.Items, want.Items)
 }

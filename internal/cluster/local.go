@@ -22,6 +22,22 @@ type Local struct {
 	sem       chan struct{} // shared worker-cap semaphore, sized workers
 	buildTime time.Duration
 	dir       *directory // online-mutation routing; nil on worker views
+
+	// sizeMu guards sizes, the per-partition SizeBytes cache keyed by
+	// the generation it was computed at. The pointer trie's SizeBytes
+	// is a full structural walk, so memory accounting on the query
+	// path must not recompute it until a mutation actually changes the
+	// structure (every structural change bumps the generation;
+	// immutable baselines stay at generation 0 forever).
+	sizeMu sync.Mutex
+	sizes  []sizeCacheEntry
+}
+
+// sizeCacheEntry is one partition's cached footprint.
+type sizeCacheEntry struct {
+	gen   uint64
+	size  int
+	valid bool
 }
 
 // gpid maps a local index slot to its global partition id.
@@ -54,6 +70,11 @@ type QueryReport struct {
 	// with QueryOptions.Partitions answers a sub-question that must
 	// not be cached as the full answer.
 	CacheEligible bool
+	// IndexBytes is the per-partition index footprint at dispatch,
+	// indexed by global partition id (like Generations). The local
+	// engine reports live sizes cached per generation; the remote
+	// engine reports the sizes workers declared at build time.
+	IndexBytes []int
 }
 
 // Imbalance returns the straggler ratio MaxPartition/mean; 1.0 is a
@@ -189,6 +210,7 @@ func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptio
 		return searchOne(ctx, c.gpid(pi), idx, q, k, opt)
 	})
 	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
+	report.IndexBytes = c.PartitionIndexBytes()
 	if err != nil {
 		return nil, report, err
 	}
@@ -219,6 +241,7 @@ func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64,
 		return radiusOne(ctx, pi, c.gpid(pi), idx, q, radius, opt)
 	})
 	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
+	report.IndexBytes = c.PartitionIndexBytes()
 	if err != nil {
 		return nil, report, err
 	}
@@ -248,10 +271,37 @@ func (c *Local) Len() int {
 // IndexSizeBytes sums the index footprints across partitions.
 func (c *Local) IndexSizeBytes() int {
 	sz := 0
-	for _, idx := range c.indexes {
-		sz += idx.SizeBytes()
+	for _, b := range c.PartitionIndexBytes() {
+		sz += b
 	}
 	return sz
+}
+
+// PartitionIndexBytes reports each partition's live index footprint,
+// indexed like c.indexes (global partition ids on a full engine).
+// Results are cached per generation so repeated calls — every query
+// report carries the vector — do not re-walk unchanged structures.
+func (c *Local) PartitionIndexBytes() []int {
+	c.sizeMu.Lock()
+	defer c.sizeMu.Unlock()
+	if c.sizes == nil {
+		c.sizes = make([]sizeCacheEntry, len(c.indexes))
+	}
+	out := make([]int, len(c.indexes))
+	for i, idx := range c.indexes {
+		gen := uint64(0)
+		if m, ok := idx.(MutableIndex); ok {
+			gen = m.Generation()
+		}
+		if e := c.sizes[i]; e.valid && e.gen == gen {
+			out[i] = e.size
+			continue
+		}
+		sz := idx.SizeBytes()
+		c.sizes[i] = sizeCacheEntry{gen: gen, size: sz, valid: true}
+		out[i] = sz
+	}
+	return out
 }
 
 // Close implements Engine: disk-backed partitions (BuildLocalDurable

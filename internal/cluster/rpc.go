@@ -51,7 +51,7 @@ import (
 // ProtocolVersion is the driver↔worker wire protocol version. The
 // worker rejects requests from a driver speaking a different version
 // rather than mis-decoding them.
-const ProtocolVersion = 4
+const ProtocolVersion = 5
 
 // checkVersion rejects a peer speaking a different protocol version.
 func checkVersion(v int) error {
@@ -243,13 +243,15 @@ type SnapshotArgs struct {
 }
 
 // SnapshotReply carries the partition's serialized index image (the
-// rptrie gob wire format, pending delta folded in, at the source's
-// generation). Succinct distinguishes the two layouts' formats.
+// rptrie wire format, pending delta folded in, at the source's
+// generation). Layout distinguishes the three layouts' formats — the
+// compressed layout's images are several times smaller, which is what
+// makes failover transfers of compressed partitions cheap.
 type SnapshotReply struct {
-	Data     []byte
-	Succinct bool
-	Gen      uint64
-	Len      int
+	Data   []byte
+	Layout rptrie.Layout
+	Gen    uint64
+	Len    int
 }
 
 // RestoreArgs installs a partition image produced by Worker.Snapshot
@@ -258,7 +260,7 @@ type SnapshotReply struct {
 type RestoreArgs struct {
 	Version     int
 	PartitionID int
-	Succinct    bool
+	Layout      rptrie.Layout
 	Data        []byte
 }
 
@@ -295,10 +297,26 @@ type Worker struct {
 	// observable distinguishing a local-replay rejoin from a peer
 	// state transfer.
 	restores int
+	// forceLayout, when non-nil, overrides the layout of every REPOSE
+	// partition this worker builds, whatever the driver's spec says —
+	// the knob for memory-constrained workers in a heterogeneous
+	// fleet. Safe because every layout answers queries bit-identically.
+	forceLayout *rptrie.Layout
 }
 
 // maxPendingCancels bounds the early-cancel tombstone set.
 const maxPendingCancels = 1024
+
+// ForceLayout makes every REPOSE partition this worker builds use the
+// given layout regardless of the driver's build spec. Call it before
+// serving; it does not rebuild already-installed partitions. Restored
+// partitions (Worker.Restore) keep the image's layout — a state
+// transfer must land at the source's exact generation, not re-encode.
+func (w *Worker) ForceLayout(l rptrie.Layout) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.forceLayout = &l
+}
 
 // NewWorker returns an empty worker service.
 func NewWorker() *Worker {
@@ -393,7 +411,13 @@ func (w *Worker) Build(args *BuildArgs, reply *BuildReply) error {
 		return err
 	}
 	start := time.Now()
-	idx, err := args.Spec.BuildLocal(args.Trajectories)
+	spec := args.Spec
+	w.mu.Lock()
+	if w.forceLayout != nil && spec.Algorithm == REPOSE {
+		spec.Layout, spec.Succinct = *w.forceLayout, false
+	}
+	w.mu.Unlock()
+	idx, err := spec.BuildLocal(args.Trajectories)
 	if err != nil {
 		return err
 	}
@@ -752,18 +776,25 @@ func (w *Worker) Snapshot(args *SnapshotArgs, reply *SnapshotReply) error {
 		if err := t.Save(&buf); err != nil {
 			return err
 		}
+		reply.Layout = rptrie.LayoutPointer
 		reply.Gen = t.Generation()
 	case *rptrie.Succinct:
 		if err := t.Save(&buf); err != nil {
 			return err
 		}
-		reply.Succinct = true
+		reply.Layout = rptrie.LayoutSuccinct
+		reply.Gen = t.Generation()
+	case *rptrie.Compressed:
+		if err := t.Save(&buf); err != nil {
+			return err
+		}
+		reply.Layout = rptrie.LayoutCompressed
 		reply.Gen = t.Generation()
 	case *rptrie.Durable:
 		if err := t.Save(&buf); err != nil {
 			return err
 		}
-		reply.Succinct = t.IsSuccinct()
+		reply.Layout = t.Layout()
 		reply.Gen = t.Generation()
 	default:
 		return fmt.Errorf("cluster: partition %d index (%T) does not support snapshots", args.PartitionID, idx)
@@ -782,18 +813,27 @@ func (w *Worker) Restore(args *RestoreArgs, reply *RestoreReply) error {
 	}
 	var idx LocalIndex
 	var gen uint64
-	if args.Succinct {
+	switch args.Layout {
+	case rptrie.LayoutSuccinct:
 		s, err := rptrie.ReadSuccinct(bytes.NewReader(args.Data))
 		if err != nil {
 			return err
 		}
 		idx, gen = s, s.Generation()
-	} else {
+	case rptrie.LayoutCompressed:
+		c, err := rptrie.ReadCompressed(bytes.NewReader(args.Data))
+		if err != nil {
+			return err
+		}
+		idx, gen = c, c.Generation()
+	case rptrie.LayoutPointer:
 		t, err := rptrie.ReadTrie(bytes.NewReader(args.Data))
 		if err != nil {
 			return err
 		}
 		idx, gen = t, t.Generation()
+	default:
+		return fmt.Errorf("cluster: restore of unknown layout %v", args.Layout)
 	}
 	// As in Build: uninstall before wiping, so a failed durable
 	// install leaves the partition absent rather than installed with a
@@ -846,7 +886,7 @@ type Remote struct {
 	replicas int
 
 	buildTime time.Duration
-	sizeBytes int
+	partSizes []int // per-partition index bytes, as reported at build
 	// partLen holds each partition's live trajectory count as last
 	// reported by a worker (build reply, then every mutation
 	// reply). Worker-authoritative numbers rather than driver-side
@@ -942,10 +982,11 @@ func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Re
 		}
 	}
 	r.partLen = make([]atomic.Int64, len(parts))
+	r.partSizes = make([]int, len(parts))
 	r.repGen = make([][]uint64, len(parts))
 	r.curGen = make([]uint64, len(parts))
 	for pid := range replies {
-		r.sizeBytes += replies[pid][0].SizeBytes
+		r.partSizes[pid] = replies[pid][0].SizeBytes
 		r.partLen[pid].Store(int64(replies[pid][0].Len))
 		r.repGen[pid] = make([]uint64, replicas)
 	}
@@ -1014,6 +1055,7 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 	}
 	report.finish(start)
 	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
+	report.IndexBytes = r.PartitionIndexBytes()
 	return topk.Merge(k, lists...), report, nil
 }
 
@@ -1058,6 +1100,7 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 	}
 	report.finish(start)
 	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
+	report.IndexBytes = r.PartitionIndexBytes()
 	topk.SortItems(out)
 	return out, report, nil
 }
@@ -1122,7 +1165,20 @@ func (r *Remote) Len() int {
 // IndexSizeBytes sums the reported index footprints, one replica per
 // partition — the logical index size. Physical cluster memory is
 // replicas times this.
-func (r *Remote) IndexSizeBytes() int { return r.sizeBytes }
+func (r *Remote) IndexSizeBytes() int {
+	sz := 0
+	for _, b := range r.partSizes {
+		sz += b
+	}
+	return sz
+}
+
+// PartitionIndexBytes reports each partition's index footprint as
+// declared by its primary replica at build time, indexed by partition
+// id. Online mutations are not reflected until a rebuild.
+func (r *Remote) PartitionIndexBytes() []int {
+	return append([]int(nil), r.partSizes...)
+}
 
 // NumPartitions returns the partition count.
 func (r *Remote) NumPartitions() int { return len(r.owners) }

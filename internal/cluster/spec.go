@@ -14,8 +14,8 @@ import (
 	"repose/internal/topk"
 )
 
-// LocalIndex is a per-partition index. rptrie.Trie, rptrie.Succinct,
-// and the three baselines all satisfy it.
+// LocalIndex is a per-partition index. The three rptrie layouts and
+// the three baselines all satisfy it.
 type LocalIndex interface {
 	// Search answers a partition-local top-k query.
 	Search(q []geo.Point, k int) []topk.Item
@@ -28,6 +28,7 @@ type LocalIndex interface {
 var (
 	_ LocalIndex = (*rptrie.Trie)(nil)
 	_ LocalIndex = (*rptrie.Succinct)(nil)
+	_ LocalIndex = (*rptrie.Compressed)(nil)
 	_ LocalIndex = (*rptrie.Durable)(nil)
 	_ LocalIndex = (*ls.Index)(nil)
 	_ LocalIndex = (*dft.Index)(nil)
@@ -75,11 +76,18 @@ type IndexSpec struct {
 	Params    dist.Params
 
 	// REPOSE knobs.
-	Region     geo.Rect // enclosing region for the grid
-	Delta      float64  // requested grid cell side δ
-	Pivots     []*geo.Trajectory
-	Optimize   bool // z-value re-arrangement (order-independent measures)
-	Succinct   bool // compress to the two-tier layout after building
+	Region   geo.Rect // enclosing region for the grid
+	Delta    float64  // requested grid cell side δ
+	Pivots   []*geo.Trajectory
+	Optimize bool // z-value re-arrangement (order-independent measures)
+	// Layout selects the per-partition layout the worker installs:
+	// pointer, succinct (two-tier), or compressed (trit-array).
+	Layout rptrie.Layout
+	// Succinct is the pre-Layout form of requesting the succinct
+	// layout; honored when Layout is left at its zero value.
+	//
+	// Deprecated: set Layout instead.
+	Succinct   bool
 	DisableLBt bool
 	DisableLBp bool
 
@@ -107,6 +115,15 @@ type IndexSpec struct {
 	Seed int64
 }
 
+// layout resolves the requested rptrie layout, honoring the deprecated
+// Succinct flag.
+func (s IndexSpec) layout() rptrie.Layout {
+	if s.Layout == rptrie.LayoutPointer && s.Succinct {
+		return rptrie.LayoutSuccinct
+	}
+	return s.Layout
+}
+
 // BuildLocal constructs the partition-local index the spec describes.
 func (s IndexSpec) BuildLocal(part []*geo.Trajectory) (LocalIndex, error) {
 	switch s.Algorithm {
@@ -128,8 +145,11 @@ func (s IndexSpec) BuildLocal(part []*geo.Trajectory) (LocalIndex, error) {
 		if err != nil {
 			return nil, err
 		}
-		if s.Succinct {
+		switch s.layout() {
+		case rptrie.LayoutSuccinct:
 			return rptrie.Compress(trie)
+		case rptrie.LayoutCompressed:
+			return rptrie.CompressTST(trie)
 		}
 		return trie, nil
 	case LS:

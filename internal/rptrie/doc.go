@@ -21,6 +21,34 @@
 // worker skips the construction cost; range search (SearchRadius) is
 // provided as an extension beyond the paper.
 //
+// # The compressed trit-array layout (tSTAT)
+//
+// CompressTST produces a third, maximally compact layout after the
+// succinct trie of Kanda & Fujii, "Practical trie-based string
+// dictionaries" (arXiv 2005.10917), adapted to the RP-Trie. Nodes are
+// BFS-numbered; structure is two bitvector planes (a trit per node
+// classifying it pure leaf / terminal-with-children / plain internal)
+// plus a degree-unary LOUDS vector, all answered by O(1) rank/select
+// over repose/internal/bits. Edge z-values are coded
+// as bit-packed indices into a sorted alphabet of the distinct
+// z-values actually present, and per-leaf metadata lives in shared
+// flat arrays. Per-node pivot distance ranges are quantized to 16
+// buckets per pivot (one nibble per bound): the min rounds down and
+// the max rounds up to bucket boundaries, so the stored interval only
+// ever widens, LBp remains admissible, and top-k/radius results stay
+// bit-identical to the pointer layout — the quantization trades a
+// little pruning power, never correctness. The layout supports the
+// full surface (top-k, radius, delta-overlay mutations, Compact) and
+// keeps the delta-empty hot path allocation-free.
+//
+// Its Save image deliberately omits the encoded core: the core is a
+// pure, deterministic function of (config, trajectories) — the same
+// derivation Compact runs — so ReadCompressed rebuilds it from the
+// trajectory payload and cross-checks the recorded node/leaf counts.
+// Snapshot transfers therefore ship little more than delta-coded
+// coordinates, which is what makes failover heals of compressed
+// partitions cheap (see BENCH_memory.json at the repo root).
+//
 // # Query hot path
 //
 // Every query draws a recycled working set (the scratch) from a

@@ -39,13 +39,13 @@ type Durable struct {
 	inner           innerIndex
 	store           *storage.Store
 	dir             string
-	succinct        bool
+	layout          Layout
 	noCkptOnCompact bool
 	broken          error
 }
 
-// innerIndex is the layout surface Durable wraps; *Trie and
-// *Succinct both satisfy it.
+// innerIndex is the layout surface Durable wraps; *Trie, *Succinct,
+// and *Compressed all satisfy it.
 type innerIndex interface {
 	Insert(trs ...*geo.Trajectory) error
 	Delete(ids ...int) int
@@ -64,6 +64,7 @@ type innerIndex interface {
 var (
 	_ innerIndex = (*Trie)(nil)
 	_ innerIndex = (*Succinct)(nil)
+	_ innerIndex = (*Compressed)(nil)
 )
 
 // ErrNoDurable reports a directory holding no recoverable index —
@@ -87,8 +88,9 @@ const (
 // Checkpoint image layout bytes (first byte of the image, ahead of
 // the layout's own Save encoding).
 const (
-	imageTrie     = byte(0)
-	imageSuccinct = byte(1)
+	imageTrie       = byte(0)
+	imageSuccinct   = byte(1)
+	imageCompressed = byte(2)
 )
 
 // walPayload is the gob body of one WAL record. Gen is the
@@ -106,8 +108,13 @@ type DurableOptions struct {
 	// PageSize and PoolFrames pass through to storage.Options.
 	PageSize   int
 	PoolFrames int
-	// Succinct makes BuildDurable compress the built trie into the
-	// succinct layout before installing it.
+	// Layout selects which layout BuildDurable installs the built
+	// index in. The zero value is the pointer layout.
+	Layout Layout
+	// Succinct is the pre-Layout form of requesting LayoutSuccinct;
+	// honored when Layout is left at its zero value.
+	//
+	// Deprecated: set Layout instead.
 	Succinct bool
 	// NoCheckpointOnCompact disables the automatic checkpoint after
 	// Compact (the WAL then carries compaction as a replayed record).
@@ -118,31 +125,47 @@ func (o DurableOptions) storage() storage.Options {
 	return storage.Options{VFS: o.VFS, PageSize: o.PageSize, PoolFrames: o.PoolFrames}
 }
 
-// BuildDurable builds an index over ds (like Build, optionally
-// compressed like Compress) and installs it durably at dir, wiping
-// whatever the directory held. It returns only after the initial
-// checkpoint is on disk.
+// layoutOf resolves the requested layout, honoring the deprecated
+// Succinct flag.
+func (o DurableOptions) layoutOf() Layout {
+	if o.Layout == LayoutPointer && o.Succinct {
+		return LayoutSuccinct
+	}
+	return o.Layout
+}
+
+// BuildDurable builds an index over ds (like Build, then converted to
+// the requested layout like Compress or CompressTST) and installs it
+// durably at dir, wiping whatever the directory held. It returns only
+// after the initial checkpoint is on disk.
 func BuildDurable(dir string, cfg Config, ds []*geo.Trajectory, o DurableOptions) (*Durable, error) {
 	t, err := Build(cfg, ds)
 	if err != nil {
 		return nil, err
 	}
-	if o.Succinct {
+	switch o.layoutOf() {
+	case LayoutSuccinct:
 		s, err := Compress(t)
 		if err != nil {
 			return nil, err
 		}
 		return WrapDurable(dir, s, o)
+	case LayoutCompressed:
+		c, err := CompressTST(t)
+		if err != nil {
+			return nil, err
+		}
+		return WrapDurable(dir, c, o)
 	}
 	return WrapDurable(dir, t, o)
 }
 
-// WrapDurable installs a pre-built index (a *Trie or *Succinct, e.g.
-// one restored from a peer snapshot) as the durable index at dir,
-// wiping whatever the directory held. It returns only after the
-// initial checkpoint is on disk.
+// WrapDurable installs a pre-built index (a *Trie, *Succinct, or
+// *Compressed, e.g. one restored from a peer snapshot) as the durable
+// index at dir, wiping whatever the directory held. It returns only
+// after the initial checkpoint is on disk.
 func WrapDurable(dir string, idx any, o DurableOptions) (*Durable, error) {
-	inner, succinct, err := asInner(idx)
+	inner, layout, err := asInner(idx)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +176,7 @@ func WrapDurable(dir string, idx any, o DurableOptions) (*Durable, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Durable{inner: inner, store: st, dir: dir, succinct: succinct, noCkptOnCompact: o.NoCheckpointOnCompact}
+	d := &Durable{inner: inner, store: st, dir: dir, layout: layout, noCkptOnCompact: o.NoCheckpointOnCompact}
 	if err := d.Checkpoint(); err != nil {
 		st.Close()
 		return nil, err
@@ -162,14 +185,16 @@ func WrapDurable(dir string, idx any, o DurableOptions) (*Durable, error) {
 }
 
 // asInner narrows idx to the layouts Durable can wrap.
-func asInner(idx any) (innerIndex, bool, error) {
+func asInner(idx any) (innerIndex, Layout, error) {
 	switch v := idx.(type) {
 	case *Trie:
-		return v, false, nil
+		return v, LayoutPointer, nil
 	case *Succinct:
-		return v, true, nil
+		return v, LayoutSuccinct, nil
+	case *Compressed:
+		return v, LayoutCompressed, nil
 	default:
-		return nil, false, fmt.Errorf("rptrie: cannot make a %T durable", idx)
+		return nil, 0, fmt.Errorf("rptrie: cannot make a %T durable", idx)
 	}
 }
 
@@ -208,7 +233,7 @@ func recoverIndex(st *storage.Store, dir string, o DurableOptions) (*Durable, er
 		return nil, fmt.Errorf("%w: %s: empty checkpoint image", ErrNoDurable, dir)
 	}
 	var inner innerIndex
-	succinct := false
+	layout := LayoutPointer
 	switch image[0] {
 	case imageTrie:
 		t, err := ReadTrie(bytes.NewReader(image[1:]))
@@ -221,7 +246,13 @@ func recoverIndex(st *storage.Store, dir string, o DurableOptions) (*Durable, er
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s: %v", ErrNoDurable, dir, err)
 		}
-		inner, succinct = s, true
+		inner, layout = s, LayoutSuccinct
+	case imageCompressed:
+		c, err := ReadCompressed(bytes.NewReader(image[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrNoDurable, dir, err)
+		}
+		inner, layout = c, LayoutCompressed
 	default:
 		return nil, fmt.Errorf("%w: %s: unknown image layout %d", ErrNoDurable, dir, image[0])
 	}
@@ -230,7 +261,7 @@ func recoverIndex(st *storage.Store, dir string, o DurableOptions) (*Durable, er
 	}); err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrNoDurable, dir, err)
 	}
-	return &Durable{inner: inner, store: st, dir: dir, succinct: succinct, noCkptOnCompact: o.NoCheckpointOnCompact}, nil
+	return &Durable{inner: inner, store: st, dir: dir, layout: layout, noCkptOnCompact: o.NoCheckpointOnCompact}, nil
 }
 
 // applyRecord re-applies one logged mutation during recovery. The
@@ -281,6 +312,8 @@ func snapshotOf(inner innerIndex) any {
 		return v.cur.Load()
 	case *Succinct:
 		return v.cur.Load()
+	case *Compressed:
+		return v.cur.Load()
 	}
 	return nil
 }
@@ -292,6 +325,8 @@ func restoreSnapshot(inner innerIndex, snap any) {
 		v.cur.Store(snap.(*trieState))
 	case *Succinct:
 		v.cur.Store(snap.(*succState))
+	case *Compressed:
+		v.cur.Store(snap.(*cmpState))
 	}
 }
 
@@ -462,8 +497,11 @@ func (d *Durable) Checkpoint() error {
 	}
 	var buf bytes.Buffer
 	layout := imageTrie
-	if d.succinct {
+	switch d.layout {
+	case LayoutSuccinct:
 		layout = imageSuccinct
+	case LayoutCompressed:
+		layout = imageCompressed
 	}
 	buf.WriteByte(layout)
 	if err := d.inner.Save(&buf); err != nil {
@@ -503,8 +541,13 @@ func (d *Durable) Err() error {
 // Dir returns the store directory.
 func (d *Durable) Dir() string { return d.dir }
 
-// IsSuccinct reports the wrapped layout.
-func (d *Durable) IsSuccinct() bool { return d.succinct }
+// Layout reports the wrapped layout.
+func (d *Durable) Layout() Layout { return d.layout }
+
+// IsSuccinct reports whether the wrapped layout is the succinct one.
+//
+// Deprecated: use Layout.
+func (d *Durable) IsSuccinct() bool { return d.layout == LayoutSuccinct }
 
 // Generation returns the current snapshot's generation.
 func (d *Durable) Generation() uint64 { return d.inner.Generation() }
@@ -533,18 +576,21 @@ func (d *Durable) SearchContext(ctx context.Context, q []geo.Point, k int, opt S
 }
 
 // SearchRadiusContext answers a range query when the wrapped layout
-// supports one (the pointer layout; the succinct layout does not).
+// supports one (the pointer and compressed layouts; succinct does
+// not).
 func (d *Durable) SearchRadiusContext(ctx context.Context, q []geo.Point, radius float64, opt SearchOptions) ([]topk.Item, error) {
-	t, ok := d.inner.(*Trie)
-	if !ok {
-		return nil, errors.New("rptrie: durable succinct index does not support radius search")
+	switch v := d.inner.(type) {
+	case *Trie:
+		return v.SearchRadiusContext(ctx, q, radius, opt)
+	case *Compressed:
+		return v.SearchRadiusContext(ctx, q, radius, opt)
 	}
-	return t.SearchRadiusContext(ctx, q, radius, opt)
+	return nil, errors.New("rptrie: durable succinct index does not support radius search")
 }
 
 // Save serializes the wrapped index in its layout's wire format
-// (readable by ReadTrie or ReadSuccinct per IsSuccinct) — the
-// cluster snapshot path.
+// (readable by ReadTrie, ReadSuccinct, or ReadCompressed per Layout)
+// — the cluster snapshot path.
 func (d *Durable) Save(w io.Writer) error { return d.inner.Save(w) }
 
 // LiveIDs returns the ids of every live trajectory, unordered — the
@@ -555,6 +601,9 @@ func (d *Durable) LiveIDs() []int {
 		st := v.state()
 		return liveIDsOf(st.trajs, st.delta)
 	case *Succinct:
+		st := v.state()
+		return liveIDsOf(st.trajs, st.delta)
+	case *Compressed:
 		st := v.state()
 		return liveIDsOf(st.trajs, st.delta)
 	}

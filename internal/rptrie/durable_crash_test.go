@@ -202,11 +202,15 @@ func planCrashScript(t *testing.T, seed int64) *crashPlan {
 }
 
 func crashOpts(fs *failpoint.FS, layout string) DurableOptions {
+	l, err := ParseLayout(layout)
+	if err != nil {
+		panic(err)
+	}
 	return DurableOptions{
 		VFS:        fs,
 		PageSize:   512,
 		PoolFrames: 8,
-		Succinct:   layout == "succinct",
+		Layout:     l,
 	}
 }
 
@@ -292,8 +296,8 @@ func verifyCrashRecovered(t *testing.T, plan *crashPlan, fs *failpoint.FS, dir, 
 		fatal("recovery failed with generation %d acknowledged: %v", acked, err)
 	}
 	defer d.Close()
-	if d.IsSuccinct() != (layout == "succinct") {
-		fatal("recovered layout succinct=%v", d.IsSuccinct())
+	if d.Layout().String() != layout {
+		fatal("recovered layout %v, want %s", d.Layout(), layout)
 	}
 
 	g := int(d.Generation())
@@ -320,7 +324,7 @@ func verifyCrashRecovered(t *testing.T, plan *crashPlan, fs *failpoint.FS, dir, 
 	for qi, cq := range plan.queries {
 		ctx := fmt.Sprintf("seed=%d layout=%s crash@%d gen=%d q[%d]", seed, layout, crashAt, g, qi)
 		diffAssertTopK(t, ctx, plan.measure, plan.params, mirror, cq.q, cq.k, d.Search(cq.q, cq.k))
-		if layout == "pointer" {
+		if layout == "pointer" || layout == "compressed" {
 			got, err := d.SearchRadiusContext(context.Background(), cq.q, cq.radius, SearchOptions{})
 			if err != nil {
 				fatal("radius search: %v", err)

@@ -39,7 +39,11 @@ func TestDurableRoundTripOnDisk(t *testing.T) {
 			rng := rand.New(rand.NewSource(77))
 			ds := randomDataset(rng, 25)
 			cfg := durableCfg(t)
-			opts := DurableOptions{Succinct: layout == "succinct"}
+			l, err := ParseLayout(layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DurableOptions{Layout: l}
 
 			d, err := BuildDurable(dir, cfg, ds, opts)
 			if err != nil {
@@ -83,8 +87,8 @@ func TestDurableRoundTripOnDisk(t *testing.T) {
 			if d2.Generation() != gen {
 				t.Fatalf("recovered generation %d, want %d", d2.Generation(), gen)
 			}
-			if d2.IsSuccinct() != (layout == "succinct") {
-				t.Fatalf("recovered layout succinct=%v", d2.IsSuccinct())
+			if d2.Layout() != l {
+				t.Fatalf("recovered layout %v, want %v", d2.Layout(), l)
 			}
 			if d2.Len() != mirror.Len() {
 				t.Fatalf("recovered %d live, oracle %d", d2.Len(), mirror.Len())

@@ -34,17 +34,25 @@ func buildDyn(t *testing.T, layout string, cfg Config, ds []*geo.Trajectory) dyn
 	if err != nil {
 		t.Fatal(err)
 	}
-	if layout == "pointer" {
+	switch layout {
+	case "pointer":
 		return tr
+	case "compressed":
+		c, err := CompressTST(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	default:
+		s, err := Compress(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
 	}
-	s, err := Compress(tr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
 }
 
-var dynLayouts = []string{"pointer", "succinct"}
+var dynLayouts = []string{"pointer", "succinct", "compressed"}
 
 func TestInsertVisibleDeleteInvisible(t *testing.T) {
 	ds, q, g := paperDataset()

@@ -161,6 +161,63 @@ func TestGoldenSuccinctImage(t *testing.T) {
 	}
 }
 
+func TestGoldenCompressedImage(t *testing.T) {
+	tr, q := goldenIndex(t)
+	cmp, err := CompressTST(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cmp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := checkGolden(t, "tstat.img", buf.Bytes())
+
+	back, err := ReadCompressed(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decoding committed fixture: %v", err)
+	}
+	if back.Generation() != 2 || back.Len() != 5 {
+		t.Fatalf("fixture decoded to gen=%d len=%d, want gen=2 len=5", back.Generation(), back.Len())
+	}
+	res := back.Search(q.Points, 2)
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 4 {
+		t.Fatalf("fixture top-2 = %v, want [1 4]", res)
+	}
+	if err := cmp.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range goldenProbes(q) {
+		got, gotStats := back.SearchWithStats(probe, 3)
+		want, wantStats := cmp.SearchWithStats(probe, 3)
+		if len(got) != len(want) {
+			t.Fatalf("fixture result size %d, fresh %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("fixture result %d = %+v, fresh %+v", i, got[i], want[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("fixture traversal %+v, fresh %+v", gotStats, wantStats)
+		}
+	}
+	// Range queries decode from the same fixture (Succinct cannot).
+	gotR, err := back.SearchRadiusContext(nil, q.Points, 2.5, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := tr.SearchRadius(q.Points, 2.5)
+	if len(gotR) != len(wantR) {
+		t.Fatalf("fixture radius answer %v, fresh pointer answer %v", gotR, wantR)
+	}
+	for i := range gotR {
+		if gotR[i] != wantR[i] {
+			t.Fatalf("fixture radius answer %v, fresh pointer answer %v", gotR, wantR)
+		}
+	}
+}
+
 // TestWireVersionRejected: images from a different format version must
 // fail with a version diagnostic, not a gob misdecode.
 func TestWireVersionRejected(t *testing.T) {
@@ -190,6 +247,22 @@ func TestWireVersionRejected(t *testing.T) {
 	sraw[0] ^= 0x80
 	if _, err := ReadSuccinct(bytes.NewReader(sraw)); err == nil {
 		t.Fatal("future-version succinct image decoded")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("format version")) {
+		t.Fatalf("want a version diagnostic, got: %v", err)
+	}
+
+	cmp, err := CompressTST(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := cmp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	craw := buf.Bytes()
+	craw[0] ^= 0x80
+	if _, err := ReadCompressed(bytes.NewReader(craw)); err == nil {
+		t.Fatal("future-version compressed image decoded")
 	} else if !bytes.Contains([]byte(err.Error()), []byte("format version")) {
 		t.Fatalf("want a version diagnostic, got: %v", err)
 	}

@@ -1,0 +1,44 @@
+package rptrie
+
+import "fmt"
+
+// Layout identifies one of the per-partition index layouts: the
+// pointer trie (Build), the two-tier succinct layout (Compress), or
+// the trit-array tSTAT layout (CompressTST). The zero value is the
+// pointer layout, so layout fields default to it.
+type Layout uint8
+
+const (
+	LayoutPointer Layout = iota
+	LayoutSuccinct
+	LayoutCompressed
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutPointer:
+		return "pointer"
+	case LayoutSuccinct:
+		return "succinct"
+	case LayoutCompressed:
+		return "compressed"
+	}
+	return fmt.Sprintf("Layout(%d)", uint8(l))
+}
+
+// Valid reports whether l names a known layout.
+func (l Layout) Valid() bool { return l <= LayoutCompressed }
+
+// ParseLayout maps a configuration string (e.g. a -layout flag value)
+// to a Layout. The empty string is the pointer layout.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "pointer", "trie":
+		return LayoutPointer, nil
+	case "succinct":
+		return LayoutSuccinct, nil
+	case "compressed", "tstat":
+		return LayoutCompressed, nil
+	}
+	return 0, fmt.Errorf("rptrie: unknown layout %q (want pointer, succinct, or compressed)", s)
+}

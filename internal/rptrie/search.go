@@ -158,6 +158,14 @@ type searchScratch struct {
 	dqp      []float64
 	items    []topk.Item     // range-walk accumulator
 	wds      []*dist.Scratch // per-worker DP rows for parallel refinement
+
+	// cmpRefs is the compressed layout's node-ref arena: refs are
+	// interface-boxed into entries, and boxing a pointer into the
+	// arena is allocation-free where boxing a multi-word value is
+	// not. Reset per query; at its high-water mark appends stop
+	// allocating. Growth may relocate the backing array — previously
+	// handed-out pointers stay valid (refs are immutable).
+	cmpRefs []cmpRef
 }
 
 // scratchPool recycles searchScratch values. One pool per index (not

@@ -478,8 +478,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.be.Stats()
 	s.m.serveMetrics(w, s.cache.len(), map[string]any{
-		"trajectories": st.Trajectories,
-		"partitions":   st.Partitions,
-		"generations":  st.Generations,
+		"trajectories":          st.Trajectories,
+		"partitions":            st.Partitions,
+		"generations":           st.Generations,
+		"layout":                st.Layout.String(),
+		"index_bytes":           st.IndexBytes,
+		"partition_index_bytes": st.PartitionIndexBytes,
 	})
 }

@@ -98,7 +98,17 @@ func (f *fakeBackend) Health() []repose.WorkerHealth {
 }
 
 func (f *fakeBackend) Stats() repose.Stats {
-	return repose.Stats{Trajectories: 1, Partitions: len(f.gens), Generations: f.Generations()}
+	per := make([]int, len(f.gens))
+	for i := range per {
+		per[i] = 1024
+	}
+	return repose.Stats{
+		Trajectories:        1,
+		Partitions:          len(f.gens),
+		IndexBytes:          1024 * len(f.gens),
+		PartitionIndexBytes: per,
+		Generations:         f.Generations(),
+	}
 }
 
 // noBatch disables micro-batching and caching so tests exercise one
@@ -634,8 +644,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	if lat["count"].(float64) != 2 {
 		t.Errorf("latency count = %v, want 2", lat["count"])
 	}
-	if _, ok := doc["index"]; !ok {
-		t.Error("metrics missing index section")
+	index, ok := doc["index"].(map[string]any)
+	if !ok {
+		t.Fatal("metrics missing index section")
+	}
+	for _, key := range []string{"layout", "index_bytes", "partition_index_bytes"} {
+		if _, ok := index[key]; !ok {
+			t.Errorf("metrics index section missing %q", key)
+		}
 	}
 }
 

@@ -26,14 +26,14 @@ func freshTraj(rng *rand.Rand, id int) *Trajectory {
 // TestOnlineUpdatesPublicAPI is the acceptance test of the public
 // mutation surface: an inserted trajectory is returned by the very
 // next query and a deleted one never is, identically on the local and
-// remote engines, for both trie layouts.
+// remote engines, for all three trie layouts.
 func TestOnlineUpdatesPublicAPI(t *testing.T) {
 	ds := testData(t, 150)
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(42))
 
-	for _, succinct := range []bool{false, true} {
-		opts := Options{Partitions: 4, Succinct: succinct}
+	for _, layout := range []Layout{LayoutPointer, LayoutSuccinct, LayoutCompressed} {
+		opts := Options{Partitions: 4, Layout: layout}
 		local, err := Build(ds, opts)
 		if err != nil {
 			t.Fatal(err)
@@ -45,7 +45,7 @@ func TestOnlineUpdatesPublicAPI(t *testing.T) {
 		defer remote.Close()
 
 		for _, idx := range []*Index{local, remote} {
-			name := fmt.Sprintf("succinct=%v/%s", succinct, idx.Engine())
+			name := fmt.Sprintf("layout=%v/%s", layout, idx.Engine())
 			// Insert an exact copy of a probe query: next Search must
 			// return it first.
 			probe := freshTraj(rng, 900_000)

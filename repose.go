@@ -41,6 +41,7 @@ import (
 	"repose/internal/grid"
 	"repose/internal/partition"
 	"repose/internal/pivot"
+	"repose/internal/rptrie"
 	"repose/internal/topk"
 )
 
@@ -76,6 +77,34 @@ type QueryReport = cluster.QueryReport
 // completion times, and total partition compute. Capture one with
 // WithBatchReport.
 type BatchReport = cluster.BatchReport
+
+// Layout selects the in-memory representation of each partition's
+// RP-Trie. All layouts answer top-k queries bit-identically; they
+// trade memory for search speed and feature coverage:
+//
+//   - LayoutPointer: the plain pointer trie. Fastest to mutate,
+//     largest footprint, supports SearchRadius.
+//   - LayoutSuccinct: the two-tier bitmap layout (Section III-B).
+//     Smaller, near-pointer search speed, no SearchRadius.
+//   - LayoutCompressed: the trit-array (tSTAT-style) layout —
+//     rank/select bitvectors, packed node metadata, quantized pivot
+//     ranges. Smallest by a wide margin, search within a small factor
+//     of succinct, supports SearchRadius, and ships the cheapest
+//     failover snapshots.
+type Layout = rptrie.Layout
+
+// The available per-partition index layouts.
+const (
+	LayoutPointer    = rptrie.LayoutPointer
+	LayoutSuccinct   = rptrie.LayoutSuccinct
+	LayoutCompressed = rptrie.LayoutCompressed
+)
+
+// ParseLayout maps a layout name ("pointer"/"trie", "succinct",
+// "compressed"/"tstat", or empty for the default) to its Layout. The
+// repose-worker and repose-query binaries use it for their -layout
+// flags.
+func ParseLayout(s string) (Layout, error) { return rptrie.ParseLayout(s) }
 
 // Strategy selects the global partitioning strategy.
 type Strategy = partition.Strategy
@@ -121,10 +150,17 @@ type Options struct {
 	// measures and ignored otherwise.
 	NoRearrange bool
 
-	// Succinct compresses each partition trie into the two-tier
-	// bitmap/byte-sequence layout (Section III-B). Succinct indexes
-	// do not support SearchRadius: it returns
+	// Layout selects each partition's index representation (default
+	// LayoutPointer). WithLayout sets it as a build option. Succinct
+	// indexes do not support SearchRadius: it returns
 	// ErrSuccinctUnsupported.
+	Layout Layout
+
+	// Succinct compresses each partition trie into the two-tier
+	// bitmap/byte-sequence layout (Section III-B).
+	//
+	// Deprecated: set Layout to LayoutSuccinct. Honored only when
+	// Layout is LayoutPointer (the zero value).
 	Succinct bool
 
 	// Workers caps build/query parallelism (default GOMAXPROCS).
@@ -182,6 +218,22 @@ func WithFailover(fc FailoverConfig) BuildOption {
 	return func(o *Options) { o.Failover = fc }
 }
 
+// WithLayout selects the per-partition index layout as a build option:
+//
+//	idx, err := repose.Build(ds, repose.Options{}, repose.WithLayout(repose.LayoutCompressed))
+func WithLayout(l Layout) BuildOption {
+	return func(o *Options) { o.Layout = l }
+}
+
+// layout resolves the effective layout, honoring the deprecated
+// Succinct flag when Layout was left at its zero value.
+func (o Options) layout() Layout {
+	if o.Layout == LayoutPointer && o.Succinct {
+		return LayoutSuccinct
+	}
+	return o.Layout
+}
+
 // Engine is the backend executing an Index's queries. It is a sealed
 // interface with exactly two implementations: the in-process engine
 // (Build) and the TCP remote engine (BuildRemote). Both answer the
@@ -229,6 +281,13 @@ type Stats struct {
 	Partitions   int
 	IndexBytes   int
 	BuildTime    time.Duration
+	// Layout is the per-partition index representation the index was
+	// built with.
+	Layout Layout
+	// PartitionIndexBytes is each partition's index footprint, indexed
+	// by partition id; IndexBytes is its sum. On a remote index the
+	// values are the sizes workers declared at build time.
+	PartitionIndexBytes []int
 	// Generations is the current per-partition generation vector, as
 	// returned by Index.Generations.
 	Generations []uint64
@@ -273,7 +332,7 @@ func (o Options) spec(ds []*Trajectory, region geo.Rect) cluster.IndexSpec {
 		Delta:     o.Delta,
 		Pivots:    pivots,
 		Optimize:  !o.NoRearrange && o.Measure.OrderIndependent(),
-		Succinct:  o.Succinct,
+		Layout:    o.layout(),
 		Strategy:  o.Strategy,
 		Seed:      o.Seed,
 		Replicas:  o.Replication,
@@ -450,7 +509,7 @@ func (x *Index) SearchRadius(ctx context.Context, q *Trajectory, radius float64,
 	if radius < 0 {
 		return nil, ErrBadRadius
 	}
-	if x.opts.Succinct {
+	if x.opts.layout() == LayoutSuccinct {
 		return nil, ErrSuccinctUnsupported
 	}
 	qc := applyQueryOptions(opts)
@@ -490,12 +549,19 @@ func (x *Index) SearchBatch(ctx context.Context, qs []*Trajectory, k int, opts .
 // Stats reports index statistics.
 func (x *Index) Stats() Stats {
 	eng := x.eng.exec()
+	perPart := eng.PartitionIndexBytes()
+	total := 0
+	for _, b := range perPart {
+		total += b
+	}
 	return Stats{
-		Trajectories: eng.Len(),
-		Partitions:   eng.NumPartitions(),
-		IndexBytes:   eng.IndexSizeBytes(),
-		BuildTime:    eng.BuildTime(),
-		Generations:  eng.Generations(),
+		Trajectories:        eng.Len(),
+		Partitions:          eng.NumPartitions(),
+		IndexBytes:          total,
+		BuildTime:           eng.BuildTime(),
+		Layout:              x.opts.layout(),
+		PartitionIndexBytes: perPart,
+		Generations:         eng.Generations(),
 	}
 }
 
@@ -564,6 +630,16 @@ type WorkerOptions struct {
 	// generations are current. The repose-worker binary sets it with
 	// -data-dir.
 	DataDir string
+
+	// Layout, when non-empty, forces every REPOSE partition this
+	// worker builds to the named index layout ("pointer", "succinct",
+	// "compressed" — see ParseLayout), overriding the driver's build
+	// spec. All layouts answer queries bit-identically, so a
+	// memory-constrained worker in a heterogeneous fleet can run
+	// compressed while its peers run pointer tries. Partitions
+	// restored from a peer's snapshot keep the image's layout. The
+	// repose-worker binary sets it with -layout.
+	Layout string
 }
 
 // ServeWorkerOptions is ServeWorkerContext with worker configuration.
@@ -584,6 +660,14 @@ func ServeWorkerOptions(ctx context.Context, addr string, wo WorkerOptions, onRe
 		case <-done:
 		}
 	}()
+	var forced Layout
+	if wo.Layout != "" {
+		forced, err = ParseLayout(wo.Layout)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	var w *cluster.Worker
 	if wo.DataDir != "" {
 		w, err = cluster.NewDurableWorker(wo.DataDir, wo.Rejoin)
@@ -596,6 +680,9 @@ func ServeWorkerOptions(ctx context.Context, addr string, wo WorkerOptions, onRe
 		w = cluster.NewRejoinWorker()
 	} else {
 		w = cluster.NewWorker()
+	}
+	if wo.Layout != "" {
+		w.ForceLayout(forced)
 	}
 	err = cluster.Serve(ln, w)
 	if ctxErr := ctx.Err(); ctxErr != nil {

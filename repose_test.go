@@ -159,6 +159,7 @@ func TestOptionVariants(t *testing.T) {
 		{Partitions: 3, Strategy: Random},
 		{Partitions: 3, NoRearrange: true},
 		{Partitions: 3, Succinct: true},
+		{Partitions: 3, Layout: LayoutCompressed},
 		{Partitions: 3, Pivots: -1},
 		{Partitions: 3, Pivots: 2},
 		{Partitions: 5, Delta: 0.03},
@@ -196,7 +197,8 @@ func TestQueryOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// WithReport captures per-partition execution.
+	// WithReport captures per-partition execution, including each
+	// partition's index footprint.
 	var rep QueryReport
 	got, err := idx.Search(ctx, q, 6, WithReport(&rep))
 	if err != nil {
@@ -204,6 +206,14 @@ func TestQueryOptions(t *testing.T) {
 	}
 	if len(rep.PartitionTimes) != 4 || rep.Wall <= 0 || rep.Imbalance() < 1 {
 		t.Errorf("report = %+v (imbalance %v)", rep, rep.Imbalance())
+	}
+	if len(rep.IndexBytes) != 4 {
+		t.Errorf("report.IndexBytes has %d entries, want 4", len(rep.IndexBytes))
+	}
+	for pid, b := range rep.IndexBytes {
+		if b <= 0 {
+			t.Errorf("report.IndexBytes[%d] = %d", pid, b)
+		}
 	}
 	for i := range got {
 		if got[i] != want[i] {
@@ -253,6 +263,44 @@ func TestQueryOptions(t *testing.T) {
 				t.Fatalf("batch query %d rank %d: %+v want %+v", i, j, batch[i][j], single[j])
 			}
 		}
+	}
+}
+
+// TestStatsMemoryAccounting: Stats reports the layout, a footprint
+// per partition, and their sum as IndexBytes — and the compressed
+// layout's total is materially below the pointer trie's on the same
+// dataset (the headline bench ratio lives in BENCH_memory.json; this
+// guards the accounting plumbing).
+func TestStatsMemoryAccounting(t *testing.T) {
+	ds := testData(t, 200)
+	totals := map[Layout]int{}
+	for _, layout := range []Layout{LayoutPointer, LayoutSuccinct, LayoutCompressed} {
+		idx, err := Build(ds, Options{Partitions: 3}, WithLayout(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := idx.Stats()
+		if st.Layout != layout {
+			t.Errorf("Stats.Layout = %v, want %v", st.Layout, layout)
+		}
+		if len(st.PartitionIndexBytes) != st.Partitions {
+			t.Fatalf("%v: %d per-partition sizes for %d partitions", layout, len(st.PartitionIndexBytes), st.Partitions)
+		}
+		sum := 0
+		for pid, b := range st.PartitionIndexBytes {
+			if b <= 0 {
+				t.Errorf("%v: PartitionIndexBytes[%d] = %d", layout, pid, b)
+			}
+			sum += b
+		}
+		if sum != st.IndexBytes {
+			t.Errorf("%v: per-partition sum %d != IndexBytes %d", layout, sum, st.IndexBytes)
+		}
+		totals[layout] = st.IndexBytes
+	}
+	if totals[LayoutCompressed] >= totals[LayoutSuccinct] || totals[LayoutSuccinct] >= totals[LayoutPointer] {
+		t.Errorf("footprints not ordered: pointer=%d succinct=%d compressed=%d",
+			totals[LayoutPointer], totals[LayoutSuccinct], totals[LayoutCompressed])
 	}
 }
 
