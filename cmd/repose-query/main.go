@@ -43,6 +43,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		excludeSelf = flag.Bool("exclude-self", false, "drop the query trajectory from results")
 		layoutName  = flag.String("layout", "", "per-partition index layout: pointer|succinct|compressed (empty = pointer)")
+		probeBudget = flag.Int("probe-budget", 0, "score-guided probing: scan this many best-scoring partitions first and prune the rest when an admissible bound proves they cannot contribute; results are identical (0 = full scatter)")
+		bestEffort  = flag.Bool("best-effort", false, "with -probe-budget, skip the unproven tail instead of bound-checking it (answers may be incomplete)")
 	)
 	flag.Parse()
 
@@ -100,15 +102,26 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	qopts := []repose.QueryOption{}
+	if *probeBudget > 0 {
+		qopts = append(qopts, repose.WithProbeBudget(*probeBudget))
+	}
+	if *bestEffort {
+		qopts = append(qopts, repose.WithBestEffortProbes())
+	}
 	var report repose.QueryReport
 	start = time.Now()
-	res, err := idx.Search(ctx, query, kk, repose.WithReport(&report))
+	res, err := idx.Search(ctx, query, kk, append(qopts, repose.WithReport(&report))...)
 	if err != nil {
 		fail(err)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("top-%d by %v for trajectory %d (%d points) in %v (straggler ratio %.2f):\n",
 		*k, m, query.ID, len(query.Points), elapsed.Round(time.Microsecond), report.Imbalance())
+	if *probeBudget > 0 {
+		fmt.Printf("probe budget %d: probed %d, pruned %d, skipped %d partitions\n",
+			*probeBudget, len(report.ProbedPartitions), len(report.PrunedPartitions), len(report.SkippedPartitions))
+	}
 	shown := 0
 	for _, r := range res {
 		if *excludeSelf && r.ID == query.ID {

@@ -39,12 +39,13 @@ func main() {
 	rejoin := flag.Bool("rejoin", false, "rejoin a replicated cluster as the replacement for a dead worker: start empty and await a state restore from the driver")
 	dataDir := flag.String("data-dir", "", "directory for durable partition stores; a restart on the same directory recovers them from their write-ahead logs")
 	layout := flag.String("layout", "", "force every partition this worker builds to this index layout (pointer|succinct|compressed), overriding the driver; answers are identical across layouts")
+	queryWorkers := flag.Int("query-workers", 0, "cap this worker's total concurrent partition scans across all in-flight queries (0 = GOMAXPROCS per query)")
 	flag.Parse()
 
 	log.SetPrefix("repose-worker: ")
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := repose.ServeWorkerOptions(ctx, *addr, repose.WorkerOptions{Rejoin: *rejoin, DataDir: *dataDir, Layout: *layout}, func(bound string) {
+	err := repose.ServeWorkerOptions(ctx, *addr, repose.WorkerOptions{Rejoin: *rejoin, DataDir: *dataDir, Layout: *layout, QueryWorkers: *queryWorkers}, func(bound string) {
 		fmt.Printf("listening on %s (protocol v%d)\n", bound, repose.ProtocolVersion)
 		if *rejoin {
 			log.Print("rejoin mode: awaiting state restore from the driver")
@@ -54,6 +55,9 @@ func main() {
 		}
 		if *layout != "" {
 			log.Printf("forcing the %s layout on every partition built here", *layout)
+		}
+		if *queryWorkers > 0 {
+			log.Printf("capping concurrent partition scans at %d", *queryWorkers)
 		}
 	})
 	if errors.Is(err, context.Canceled) {

@@ -64,6 +64,8 @@ type queryConfig struct {
 	partitions    []int
 	noPivots      bool
 	refineWorkers int
+	probeBudget   int
+	bestEffort    bool
 }
 
 func applyQueryOptions(opts []QueryOption) queryConfig {
@@ -80,6 +82,8 @@ func (qc queryConfig) cluster() cluster.QueryOptions {
 		Partitions:    qc.partitions,
 		NoPivots:      qc.noPivots,
 		RefineWorkers: qc.refineWorkers,
+		ProbeBudget:   qc.probeBudget,
+		BestEffort:    qc.bestEffort,
 	}
 }
 
@@ -110,6 +114,30 @@ func WithPartitions(partitions ...int) QueryOption {
 // unchanged; only the pruning power differs.
 func WithoutPivots() QueryOption {
 	return func(qc *queryConfig) { qc.noPivots = true }
+}
+
+// WithProbeBudget splits a Search into two phases guided by the
+// engine's learned reward-per-probe scores: the n highest-scoring
+// partitions are probed first, and every remaining partition is then
+// either pruned — an admissible lower bound proves it cannot improve
+// the current top-k — or probed in a second wave. Results stay
+// bit-identical to a full scatter; only the work order (and, when the
+// bounds bite, the amount of work) changes. A report captured with
+// WithReport lists the probed and pruned partitions. n <= 0 or
+// n >= the partition count behaves like a plain full scatter. Only
+// Search honors the budget; SearchRadius and SearchBatch ignore it.
+func WithProbeBudget(n int) QueryOption {
+	return func(qc *queryConfig) { qc.probeBudget = n }
+}
+
+// WithBestEffortProbes relaxes WithProbeBudget's exactness: the tail
+// beyond the budget is skipped outright instead of bound-checked,
+// capping the query at exactly n partition scans. The answer may miss
+// trajectories held by skipped partitions (listed in
+// QueryReport.SkippedPartitions) and is not cache-eligible. Ignored
+// without a probe budget.
+func WithBestEffortProbes() QueryOption {
+	return func(qc *queryConfig) { qc.bestEffort = true }
 }
 
 // WithRefineWorkers parallelizes exact-distance refinement of fat

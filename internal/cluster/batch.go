@@ -30,7 +30,8 @@ func (c *Local) SearchBatch(ctx context.Context, queries [][]geo.Point, k int, o
 	if len(queries) == 0 {
 		return nil, report, nil
 	}
-	sel, err := selectPartitions(opt.Partitions, len(c.indexes))
+	parts := c.parts()
+	sel, err := selectPartitions(opt.Partitions, len(parts))
 	if err != nil {
 		return nil, report, err
 	}
@@ -67,7 +68,7 @@ func (c *Local) SearchBatch(ctx context.Context, queries [][]geo.Point, k int, o
 				}
 				t0 := time.Now()
 				locals[tk.qi][tk.si], taskErrs[tk.qi][tk.si] =
-					searchOne(ctx, c.gpid(sel[tk.si]), c.indexes[sel[tk.si]], queries[tk.qi], k, opt)
+					searchOne(ctx, c.gpid(sel[tk.si]), parts[sel[tk.si]], queries[tk.qi], k, opt, nil)
 				now := time.Now()
 				workDur[tk.qi][tk.si] = now.Sub(t0)
 				done[tk.qi][tk.si] = now
@@ -95,7 +96,7 @@ func (c *Local) SearchBatch(ctx context.Context, queries [][]geo.Point, k int, o
 
 	out := make([][]topk.Item, nq)
 	for qi := range out {
-		out[qi] = topk.Merge(k, locals[qi]...)
+		out[qi] = mergeDedup(k, locals[qi])
 		var last time.Time
 		for si := 0; si < np; si++ {
 			report.TotalWork += workDur[qi][si]
@@ -113,7 +114,7 @@ func (c *Local) SearchBatch(ctx context.Context, queries [][]geo.Point, k int, o
 }
 
 // Indexes exposes the partition indexes (read-only use).
-func (c *Local) Indexes() []LocalIndex { return c.indexes }
+func (c *Local) Indexes() []LocalIndex { return c.parts() }
 
 // RadiusSearcher is the optional range-query capability of a local
 // index. rptrie.Trie implements it; the baselines and the succinct

@@ -48,4 +48,33 @@
 // than divergent, until the prober's reconcile pass asks the workers
 // what they actually hold and re-anchors the authoritative generation
 // on the highest surviving state.
+//
+// Why rebalancing preserves those pins: Rebalance and SplitPartition
+// hold rebalMu exclusively while mutations hold it shared, so no
+// mutation is in flight while ownership moves — the snapshot streamed
+// to the new owner carries a generation ≥ curGen, and the eligibility
+// rule above (repGen ≥ curGen) admits the new replica for reads only
+// because it is at least as new as anything a query could have
+// pinned. Queries never take rebalMu at all: a scatter that races the
+// flip either reaches the donor before the drop (fine — its state is
+// identical at the pinned generation) or gets the worker's typed
+// not-owner rejection and retries on the current owner without a
+// failover strike. A split installs the new partition on every
+// eligible replica and registers it in the directory before pruning
+// the moved ids from the donor, so during the overlap window a
+// trajectory may be reported by both partitions but can never be
+// missed; the driver's merge dedups by id, keeping answers exact.
+//
+// Why probe budgets stay exact: QueryOptions.ProbeBudget scans the n
+// best-scoring partitions first (per-partition EWMA reward-per-cost,
+// loadstats.go), then asks each remaining partition for its
+// admissible lower bound — the same LBo/LBt bound the trie's
+// best-first search orders by, which never exceeds the true distance
+// of any trajectory in the partition. A partition whose bound is ≥
+// the current k-th result distance therefore cannot contribute to the
+// top-k and is pruned; every other partition is scanned in a second
+// wave. The answer is bit-identical to the full scatter because only
+// provably non-contributing work is skipped. BestEffort drops the
+// second wave instead, trading exactness for latency — the report
+// lists SkippedPartitions and the answer is marked cache-ineligible.
 package cluster

@@ -118,14 +118,17 @@ func BuildLocalDurable(spec IndexSpec, parts [][]*geo.Trajectory, workers int, d
 		return nil, err
 	}
 	start := time.Now()
-	for pid, idx := range c.indexes {
+	indexes := c.parts()
+	for pid, idx := range indexes {
 		d, err := wrapDurablePartition(dataDir, pid, idx)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.indexes[pid] = d
+		indexes[pid] = d
 	}
+	c.setParts(indexes)
+	c.dataDir = dataDir
 	c.buildTime += time.Since(start)
 	return c, nil
 }
@@ -166,22 +169,32 @@ func OpenLocalDurable(spec IndexSpec, numPartitions, workers int, dataDir string
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	dir, err := recoveredDirectory(spec, indexes)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
 	c := &Local{
-		indexes:   indexes,
 		workers:   workers,
 		sem:       make(chan struct{}, workers),
 		buildTime: time.Since(start),
-		dir:       recoveredDirectory(spec, indexes),
+		dir:       dir,
+		dataDir:   dataDir,
 	}
+	c.setParts(indexes)
 	return c, nil
 }
 
 // recoveredDirectory rebuilds the driver-side routing directory from
 // the recovered partitions' live ids. The online router restarts with
 // fresh placement counters — a heuristic drift, not a correctness
-// one: the id → partition map below is the routing truth.
-func recoveredDirectory(spec IndexSpec, indexes []LocalIndex) *directory {
-	d := &directory{loc: make(map[int32]int)}
+// one: the id → partition map below is the routing truth. A recovered
+// durable engine is always REPOSE-backed, so failing to rebuild the
+// grid or the online router is a recovery error, not a baseline
+// without routing: swallowing it would half-open an engine whose
+// post-recovery inserts have no router to assign them.
+func recoveredDirectory(spec IndexSpec, indexes []LocalIndex) (*directory, error) {
+	d := &directory{loc: make(map[int32]int), spec: spec}
 	for pid, idx := range indexes {
 		if dur, ok := idx.(*rptrie.Durable); ok {
 			ids := dur.LiveIDs()
@@ -191,10 +204,15 @@ func recoveredDirectory(spec IndexSpec, indexes []LocalIndex) *directory {
 			}
 		}
 	}
-	if g, err := grid.New(spec.Region, spec.Delta); err == nil {
-		if r, err := partition.NewOnlineRouter(spec.Strategy, g, len(indexes), spec.Seed); err == nil {
-			d.router = r
-		}
+	g, err := grid.New(spec.Region, spec.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: recovered directory grid: %w", err)
 	}
-	return d
+	r, err := partition.NewOnlineRouter(spec.Strategy, g, len(indexes), spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: recovered directory router: %w", err)
+	}
+	d.grid = g
+	d.router = r
+	return d, nil
 }

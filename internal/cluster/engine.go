@@ -95,6 +95,22 @@ type QueryOptions struct {
 	// or nil slice leaves the remaining partitions unpinned. The
 	// facade uses this for read-your-writes after mutations.
 	MinGens []uint64
+	// ProbeBudget, when positive and smaller than the selection,
+	// splits a Search into two phases guided by the engine's learned
+	// reward-per-probe scores (see loadstats.go): the ProbeBudget
+	// highest-scoring partitions are probed first, then every
+	// remaining partition is either pruned — its admissible
+	// best-possible lower bound already exceeds the k-th distance, so
+	// it cannot contribute — or probed as well. Results stay
+	// bit-identical to a full scatter. Only Search honors it;
+	// SearchRadius and SearchBatch ignore the field.
+	ProbeBudget int
+	// BestEffort relaxes ProbeBudget's admissibility check: the tail
+	// beyond the budget is skipped outright instead of bound-checked,
+	// trading exactness for a hard probe cap. Skipped partitions are
+	// reported in QueryReport.SkippedPartitions and the answer is not
+	// cache-eligible. Ignored without a ProbeBudget.
+	BestEffort bool
 }
 
 // minGen returns the pin for a global partition id, 0 when unpinned.
@@ -191,10 +207,11 @@ func selectPartitions(subset []int, n int) ([]int, error) {
 
 // searchOne answers one partition-local top-k query honoring ctx and
 // opt; gpid is the partition's global id (for the generation pin).
-// The rptrie layouts cancel mid-scan; the baseline indexes only
-// observe the context between partitions.
-func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, error) {
-	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)}
+// The rptrie layouts cancel mid-scan and fill stats (may be nil); the
+// baseline indexes only observe the context between partitions and
+// report no stats.
+func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k int, opt QueryOptions, stats *rptrie.SearchStats) ([]topk.Item, error) {
+	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid), Stats: stats}
 	switch t := idx.(type) {
 	case *rptrie.Trie:
 		return t.SearchContext(ctx, q, k, sopt)
@@ -211,6 +228,21 @@ func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k i
 		}
 		return idx.Search(q, k), nil
 	}
+}
+
+// boundOne returns an admissible lower bound on the best distance any
+// trajectory in the partition could achieve for q — the probe
+// budget's pruning test. The rptrie layouts run a bounded best-first
+// walk (BoundContext); indexes without one (the baselines) return 0,
+// which never prunes.
+func boundOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, opt QueryOptions) (float64, error) {
+	b, ok := idx.(interface {
+		BoundContext(ctx context.Context, q []geo.Point, opt rptrie.SearchOptions) (float64, error)
+	})
+	if !ok {
+		return 0, nil
+	}
+	return b.BoundContext(ctx, q, rptrie.SearchOptions{NoPivots: opt.NoPivots, MinGen: opt.minGen(gpid)})
 }
 
 // radiusOne answers one partition-local range query. Indexes without

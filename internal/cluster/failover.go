@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/rpc"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,6 +194,11 @@ type WorkerHealth struct {
 	// StaleParts counts partition replicas on this worker that missed
 	// mutations and await restore; they are excluded from reads.
 	StaleParts int
+	// Load is the cumulative scan time attributed to this worker: the
+	// summed hotness of every partition whose first eligible replica
+	// (the one the scatter planner picks) lives here. The rebalancer
+	// compares these to find donor and receiver.
+	Load time.Duration
 }
 
 // Health snapshots every worker's availability, for operators and
@@ -211,6 +217,32 @@ func (r *Remote) Health() []WorkerHealth {
 		}
 	}
 	r.genMu.Unlock()
+	for si, load := range r.slotLoads() {
+		out[si].Load = load
+	}
+	return out
+}
+
+// slotLoads attributes each partition's cumulative scan time to the
+// slot the scatter planner would currently pick for it (the first
+// eligible replica), yielding per-worker load totals. Partitions with
+// no eligible replica are attributed to nobody.
+func (r *Remote) slotLoads() []time.Duration {
+	hot := r.loads.hotness()
+	out := make([]time.Duration, len(r.slots))
+	r.genMu.Lock()
+	defer r.genMu.Unlock()
+	for pid := range r.owners {
+		if pid >= len(hot) {
+			break
+		}
+		for j, si := range r.owners[pid] {
+			if r.eligibleLocked(pid, j) {
+				out[si] += hot[pid]
+				break
+			}
+		}
+	}
 	return out
 }
 
@@ -270,6 +302,29 @@ func exclude(excluded map[int]map[int]bool, pid, si int) {
 func isServerError(err error) bool {
 	var se rpc.ServerError
 	return errors.As(err, &se)
+}
+
+// notOwnerMsg is the worker-side diagnostic for a request naming a
+// partition the worker does not hold. It crosses the wire as an
+// opaque rpc.ServerError string, so the driver matches the message.
+const notOwnerMsg = "does not own partition"
+
+// notOwnedPartition extracts the partition id from a worker's
+// not-owner rejection, -1 when the error is anything else.
+func notOwnedPartition(err error) int {
+	if err == nil {
+		return -1
+	}
+	msg := err.Error()
+	i := strings.Index(msg, notOwnerMsg)
+	if i < 0 {
+		return -1
+	}
+	pid := -1
+	if _, serr := fmt.Sscanf(msg[i+len(notOwnerMsg):], " %d", &pid); serr != nil {
+		return -1
+	}
+	return pid
 }
 
 // connFatal reports an error that proves the connection itself is
@@ -450,6 +505,19 @@ func (r *Remote) reviveSlot(si int) {
 				continue
 			}
 			if gen, ok := st.Gens[pid]; ok && gen >= r.curGen[pid] {
+				if gen > r.curGen[pid] {
+					// The revived replica is *ahead* of the authoritative
+					// generation: it applied a mutation whose ack was
+					// lost while reconcile re-anchored the partition at
+					// an older generation from its peers. Its state is
+					// the only copy reflecting that acknowledged-nowhere
+					// write, so adopt its generation as authoritative —
+					// generations only move forward — which turns the
+					// peers stale and makes syncStale re-align them from
+					// this replica. Keeping curGen put instead would let
+					// diverged replicas serve reads side by side.
+					r.curGen[pid] = gen
+				}
 				r.repGen[pid][j] = gen
 				if n, ok := st.Lens[pid]; ok {
 					r.partLen[pid].Store(int64(n))
@@ -531,7 +599,13 @@ func (r *Remote) restoreReplica(pid, j, donorSlot, targetSlot int) {
 		return
 	}
 	r.genMu.Lock()
-	r.repGen[pid][j] = rr.Gen
+	// Re-verify the slot assignment: a concurrent migration may have
+	// flipped owners[pid][j] to another worker while this transfer was
+	// in flight, and the streamed generation describes targetSlot, not
+	// whoever owns the replica now.
+	if r.owners[pid][j] == targetSlot {
+		r.repGen[pid][j] = rr.Gen
+	}
 	r.genMu.Unlock()
 }
 
@@ -612,6 +686,20 @@ func (r *Remote) scatter(ctx context.Context, sel []int, minGens []uint64, cs ca
 				}
 				return nil, fmt.Errorf("cluster: %s on %s: %v (%w)", cs.method, r.slots[res.slot].addr, res.err, ctx.Err())
 			case isServerError(res.err):
+				if pid := notOwnedPartition(res.err); pid >= 0 {
+					// The worker is healthy but no longer holds pid: the
+					// plan raced an ownership change (a migration's Drop
+					// or a split's prune landed between planning and the
+					// call). Not a strike — retry every partition of the
+					// group on the current owners, excluding only the
+					// rejected partition on this worker; the re-plan
+					// reads the post-flip owner table, so the query
+					// completes with zero failed partitions.
+					lastErr = fmt.Errorf("cluster: %s on %s: %w", cs.method, r.slots[res.slot].addr, res.err)
+					exclude(excluded, pid, res.slot)
+					remaining = append(remaining, res.pids...)
+					continue
+				}
 				// The worker answered: an application-level error every
 				// replica would repeat. Surface it.
 				return nil, fmt.Errorf("cluster: %s on %s: %w", cs.method, r.slots[res.slot].addr, res.err)
@@ -792,7 +880,22 @@ func (r *Remote) callGroup(ctx context.Context, si int, pids []int, minGens []ui
 // itself succeeds as long as one replica acknowledges. newArgs must
 // return a fresh args value per replica (net/rpc encodes concurrently)
 // and ack extracts (generation, live length) from a reply.
+//
+// The shared rebalMu hold excludes rebalancing for the duration: a
+// migration must not flip a partition's owners while a mutation is
+// mid-flight to the old owner set, or the donor's generation could
+// advance past the snapshot the receiver restored. Mutations on
+// different partitions still run concurrently (RLock is shared).
 func (r *Remote) mutateReplicas(ctx context.Context, pid int, method string, newArgs func() any, newReply func() any, ack func(reply any) (uint64, int)) (uint64, error) {
+	r.rebalMu.RLock()
+	defer r.rebalMu.RUnlock()
+	return r.mutateReplicasLocked(ctx, pid, method, newArgs, newReply, ack)
+}
+
+// mutateReplicasLocked is mutateReplicas for callers that already hold
+// rebalMu (shared or exclusive) — the split path prunes moved ids
+// while holding it exclusively.
+func (r *Remote) mutateReplicasLocked(ctx context.Context, pid int, method string, newArgs func() any, newReply func() any, ack func(reply any) (uint64, int)) (uint64, error) {
 	if r.closed.Load() {
 		return 0, ErrClosed
 	}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repose/internal/topk"
+)
+
+// Per-partition load accounting. Both engines feed every query's
+// per-partition outcome — scan time, exact-distance refinements, and
+// reward (results that survived the global merge) — into one tracker.
+// Two consumers read it: the rebalancer picks hot partitions by
+// cumulative scan time, and the probe budget orders the scatter by a
+// learned reward-per-cost score so the partitions most likely to
+// contribute are probed first.
+
+// loadAlpha is the EWMA smoothing factor for the reward/cost score.
+const loadAlpha = 0.2
+
+// loadRingSize is the per-partition latency sample ring used for the
+// p99 estimate.
+const loadRingSize = 128
+
+// PartitionLoad is one partition's accumulated load profile.
+type PartitionLoad struct {
+	Partition int           // global partition id
+	Queries   uint64        // scans since start (or last reset)
+	RefineOps uint64        // exact-distance refinements across scans
+	TotalTime time.Duration // cumulative scan time — the rebalancer's hotness
+	P99       time.Duration // 99th-percentile scan latency (recent window)
+	Score     float64       // EWMA reward-per-cost; +Inf = never probed
+}
+
+// partLoad is the mutable accumulator behind one PartitionLoad.
+type partLoad struct {
+	queries    uint64
+	refineOps  uint64
+	sumNanos   int64
+	ring       []int64 // latency samples, lazily allocated
+	ringNext   int
+	rewardEWMA float64
+	costEWMA   float64
+	scored     bool
+}
+
+// loadTracker aggregates partLoads under one mutex; recording is a
+// few arithmetic ops, so a single lock does not serialize scans
+// meaningfully (scans are microseconds to milliseconds).
+type loadTracker struct {
+	mu    sync.Mutex
+	parts []partLoad
+}
+
+func newLoadTracker(n int) *loadTracker {
+	return &loadTracker{parts: make([]partLoad, n)}
+}
+
+// grow extends the tracker after a split published new partitions.
+func (t *loadTracker) grow(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.parts) < n {
+		t.parts = append(t.parts, partLoad{})
+	}
+}
+
+// record folds one scan's outcome into partition pi's accumulator.
+func (t *loadTracker) record(pi int, dur time.Duration, refined int64, reward int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pi < 0 || pi >= len(t.parts) {
+		return
+	}
+	p := &t.parts[pi]
+	p.queries++
+	p.refineOps += uint64(refined)
+	p.sumNanos += int64(dur)
+	if p.ring == nil {
+		p.ring = make([]int64, 0, loadRingSize)
+	}
+	if len(p.ring) < loadRingSize {
+		p.ring = append(p.ring, int64(dur))
+	} else {
+		p.ring[p.ringNext] = int64(dur)
+	}
+	p.ringNext = (p.ringNext + 1) % loadRingSize
+	// Cost is the scan time in microseconds (floored at 1 so the
+	// ratio stays finite); reward is how many of the partition's
+	// results made the merged top-k.
+	cost := float64(dur) / float64(time.Microsecond)
+	if cost < 1 {
+		cost = 1
+	}
+	if !p.scored {
+		p.rewardEWMA, p.costEWMA, p.scored = float64(reward), cost, true
+	} else {
+		p.rewardEWMA += loadAlpha * (float64(reward) - p.rewardEWMA)
+		p.costEWMA += loadAlpha * (cost - p.costEWMA)
+	}
+}
+
+// recordWave feeds one search wave's per-partition outcomes into the
+// tracker: scan time, refine count, and reward — how many of the
+// partition's local results survived into the merged answer.
+func (t *loadTracker) recordWave(pids []int, lists [][]topk.Item, refined []int64, times []time.Duration, merged []topk.Item) {
+	if t == nil {
+		return
+	}
+	final := make(map[int]struct{}, len(merged))
+	for _, it := range merged {
+		final[it.ID] = struct{}{}
+	}
+	for i, pid := range pids {
+		reward := 0
+		for _, it := range lists[i] {
+			if _, ok := final[it.ID]; ok {
+				reward++
+			}
+		}
+		t.record(pid, times[i], refined[i], reward)
+	}
+}
+
+// score returns partition pi's reward-per-cost estimate; an unprobed
+// partition scores +Inf so exploration happens before exploitation.
+// Caller holds t.mu.
+func (t *loadTracker) scoreLocked(pi int) float64 {
+	p := &t.parts[pi]
+	if !p.scored || p.costEWMA <= 0 {
+		return math.Inf(1)
+	}
+	return p.rewardEWMA / p.costEWMA
+}
+
+// order returns sel reordered by score, best first, without mutating
+// sel. Ties (including the +Inf of never-probed partitions) keep
+// selection order, so the ordering is deterministic.
+func (t *loadTracker) order(sel []int) []int {
+	out := make([]int, len(sel))
+	copy(out, sel)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	scores := make(map[int]float64, len(sel))
+	for _, pi := range out {
+		if pi >= 0 && pi < len(t.parts) {
+			scores[pi] = t.scoreLocked(pi)
+		} else {
+			scores[pi] = math.Inf(1)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return scores[out[i]] > scores[out[j]]
+	})
+	return out
+}
+
+// snapshot materializes every partition's PartitionLoad.
+func (t *loadTracker) snapshot() []PartitionLoad {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PartitionLoad, len(t.parts))
+	for i := range t.parts {
+		p := &t.parts[i]
+		out[i] = PartitionLoad{
+			Partition: i,
+			Queries:   p.queries,
+			RefineOps: p.refineOps,
+			TotalTime: time.Duration(p.sumNanos),
+			P99:       ringP99(p.ring),
+			Score:     t.scoreLocked(i),
+		}
+	}
+	return out
+}
+
+// hotness returns each partition's cumulative scan time — what the
+// rebalancer ranks by.
+func (t *loadTracker) hotness() []time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]time.Duration, len(t.parts))
+	for i := range t.parts {
+		out[i] = time.Duration(t.parts[i].sumNanos)
+	}
+	return out
+}
+
+// reset clears partition pi's cumulative counters after a migration
+// so the next rebalance decision reflects the new placement, not the
+// history that motivated the move. The learned score survives — the
+// partition's content did not change.
+func (t *loadTracker) reset(pi int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pi < 0 || pi >= len(t.parts) {
+		return
+	}
+	p := &t.parts[pi]
+	p.queries, p.refineOps, p.sumNanos = 0, 0, 0
+	p.ring, p.ringNext = nil, 0
+}
+
+// ringP99 estimates the 99th percentile of the sample ring.
+func ringP99(ring []int64) time.Duration {
+	if len(ring) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(ring))
+	copy(sorted, ring)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*99 + 99) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return time.Duration(sorted[idx])
+}

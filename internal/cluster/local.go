@@ -3,11 +3,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repose/internal/geo"
+	"repose/internal/rptrie"
 	"repose/internal/topk"
 )
 
@@ -16,12 +19,18 @@ import (
 // paper's 16-node Spark cluster (each of the 64 cores processes one
 // of the 64 default partitions).
 type Local struct {
-	indexes   []LocalIndex
+	// partsPtr holds the partition index slice behind an atomic
+	// pointer: queries snapshot it once and never observe a split
+	// mid-flight, while SplitPartition publishes the grown slice with
+	// one store. Mutations are serialized by dir.mu as before.
+	partsPtr  atomic.Pointer[[]LocalIndex]
 	gpids     []int // local slot → global partition id; nil = identity
 	workers   int
 	sem       chan struct{} // shared worker-cap semaphore, sized workers
 	buildTime time.Duration
 	dir       *directory // online-mutation routing; nil on worker views
+	dataDir   string     // durable root; split clones install under it
+	loads     *loadTracker
 
 	// sizeMu guards sizes, the per-partition SizeBytes cache keyed by
 	// the generation it was computed at. The pointer trie's SizeBytes
@@ -40,12 +49,42 @@ type sizeCacheEntry struct {
 	valid bool
 }
 
+// parts snapshots the partition index slice; callers must use one
+// snapshot for a whole operation so a concurrent split cannot shift
+// slots under them.
+func (c *Local) parts() []LocalIndex {
+	if p := c.partsPtr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setParts publishes a new partition slice and sizes the load tracker
+// to match.
+func (c *Local) setParts(parts []LocalIndex) {
+	c.partsPtr.Store(&parts)
+	if c.loads == nil {
+		c.loads = newLoadTracker(len(parts))
+	} else {
+		c.loads.grow(len(parts))
+	}
+}
+
 // gpid maps a local index slot to its global partition id.
 func (c *Local) gpid(pi int) int {
 	if c.gpids == nil {
 		return pi
 	}
 	return c.gpids[pi]
+}
+
+// gpidsOf maps a slice of local slots to global partition ids.
+func (c *Local) gpidsOf(sel []int) []int {
+	out := make([]int, len(sel))
+	for i, pi := range sel {
+		out[i] = c.gpid(pi)
+	}
+	return out
 }
 
 // QueryReport describes one distributed query's execution.
@@ -66,15 +105,27 @@ type QueryReport struct {
 	// acknowledged before the cached query began.
 	Generations []uint64
 	// CacheEligible reports that the answer is canonical for
-	// (query, k) — it covered every partition. A query restricted
-	// with QueryOptions.Partitions answers a sub-question that must
-	// not be cached as the full answer.
+	// (query, k) — it covered every partition, either by scanning it
+	// or by proving it cannot contribute (exact-mode probe pruning).
+	// A query restricted with QueryOptions.Partitions, or one that
+	// skipped partitions in best-effort mode, answers a sub-question
+	// that must not be cached as the full answer.
 	CacheEligible bool
 	// IndexBytes is the per-partition index footprint at dispatch,
 	// indexed by global partition id (like Generations). The local
 	// engine reports live sizes cached per generation; the remote
 	// engine reports the sizes workers declared at build time.
 	IndexBytes []int
+
+	// ProbedPartitions lists the global partition ids actually
+	// scanned when a probe budget shaped the query (nil on a plain
+	// full scatter). PrunedPartitions lists those proven unable to
+	// contribute by an admissible bound check (exact mode);
+	// SkippedPartitions lists those dropped unchecked (best-effort
+	// mode).
+	ProbedPartitions  []int
+	PrunedPartitions  []int
+	SkippedPartitions []int
 }
 
 // Imbalance returns the straggler ratio MaxPartition/mean; 1.0 is a
@@ -98,6 +149,17 @@ func (r *QueryReport) finish(start time.Time) {
 	}
 }
 
+// absorb folds a follow-up phase's timings into this report; the
+// phases ran sequentially, so walls add.
+func (r *QueryReport) absorb(o QueryReport) {
+	r.Wall += o.Wall
+	r.PartitionTimes = append(r.PartitionTimes, o.PartitionTimes...)
+	r.SumPartition += o.SumPartition
+	if o.MaxPartition > r.MaxPartition {
+		r.MaxPartition = o.MaxPartition
+	}
+}
+
 // BuildLocal builds one index per partition in parallel. workers ≤ 0
 // uses GOMAXPROCS.
 func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local, error) {
@@ -105,10 +167,10 @@ func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local,
 		workers = runtime.GOMAXPROCS(0)
 	}
 	c := &Local{
-		indexes: make([]LocalIndex, len(parts)),
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 	}
+	indexes := make([]LocalIndex, len(parts))
 	start := time.Now()
 	sem := c.sem
 	errs := make([]error, len(parts))
@@ -124,7 +186,7 @@ func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local,
 				errs[i] = fmt.Errorf("partition %d: %w", i, err)
 				return
 			}
-			c.indexes[i] = idx
+			indexes[i] = idx
 		}(i, part)
 	}
 	wg.Wait()
@@ -133,6 +195,7 @@ func BuildLocal(spec IndexSpec, parts [][]*geo.Trajectory, workers int) (*Local,
 			return nil, err
 		}
 	}
+	c.setParts(indexes)
 	c.buildTime = time.Since(start)
 	c.dir = newDirectory(spec, parts)
 	return c, nil
@@ -146,18 +209,16 @@ func localView(indexes []LocalIndex, pids []int, workers int) *Local {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Local{indexes: indexes, gpids: pids, workers: workers, sem: make(chan struct{}, workers)}
+	c := &Local{gpids: pids, workers: workers, sem: make(chan struct{}, workers)}
+	c.setParts(indexes)
+	return c
 }
 
-// scatter fans one partition-local operation out over the selected
-// partitions under the worker cap, timing each partition. It returns
-// the per-partition result lists (indexed like the selection) and the
-// timing report; a cancelled ctx wins over per-partition errors.
-func (c *Local) scatter(ctx context.Context, opt QueryOptions, what string, fn func(pi int, idx LocalIndex) ([]topk.Item, error)) ([][]topk.Item, QueryReport, error) {
-	sel, err := selectPartitions(opt.Partitions, len(c.indexes))
-	if err != nil {
-		return nil, QueryReport{}, err
-	}
+// scatter fans one partition-local operation out over the sel slots
+// of parts under the worker cap, timing each slot. It returns the
+// per-slot result lists (indexed like sel) and the timing report; a
+// cancelled ctx wins over per-partition errors.
+func (c *Local) scatter(ctx context.Context, parts []LocalIndex, sel []int, what string, fn func(si, pi int, idx LocalIndex) ([]topk.Item, error)) ([][]topk.Item, QueryReport, error) {
 	report := QueryReport{PartitionTimes: make([]time.Duration, len(sel))}
 	locals := make([][]topk.Item, len(sel))
 	errs := make([]error, len(sel))
@@ -183,7 +244,7 @@ func (c *Local) scatter(ctx context.Context, opt QueryOptions, what string, fn f
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			locals[si], errs[si] = fn(pi, c.indexes[pi])
+			locals[si], errs[si] = fn(si, pi, parts[pi])
 			report.PartitionTimes[si] = time.Since(t0)
 		}(si, pi)
 	}
@@ -200,21 +261,153 @@ func (c *Local) scatter(ctx context.Context, opt QueryOptions, what string, fn f
 	return locals, report, nil
 }
 
+// searchLists runs one partition-local top-k scan per sel slot and
+// returns the unmerged result lists plus each slot's exact-distance
+// refinement count — the per-partition cost counter the load tracker
+// learns from and the v6 protocol ships back to the driver.
+func (c *Local) searchLists(ctx context.Context, parts []LocalIndex, sel []int, q []geo.Point, k int, opt QueryOptions) ([][]topk.Item, []int64, QueryReport, error) {
+	refined := make([]int64, len(sel))
+	locals, report, err := c.scatter(ctx, parts, sel, "search", func(si, pi int, idx LocalIndex) ([]topk.Item, error) {
+		var stats rptrie.SearchStats
+		items, err := searchOne(ctx, c.gpid(pi), idx, q, k, opt, &stats)
+		refined[si] = int64(stats.ExactComputations)
+		return items, err
+	})
+	return locals, refined, report, err
+}
+
 // Search broadcasts the query to every selected partition and merges
-// the local top-k results (the collect step of Section V-C). When ctx
-// is cancelled mid-query the partition scans stop early and ctx's
-// error is returned.
+// the local top-k results (the collect step of Section V-C); with a
+// probe budget it scans score-ordered partitions first and prunes the
+// tail it can prove irrelevant. When ctx is cancelled mid-query the
+// partition scans stop early and ctx's error is returned.
 func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
 	gens := c.Generations()
-	locals, report, err := c.scatter(ctx, opt, "search", func(pi int, idx LocalIndex) ([]topk.Item, error) {
-		return searchOne(ctx, c.gpid(pi), idx, q, k, opt)
-	})
-	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
+	parts := c.parts()
+	sel, err := selectPartitions(opt.Partitions, len(parts))
+	if err != nil {
+		return nil, QueryReport{}, err
+	}
+	items, report, err := c.searchBudgeted(ctx, parts, sel, q, k, opt)
+	report.Generations = gens
+	report.CacheEligible = len(opt.Partitions) == 0 && len(report.SkippedPartitions) == 0
 	report.IndexBytes = c.PartitionIndexBytes()
 	if err != nil {
 		return nil, report, err
 	}
-	return topk.Merge(k, locals...), report, nil
+	return items, report, nil
+}
+
+// searchBudgeted answers one top-k query over the sel slots. Without
+// a usable probe budget every slot is scanned. With one, the budget-
+// many highest-scoring slots are probed first; each remaining slot is
+// then either pruned — its admissible best-possible lower bound
+// strictly exceeds the current k-th distance, so by admissibility no
+// trajectory it holds can displace the merged top-k even on
+// (distance, id) ties — or probed in a second wave. Exact mode is
+// therefore bit-identical to a full scatter; best-effort mode skips
+// the unproven tail outright.
+func (c *Local) searchBudgeted(ctx context.Context, parts []LocalIndex, sel []int, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	budget := opt.ProbeBudget
+	if budget <= 0 || budget >= len(sel) {
+		locals, refined, report, err := c.searchLists(ctx, parts, sel, q, k, opt)
+		if err != nil {
+			return nil, report, err
+		}
+		items := mergeDedup(k, locals)
+		c.recordLoads(sel, locals, refined, report.PartitionTimes, items)
+		return items, report, nil
+	}
+	order := c.loads.order(sel)
+	head, tail := order[:budget], order[budget:]
+	locals, refined, report, err := c.searchLists(ctx, parts, head, q, k, opt)
+	report.ProbedPartitions = c.gpidsOf(head)
+	if err != nil {
+		return nil, report, err
+	}
+	items := mergeDedup(k, locals)
+	c.recordLoads(head, locals, refined, report.PartitionTimes, items)
+	if opt.BestEffort {
+		report.SkippedPartitions = c.gpidsOf(tail)
+		return items, report, nil
+	}
+	dk := math.Inf(1)
+	if len(items) >= k {
+		dk = items[k-1].Dist
+	}
+	var survivors []int
+	for _, pi := range tail {
+		b, err := boundOne(ctx, c.gpid(pi), parts[pi], q, opt)
+		if err != nil {
+			return nil, report, err
+		}
+		if b > dk {
+			report.PrunedPartitions = append(report.PrunedPartitions, c.gpid(pi))
+			continue
+		}
+		survivors = append(survivors, pi)
+	}
+	if len(survivors) == 0 {
+		return items, report, nil
+	}
+	locals2, refined2, rep2, err := c.searchLists(ctx, parts, survivors, q, k, opt)
+	report.ProbedPartitions = append(report.ProbedPartitions, c.gpidsOf(survivors)...)
+	report.absorb(rep2)
+	if err != nil {
+		return nil, report, err
+	}
+	items = mergeDedup(k, append(locals, locals2...))
+	c.recordLoads(survivors, locals2, refined2, rep2.PartitionTimes, items)
+	return items, report, nil
+}
+
+// recordLoads feeds one wave's per-slot outcomes to the load tracker
+// (see loadTracker.recordWave).
+func (c *Local) recordLoads(sel []int, locals [][]topk.Item, refined []int64, times []time.Duration, merged []topk.Item) {
+	c.loads.recordWave(sel, locals, refined, times, merged)
+}
+
+// mergeDedup merges per-partition result lists into one global top-k,
+// dropping duplicate ids. Duplicates arise only inside a split's
+// install→prune window, when a moved trajectory momentarily lives in
+// both the old and the new partition; the copies are identical, so
+// keeping the first occurrence in (Dist, ID) order preserves the
+// canonical answer.
+func mergeDedup(k int, lists [][]topk.Item) []topk.Item {
+	var all []topk.Item
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	topk.SortItems(all)
+	seen := make(map[int]struct{}, len(all))
+	out := all[:0]
+	for _, it := range all {
+		if _, dup := seen[it.ID]; dup {
+			continue
+		}
+		seen[it.ID] = struct{}{}
+		out = append(out, it)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// dedupItems removes duplicate ids from a (Dist, ID)-sorted list in
+// place, keeping each id's first occurrence (see mergeDedup for when
+// duplicates can exist at all).
+func dedupItems(items []topk.Item) []topk.Item {
+	seen := make(map[int]struct{}, len(items))
+	out := items[:0]
+	for _, it := range items {
+		if _, dup := seen[it.ID]; dup {
+			continue
+		}
+		seen[it.ID] = struct{}{}
+		out = append(out, it)
+	}
+	return out
 }
 
 // Generations implements Engine: each partition index's current
@@ -222,8 +415,9 @@ func (c *Local) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptio
 // taken partition by partition, but each coordinate is a valid floor:
 // generations only advance.
 func (c *Local) Generations() []uint64 {
-	gens := make([]uint64, len(c.indexes))
-	for i, idx := range c.indexes {
+	parts := c.parts()
+	gens := make([]uint64, len(parts))
+	for i, idx := range parts {
 		if m, ok := idx.(MutableIndex); ok {
 			gens[i] = m.Generation()
 		}
@@ -237,7 +431,12 @@ func (c *Local) Generations() []uint64 {
 // range support.
 func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
 	gens := c.Generations()
-	locals, report, err := c.scatter(ctx, opt, "radius search", func(pi int, idx LocalIndex) ([]topk.Item, error) {
+	parts := c.parts()
+	sel, err := selectPartitions(opt.Partitions, len(parts))
+	if err != nil {
+		return nil, QueryReport{}, err
+	}
+	locals, report, err := c.scatter(ctx, parts, sel, "radius search", func(si, pi int, idx LocalIndex) ([]topk.Item, error) {
 		return radiusOne(ctx, pi, c.gpid(pi), idx, q, radius, opt)
 	})
 	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
@@ -250,22 +449,32 @@ func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64,
 		out = append(out, l...)
 	}
 	topk.SortItems(out)
-	return out, report, nil
+	return dedupItems(out), report, nil
 }
 
 // BuildTime returns the wall time of index construction.
 func (c *Local) BuildTime() time.Duration { return c.buildTime }
 
 // NumPartitions returns the partition count.
-func (c *Local) NumPartitions() int { return len(c.indexes) }
+func (c *Local) NumPartitions() int { return len(c.parts()) }
 
 // Len returns the total number of indexed trajectories.
 func (c *Local) Len() int {
 	n := 0
-	for _, idx := range c.indexes {
+	for _, idx := range c.parts() {
 		n += idx.Len()
 	}
 	return n
+}
+
+// LoadStats reports the per-partition load profile the engine has
+// accumulated — query counts, refine ops, p99 scan latency, and the
+// learned reward-per-probe score the probe budget orders by.
+func (c *Local) LoadStats() []PartitionLoad {
+	if c.loads == nil {
+		return nil
+	}
+	return c.loads.snapshot()
 }
 
 // IndexSizeBytes sums the index footprints across partitions.
@@ -278,17 +487,21 @@ func (c *Local) IndexSizeBytes() int {
 }
 
 // PartitionIndexBytes reports each partition's live index footprint,
-// indexed like c.indexes (global partition ids on a full engine).
-// Results are cached per generation so repeated calls — every query
-// report carries the vector — do not re-walk unchanged structures.
+// indexed like the partition slice (global partition ids on a full
+// engine). Results are cached per generation so repeated calls —
+// every query report carries the vector — do not re-walk unchanged
+// structures.
 func (c *Local) PartitionIndexBytes() []int {
+	parts := c.parts()
 	c.sizeMu.Lock()
 	defer c.sizeMu.Unlock()
-	if c.sizes == nil {
-		c.sizes = make([]sizeCacheEntry, len(c.indexes))
+	if len(c.sizes) < len(parts) {
+		grown := make([]sizeCacheEntry, len(parts))
+		copy(grown, c.sizes)
+		c.sizes = grown
 	}
-	out := make([]int, len(c.indexes))
-	for i, idx := range c.indexes {
+	out := make([]int, len(parts))
+	for i, idx := range parts {
 		gen := uint64(0)
 		if m, ok := idx.(MutableIndex); ok {
 			gen = m.Generation()
@@ -308,7 +521,7 @@ func (c *Local) PartitionIndexBytes() []int {
 // or OpenLocalDurable) flush and close their stores; a purely
 // in-memory engine holds no external resources.
 func (c *Local) Close() error {
-	for _, idx := range c.indexes {
+	for _, idx := range c.parts() {
 		closeDurable(idx)
 	}
 	return nil

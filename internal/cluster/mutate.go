@@ -27,6 +27,8 @@ type directory struct {
 	mu     sync.Mutex
 	loc    map[int32]int
 	router *partition.OnlineRouter
+	spec   IndexSpec  // retained for router rebuilds after a split
+	grid   *grid.Grid // shared by router rebuilds; nil without routing
 }
 
 // newDirectory seeds the directory from the batch partitioning. When
@@ -34,7 +36,7 @@ type directory struct {
 // baseline algorithm without a Delta), it returns a directory whose
 // mutations fail cleanly with ErrImmutable.
 func newDirectory(spec IndexSpec, parts [][]*geo.Trajectory) *directory {
-	d := &directory{loc: make(map[int32]int)}
+	d := &directory{loc: make(map[int32]int), spec: spec}
 	for pid, part := range parts {
 		for _, tr := range part {
 			d.loc[int32(tr.ID)] = pid
@@ -42,10 +44,28 @@ func newDirectory(spec IndexSpec, parts [][]*geo.Trajectory) *directory {
 	}
 	if g, err := grid.New(spec.Region, spec.Delta); err == nil {
 		if r, err := partition.NewOnlineRouter(spec.Strategy, g, len(parts), spec.Seed); err == nil {
+			d.grid = g
 			d.router = r
 		}
 	}
 	return d
+}
+
+// rebuildRouterLocked re-derives the online router for n partitions
+// after a split grew the partition count. The rebuilt router restarts
+// its placement counters — the same heuristic drift recovery accepts
+// (see recoveredDirectory); the loc map stays the routing truth.
+// Caller holds d.mu.
+func (d *directory) rebuildRouterLocked(n int) error {
+	if d.grid == nil {
+		return ErrImmutable
+	}
+	r, err := partition.NewOnlineRouter(d.spec.Strategy, d.grid, n, d.spec.Seed)
+	if err != nil {
+		return fmt.Errorf("cluster: split router rebuild: %w", err)
+	}
+	d.router = r
+	return nil
 }
 
 // insert validates trs, routes each to a partition, applies the
@@ -190,7 +210,7 @@ func sortedKeys[V any](m map[int]V) []int {
 
 // mutable resolves partition pi's index as a MutableIndex.
 func (c *Local) mutable(pi int) (MutableIndex, LocalIndex, error) {
-	idx := c.indexes[pi]
+	idx := c.parts()[pi]
 	m, ok := idx.(MutableIndex)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w (partition %d, %T)", ErrImmutable, pi, idx)
@@ -235,7 +255,7 @@ func (c *Local) Delete(ctx context.Context, ids []int, opt MutateOptions) (int, 
 	if c.dir == nil {
 		return 0, nil, ErrImmutable
 	}
-	return c.dir.delete(ids, len(c.indexes), func(pid int, ids []int) (int, uint64, error) {
+	return c.dir.delete(ids, c.NumPartitions(), func(pid int, ids []int) (int, uint64, error) {
 		m, li, err := c.mutable(pid)
 		if err != nil {
 			return 0, 0, err
@@ -276,7 +296,7 @@ func (c *Local) Upsert(ctx context.Context, trs []*geo.Trajectory, opt MutateOpt
 
 // Compact implements Engine.
 func (c *Local) Compact(ctx context.Context, partitions []int) (Gens, error) {
-	sel, err := selectPartitions(partitions, len(c.indexes))
+	sel, err := selectPartitions(partitions, c.NumPartitions())
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"net/rpc"
@@ -47,11 +48,25 @@ import (
 // unchanged; replication is entirely driver-side policy (placement,
 // per-replica generation tracking, failover routing — see
 // failover.go).
+//
+// Protocol v6 adds live rebalancing and score-guided probing:
+// SearchReply carries each partition's unmerged result list and cost
+// counters (the driver's load tracker and split-window dedup need
+// per-partition attribution, not a per-worker merge), Worker.Bound
+// answers the probe budget's admissible lower-bound check without a
+// full scan, Worker.Split clones the moved half of a partition into a
+// new partition id on the same worker, and Worker.Drop discards a
+// partition after its replica migrated away. A worker now also errors
+// on a query naming a partition it does not hold (it used to answer
+// silently from the intersection): the driver always asks exactly
+// what it believes the worker owns, so a miss means the plan raced an
+// ownership change and the driver must retry elsewhere rather than
+// accept a silently incomplete answer.
 
 // ProtocolVersion is the driver↔worker wire protocol version. The
 // worker rejects requests from a driver speaking a different version
 // rather than mis-decoding them.
-const ProtocolVersion = 5
+const ProtocolVersion = 6
 
 // checkVersion rejects a peer speaking a different protocol version.
 func checkVersion(v int) error {
@@ -119,12 +134,34 @@ type SearchArgs struct {
 	RefineWorkers int
 }
 
-// SearchReply carries a worker's merged local top-k and per-partition
-// timings keyed by partition id.
+// SearchReply carries a worker's merged local top-k plus, since v6,
+// each partition's unmerged result list and cost counters keyed by
+// partition id — the attribution the driver's load tracker scores
+// partitions by, and what lets the driver dedup a split's
+// install→prune window where a trajectory briefly lives in two
+// partitions.
 type SearchReply struct {
-	Items      []topk.Item
-	PartNanos  map[int]int64
-	Partitions []int
+	Items       []topk.Item
+	PartNanos   map[int]int64
+	PartItems   map[int][]topk.Item
+	PartRefined map[int]int64 // exact-distance refinements per partition
+	Partitions  []int
+}
+
+// BoundArgs asks for each selected partition's admissible lower bound
+// on the best distance any of its trajectories could achieve for the
+// query — the probe budget's pruning test, answered by a bounded
+// best-first walk instead of a full scan.
+type BoundArgs struct {
+	QueryHeader
+	Query    []geo.Point
+	NoPivots bool
+}
+
+// BoundReply carries the per-partition bounds. A partition whose
+// index cannot bound (a baseline) reports 0, which never prunes.
+type BoundReply struct {
+	Bounds map[int]float64
 }
 
 // RadiusArgs broadcasts a range query.
@@ -270,6 +307,33 @@ type RestoreReply struct {
 	Len int
 }
 
+// SplitArgs carves the MoveIDs half of an owned partition into a new
+// partition installed on the same worker; the source partition is
+// left intact (the driver prunes it afterwards, and its merge dedups
+// the overlap window). The driver computes MoveIDs so every replica
+// of the partition splits identically.
+type SplitArgs struct {
+	Version        int
+	PartitionID    int
+	NewPartitionID int
+	MoveIDs        []int
+}
+
+// SplitReply reports the newly installed partition's state.
+type SplitReply struct {
+	Gen       uint64
+	Len       int
+	SizeBytes int
+}
+
+// DropArgs discards an owned partition (after its replica migrated to
+// another worker), wiping any durable store so a restart does not
+// resurrect it.
+type DropArgs struct {
+	Version     int
+	PartitionID int
+}
+
 // Worker is the RPC service hosted by a worker process.
 type Worker struct {
 	mu       sync.Mutex
@@ -302,6 +366,28 @@ type Worker struct {
 	// the knob for memory-constrained workers in a heterogeneous
 	// fleet. Safe because every layout answers queries bit-identically.
 	forceLayout *rptrie.Layout
+	// queryWorkers/qsem, when set, cap the worker's total
+	// partition-scan concurrency across all in-flight queries (the
+	// default is GOMAXPROCS per query view, which hides per-worker
+	// saturation when many workers share one test machine).
+	queryWorkers int
+	qsem         chan struct{}
+}
+
+// SetQueryWorkers caps this worker's total partition-scan concurrency
+// across all in-flight queries. Call before serving; n <= 0 restores
+// the default (GOMAXPROCS per query view). The cap is what makes one
+// worker's overload observable — and a migration's relief measurable
+// — when several workers share a machine.
+func (w *Worker) SetQueryWorkers(n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n <= 0 {
+		w.queryWorkers, w.qsem = 0, nil
+		return
+	}
+	w.queryWorkers = n
+	w.qsem = make(chan struct{}, n)
 }
 
 // maxPendingCancels bounds the early-cancel tombstone set.
@@ -463,13 +549,22 @@ func (w *Worker) view(subset []int) (*Local, []int, error) {
 		}
 	} else {
 		// Defensive dedup: a duplicated id must not double-count a
-		// partition's results.
+		// partition's results. A requested partition this worker does
+		// not hold is an error, not a silent intersection: the driver
+		// asks exactly what it believes the worker owns, so a miss
+		// means the plan raced a migration or split and the driver
+		// must retry the partition elsewhere — answering without it
+		// would return a silently incomplete result.
 		seen := make(map[int]bool, len(subset))
 		for _, id := range subset {
-			if _, ok := w.indexes[id]; ok && !seen[id] {
-				seen[id] = true
-				pids = append(pids, id)
+			if seen[id] {
+				continue
 			}
+			seen[id] = true
+			if _, ok := w.indexes[id]; !ok {
+				return nil, nil, fmt.Errorf("cluster: worker "+notOwnerMsg+" %d", id)
+			}
+			pids = append(pids, id)
 		}
 	}
 	sort.Ints(pids)
@@ -477,7 +572,13 @@ func (w *Worker) view(subset []int) (*Local, []int, error) {
 	for i, id := range pids {
 		indexes[i] = w.indexes[id]
 	}
-	return localView(indexes, pids, 0), pids, nil
+	v := localView(indexes, pids, w.queryWorkers)
+	if w.qsem != nil {
+		// Share one semaphore across every in-flight query's view so
+		// the cap bounds the worker, not each query.
+		v.sem = w.qsem
+	}
+	return v, pids, nil
 }
 
 // queryContext derives the query's context from the wire header and
@@ -562,13 +663,51 @@ func (w *Worker) Search(args *SearchArgs, reply *SearchReply) error {
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.Search(ctx, args.Query, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens})
+	opt := QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens}
+	parts := view.parts()
+	sel := make([]int, len(parts))
+	for i := range sel {
+		sel[i] = i
+	}
+	locals, refined, rep, err := view.searchLists(ctx, parts, sel, args.Query, args.K, opt)
 	if err != nil {
 		return err
 	}
-	reply.Items = items
+	reply.Items = mergeDedup(args.K, locals)
 	reply.PartNanos = partNanos(pids, rep)
 	reply.Partitions = pids
+	reply.PartItems = make(map[int][]topk.Item, len(pids))
+	reply.PartRefined = make(map[int]int64, len(pids))
+	for si, pid := range pids {
+		reply.PartItems[pid] = locals[si]
+		reply.PartRefined[pid] = refined[si]
+	}
+	return nil
+}
+
+// Bound answers the probe budget's pruning test for the selected
+// partitions: each partition's admissible lower bound on the best
+// distance it could contribute, from a bounded best-first walk.
+func (w *Worker) Bound(args *BoundArgs, reply *BoundReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	ctx, stop := w.queryContext(args.QueryHeader)
+	defer stop()
+	view, pids, err := w.view(args.Partitions)
+	if err != nil {
+		return err
+	}
+	opt := QueryOptions{NoPivots: args.NoPivots, MinGens: args.MinGens}
+	parts := view.parts()
+	reply.Bounds = make(map[int]float64, len(pids))
+	for si, pid := range pids {
+		b, err := boundOne(ctx, pid, parts[si], args.Query, opt)
+		if err != nil {
+			return err
+		}
+		reply.Bounds[pid] = b
+	}
 	return nil
 }
 
@@ -625,7 +764,7 @@ func (w *Worker) ownedMutable(pid int) (MutableIndex, LocalIndex, error) {
 	idx := w.indexes[pid]
 	w.mu.Unlock()
 	if idx == nil {
-		return nil, nil, fmt.Errorf("cluster: worker does not own partition %d", pid)
+		return nil, nil, fmt.Errorf("cluster: worker "+notOwnerMsg+" %d", pid)
 	}
 	m, ok := idx.(MutableIndex)
 	if !ok {
@@ -768,40 +907,91 @@ func (w *Worker) Snapshot(args *SnapshotArgs, reply *SnapshotReply) error {
 	idx := w.indexes[args.PartitionID]
 	w.mu.Unlock()
 	if idx == nil {
-		return fmt.Errorf("cluster: worker does not own partition %d", args.PartitionID)
+		return fmt.Errorf("cluster: worker "+notOwnerMsg+" %d", args.PartitionID)
 	}
+	data, layout, gen, err := encodeIndex(idx)
+	if err != nil {
+		if errors.Is(err, errNoSnapshot) {
+			return fmt.Errorf("cluster: partition %d index (%T) does not support snapshots", args.PartitionID, idx)
+		}
+		return err
+	}
+	reply.Data, reply.Layout, reply.Gen = data, layout, gen
+	reply.Len = idx.Len()
+	return nil
+}
+
+// errNoSnapshot reports an index type without a serialized form.
+var errNoSnapshot = errors.New("cluster: index does not support snapshots")
+
+// encodeIndex serializes an rptrie-layout index (pending delta folded
+// in) with its layout and generation — the payload of Snapshot and
+// the first half of a clone.
+func encodeIndex(idx LocalIndex) ([]byte, rptrie.Layout, uint64, error) {
 	var buf bytes.Buffer
 	switch t := idx.(type) {
 	case *rptrie.Trie:
 		if err := t.Save(&buf); err != nil {
-			return err
+			return nil, 0, 0, err
 		}
-		reply.Layout = rptrie.LayoutPointer
-		reply.Gen = t.Generation()
+		return buf.Bytes(), rptrie.LayoutPointer, t.Generation(), nil
 	case *rptrie.Succinct:
 		if err := t.Save(&buf); err != nil {
-			return err
+			return nil, 0, 0, err
 		}
-		reply.Layout = rptrie.LayoutSuccinct
-		reply.Gen = t.Generation()
+		return buf.Bytes(), rptrie.LayoutSuccinct, t.Generation(), nil
 	case *rptrie.Compressed:
 		if err := t.Save(&buf); err != nil {
-			return err
+			return nil, 0, 0, err
 		}
-		reply.Layout = rptrie.LayoutCompressed
-		reply.Gen = t.Generation()
+		return buf.Bytes(), rptrie.LayoutCompressed, t.Generation(), nil
 	case *rptrie.Durable:
 		if err := t.Save(&buf); err != nil {
-			return err
+			return nil, 0, 0, err
 		}
-		reply.Layout = t.Layout()
-		reply.Gen = t.Generation()
+		return buf.Bytes(), t.Layout(), t.Generation(), nil
 	default:
-		return fmt.Errorf("cluster: partition %d index (%T) does not support snapshots", args.PartitionID, idx)
+		return nil, 0, 0, fmt.Errorf("%w (%T)", errNoSnapshot, idx)
 	}
-	reply.Data = buf.Bytes()
-	reply.Len = idx.Len()
-	return nil
+}
+
+// decodeIndex materializes an encodeIndex/Snapshot image.
+func decodeIndex(layout rptrie.Layout, data []byte) (LocalIndex, uint64, error) {
+	switch layout {
+	case rptrie.LayoutSuccinct:
+		s, err := rptrie.ReadSuccinct(bytes.NewReader(data))
+		if err != nil {
+			return nil, 0, err
+		}
+		return s, s.Generation(), nil
+	case rptrie.LayoutCompressed:
+		c, err := rptrie.ReadCompressed(bytes.NewReader(data))
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, c.Generation(), nil
+	case rptrie.LayoutPointer:
+		t, err := rptrie.ReadTrie(bytes.NewReader(data))
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, t.Generation(), nil
+	default:
+		return nil, 0, fmt.Errorf("cluster: restore of unknown layout %v", layout)
+	}
+}
+
+// cloneLocalIndex deep-copies an index through a Save/Read round trip,
+// preserving layout and generation. A Durable source clones to its
+// in-memory layout; the caller decides whether the clone gets its own
+// store.
+func cloneLocalIndex(idx LocalIndex) (LocalIndex, error) {
+	data, layout, _, err := encodeIndex(idx)
+	if err != nil {
+		return nil, err
+	}
+	clone, _, err := decodeIndex(layout, data)
+	return clone, err
 }
 
 // Restore installs a partition image produced by Snapshot, replacing
@@ -811,29 +1001,9 @@ func (w *Worker) Restore(args *RestoreArgs, reply *RestoreReply) error {
 	if err := checkVersion(args.Version); err != nil {
 		return err
 	}
-	var idx LocalIndex
-	var gen uint64
-	switch args.Layout {
-	case rptrie.LayoutSuccinct:
-		s, err := rptrie.ReadSuccinct(bytes.NewReader(args.Data))
-		if err != nil {
-			return err
-		}
-		idx, gen = s, s.Generation()
-	case rptrie.LayoutCompressed:
-		c, err := rptrie.ReadCompressed(bytes.NewReader(args.Data))
-		if err != nil {
-			return err
-		}
-		idx, gen = c, c.Generation()
-	case rptrie.LayoutPointer:
-		t, err := rptrie.ReadTrie(bytes.NewReader(args.Data))
-		if err != nil {
-			return err
-		}
-		idx, gen = t, t.Generation()
-	default:
-		return fmt.Errorf("cluster: restore of unknown layout %v", args.Layout)
+	idx, gen, err := decodeIndex(args.Layout, args.Data)
+	if err != nil {
+		return err
 	}
 	// As in Build: uninstall before wiping, so a failed durable
 	// install leaves the partition absent rather than installed with a
@@ -856,6 +1026,102 @@ func (w *Worker) Restore(args *RestoreArgs, reply *RestoreReply) error {
 	w.mu.Unlock()
 	reply.Gen = gen
 	reply.Len = idx.Len()
+	return nil
+}
+
+// liveIDs lists an index's live trajectory ids, nil when the index
+// cannot enumerate them (baselines).
+func liveIDs(idx LocalIndex) []int {
+	if l, ok := idx.(interface{ LiveIDs() []int }); ok {
+		return l.LiveIDs()
+	}
+	return nil
+}
+
+// Split installs the MoveIDs half of an owned partition as a new
+// partition on this worker: clone the source, delete everything but
+// the moved ids from the clone, compact, and install it under the new
+// id. The source partition is untouched — the driver prunes it once
+// every replica has split, and its merges dedup the overlap window.
+// Identical inputs on in-sync replicas produce identical clones at
+// identical generations, so the driver can register the new partition
+// with every replica immediately eligible.
+func (w *Worker) Split(args *SplitArgs, reply *SplitReply) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	idx := w.indexes[args.PartitionID]
+	_, taken := w.indexes[args.NewPartitionID]
+	w.mu.Unlock()
+	if idx == nil {
+		return fmt.Errorf("cluster: worker "+notOwnerMsg+" %d", args.PartitionID)
+	}
+	if taken {
+		return fmt.Errorf("cluster: split target partition %d already exists", args.NewPartitionID)
+	}
+	clone, err := cloneLocalIndex(idx)
+	if err != nil {
+		return err
+	}
+	m, ok := clone.(MutableIndex)
+	if !ok {
+		return fmt.Errorf("%w (partition %d, %T)", ErrImmutable, args.PartitionID, clone)
+	}
+	keep := make(map[int]bool, len(args.MoveIDs))
+	for _, id := range args.MoveIDs {
+		keep[id] = true
+	}
+	var drop []int
+	for _, id := range liveIDs(clone) {
+		if !keep[id] {
+			drop = append(drop, id)
+		}
+	}
+	sort.Ints(drop) // deterministic across replicas
+	if len(drop) > 0 {
+		m.Delete(drop...)
+	}
+	if err := m.Compact(); err != nil {
+		return err
+	}
+	if w.dataDir != "" {
+		if clone, err = wrapDurablePartition(w.dataDir, args.NewPartitionID, clone); err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	if _, raced := w.indexes[args.NewPartitionID]; raced {
+		w.mu.Unlock()
+		destroyDurable(clone)
+		return fmt.Errorf("cluster: split target partition %d already exists", args.NewPartitionID)
+	}
+	w.indexes[args.NewPartitionID] = clone
+	w.mu.Unlock()
+	if mm, ok := clone.(MutableIndex); ok {
+		reply.Gen = mm.Generation()
+	}
+	reply.Len = clone.Len()
+	reply.SizeBytes = clone.SizeBytes()
+	return nil
+}
+
+// Drop discards an owned partition after its replica migrated away,
+// wiping any durable store so a restart does not resurrect it.
+// Dropping a partition the worker does not hold is a no-op: the call
+// is the best-effort tail of a migration, and repeating it must not
+// fail.
+func (w *Worker) Drop(args *DropArgs, _ *struct{}) error {
+	if err := checkVersion(args.Version); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	idx := w.indexes[args.PartitionID]
+	delete(w.indexes, args.PartitionID)
+	w.mu.Unlock()
+	if idx != nil {
+		destroyDurable(idx)
+	}
 	return nil
 }
 
@@ -901,9 +1167,21 @@ type Remote struct {
 	// genMu guards the replica generation table: repGen[pid][j] is the
 	// last generation replica j of pid acknowledged (genAbsent when it
 	// holds nothing), curGen[pid] the newest acknowledged by anyone.
+	// Since partitions can split at runtime it also guards the
+	// lengths of owners, repGen, curGen, partLen, and partSizes.
 	genMu  sync.Mutex
 	repGen [][]uint64
 	curGen []uint64
+
+	// rebalMu serializes partition-set changes against mutations:
+	// mutateReplicas and Compact hold it shared, Rebalance and
+	// SplitPartition hold it exclusively (see rebalance.go). Queries
+	// never touch it — reads stay available throughout a migration.
+	// Lock order: dir.mu → rebalMu → genMu.
+	rebalMu sync.RWMutex
+	// loads accumulates per-partition query cost and reward — the
+	// rebalancer's hotness signal and the probe budget's score input.
+	loads *loadTracker
 
 	foMu sync.Mutex
 	fo   FailoverConfig
@@ -992,6 +1270,7 @@ func BuildRemote(spec IndexSpec, parts [][]*geo.Trajectory, addrs []string) (*Re
 	}
 	r.buildTime = time.Since(start)
 	r.dir = newDirectory(spec, parts)
+	r.loads = newLoadTracker(len(parts))
 	r.probeWG.Add(1)
 	go r.probeLoop()
 	return r, nil
@@ -1026,7 +1305,9 @@ const cancelGrace = 500 * time.Millisecond
 
 // Search routes the query to one in-sync replica per selected
 // partition (failing over as needed) and merges the local top-k
-// results.
+// results; with a probe budget it scans score-ordered partitions
+// first and prunes the tail it can prove irrelevant (see
+// QueryOptions.ProbeBudget).
 func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOptions) ([]topk.Item, QueryReport, error) {
 	sel, err := selectPartitions(opt.Partitions, r.NumPartitions())
 	if err != nil {
@@ -1034,7 +1315,81 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 	}
 	gens := r.Generations()
 	start := time.Now()
-	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
+	var report QueryReport
+	items, err := r.searchBudgeted(ctx, q, k, opt, sel, &report)
+	report.finish(start)
+	report.Generations = gens
+	report.CacheEligible = len(opt.Partitions) == 0 && len(report.SkippedPartitions) == 0
+	report.IndexBytes = r.PartitionIndexBytes()
+	if err != nil {
+		return nil, report, err
+	}
+	return items, report, nil
+}
+
+// searchBudgeted is the Remote half of the probe-budget search; the
+// admissibility argument is the same as Local.searchBudgeted's.
+func (r *Remote) searchBudgeted(ctx context.Context, q []geo.Point, k int, opt QueryOptions, sel []int, report *QueryReport) ([]topk.Item, error) {
+	budget := opt.ProbeBudget
+	if budget <= 0 || budget >= len(sel) {
+		lists, times, refined, err := r.searchWave(ctx, q, k, opt, sel)
+		if err != nil {
+			return nil, err
+		}
+		report.PartitionTimes = times
+		items := mergeDedup(k, lists)
+		r.loads.recordWave(sel, lists, refined, times, items)
+		return items, nil
+	}
+	order := r.loads.order(sel)
+	head, tail := order[:budget], order[budget:]
+	lists, times, refined, err := r.searchWave(ctx, q, k, opt, head)
+	report.ProbedPartitions = append([]int(nil), head...)
+	report.PartitionTimes = times
+	if err != nil {
+		return nil, err
+	}
+	items := mergeDedup(k, lists)
+	r.loads.recordWave(head, lists, refined, times, items)
+	if opt.BestEffort {
+		report.SkippedPartitions = append([]int(nil), tail...)
+		return items, nil
+	}
+	dk := math.Inf(1)
+	if len(items) >= k {
+		dk = items[k-1].Dist
+	}
+	bounds, err := r.boundWave(ctx, q, opt, tail)
+	if err != nil {
+		return nil, err
+	}
+	var survivors []int
+	for i, pid := range tail {
+		if bounds[i] > dk {
+			report.PrunedPartitions = append(report.PrunedPartitions, pid)
+			continue
+		}
+		survivors = append(survivors, pid)
+	}
+	if len(survivors) == 0 {
+		return items, nil
+	}
+	lists2, times2, refined2, err := r.searchWave(ctx, q, k, opt, survivors)
+	report.ProbedPartitions = append(report.ProbedPartitions, survivors...)
+	report.PartitionTimes = append(report.PartitionTimes, times2...)
+	if err != nil {
+		return nil, err
+	}
+	items = mergeDedup(k, append(lists, lists2...))
+	r.loads.recordWave(survivors, lists2, refined2, times2, items)
+	return items, nil
+}
+
+// searchWave scatters one Worker.Search round over pids and returns
+// each partition's result list, scan time, and refine count, indexed
+// like pids.
+func (r *Remote) searchWave(ctx context.Context, q []geo.Point, k int, opt QueryOptions, pids []int) ([][]topk.Item, []time.Duration, []int64, error) {
+	replies, err := r.scatter(ctx, pids, opt.MinGens, callSpec{
 		method: "Worker.Search",
 		makeArgs: func(h QueryHeader, pids []int) any {
 			return &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
@@ -1042,21 +1397,66 @@ func (r *Remote) Search(ctx context.Context, q []geo.Point, k int, opt QueryOpti
 		newReply: func() any { return new(SearchReply) },
 	})
 	if err != nil {
-		return nil, QueryReport{}, err
+		return nil, nil, nil, err
 	}
-	var report QueryReport
-	var lists [][]topk.Item
+	lists := make([][]topk.Item, len(pids))
+	times := make([]time.Duration, len(pids))
+	refined := make([]int64, len(pids))
+	pos := make(map[int]int, len(pids))
+	for i, pid := range pids {
+		pos[pid] = i
+	}
 	for _, pr := range replies {
 		rep := pr.reply.(*SearchReply)
-		lists = append(lists, rep.Items)
-		for _, nanos := range rep.PartNanos {
-			report.PartitionTimes = append(report.PartitionTimes, time.Duration(nanos))
+		for pid, its := range rep.PartItems {
+			if i, ok := pos[pid]; ok {
+				lists[i] = its
+			}
+		}
+		for pid, nanos := range rep.PartNanos {
+			if i, ok := pos[pid]; ok {
+				times[i] = time.Duration(nanos)
+			}
+		}
+		for pid, n := range rep.PartRefined {
+			if i, ok := pos[pid]; ok {
+				refined[i] = n
+			}
 		}
 	}
-	report.finish(start)
-	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
-	report.IndexBytes = r.PartitionIndexBytes()
-	return topk.Merge(k, lists...), report, nil
+	return lists, times, refined, nil
+}
+
+// boundWave collects the admissible lower bounds for pids, one
+// Worker.Bound round over the same failover scatter as a search. A
+// partition the replies do not cover reports 0 (never pruned).
+func (r *Remote) boundWave(ctx context.Context, q []geo.Point, opt QueryOptions, pids []int) ([]float64, error) {
+	if len(pids) == 0 {
+		return nil, nil
+	}
+	replies, err := r.scatter(ctx, pids, opt.MinGens, callSpec{
+		method: "Worker.Bound",
+		makeArgs: func(h QueryHeader, _ []int) any {
+			return &BoundArgs{QueryHeader: h, Query: q, NoPivots: opt.NoPivots}
+		},
+		newReply: func() any { return new(BoundReply) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(pids))
+	pos := make(map[int]int, len(pids))
+	for i, pid := range pids {
+		pos[pid] = i
+	}
+	for _, pr := range replies {
+		for pid, b := range pr.reply.(*BoundReply).Bounds {
+			if i, ok := pos[pid]; ok {
+				out[i] = b
+			}
+		}
+	}
+	return out, nil
 }
 
 // Generations implements Engine: a copy of the authoritative
@@ -1102,7 +1502,7 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
 	report.IndexBytes = r.PartitionIndexBytes()
 	topk.SortItems(out)
-	return out, report, nil
+	return dedupItems(out), report, nil
 }
 
 // SearchBatch routes the whole batch to one in-sync replica per
@@ -1141,7 +1541,7 @@ func (r *Remote) SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt Q
 				}
 			}
 		}
-		out[qi] = topk.Merge(k, lists...)
+		out[qi] = mergeDedup(k, lists)
 	}
 	for _, pr := range replies {
 		report.TotalWork += time.Duration(pr.reply.(*SearchBatchReply).TotalWorkNanos)
@@ -1155,6 +1555,8 @@ func (r *Remote) BuildTime() time.Duration { return r.buildTime }
 
 // Len returns the total number of indexed trajectories.
 func (r *Remote) Len() int {
+	r.genMu.Lock()
+	defer r.genMu.Unlock()
 	n := int64(0)
 	for i := range r.partLen {
 		n += r.partLen[i].Load()
@@ -1167,21 +1569,38 @@ func (r *Remote) Len() int {
 // replicas times this.
 func (r *Remote) IndexSizeBytes() int {
 	sz := 0
-	for _, b := range r.partSizes {
+	for _, b := range r.PartitionIndexBytes() {
 		sz += b
 	}
 	return sz
 }
 
 // PartitionIndexBytes reports each partition's index footprint as
-// declared by its primary replica at build time, indexed by partition
-// id. Online mutations are not reflected until a rebuild.
+// declared by its primary replica at build (or split) time, indexed
+// by partition id. Online mutations are not reflected until a
+// rebuild.
 func (r *Remote) PartitionIndexBytes() []int {
+	r.genMu.Lock()
+	defer r.genMu.Unlock()
 	return append([]int(nil), r.partSizes...)
 }
 
-// NumPartitions returns the partition count.
-func (r *Remote) NumPartitions() int { return len(r.owners) }
+// NumPartitions returns the partition count (splits grow it).
+func (r *Remote) NumPartitions() int {
+	r.genMu.Lock()
+	defer r.genMu.Unlock()
+	return len(r.owners)
+}
+
+// LoadStats reports the per-partition load profile the driver has
+// accumulated — query counts, refine ops, p99 scan latency, and the
+// learned reward-per-probe score the probe budget orders by.
+func (r *Remote) LoadStats() []PartitionLoad {
+	if r.loads == nil {
+		return nil
+	}
+	return r.loads.snapshot()
+}
 
 // Replicas returns the replication factor partitions were placed with.
 func (r *Remote) Replicas() int { return r.replicas }

@@ -58,6 +58,8 @@ type innerIndex interface {
 	Search(q []geo.Point, k int) []topk.Item
 	SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.Item
 	SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error)
+	BoundContext(ctx context.Context, q []geo.Point, opt SearchOptions) (float64, error)
+	LiveIDs() []int
 	Save(w io.Writer) error
 }
 
@@ -575,6 +577,13 @@ func (d *Durable) SearchContext(ctx context.Context, q []geo.Point, k int, opt S
 	return d.inner.SearchContext(ctx, q, k, opt)
 }
 
+// BoundContext returns an admissible lower bound on the distance from
+// q to every trajectory held by the wrapped index; see
+// Trie.BoundContext.
+func (d *Durable) BoundContext(ctx context.Context, q []geo.Point, opt SearchOptions) (float64, error) {
+	return d.inner.BoundContext(ctx, q, opt)
+}
+
 // SearchRadiusContext answers a range query when the wrapped layout
 // supports one (the pointer and compressed layouts; succinct does
 // not).
@@ -594,21 +603,9 @@ func (d *Durable) SearchRadiusContext(ctx context.Context, q []geo.Point, radius
 func (d *Durable) Save(w io.Writer) error { return d.inner.Save(w) }
 
 // LiveIDs returns the ids of every live trajectory, unordered — the
-// input for rebuilding a driver's routing directory after recovery.
-func (d *Durable) LiveIDs() []int {
-	switch v := d.inner.(type) {
-	case *Trie:
-		st := v.state()
-		return liveIDsOf(st.trajs, st.delta)
-	case *Succinct:
-		st := v.state()
-		return liveIDsOf(st.trajs, st.delta)
-	case *Compressed:
-		st := v.state()
-		return liveIDsOf(st.trajs, st.delta)
-	}
-	return nil
-}
+// input for rebuilding a driver's routing directory after recovery and
+// for computing a split's keep set.
+func (d *Durable) LiveIDs() []int { return d.inner.LiveIDs() }
 
 func liveIDsOf(core map[int32]*geo.Trajectory, dl *delta) []int {
 	out := make([]int, 0, len(core))

@@ -33,6 +33,12 @@ type SearchOptions struct {
 	// never fails on the index it mutated; the pin guards replicas
 	// and read-your-writes plumbing (see internal/cluster).
 	MinGen uint64
+
+	// Stats, when non-nil, receives the query's traversal statistics —
+	// the per-call form of SearchWithStats that the context entry
+	// points support, so scatter layers can account refinement work
+	// per partition without a second search.
+	Stats *SearchStats
 }
 
 // ctxCheckMask throttles context polling: deadlines are checked every
@@ -236,8 +242,101 @@ func (t *Trie) SearchContext(ctx context.Context, q []geo.Point, k int, opt Sear
 		refineWorkers: opt.RefineWorkers,
 	}
 	s.setDelta(st.delta)
-	res, _, err := s.run(ptrNode{st.root}, q, k, nil)
+	res, stats, err := s.run(ptrNode{st.root}, q, k, nil)
+	if opt.Stats != nil {
+		*opt.Stats = stats
+	}
 	return res, err
+}
+
+// boundBudget caps the number of internal-node expansions a bound walk
+// performs before settling for the queue's current minimum. The walk
+// is a pruning aid, not an answer: a few dozen expansions already
+// separate a far partition from a contending one.
+const boundBudget = 64
+
+// BoundContext returns an admissible lower bound on the distance from
+// q to every trajectory held by the index: no indexed trajectory is
+// closer to q than the returned value. +Inf means the index is empty.
+// The bound is cheap — a best-first descent capped at boundBudget node
+// expansions, no exact distance computations — and deliberately loose;
+// its only promise is admissibility, which the driver's probe-budget
+// pruning relies on (a partition whose bound already exceeds the
+// current k-th distance cannot contribute to the final top-k).
+// Pending inserts sit outside the trie and admit no bound, so any
+// un-compacted delta collapses the bound to 0.
+func (t *Trie) BoundContext(ctx context.Context, q []geo.Point, opt SearchOptions) (float64, error) {
+	st := t.state()
+	if opt.MinGen > st.gen {
+		return 0, ErrStale
+	}
+	sc := t.pool.get()
+	defer t.pool.put(sc)
+	s := searcher{
+		cfg: t.cfg, trajs: st.trajs, sc: sc,
+		ctxPoller: ctxPoller{ctx: ctx},
+		noPivots:  opt.NoPivots,
+	}
+	s.setDelta(st.delta)
+	return s.bound(ptrNode{st.root}, q)
+}
+
+// LiveIDs returns the ids of every live trajectory, unordered; see
+// Durable.LiveIDs.
+func (t *Trie) LiveIDs() []int {
+	st := t.state()
+	return liveIDsOf(st.trajs, st.delta)
+}
+
+// bound runs the capped best-first descent behind BoundContext. With
+// an empty result heap the threshold is +Inf, so expand prunes
+// nothing: every subtree is represented in the queue by an entry whose
+// lb lower-bounds all trajectories beneath it. The queue minimum is
+// therefore an admissible bound for the whole index at every step —
+// popping internal entries only tightens it, and the walk may stop at
+// any point (first leaf popped, or budget exhausted) and return the
+// current minimum. Tombstoned members can only make the bound looser,
+// never tighter, so deletions preserve admissibility.
+func (s *searcher) bound(root searchNode, q []geo.Point) (float64, error) {
+	if len(q) == 0 {
+		return 0, nil
+	}
+	if len(s.trajs) == 0 && len(s.adds) == 0 {
+		return math.Inf(1), nil
+	}
+	if len(s.adds) > 0 {
+		return 0, nil
+	}
+	if err := s.err(); err != nil {
+		return 0, err
+	}
+	var stats SearchStats
+	sc := s.sc
+	sc.res.Reset(1)
+	var dqp []float64
+	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots {
+		sc.dqp = pivot.AppendDistances(sc.dqp[:0], q, s.cfg.Pivots, s.cfg.Measure, s.cfg.Params, &sc.ds)
+		dqp = sc.dqp
+	}
+	pq := &sc.pq
+	pq.reset()
+	sc.qb.Reset(s.cfg.Measure, q, s.cfg.Grid, s.cfg.Params)
+	s.expand(root, sc.qb.Root(), pq, &sc.res, dqp, &stats)
+	for pq.len() > 0 {
+		if s.cancelled() {
+			return 0, s.err()
+		}
+		e := pq.pop()
+		if e.isLeaf || stats.NodesExpanded >= boundBudget {
+			// e.lb is the queue minimum: admissible for everything
+			// still queued, and a leaf's lb lower-bounds its members.
+			return e.lb, nil
+		}
+		stats.NodesExpanded++
+		s.expand(e.n, e.b, pq, &sc.res, dqp, &stats)
+	}
+	// Queue drained without reaching a leaf: nothing is indexed.
+	return math.Inf(1), nil
 }
 
 // searcher is the layout-independent best-first top-k search.

@@ -374,8 +374,36 @@ func (s *Succinct) SearchContext(ctx context.Context, q []geo.Point, k int, opt 
 		refineWorkers: opt.RefineWorkers,
 	}
 	sr.setDelta(st.delta)
-	res, _, err := sr.run(st.core.rootRef(), q, k, nil)
+	res, stats, err := sr.run(st.core.rootRef(), q, k, nil)
+	if opt.Stats != nil {
+		*opt.Stats = stats
+	}
 	return res, err
+}
+
+// BoundContext returns an admissible lower bound on the distance from
+// q to every trajectory held by the index; see Trie.BoundContext.
+func (s *Succinct) BoundContext(ctx context.Context, q []geo.Point, opt SearchOptions) (float64, error) {
+	st := s.state()
+	if opt.MinGen > st.gen {
+		return 0, ErrStale
+	}
+	sc := s.pool.get()
+	defer s.pool.put(sc)
+	sr := searcher{
+		cfg: s.cfg, trajs: st.trajs, sc: sc,
+		ctxPoller: ctxPoller{ctx: ctx},
+		noPivots:  opt.NoPivots,
+	}
+	sr.setDelta(st.delta)
+	return sr.bound(st.core.rootRef(), q)
+}
+
+// LiveIDs returns the ids of every live trajectory, unordered; see
+// Durable.LiveIDs.
+func (s *Succinct) LiveIDs() []int {
+	st := s.state()
+	return liveIDsOf(st.trajs, st.delta)
 }
 
 func (c *succCore) rootRef() searchNode {

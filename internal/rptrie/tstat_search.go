@@ -142,8 +142,36 @@ func (x *Compressed) SearchContext(ctx context.Context, q []geo.Point, k int, op
 		refineWorkers: opt.RefineWorkers,
 	}
 	sr.setDelta(st.delta)
-	res, _, err := sr.run(st.core.rootRef(sc), q, k, nil)
+	res, stats, err := sr.run(st.core.rootRef(sc), q, k, nil)
+	if opt.Stats != nil {
+		*opt.Stats = stats
+	}
 	return res, err
+}
+
+// BoundContext returns an admissible lower bound on the distance from
+// q to every trajectory held by the index; see Trie.BoundContext.
+func (x *Compressed) BoundContext(ctx context.Context, q []geo.Point, opt SearchOptions) (float64, error) {
+	st := x.state()
+	if opt.MinGen > st.gen {
+		return 0, ErrStale
+	}
+	sc := x.pool.get()
+	defer x.pool.put(sc)
+	sr := searcher{
+		cfg: x.cfg, trajs: st.trajs, sc: sc,
+		ctxPoller: ctxPoller{ctx: ctx},
+		noPivots:  opt.NoPivots,
+	}
+	sr.setDelta(st.delta)
+	return sr.bound(st.core.rootRef(sc), q)
+}
+
+// LiveIDs returns the ids of every live trajectory, unordered; see
+// Durable.LiveIDs.
+func (x *Compressed) LiveIDs() []int {
+	st := x.state()
+	return liveIDsOf(st.trajs, st.delta)
 }
 
 // SearchRadius returns every indexed trajectory within distance

@@ -47,10 +47,13 @@ func (a *admission) acquire(ctx context.Context) bool {
 		a.queued.Add(-1)
 		return false
 	}
-	a.m.queueDepth.Store(a.queued.Load())
+	// The gauge is itself an atomic counter: a read-then-store
+	// (Store(Load())) here would let two racing requests publish a
+	// stale or regressed depth.
+	a.m.queueDepth.Add(1)
 	defer func() {
 		a.queued.Add(-1)
-		a.m.queueDepth.Store(a.queued.Load())
+		a.m.queueDepth.Add(-1)
 	}()
 	select {
 	case <-a.tokens:
@@ -132,6 +135,14 @@ func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 	if b == nil {
 		if len(l.clients) >= l.maxClients {
 			l.sweepLocked(now)
+			// All buckets recently active: the sweep freed nothing, so
+			// evict the least-recently-seen bucket instead — maxClients
+			// is a hard cap, not a hint. The evicted client restarts
+			// with a full burst if it returns, which only errs
+			// permissive.
+			if len(l.clients) >= l.maxClients {
+				l.evictOldestLocked()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.clients[key] = b
@@ -158,5 +169,26 @@ func (l *rateLimiter) sweepLocked(now time.Time) {
 		if now.Sub(b.last) >= full {
 			delete(l.clients, k)
 		}
+	}
+}
+
+// evictOldestLocked removes the bucket with the oldest last-seen time
+// — the fallback that keeps the client map hard-capped when every
+// bucket is too fresh for sweepLocked. Linear, but it only runs when
+// the map is at maxClients and the sweep freed nothing. Caller holds
+// l.mu.
+func (l *rateLimiter) evictOldestLocked() {
+	var (
+		oldestKey string
+		oldest    time.Time
+		found     bool
+	)
+	for k, b := range l.clients {
+		if !found || b.last.Before(oldest) {
+			oldestKey, oldest, found = k, b.last, true
+		}
+	}
+	if found {
+		delete(l.clients, oldestKey)
 	}
 }

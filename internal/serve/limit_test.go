@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterHardCap: maxClients is a hard cap. When the sweep
+// finds every bucket too fresh to reclaim, the limiter must evict the
+// least-recently-seen bucket rather than grow without bound — one
+// spoofed client id per request must not leak memory.
+func TestRateLimiterHardCap(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	clock := base
+	l := newRateLimiter(1, 1, func() time.Time { return clock })
+	l.maxClients = 8
+
+	// 100 distinct clients, each 1ms apart — far inside the refill
+	// window, so sweepLocked never frees anything and every admission
+	// past the cap must go through evictOldestLocked.
+	for i := 0; i < 100; i++ {
+		clock = base.Add(time.Duration(i) * time.Millisecond)
+		ok, _ := l.allow(fmt.Sprintf("client-%d", i))
+		if !ok {
+			t.Fatalf("fresh client %d must get its burst", i)
+		}
+		if n := len(l.clients); n > 8 {
+			t.Fatalf("client map grew to %d past the cap of 8", n)
+		}
+	}
+	if n := len(l.clients); n != 8 {
+		t.Fatalf("client map holds %d buckets, want exactly 8", n)
+	}
+	// The survivors are the 8 newest; the oldest were evicted in
+	// last-seen order.
+	for i := 92; i < 100; i++ {
+		if _, ok := l.clients[fmt.Sprintf("client-%d", i)]; !ok {
+			t.Fatalf("recent client-%d was evicted before older buckets", i)
+		}
+	}
+	if _, ok := l.clients["client-0"]; ok {
+		t.Fatal("client-0 is the oldest bucket and must have been evicted")
+	}
+
+	// A returning evicted client restarts with a full burst — eviction
+	// errs permissive, never punitive.
+	if ok, _ := l.allow("client-0"); !ok {
+		t.Fatal("evicted client must be re-admitted with a fresh burst")
+	}
+
+	// Once the clock passes the refill window, the sweep path reclaims
+	// idle buckets and no eviction is needed.
+	clock = clock.Add(2 * time.Second)
+	if ok, _ := l.allow("client-new"); !ok {
+		t.Fatal("post-sweep client must be admitted")
+	}
+	if n := len(l.clients); n != 1 {
+		t.Fatalf("sweep left %d buckets, want 1 (only the new client)", n)
+	}
+}
+
+// TestRateLimiterRefusalAndRefill pins the token-bucket arithmetic the
+// cap logic sits on: a client that spends its burst is refused with a
+// sensible wait hint and re-admitted after the refill.
+func TestRateLimiterRefusalAndRefill(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	clock := base
+	l := newRateLimiter(2, 2, func() time.Time { return clock })
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("request %d inside the burst must pass", i)
+		}
+	}
+	ok, wait := l.allow("c")
+	if ok {
+		t.Fatal("burst exhausted: third request must be refused")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait hint %v outside (0, 1s] at 2 tokens/s", wait)
+	}
+	clock = clock.Add(600 * time.Millisecond) // refills 1.2 tokens
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("refilled bucket must admit again")
+	}
+}
+
+// TestAdmissionGaugeStress: the queue-depth gauge is an atomic
+// counter; under concurrent acquire/release with cancellations it must
+// never go negative, never exceed the queue bound, and must return to
+// zero when the storm passes.
+func TestAdmissionGaugeStress(t *testing.T) {
+	var m metrics
+	const maxConcurrent, maxQueue = 2, 4
+	a := newAdmission(maxConcurrent, maxQueue, &m)
+
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	gaugeErr := make(chan error, 1)
+	go func() {
+		defer watcher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if d := m.queueDepth.Load(); d < 0 || d > maxQueue {
+				select {
+				case gaugeErr <- fmt.Errorf("queue depth gauge %d outside [0, %d]", d, maxQueue):
+				default:
+				}
+				return
+			}
+			if act := m.active.Load(); act < 0 || act > maxConcurrent {
+				select {
+				case gaugeErr <- fmt.Errorf("active gauge %d outside [0, %d]", act, maxConcurrent):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				// A third of the requests carry a deadline short enough
+				// to fire while queued, exercising the ctx.Done branch
+				// that must still decrement the gauge.
+				if rng.Intn(3) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				}
+				if a.acquire(ctx) {
+					time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+					a.release()
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	watcher.Wait()
+	select {
+	case err := <-gaugeErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if d := m.queueDepth.Load(); d != 0 {
+		t.Fatalf("queue depth gauge %d after drain, want 0", d)
+	}
+	if act := m.active.Load(); act != 0 {
+		t.Fatalf("active gauge %d after drain, want 0", act)
+	}
+	if len(a.tokens) != maxConcurrent {
+		t.Fatalf("%d tokens in the pool after drain, want %d", len(a.tokens), maxConcurrent)
+	}
+}

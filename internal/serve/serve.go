@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -477,12 +478,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.be.Stats()
-	s.m.serveMetrics(w, s.cache.len(), map[string]any{
+	index := map[string]any{
 		"trajectories":          st.Trajectories,
 		"partitions":            st.Partitions,
 		"generations":           st.Generations,
 		"layout":                st.Layout.String(),
 		"index_bytes":           st.IndexBytes,
 		"partition_index_bytes": st.PartitionIndexBytes,
-	})
+	}
+	if len(st.PartitionLoads) > 0 {
+		loads := make([]map[string]any, len(st.PartitionLoads))
+		for i, pl := range st.PartitionLoads {
+			loads[i] = map[string]any{
+				"partition":     pl.Partition,
+				"queries":       pl.Queries,
+				"refine_ops":    pl.RefineOps,
+				"total_time_us": pl.TotalTime.Microseconds(),
+				"p99_us":        pl.P99.Microseconds(),
+				"score":         probeScoreJSON(pl.Score),
+			}
+		}
+		index["partition_loads"] = loads
+	}
+	s.m.serveMetrics(w, s.cache.len(), index)
+}
+
+// probeScoreJSON maps a never-probed partition's +Inf score to nil —
+// JSON has no infinity, and encoding/json errors on one.
+func probeScoreJSON(score float64) any {
+	if math.IsInf(score, 0) || math.IsNaN(score) {
+		return nil
+	}
+	return score
 }

@@ -91,7 +91,15 @@ func (x *Index) noteGens(g cluster.Gens) {
 		x.gens = make([]uint64, x.eng.exec().NumPartitions())
 	}
 	for pid, gen := range g {
-		if pid >= 0 && pid < len(x.gens) && gen > x.gens[pid] {
+		if pid < 0 {
+			continue
+		}
+		// A split can grow the partition count after the pin vector was
+		// first sized; extend it rather than dropping the pin.
+		for pid >= len(x.gens) {
+			x.gens = append(x.gens, 0)
+		}
+		if gen > x.gens[pid] {
 			x.gens[pid] = gen
 		}
 	}

@@ -184,6 +184,14 @@ type Options struct {
 	// Zero fields take defaults; ignored by the in-process engine.
 	Failover FailoverConfig
 
+	// RebalanceInterval, when positive, runs the remote engine's load
+	// rebalancer on this cadence in the background: whenever one
+	// worker's cumulative scan load exceeds 1.5x the least-loaded
+	// worker's, the hottest movable partition migrates there with no
+	// read downtime (see Index.Rebalance). Ignored by the in-process
+	// engine. WithAutoRebalance sets it as a build option.
+	RebalanceInterval time.Duration
+
 	// DurableDir, when set, backs every partition of the in-process
 	// engine with a disk store (checkpoint + write-ahead log) under
 	// this directory, recoverable later with OpenDurable. Mutations
@@ -199,6 +207,15 @@ type FailoverConfig = cluster.FailoverConfig
 
 // WorkerHealth is one worker's health snapshot; see Index.Health.
 type WorkerHealth = cluster.WorkerHealth
+
+// RebalanceReport describes one rebalancing decision; see
+// Index.Rebalance.
+type RebalanceReport = cluster.RebalanceReport
+
+// PartitionLoad is one partition's accumulated load profile — query
+// count, refinement work, p99 scan latency, and the learned
+// reward-per-probe score; see Index.LoadStats.
+type PartitionLoad = cluster.PartitionLoad
 
 // BuildOption overrides one Options field at build time, for settings
 // that read better at the call site than in the struct literal.
@@ -216,6 +233,14 @@ func WithReplication(n int) BuildOption {
 // WithFailover sets the failover tuning as a build option.
 func WithFailover(fc FailoverConfig) BuildOption {
 	return func(o *Options) { o.Failover = fc }
+}
+
+// WithAutoRebalance runs the remote engine's load rebalancer every
+// interval in the background (see Options.RebalanceInterval):
+//
+//	idx, err := repose.BuildRemote(ds, repose.Options{}, addrs, repose.WithAutoRebalance(30*time.Second))
+func WithAutoRebalance(interval time.Duration) BuildOption {
+	return func(o *Options) { o.RebalanceInterval = interval }
 }
 
 // WithLayout selects the per-partition index layout as a build option:
@@ -273,6 +298,11 @@ type Index struct {
 	// one entry per partition, attached to every query.
 	genMu sync.Mutex
 	gens  []uint64
+
+	// rebalStop ends the auto-rebalance loop (WithAutoRebalance);
+	// nil when no loop runs.
+	rebalStop chan struct{}
+	rebalWG   sync.WaitGroup
 }
 
 // Stats summarizes a built index.
@@ -291,6 +321,9 @@ type Stats struct {
 	// Generations is the current per-partition generation vector, as
 	// returned by Index.Generations.
 	Generations []uint64
+	// PartitionLoads is the per-partition load profile accumulated
+	// since build, as returned by Index.LoadStats.
+	PartitionLoads []PartitionLoad
 }
 
 // normalize fills option defaults against a dataset region.
@@ -392,7 +425,27 @@ func BuildRemote(ds []*Trajectory, opts Options, workers []string, extra ...Buil
 	if opts.Failover != (FailoverConfig{}) {
 		remote.SetFailover(opts.Failover)
 	}
-	return &Index{eng: engineRemote{remote}, region: region, opts: opts}, nil
+	x := &Index{eng: engineRemote{remote}, region: region, opts: opts}
+	if opts.RebalanceInterval > 0 {
+		x.rebalStop = make(chan struct{})
+		x.rebalWG.Add(1)
+		go func() {
+			defer x.rebalWG.Done()
+			t := time.NewTicker(opts.RebalanceInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-x.rebalStop:
+					return
+				case <-t.C:
+					// Best-effort: a failed or declined migration is
+					// retried next tick.
+					_, _ = remote.Rebalance(context.Background())
+				}
+			}
+		}()
+	}
+	return x, nil
 }
 
 // Health reports per-worker availability: circuit state and how many
@@ -408,6 +461,62 @@ func (x *Index) Health() []WorkerHealth {
 		return []WorkerHealth{{Addr: "local", Down: true}}
 	}
 	return []WorkerHealth{{Addr: "local"}}
+}
+
+// Rebalance runs one load-rebalancing pass on a remote index: when
+// the hottest worker's cumulative scan load exceeds 1.5x the
+// least-loaded worker's, the hottest movable partition's replica
+// migrates from the former to the latter — snapshot, restore, owner
+// flip — with no read downtime (queries keep scattering throughout;
+// mutations pause for the transfer). The report says whether anything
+// moved. On a local index it returns an empty report: there is only
+// one process to balance.
+func (x *Index) Rebalance(ctx context.Context) (RebalanceReport, error) {
+	if x.closed.Load() {
+		return RebalanceReport{}, ErrClosed
+	}
+	er, ok := x.eng.(engineRemote)
+	if !ok {
+		return RebalanceReport{}, nil
+	}
+	rep, err := er.r.Rebalance(ctx)
+	return rep, translate(err)
+}
+
+// SplitPartition carves the upper half (by trajectory id) of
+// partition pid into a new partition and returns the new partition's
+// id. The split is online on both backends: the new partition is
+// installed and serving before the moved ids are pruned from the
+// source, and the query merge deduplicates the overlap window, so no
+// concurrent query ever misses or double-counts a trajectory. Only
+// mutable (REPOSE-layout) indexes support it.
+func (x *Index) SplitPartition(ctx context.Context, pid int) (int, error) {
+	if x.closed.Load() {
+		return 0, ErrClosed
+	}
+	var newPid int
+	var err error
+	switch e := x.eng.(type) {
+	case engineRemote:
+		newPid, err = e.r.SplitPartition(ctx, pid)
+	case engineLocal:
+		newPid, err = e.c.SplitPartition(ctx, pid)
+	default:
+		return 0, ErrImmutableIndex
+	}
+	return newPid, translate(err)
+}
+
+// LoadStats reports the per-partition load profile the engine has
+// accumulated since build: query counts, exact-refinement work, p99
+// scan latency, and the learned reward-per-probe score that
+// WithProbeBudget orders the scatter by. The rebalancer reads the
+// same numbers.
+func (x *Index) LoadStats() []PartitionLoad {
+	if ls, ok := x.eng.exec().(interface{ LoadStats() []PartitionLoad }); ok {
+		return ls.LoadStats()
+	}
+	return nil
 }
 
 // Generations snapshots the per-partition generation vector: entry p
@@ -562,6 +671,7 @@ func (x *Index) Stats() Stats {
 		Layout:              x.opts.layout(),
 		PartitionIndexBytes: perPart,
 		Generations:         eng.Generations(),
+		PartitionLoads:      x.LoadStats(),
 	}
 }
 
@@ -571,6 +681,10 @@ func (x *Index) Stats() Stats {
 func (x *Index) Close() error {
 	if x.closed.Swap(true) {
 		return nil
+	}
+	if x.rebalStop != nil {
+		close(x.rebalStop)
+		x.rebalWG.Wait()
 	}
 	return x.eng.exec().Close()
 }
@@ -640,6 +754,13 @@ type WorkerOptions struct {
 	// restored from a peer's snapshot keep the image's layout. The
 	// repose-worker binary sets it with -layout.
 	Layout string
+
+	// QueryWorkers caps this worker's total concurrent partition
+	// scans across all in-flight queries (default GOMAXPROCS per
+	// query view). A deliberately low cap makes per-worker saturation
+	// observable — the load signal the driver's rebalancer acts on.
+	// The repose-worker binary sets it with -query-workers.
+	QueryWorkers int
 }
 
 // ServeWorkerOptions is ServeWorkerContext with worker configuration.
@@ -683,6 +804,9 @@ func ServeWorkerOptions(ctx context.Context, addr string, wo WorkerOptions, onRe
 	}
 	if wo.Layout != "" {
 		w.ForceLayout(forced)
+	}
+	if wo.QueryWorkers > 0 {
+		w.SetQueryWorkers(wo.QueryWorkers)
 	}
 	err = cluster.Serve(ln, w)
 	if ctxErr := ctx.Err(); ctxErr != nil {
