@@ -219,6 +219,35 @@ func BenchmarkSearch(b *testing.B) {
 			b.Fatal("empty result")
 		}
 	})
+	// The same hot path through the pluggable Refiner interface with
+	// the default whole-trajectory refiner: interface dispatch must not
+	// put an allocation on the per-candidate path, so this variant is
+	// pinned at 0 allocs/op in CI next to /trie.
+	b.Run("refiner", func(b *testing.B) {
+		trie := benchTrie(b, w, "T-drive", dist.Hausdorff)
+		region := w.spec.Region()
+		params := dist.Params{Epsilon: dist.DefaultParams(region).Epsilon, Gap: region.Min}
+		opt := rptrie.SearchOptions{Refiner: rptrie.WholeRefiner(dist.Hausdorff, params)}
+		ctx := context.Background()
+		var out []repose.Result
+		var err error
+		for _, q := range w.queries { // warm the pooled scratch
+			if out, err = trie.SearchAppendContext(ctx, out[:0], q.Points, benchK, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := w.queries[i%len(w.queries)]
+			if out, err = trie.SearchAppendContext(ctx, out[:0], q.Points, benchK, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(out) == 0 {
+			b.Fatal("empty result")
+		}
+	})
 	// The trit-array layout on the same queries: the cmpRef arena and
 	// pooled scratch keep the delta-empty path at 0 allocs/op too
 	// (asserted in CI next to /trie), and ns/op here against a

@@ -42,6 +42,7 @@ func main() {
 		benchJSON  = flag.String("benchjson", "", "run the query micro-benchmark suite and write JSON results to this path (skips -exp)")
 		baseline   = flag.String("baseline", "", "earlier -benchjson report to compute speedups against")
 		benchData  = flag.String("benchdataset", "T-drive", "dataset for -benchjson")
+		subJSON    = flag.String("subjson", "", "run the refined-query micro-benchmark suite (subtrajectory and time-windowed search) and write JSON results to this path (skips -exp)")
 		storJSON   = flag.String("storagejson", "", "run the cold-start benchmark suite (WAL replay vs rebuild vs peer restore) and write JSON results to this path (skips -exp)")
 		memJSON    = flag.String("memjson", "", "run the per-layout memory benchmark (index bytes, snapshot image bytes, search latency) and write JSON results to this path (skips -exp)")
 		memDelta   = flag.Float64("memdelta", 0.01, "grid delta for -memjson; 0 uses the dataset's experiment default (the bench defaults to a fine grid, the regime where index layout matters)")
@@ -54,6 +55,13 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *baseline, *benchData, *scale, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *subJSON != "" {
+		if err := runBenchSub(*subJSON, *baseline, *benchData, *scale, *k); err != nil {
 			fmt.Fprintf(os.Stderr, "repose-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,6 +46,10 @@ func main() {
 		layoutName  = flag.String("layout", "", "per-partition index layout: pointer|succinct|compressed (empty = pointer)")
 		probeBudget = flag.Int("probe-budget", 0, "score-guided probing: scan this many best-scoring partitions first and prune the rest when an admissible bound proves they cannot contribute; results are identical (0 = full scatter)")
 		bestEffort  = flag.Bool("best-effort", false, "with -probe-budget, skip the unproven tail instead of bound-checking it (answers may be incomplete)")
+		sub         = flag.Bool("sub", false, "subtrajectory search: score each candidate by its best-matching contiguous segment and report the matched sample range")
+		minSeg      = flag.Int("min-seg", 0, "with -sub, minimum segment length in samples")
+		maxSeg      = flag.Int("max-seg", 0, "with -sub, maximum segment length in samples (0 = unbounded)")
+		window      = flag.String("window", "", "time window \"from:to\" (unix-style int64s): match only trajectory samples inside the window; untimestamped trajectories never match")
 	)
 	flag.Parse()
 
@@ -109,9 +114,23 @@ func main() {
 	if *bestEffort {
 		qopts = append(qopts, repose.WithBestEffortProbes())
 	}
+	if *window != "" {
+		from, to, err := parseWindow(*window)
+		if err != nil {
+			fail(err)
+		}
+		qopts = append(qopts, repose.WithTimeWindow(from, to))
+	}
+	if *sub && (*minSeg > 0 || *maxSeg > 0) {
+		qopts = append(qopts, repose.WithSegmentLength(*minSeg, *maxSeg))
+	}
 	var report repose.QueryReport
 	start = time.Now()
-	res, err := idx.Search(ctx, query, kk, append(qopts, repose.WithReport(&report))...)
+	search := idx.Search
+	if *sub {
+		search = idx.SearchSub
+	}
+	res, err := search(ctx, query, kk, append(qopts, repose.WithReport(&report))...)
 	if err != nil {
 		fail(err)
 	}
@@ -128,11 +147,30 @@ func main() {
 			continue
 		}
 		shown++
-		fmt.Printf("%3d. trajectory %-8d distance %.6f\n", shown, r.ID, r.Dist)
+		if *sub {
+			fmt.Printf("%3d. trajectory %-8d distance %.6f  samples [%d, %d)\n", shown, r.ID, r.Dist, r.Start, r.End)
+		} else {
+			fmt.Printf("%3d. trajectory %-8d distance %.6f\n", shown, r.ID, r.Dist)
+		}
 		if shown == *k {
 			break
 		}
 	}
+}
+
+// parseWindow splits a "from:to" time window into its endpoints.
+func parseWindow(s string) (from, to int64, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-window wants \"from:to\", got %q", s)
+	}
+	if from, err = strconv.ParseInt(strings.TrimSpace(a), 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("-window from: %v", err)
+	}
+	if to, err = strconv.ParseInt(strings.TrimSpace(b), 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("-window to: %v", err)
+	}
+	return from, to, nil
 }
 
 func loadData(path, name string, scale float64) ([]*geo.Trajectory, error) {

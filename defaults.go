@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"repose/internal/cluster"
+	"repose/internal/rptrie"
 )
 
 // defaultPartitions returns the default global partition count: one
@@ -66,6 +67,14 @@ type queryConfig struct {
 	refineWorkers int
 	probeBudget   int
 	bestEffort    bool
+
+	// Refined query modes: sub is set by SearchSub (score the
+	// best-matching contiguous segment), window by WithTimeWindow
+	// (restrict scoring to samples timestamped inside [from, to]).
+	sub            bool
+	minSeg, maxSeg int
+	window         bool
+	from, to       int64
 }
 
 func applyQueryOptions(opts []QueryOption) queryConfig {
@@ -84,6 +93,10 @@ func (qc queryConfig) cluster() cluster.QueryOptions {
 		RefineWorkers: qc.refineWorkers,
 		ProbeBudget:   qc.probeBudget,
 		BestEffort:    qc.bestEffort,
+		Refine: rptrie.RefineSpec{
+			Sub: qc.sub, MinSeg: qc.minSeg, MaxSeg: qc.maxSeg,
+			Window: qc.window, From: qc.from, To: qc.to,
+		},
 	}
 }
 
@@ -138,6 +151,25 @@ func WithProbeBudget(n int) QueryOption {
 // without a probe budget.
 func WithBestEffortProbes() QueryOption {
 	return func(qc *queryConfig) { qc.bestEffort = true }
+}
+
+// WithTimeWindow restricts the query to trajectories with at least
+// one sample timestamped inside the closed window [from, to], and
+// scores only each candidate's in-window run of samples. Trajectories
+// without timestamps (Trajectory.Times unset) never match a windowed
+// query. The option applies to Search, SearchSub, and SearchRadius;
+// answers remain exact over the restricted candidate set. Timestamps
+// are whatever int64 convention the application indexed (Unix seconds,
+// milliseconds, ...), compared verbatim.
+func WithTimeWindow(from, to int64) QueryOption {
+	return func(qc *queryConfig) { qc.window, qc.from, qc.to = true, from, to }
+}
+
+// WithSegmentLength bounds the matched segment of a SearchSub query to
+// [min, max] sample points; min < 1 means 1, max <= 0 means unbounded.
+// Ignored by whole-trajectory queries.
+func WithSegmentLength(min, max int) QueryOption {
+	return func(qc *queryConfig) { qc.minSeg, qc.maxSeg = min, max }
 }
 
 // WithRefineWorkers parallelizes exact-distance refinement of fat

@@ -4,6 +4,12 @@
 // to the requested route — for pricing, ETA estimation, or matching
 // drivers who know the route.
 //
+// The history is timestamped, so the second half of the demo answers
+// the dispatcher's question — "who drove past here between 8 and
+// 9am?" — with a time-windowed subtrajectory search: candidates are
+// scored by their best-matching contiguous segment inside the window,
+// and each hit reports which samples matched.
+//
 //	go run ./examples/ridesharing
 package main
 
@@ -27,6 +33,19 @@ func main() {
 	history := dataset.Generate(spec)
 	fmt.Printf("trip history: %d rides, avg %d GPS points, %.2f°x%.2f° area\n",
 		len(history), spec.AvgLen, spec.SpanX, spec.SpanY)
+
+	// Timestamp the history: rides depart staggered across one day,
+	// sampling a GPS point every 15 seconds. (Times is optional —
+	// untimestamped trajectories simply never match windowed queries.)
+	day := time.Date(2021, time.April, 19, 0, 0, 0, 0, time.UTC)
+	for i, trip := range history {
+		depart := day.Unix() + int64(i*97%86400)
+		times := make([]int64, len(trip.Points))
+		for j := range times {
+			times[j] = depart + int64(j)*15
+		}
+		trip.Times = times
+	}
 
 	// Frechet respects travel direction — a ride A→B should not
 	// match its reverse B→A.
@@ -67,5 +86,35 @@ func main() {
 	// Sanity: the jittered source ride should top the list.
 	if len(matches) > 0 && matches[0].ID == 137 {
 		fmt.Println("\nthe requested route was correctly matched to its source ride")
+	}
+
+	// Dispatcher's question: who drove past here between 8 and 9am?
+	// A short corridor (a slice of a real route) is the "here"; the
+	// time window restricts matching to samples inside [8am, 9am];
+	// subtrajectory scoring finds the best-matching contiguous
+	// segment, so a long cross-town ride matches on just the part
+	// that traversed the corridor.
+	corridor := history[512].Clone()
+	corridor.ID = -2
+	corridor.Points = corridor.Points[len(corridor.Points)/3 : len(corridor.Points)/3+6]
+	corridor.Times = nil // the query itself needs no clock
+
+	from := day.Add(8 * time.Hour)
+	to := day.Add(9 * time.Hour)
+	passed, err := idx.SearchSub(ctx, corridor, k,
+		repose.WithTimeWindow(from.Unix(), to.Unix()),
+		repose.WithSegmentLength(3, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrides that passed the corridor between %s and %s:\n",
+		from.Format("15:04"), to.Format("15:04"))
+	for rank, m := range passed {
+		ride := history[m.ID]
+		fmt.Printf("  %d. ride #%d — samples [%d, %d) at %s–%s, distance %.5f°\n",
+			rank+1, m.ID, m.Start, m.End,
+			time.Unix(ride.Times[m.Start], 0).UTC().Format("15:04:05"),
+			time.Unix(ride.Times[m.End-1], 0).UTC().Format("15:04:05"),
+			m.Dist)
 	}
 }

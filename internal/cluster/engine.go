@@ -111,6 +111,12 @@ type QueryOptions struct {
 	// reported in QueryReport.SkippedPartitions and the answer is not
 	// cache-eligible. Ignored without a ProbeBudget.
 	BestEffort bool
+	// Refine selects a refined query mode — subtrajectory scoring,
+	// time-windowed scoring, or both (see rptrie.RefineSpec). The zero
+	// value is plain whole-trajectory scoring. Each partition builds
+	// its refiner from its own index configuration, so the option only
+	// works on rptrie-backed partitions; baselines reject it.
+	Refine rptrie.RefineSpec
 }
 
 // minGen returns the pin for a global partition id, 0 when unpinned.
@@ -205,13 +211,33 @@ func selectPartitions(subset []int, n int) ([]int, error) {
 	return out, nil
 }
 
+// refinerFor builds opt's refiner for one partition from that
+// partition's own index configuration (measure and parameters), or nil
+// for the zero spec. Indexes that cannot report a configuration — the
+// baselines — cannot host refined queries.
+func refinerFor(pi int, idx LocalIndex, spec rptrie.RefineSpec) (rptrie.Refiner, error) {
+	if spec.IsZero() {
+		return nil, nil
+	}
+	c, ok := idx.(interface{ Config() rptrie.Config })
+	if !ok {
+		return nil, fmt.Errorf("cluster: partition %d index (%T) does not support refined queries", pi, idx)
+	}
+	cfg := c.Config()
+	return rptrie.NewRefiner(cfg.Measure, cfg.Params, spec), nil
+}
+
 // searchOne answers one partition-local top-k query honoring ctx and
 // opt; gpid is the partition's global id (for the generation pin).
 // The rptrie layouts cancel mid-scan and fill stats (may be nil); the
 // baseline indexes only observe the context between partitions and
 // report no stats.
 func searchOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, k int, opt QueryOptions, stats *rptrie.SearchStats) ([]topk.Item, error) {
-	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid), Stats: stats}
+	ref, err := refinerFor(gpid, idx, opt.Refine)
+	if err != nil {
+		return nil, err
+	}
+	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid), Stats: stats, Refiner: ref}
 	switch t := idx.(type) {
 	case *rptrie.Trie:
 		return t.SearchContext(ctx, q, k, sopt)
@@ -242,14 +268,22 @@ func boundOne(ctx context.Context, gpid int, idx LocalIndex, q []geo.Point, opt 
 	if !ok {
 		return 0, nil
 	}
-	return b.BoundContext(ctx, q, rptrie.SearchOptions{NoPivots: opt.NoPivots, MinGen: opt.minGen(gpid)})
+	ref, err := refinerFor(gpid, idx, opt.Refine)
+	if err != nil {
+		return 0, err
+	}
+	return b.BoundContext(ctx, q, rptrie.SearchOptions{NoPivots: opt.NoPivots, MinGen: opt.minGen(gpid), Refiner: ref})
 }
 
 // radiusOne answers one partition-local range query. Indexes without
 // range support (the baselines and the succinct layout) are rejected,
 // naming the partition so mixed-index failures are diagnosable.
 func radiusOne(ctx context.Context, pi, gpid int, idx LocalIndex, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, error) {
-	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid)}
+	ref, err := refinerFor(gpid, idx, opt.Refine)
+	if err != nil {
+		return nil, err
+	}
+	sopt := rptrie.SearchOptions{NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, MinGen: opt.minGen(gpid), Refiner: ref}
 	if t, ok := idx.(*rptrie.Trie); ok {
 		return t.SearchRadiusContext(ctx, q, radius, sopt)
 	}

@@ -339,7 +339,15 @@ func (c *Local) searchBudgeted(ctx context.Context, parts []LocalIndex, sel []in
 	for _, pi := range tail {
 		b, err := boundOne(ctx, c.gpid(pi), parts[pi], q, opt)
 		if err != nil {
-			return nil, report, err
+			if ctx.Err() != nil {
+				return nil, report, err
+			}
+			// A failed bound proves nothing about the partition:
+			// conservatively treat it as a survivor and scan it. The
+			// answer stays exact, and a genuine partition failure
+			// still surfaces through the scan itself.
+			survivors = append(survivors, pi)
+			continue
 		}
 		if b > dk {
 			report.PrunedPartitions = append(report.PrunedPartitions, c.gpid(pi))
@@ -430,6 +438,10 @@ func (c *Local) Generations() []uint64 {
 // (distance, id). It fails if any selected partition's index lacks
 // range support.
 func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	// Radius queries have no probe-budget phase: neutralize the
+	// top-k-only fields so they can neither alter execution nor leak
+	// into the eligibility accounting below.
+	opt.ProbeBudget, opt.BestEffort = 0, false
 	gens := c.Generations()
 	parts := c.parts()
 	sel, err := selectPartitions(opt.Partitions, len(parts))
@@ -439,7 +451,8 @@ func (c *Local) SearchRadius(ctx context.Context, q []geo.Point, radius float64,
 	locals, report, err := c.scatter(ctx, parts, sel, "radius search", func(si, pi int, idx LocalIndex) ([]topk.Item, error) {
 		return radiusOne(ctx, pi, c.gpid(pi), idx, q, radius, opt)
 	})
-	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
+	report.Generations = gens
+	report.CacheEligible = len(opt.Partitions) == 0 && len(report.SkippedPartitions) == 0
 	report.IndexBytes = c.PartitionIndexBytes()
 	if err != nil {
 		return nil, report, err

@@ -62,11 +62,20 @@ import (
 // what it believes the worker owns, so a miss means the plan raced an
 // ownership change and the driver must retry elsewhere rather than
 // accept a silently incomplete answer.
+//
+// Protocol v7 adds refined query modes: the four query arg shapes
+// (Search/Bound/SearchRadius/SearchBatch) gain a rptrie.RefineSpec
+// selecting subtrajectory and/or time-windowed scoring. The worker
+// builds the refiner per partition from the partition's own index
+// configuration, so the spec travels as plain data — no measure or
+// parameters on the wire. A zero spec encodes the pre-v7 behaviour,
+// and reply shapes are unchanged (topk.Item already carries the
+// matched [Start, End) segment).
 
 // ProtocolVersion is the driver↔worker wire protocol version. The
 // worker rejects requests from a driver speaking a different version
 // rather than mis-decoding them.
-const ProtocolVersion = 6
+const ProtocolVersion = 7
 
 // checkVersion rejects a peer speaking a different protocol version.
 func checkVersion(v int) error {
@@ -132,6 +141,7 @@ type SearchArgs struct {
 	K             int
 	NoPivots      bool
 	RefineWorkers int
+	Refine        rptrie.RefineSpec
 }
 
 // SearchReply carries a worker's merged local top-k plus, since v6,
@@ -156,6 +166,7 @@ type BoundArgs struct {
 	QueryHeader
 	Query    []geo.Point
 	NoPivots bool
+	Refine   rptrie.RefineSpec
 }
 
 // BoundReply carries the per-partition bounds. A partition whose
@@ -171,6 +182,7 @@ type RadiusArgs struct {
 	Radius        float64
 	NoPivots      bool
 	RefineWorkers int
+	Refine        rptrie.RefineSpec
 }
 
 // RadiusReply carries every in-range trajectory of the worker's
@@ -189,6 +201,7 @@ type SearchBatchArgs struct {
 	K             int
 	NoPivots      bool
 	RefineWorkers int
+	Refine        rptrie.RefineSpec
 }
 
 // SearchBatchReply carries the worker's per-query merged local top-k
@@ -663,7 +676,7 @@ func (w *Worker) Search(args *SearchArgs, reply *SearchReply) error {
 	if err != nil {
 		return err
 	}
-	opt := QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens}
+	opt := QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens, Refine: args.Refine}
 	parts := view.parts()
 	sel := make([]int, len(parts))
 	for i := range sel {
@@ -698,7 +711,7 @@ func (w *Worker) Bound(args *BoundArgs, reply *BoundReply) error {
 	if err != nil {
 		return err
 	}
-	opt := QueryOptions{NoPivots: args.NoPivots, MinGens: args.MinGens}
+	opt := QueryOptions{NoPivots: args.NoPivots, MinGens: args.MinGens, Refine: args.Refine}
 	parts := view.parts()
 	reply.Bounds = make(map[int]float64, len(pids))
 	for si, pid := range pids {
@@ -723,7 +736,7 @@ func (w *Worker) SearchRadius(args *RadiusArgs, reply *RadiusReply) error {
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.SearchRadius(ctx, args.Query, args.Radius, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens})
+	items, rep, err := view.SearchRadius(ctx, args.Query, args.Radius, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens, Refine: args.Refine})
 	if err != nil {
 		return err
 	}
@@ -745,7 +758,7 @@ func (w *Worker) SearchBatch(args *SearchBatchArgs, reply *SearchBatchReply) err
 	if err != nil {
 		return err
 	}
-	items, rep, err := view.SearchBatch(ctx, args.Queries, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens})
+	items, rep, err := view.SearchBatch(ctx, args.Queries, args.K, QueryOptions{NoPivots: args.NoPivots, RefineWorkers: args.RefineWorkers, MinGens: args.MinGens, Refine: args.Refine})
 	if err != nil {
 		return err
 	}
@@ -1361,7 +1374,16 @@ func (r *Remote) searchBudgeted(ctx context.Context, q []geo.Point, k int, opt Q
 	}
 	bounds, err := r.boundWave(ctx, q, opt, tail)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil || r.closed.Load() {
+			return nil, err
+		}
+		// The bound wave is an optimization, not a correctness step: a
+		// partition we could not bound proves nothing either way.
+		// Conservatively treat the whole tail as survivors and scan it
+		// — zero bounds never prune, the answer stays exact, and a
+		// genuinely unreachable partition still fails the query
+		// through the search wave itself.
+		bounds = make([]float64, len(tail))
 	}
 	var survivors []int
 	for i, pid := range tail {
@@ -1392,7 +1414,7 @@ func (r *Remote) searchWave(ctx context.Context, q []geo.Point, k int, opt Query
 	replies, err := r.scatter(ctx, pids, opt.MinGens, callSpec{
 		method: "Worker.Search",
 		makeArgs: func(h QueryHeader, pids []int) any {
-			return &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
+			return &SearchArgs{QueryHeader: h, Query: q, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, Refine: opt.Refine}
 		},
 		newReply: func() any { return new(SearchReply) },
 	})
@@ -1437,7 +1459,7 @@ func (r *Remote) boundWave(ctx context.Context, q []geo.Point, opt QueryOptions,
 	replies, err := r.scatter(ctx, pids, opt.MinGens, callSpec{
 		method: "Worker.Bound",
 		makeArgs: func(h QueryHeader, _ []int) any {
-			return &BoundArgs{QueryHeader: h, Query: q, NoPivots: opt.NoPivots}
+			return &BoundArgs{QueryHeader: h, Query: q, NoPivots: opt.NoPivots, Refine: opt.Refine}
 		},
 		newReply: func() any { return new(BoundReply) },
 	})
@@ -1473,6 +1495,10 @@ func (r *Remote) Generations() []uint64 {
 // selected partition and merges the in-range trajectories, ascending
 // by (distance, id).
 func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64, opt QueryOptions) ([]topk.Item, QueryReport, error) {
+	// Radius queries have no probe-budget phase: neutralize the
+	// top-k-only fields so they can neither alter execution nor leak
+	// into the eligibility accounting below.
+	opt.ProbeBudget, opt.BestEffort = 0, false
 	sel, err := selectPartitions(opt.Partitions, r.NumPartitions())
 	if err != nil {
 		return nil, QueryReport{}, err
@@ -1482,7 +1508,7 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
 		method: "Worker.SearchRadius",
 		makeArgs: func(h QueryHeader, pids []int) any {
-			return &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
+			return &RadiusArgs{QueryHeader: h, Query: q, Radius: radius, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, Refine: opt.Refine}
 		},
 		newReply: func() any { return new(RadiusReply) },
 	})
@@ -1499,7 +1525,8 @@ func (r *Remote) SearchRadius(ctx context.Context, q []geo.Point, radius float64
 		}
 	}
 	report.finish(start)
-	report.Generations, report.CacheEligible = gens, len(opt.Partitions) == 0
+	report.Generations = gens
+	report.CacheEligible = len(opt.Partitions) == 0 && len(report.SkippedPartitions) == 0
 	report.IndexBytes = r.PartitionIndexBytes()
 	topk.SortItems(out)
 	return dedupItems(out), report, nil
@@ -1520,7 +1547,7 @@ func (r *Remote) SearchBatch(ctx context.Context, qs [][]geo.Point, k int, opt Q
 	replies, err := r.scatter(ctx, sel, opt.MinGens, callSpec{
 		method: "Worker.SearchBatch",
 		makeArgs: func(h QueryHeader, pids []int) any {
-			return &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers}
+			return &SearchBatchArgs{QueryHeader: h, Queries: qs, K: k, NoPivots: opt.NoPivots, RefineWorkers: opt.RefineWorkers, Refine: opt.Refine}
 		},
 		newReply: func() any { return new(SearchBatchReply) },
 	})

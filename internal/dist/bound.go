@@ -437,6 +437,111 @@ func (b *PathBounder) LBo(meta NodeMeta) float64 {
 	return 0
 }
 
+// LBoSub computes the one-side bound for segment (subtrajectory)
+// queries: for every member trajectory t of the subtree described by
+// meta and every nonempty contiguous segment seg of t,
+// LBoSub(meta) ≤ Distance(m, q, seg, p).
+//
+// Only the query-side terms of LBo survive the restriction to a
+// segment. Complete (F2 in LBo's comment), every sample point of t —
+// hence of seg ⊆ t — lies in some path cell, so d(q[i], x) ≥ minD[i]
+// for every x ∈ seg; the query-side aggregates over minD therefore
+// still apply. Every candidate-side term (maxCellMin, sumCellMin,
+// sumCellGap, farCells, firstD, lastD) asserts that seg covers
+// specific path cells, which a segment need not, so they are all
+// dropped:
+//
+//   - Hausdorff / Frechet: the directed distance q→seg (respectively
+//     any coupling) matches every q[i] at cost ≥ minD[i], so
+//     max_i minD[i] is admissible. Incomplete: 0.
+//   - DTW: each q[i] is matched at cost ≥ minD[i]; Σ minD[i].
+//     Incomplete: 0.
+//   - LCSS: a one-point segment makes the denominator min(m, |seg|)
+//     as small as 1, so any single ε-matchable query point collapses
+//     the bound to 0. Only the all-far case survives: if no q[i] can
+//     ε-match any point of t, LCSS = 0 against every segment and the
+//     distance is exactly 1. Incomplete: 0.
+//   - EDR: |seg| ≤ MaxLen gives EDR ≥ m − MaxLen when positive
+//     (length-only, valid even incomplete); complete, every far query
+//     point (minD[i] > ε) costs ≥ 1 in any edit script against seg.
+//     The MinLen side of LBo's length gap is dropped — a segment may
+//     be arbitrarily short.
+//   - ERP: each q[i] is either aligned (cost ≥ minD[i]) or gapped
+//     (cost ≥ gapD[i]); Σ min(minD[i], gapD[i]). Incomplete: 0.
+//
+// Neither the metric leaf bound LBt (Dmax bounds d(reference, t), not
+// d(reference, seg)) nor the pivot bound LBp (pivot distances are
+// whole-trajectory) transfers to segments; segment searches use
+// LBoSub alone. Windowed scoring only ever shrinks the candidate to a
+// contiguous segment, so the same bound covers time-windowed queries.
+func (b *PathBounder) LBoSub(meta NodeMeta) float64 {
+	if b.depth == 0 {
+		return 0
+	}
+	qb := b.qb
+	complete := meta.MaxDepthBelow == 0
+	switch qb.m {
+	case Hausdorff, Frechet:
+		if !complete {
+			return 0
+		}
+		lb := 0.0
+		for _, d := range b.minD {
+			if d > lb {
+				lb = d
+			}
+		}
+		return lb
+	case DTW:
+		if !complete {
+			return 0
+		}
+		s := 0.0
+		for _, d := range b.minD {
+			s += d
+		}
+		return s
+	case LCSS:
+		if !complete {
+			return 0
+		}
+		for _, d := range b.minD {
+			if d <= qb.p.Epsilon {
+				return 0
+			}
+		}
+		return 1
+	case EDR:
+		m := len(qb.q)
+		lb := 0
+		if meta.MaxLen < m {
+			lb = m - meta.MaxLen
+		}
+		if complete {
+			far := 0
+			for _, d := range b.minD {
+				if d > qb.p.Epsilon {
+					far++
+				}
+			}
+			if far > lb {
+				lb = far
+			}
+		}
+		return float64(lb)
+	case ERP:
+		if !complete {
+			return 0
+		}
+		s := 0.0
+		for i, d := range b.minD {
+			s += math.Min(d, qb.gapD[i])
+		}
+		return s
+	}
+	return 0
+}
+
 // LBt implements Bounder; see LBtBounded.
 func (b *PathBounder) LBt(meta LeafMeta) float64 {
 	return b.LBtBounded(meta, math.Inf(1), nil)

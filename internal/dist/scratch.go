@@ -14,6 +14,7 @@ type Scratch struct {
 	fa, fb []float64 // rolling float64 DP rows (Frechet, DTW, ERP)
 	ia, ib []int     // rolling int DP rows (LCSS, EDR)
 	gb     []float64 // ERP: per-point gap distances of the second sequence
+	ha, hb []float64 // Hausdorff segment sweep: query minima, per-point minima
 }
 
 // growFloats returns a length-n slice, reusing buf's backing array
@@ -61,4 +62,15 @@ func (s *Scratch) gapRow(n int) []float64 {
 	}
 	s.gb = growFloats(s.gb, n)
 	return s.gb
+}
+
+// hRows returns a length-m and a length-n float64 row for the
+// Hausdorff segment sweep, with unspecified contents.
+func (s *Scratch) hRows(m, n int) (qmin2, ptq2 []float64) {
+	if s == nil {
+		return make([]float64, m), make([]float64, n)
+	}
+	s.ha = growFloats(s.ha, m)
+	s.hb = growFloats(s.hb, n)
+	return s.ha, s.hb
 }

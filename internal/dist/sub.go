@@ -1,0 +1,399 @@
+package dist
+
+import (
+	"math"
+
+	"repose/internal/geo"
+)
+
+// This file implements the subtrajectory (best-segment) variants of
+// the six measures: the minimum over nonempty contiguous segments
+// t[s:e] of Distance(m, q, t[s:e], p), with the segment length e−s
+// restricted to [minSeg, maxSeg].
+//
+// Bit-identicality contract: the returned distance is bit-identical
+// to the minimum over all eligible segments of
+// DistanceBoundedScratch(m, q, t[s:e], p, +Inf, s). The five dynamic
+// programs achieve this because every kernel's cell (i, j) depends
+// only on cells with column index ≤ j, so one DP over the suffix
+// t[s:] computes, in its final row, exactly the values a separate
+// whole-kernel call would produce for every prefix t[s:s+e] — same
+// operations in the same order. Hausdorff is assembled from the same
+// memoized squared distances both directed passes consume; since IEEE
+// square root is correctly rounded (hence monotone, with
+// Sqrt(x·x) == x), taking one Sqrt of the maximum squared term yields
+// the same bits as the kernel's incremental sqrt-of-running-max.
+//
+// Early abandoning never changes the result: a per-start DP abandons
+// only when a row minimum proves every harvested segment of that
+// start strictly exceeds cut = min(threshold, best-so-far), and such
+// segments can neither improve the minimum nor tie it (ties are
+// resolved toward the lexicographically smallest (start, end), and an
+// abandoned value is strictly greater than the running best).
+
+// SubDistance returns the exact best-segment distance together with
+// the matched segment [start, end) of t. minSeg/maxSeg bound the
+// segment length in sample points; maxSeg ≤ 0 means unbounded. When
+// no eligible segment exists (empty q or t, or minSeg > len(t)) it
+// returns (+Inf, 0, 0). Among equal-distance segments the
+// lexicographically smallest (start, end) wins.
+func SubDistance(m Measure, q, t []geo.Point, p Params, minSeg, maxSeg int) (float64, int, int) {
+	return SubDistanceBoundedScratch(m, q, t, p, minSeg, maxSeg, math.Inf(1), nil)
+}
+
+// SubDistanceBoundedScratch is SubDistance with early abandoning and
+// caller-provided scratch (nil allocates fresh buffers). Like
+// DistanceBounded, it returns the exact minimum whenever that minimum
+// is ≤ threshold; otherwise it may return (+Inf, 0, 0). The matched
+// segment indices are meaningful only when the distance is finite.
+func SubDistanceBoundedScratch(m Measure, q, t []geo.Point, p Params, minSeg, maxSeg int, threshold float64, s *Scratch) (float64, int, int) {
+	n := len(t)
+	if maxSeg <= 0 || maxSeg > n {
+		maxSeg = n
+	}
+	if minSeg < 1 {
+		minSeg = 1
+	}
+	if len(q) == 0 || n == 0 || minSeg > maxSeg {
+		return math.Inf(1), 0, 0
+	}
+	switch m {
+	case Hausdorff:
+		return subHausdorff(q, t, minSeg, maxSeg, threshold, s)
+	case Frechet:
+		return subFrechet(q, t, minSeg, maxSeg, threshold, s)
+	case DTW:
+		return subDTW(q, t, minSeg, maxSeg, threshold, s)
+	case LCSS:
+		return subLCSS(q, t, p.Epsilon, minSeg, maxSeg, threshold, s)
+	case EDR:
+		return subEDR(q, t, p.Epsilon, minSeg, maxSeg, threshold, s)
+	case ERP:
+		return subERP(q, t, p.Gap, minSeg, maxSeg, threshold, s)
+	}
+	panic("dist: unknown measure " + m.String())
+}
+
+// subHausdorff sweeps starts left to right, growing the segment one
+// point at a time while maintaining qmin2[i] = min over the segment
+// of d²(q[i], ·) and the running maximum of the per-segment-point
+// minima ptq2 (precomputed once — it does not depend on the segment).
+// The symmetric Hausdorff distance of (q, seg) is the square root of
+// the larger of the two directed maxima. The candidate-side maximum
+// only grows with the segment, so once its root exceeds cut every
+// longer segment at this start is hopeless.
+func subHausdorff(q, t []geo.Point, minSeg, maxSeg int, threshold float64, s *Scratch) (float64, int, int) {
+	m, n := len(q), len(t)
+	best, bs, be := math.Inf(1), 0, 0
+	qmin2, ptq2 := s.hRows(m, n)
+	for j, pt := range t {
+		pm := math.Inf(1)
+		for i := range q {
+			if d := q[i].Dist2(pt); d < pm {
+				pm = d
+			}
+		}
+		ptq2[j] = pm
+	}
+	for st := 0; st+minSeg <= n; st++ {
+		L := n - st
+		if maxSeg < L {
+			L = maxSeg
+		}
+		for i := range qmin2 {
+			qmin2[i] = math.Inf(1)
+		}
+		candmax2 := 0.0
+		cut := math.Min(threshold, best)
+		for e := 1; e <= L; e++ {
+			j := st + e - 1
+			pt := t[j]
+			for i := range q {
+				if d := q[i].Dist2(pt); d < qmin2[i] {
+					qmin2[i] = d
+				}
+			}
+			if ptq2[j] > candmax2 {
+				candmax2 = ptq2[j]
+			}
+			if math.Sqrt(candmax2) > cut {
+				break
+			}
+			if e < minSeg {
+				continue
+			}
+			qmax2 := 0.0
+			for _, v := range qmin2 {
+				if v > qmax2 {
+					qmax2 = v
+				}
+			}
+			d := math.Sqrt(math.Max(qmax2, candmax2))
+			if d <= threshold && d < best {
+				best, bs, be = d, st, st+e
+				cut = math.Min(threshold, best)
+			}
+		}
+	}
+	return best, bs, be
+}
+
+// subDTW runs dtwBounded's recurrence once per start over the suffix
+// t[st:st+L] and harvests the final row: cell j holds the exact DTW
+// distance of (q, t[st:st+j+1]). Every warping path to column j stays
+// within the first j+1 columns and costs never decrease along it, so
+// the full-row minimum lower-bounds every harvestable value and the
+// kernel's abandon test carries over per start.
+func subDTW(q, t []geo.Point, minSeg, maxSeg int, threshold float64, s *Scratch) (float64, int, int) {
+	m, n := len(q), len(t)
+	best, bs, be := math.Inf(1), 0, 0
+	for st := 0; st+minSeg <= n; st++ {
+		L := n - st
+		if maxSeg < L {
+			L = maxSeg
+		}
+		b := t[st : st+L]
+		cut := math.Min(threshold, best)
+		prev, cur := s.floatRows(L)
+		acc := 0.0
+		for j, pt := range b {
+			acc += q[0].Dist(pt)
+			prev[j] = acc
+		}
+		if prev[0] > cut { // every warping path contains (q[0], b[0])
+			continue
+		}
+		abandoned := false
+		for i := 1; i < m; i++ {
+			rowMin := math.Inf(1)
+			for j := 0; j < L; j++ {
+				reach := prev[j]
+				if j > 0 {
+					reach = min(reach, prev[j-1], cur[j-1])
+				}
+				v := q[i].Dist(b[j]) + reach
+				cur[j] = v
+				if v < rowMin {
+					rowMin = v
+				}
+			}
+			if rowMin > cut {
+				abandoned = true
+				break
+			}
+			prev, cur = cur, prev
+		}
+		if abandoned {
+			continue
+		}
+		for e := minSeg; e <= L; e++ {
+			if d := prev[e-1]; d <= threshold && d < best {
+				best, bs, be = d, st, st+e
+			}
+		}
+	}
+	return best, bs, be
+}
+
+// subFrechet is subDTW with frechetBounded's max-recurrence.
+func subFrechet(q, t []geo.Point, minSeg, maxSeg int, threshold float64, s *Scratch) (float64, int, int) {
+	m, n := len(q), len(t)
+	best, bs, be := math.Inf(1), 0, 0
+	for st := 0; st+minSeg <= n; st++ {
+		L := n - st
+		if maxSeg < L {
+			L = maxSeg
+		}
+		b := t[st : st+L]
+		cut := math.Min(threshold, best)
+		prev, cur := s.floatRows(L)
+		acc := 0.0
+		for j, pt := range b {
+			d := q[0].Dist(pt)
+			if j == 0 || d > acc {
+				acc = d
+			}
+			prev[j] = acc
+		}
+		if prev[0] > cut { // every coupling contains (q[0], b[0])
+			continue
+		}
+		abandoned := false
+		for i := 1; i < m; i++ {
+			rowMin := math.Inf(1)
+			for j := 0; j < L; j++ {
+				reach := prev[j]
+				if j > 0 {
+					reach = min(reach, prev[j-1], cur[j-1])
+				}
+				v := max(q[i].Dist(b[j]), reach)
+				cur[j] = v
+				if v < rowMin {
+					rowMin = v
+				}
+			}
+			if rowMin > cut {
+				abandoned = true
+				break
+			}
+			prev, cur = cur, prev
+		}
+		if abandoned {
+			continue
+		}
+		for e := minSeg; e <= L; e++ {
+			if d := prev[e-1]; d <= threshold && d < best {
+				best, bs, be = d, st, st+e
+			}
+		}
+	}
+	return best, bs, be
+}
+
+// subLCSS computes lcssBounded's integer table once per start; the
+// final row's cell e holds LCSS(q, t[st:st+e]), turned into a
+// distance with the per-segment denominator min(m, e). The kernel's
+// abandon test does not transfer (shorter segments have smaller
+// denominators, which weakens the bound), so the int DP runs to
+// completion — it is branch-cheap and allocation-free.
+func subLCSS(q, t []geo.Point, epsilon float64, minSeg, maxSeg int, threshold float64, s *Scratch) (float64, int, int) {
+	m, n := len(q), len(t)
+	eps2 := epsilon * epsilon
+	best, bs, be := math.Inf(1), 0, 0
+	for st := 0; st+minSeg <= n; st++ {
+		L := n - st
+		if maxSeg < L {
+			L = maxSeg
+		}
+		b := t[st : st+L]
+		prev, cur := s.intRows(L + 1)
+		for j := range prev[:L+1] {
+			prev[j] = 0
+		}
+		cur[0] = 0
+		for i := 0; i < m; i++ {
+			for j := 0; j < L; j++ {
+				if q[i].Dist2(b[j]) <= eps2 {
+					cur[j+1] = prev[j] + 1
+				} else {
+					cur[j+1] = max(prev[j+1], cur[j])
+				}
+			}
+			prev, cur = cur, prev
+		}
+		for e := minSeg; e <= L; e++ {
+			d := 1 - float64(prev[e])/float64(min(m, e))
+			if d <= threshold && d < best {
+				best, bs, be = d, st, st+e
+			}
+		}
+	}
+	return best, bs, be
+}
+
+// subEDR harvests edrBounded's final row: cell e holds the exact edit
+// distance of (q, t[st:st+e]). Edit costs are non-negative along any
+// script path, so the full-row minimum abandon carries over.
+func subEDR(q, t []geo.Point, epsilon float64, minSeg, maxSeg int, threshold float64, s *Scratch) (float64, int, int) {
+	m, n := len(q), len(t)
+	eps2 := epsilon * epsilon
+	best, bs, be := math.Inf(1), 0, 0
+	for st := 0; st+minSeg <= n; st++ {
+		L := n - st
+		if maxSeg < L {
+			L = maxSeg
+		}
+		b := t[st : st+L]
+		cut := math.Min(threshold, best)
+		prev, cur := s.intRows(L + 1)
+		for j := 0; j <= L; j++ {
+			prev[j] = j
+		}
+		abandoned := false
+		for i := 1; i <= m; i++ {
+			cur[0] = i
+			rowMin := cur[0]
+			for j := 1; j <= L; j++ {
+				sub := prev[j-1]
+				if q[i-1].Dist2(b[j-1]) > eps2 {
+					sub++
+				}
+				cur[j] = min(sub, prev[j]+1, cur[j-1]+1)
+				if cur[j] < rowMin {
+					rowMin = cur[j]
+				}
+			}
+			if float64(rowMin) > cut {
+				abandoned = true
+				break
+			}
+			prev, cur = cur, prev
+		}
+		if abandoned {
+			continue
+		}
+		for e := minSeg; e <= L; e++ {
+			if d := float64(prev[e]); d <= threshold && d < best {
+				best, bs, be = d, st, st+e
+			}
+		}
+	}
+	return best, bs, be
+}
+
+// subERP harvests erpBounded's final row: cell e holds the exact edit
+// distance with real penalty of (q, t[st:st+e]). The per-point gap
+// distances of t are computed once and shared by every start.
+func subERP(q, t []geo.Point, gap geo.Point, minSeg, maxSeg int, threshold float64, s *Scratch) (float64, int, int) {
+	m, n := len(q), len(t)
+	best, bs, be := math.Inf(1), 0, 0
+	gb := s.gapRow(n) // d(t_j, gap)
+	for j, pt := range t {
+		gb[j] = pt.Dist(gap)
+	}
+	for st := 0; st+minSeg <= n; st++ {
+		L := n - st
+		if maxSeg < L {
+			L = maxSeg
+		}
+		b := t[st : st+L]
+		gbs := gb[st : st+L]
+		cut := math.Min(threshold, best)
+		prev, cur := s.floatRows(L + 1)
+		prev[0] = 0
+		for j := 1; j <= L; j++ {
+			prev[j] = prev[j-1] + gbs[j-1]
+		}
+		abandoned := false
+		for i := 1; i <= m; i++ {
+			ga := q[i-1].Dist(gap)
+			cur[0] = prev[0] + ga
+			rowMin := cur[0]
+			for j := 1; j <= L; j++ {
+				v := min(
+					prev[j-1]+q[i-1].Dist(b[j-1]), // align
+					prev[j]+ga,                    // gap q_i
+					cur[j-1]+gbs[j-1],             // gap b_j
+				)
+				cur[j] = v
+				if v < rowMin {
+					rowMin = v
+				}
+			}
+			if rowMin > cut {
+				abandoned = true
+				break
+			}
+			prev, cur = cur, prev
+		}
+		if abandoned {
+			continue
+		}
+		for e := minSeg; e <= L; e++ {
+			if d := prev[e]; d <= threshold && d < best {
+				best, bs, be = d, st, st+e
+			}
+		}
+	}
+	return best, bs, be
+}

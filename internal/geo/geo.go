@@ -10,6 +10,7 @@ package geo
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Point is a single trajectory sample: an (X, Y) position.
@@ -47,9 +48,16 @@ func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
 
 // Trajectory is a finite time-ordered sequence of sample points
 // (Definition 1). The ID identifies the trajectory within a dataset.
+//
+// Times optionally timestamps each sample: when non-nil it must have
+// exactly one entry per point, non-decreasing (Unix seconds or any
+// other monotone integer clock — the library only compares values).
+// A nil Times leaves the trajectory purely spatial; time-windowed
+// queries then never match it.
 type Trajectory struct {
 	ID     int
 	Points []Point
+	Times  []int64
 }
 
 // Len returns the number of sample points.
@@ -59,7 +67,56 @@ func (t *Trajectory) Len() int { return len(t.Points) }
 func (t *Trajectory) Clone() *Trajectory {
 	pts := make([]Point, len(t.Points))
 	copy(pts, t.Points)
-	return &Trajectory{ID: t.ID, Points: pts}
+	var ts []int64
+	if t.Times != nil {
+		ts = make([]int64, len(t.Times))
+		copy(ts, t.Times)
+	}
+	return &Trajectory{ID: t.ID, Points: pts, Times: ts}
+}
+
+// ValidTimes reports whether the trajectory's timestamps are
+// well-formed: absent, or one per point and non-decreasing.
+func (t *Trajectory) ValidTimes() bool {
+	if t.Times == nil {
+		return true
+	}
+	if len(t.Times) != len(t.Points) {
+		return false
+	}
+	for i := 1; i < len(t.Times); i++ {
+		if t.Times[i] < t.Times[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TimeSpan returns the closed timestamp range [first, last] and
+// whether the trajectory is timestamped at all.
+func (t *Trajectory) TimeSpan() (from, to int64, ok bool) {
+	if len(t.Times) == 0 {
+		return 0, 0, false
+	}
+	return t.Times[0], t.Times[len(t.Times)-1], true
+}
+
+// TimeWindow returns the index range [lo, hi) of samples whose
+// timestamp lies in the closed window [from, to]. Times are
+// non-decreasing, so the in-window samples form one contiguous run;
+// lo == hi means no sample falls inside the window (including the
+// untimestamped case).
+func (t *Trajectory) TimeWindow(from, to int64) (lo, hi int) {
+	n := len(t.Times)
+	if n == 0 || n != len(t.Points) || from > to {
+		return 0, 0
+	}
+	lo = sort.Search(n, func(i int) bool { return t.Times[i] >= from })
+	hi = sort.Search(n, func(i int) bool { return t.Times[i] > to })
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // Bounds returns the minimum bounding rectangle of the trajectory.

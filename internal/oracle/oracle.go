@@ -49,6 +49,98 @@ func Radius(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, 
 	return out
 }
 
+// Spec selects a refined query mode, mirroring rptrie's RefineSpec
+// without importing it (the index packages' tests import the oracle,
+// so the dependency must point this way). The zero Spec is the
+// whole-trajectory mode.
+type Spec struct {
+	// Sub scores the best-matching contiguous segment of each
+	// candidate instead of the whole trajectory. MinSeg/MaxSeg bound
+	// the segment length in sample points (MinSeg < 1 means 1,
+	// MaxSeg ≤ 0 means unbounded).
+	Sub            bool
+	MinSeg, MaxSeg int
+	// Window restricts candidates to trajectories with at least one
+	// sample timestamped inside the closed window [From, To] and
+	// scores only the in-window run. Untimestamped trajectories never
+	// match.
+	Window   bool
+	From, To int64
+}
+
+// Refine returns the reference (distance, start, end) of one
+// candidate under the spec: the matched half-open sample range and
+// its exact distance, or +Inf when the candidate is ineligible (no
+// window overlap, or no segment satisfying the length bounds). The
+// segment scan is a plain per-segment kernel call — deliberately not
+// dist.SubDistance — with ties resolved toward the lexicographically
+// smallest (start, end), the order the index promises.
+func (sp Spec) Refine(m dist.Measure, p dist.Params, q []geo.Point, tr *geo.Trajectory) (float64, int, int) {
+	pts := tr.Points
+	off := 0
+	if sp.Window {
+		lo, hi := tr.TimeWindow(sp.From, sp.To)
+		if lo == hi {
+			return math.Inf(1), 0, 0
+		}
+		pts = pts[lo:hi]
+		off = lo
+	}
+	if !sp.Sub {
+		return dist.Distance(m, q, pts, p), off, off + len(pts)
+	}
+	n := len(pts)
+	minSeg, maxSeg := sp.MinSeg, sp.MaxSeg
+	if maxSeg <= 0 || maxSeg > n {
+		maxSeg = n
+	}
+	if minSeg < 1 {
+		minSeg = 1
+	}
+	best, bs, be := math.Inf(1), 0, 0
+	for st := 0; st+minSeg <= n; st++ {
+		for e := minSeg; st+e <= n && e <= maxSeg; e++ {
+			if d := dist.Distance(m, q, pts[st:st+e], p); d < best {
+				best, bs, be = d, off+st, off+st+e
+			}
+		}
+	}
+	return best, bs, be
+}
+
+// TopKRefined returns the exact top-k items under the spec, ascending
+// by (distance, id), each carrying its matched [Start, End) range.
+// Ineligible candidates are excluded, so fewer than k items may
+// return even over a large set.
+func TopKRefined(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, k int, sp Spec) []topk.Item {
+	if k <= 0 || len(q) == 0 || len(ds) == 0 {
+		return nil
+	}
+	h := topk.New(k)
+	for _, tr := range ds {
+		d, s, e := sp.Refine(m, p, q, tr)
+		h.PushItem(topk.Item{ID: tr.ID, Dist: d, Start: s, End: e})
+	}
+	return h.Results()
+}
+
+// RadiusRefined returns every eligible trajectory whose refined
+// distance is within radius, ascending by (distance, id).
+func RadiusRefined(m dist.Measure, p dist.Params, ds []*geo.Trajectory, q []geo.Point, radius float64, sp Spec) []topk.Item {
+	if len(q) == 0 || radius < 0 {
+		return nil
+	}
+	var out []topk.Item
+	for _, tr := range ds {
+		d, s, e := sp.Refine(m, p, q, tr)
+		if d <= radius && !math.IsInf(d, 1) {
+			out = append(out, topk.Item{ID: tr.ID, Dist: d, Start: s, End: e})
+		}
+	}
+	topk.SortItems(out)
+	return out
+}
+
 // Set is a mutable mirror of a live index's trajectory set. The
 // differential tests apply every Insert/Delete/Upsert to both the
 // index under test and a Set, then compare query answers.
@@ -125,4 +217,14 @@ func (s *Set) TopK(m dist.Measure, p dist.Params, q []geo.Point, k int) []topk.I
 // Radius answers the range query over the current live set.
 func (s *Set) Radius(m dist.Measure, p dist.Params, q []geo.Point, radius float64) []topk.Item {
 	return Radius(m, p, s.Slice(), q, radius)
+}
+
+// TopKRefined answers the refined top-k query over the live set.
+func (s *Set) TopKRefined(m dist.Measure, p dist.Params, q []geo.Point, k int, sp Spec) []topk.Item {
+	return TopKRefined(m, p, s.Slice(), q, k, sp)
+}
+
+// RadiusRefined answers the refined range query over the live set.
+func (s *Set) RadiusRefined(m dist.Measure, p dist.Params, q []geo.Point, radius float64, sp Spec) []topk.Item {
+	return RadiusRefined(m, p, s.Slice(), q, radius, sp)
 }

@@ -98,6 +98,60 @@
 // pin a query to a generation floor (ErrStale below it), which the
 // cluster layer uses for read-your-writes.
 //
+// # Refined query modes and segment admissibility
+//
+// SearchOptions.Refiner swaps the leaf-refinement strategy while the
+// traversal machinery stays put. A nil Refiner is the built-in exact
+// whole-trajectory distance (the allocation-free default, pinned by
+// BenchmarkSearch/refiner); NewRefiner builds the two refined modes:
+// subtrajectory search (RefineSpec.Sub — score each candidate's
+// best-matching contiguous segment, dist.SubDistance) and
+// time-windowed search (RefineSpec.Window — candidates must have a
+// sample timestamped inside [From, To], and only the in-window run is
+// scored; both compose). Matched segments come back as [Start, End)
+// on topk.Item.
+//
+// A segment-scoring refiner invalidates two of the three stored
+// bounds. LBt folds the leaf's Dmax — the distance from the reference
+// trajectory to the whole candidate — into a triangle-style bound,
+// and LBp compares whole-trajectory pivot distances; a segment of the
+// candidate satisfies neither inequality, so both are dropped
+// (Refiner.Subsequence reports this and the searcher also skips
+// computing query–pivot distances entirely). What remains admissible
+// is the query-side half of LBo, exposed as dist.PathBounder.LBoSub:
+// terms aggregating min-distances from query points to the
+// trajectory's grid cells survive segment restriction for measures
+// whose definition quantifies over every query point —
+//
+//   - Hausdorff, Frechet: max over query points of the cell min
+//     distance (every query point must still be matched by any
+//     segment) — complete reference paths only;
+//   - DTW: the sum of those minima (every query point appears in any
+//     warping path);
+//   - LCSS: 1 when no query point can match within Epsilon (then no
+//     segment can either); otherwise 0;
+//   - EDR: m − MaxLen when positive (alignment needs at least
+//     m − |segment| ≥ m − |trajectory| edits — valid even on
+//     incomplete paths), plus the count of query points matchable by
+//     no cell;
+//   - ERP: the sum over query points of min(cell min distance, gap
+//     distance) — each query point is either matched or gapped.
+//
+// Candidate-side terms (cells the *trajectory* must visit) are all
+// dropped: a segment may omit any prefix or suffix of the reference
+// path. For measures/nodes where every surviving term degenerates to
+// zero (e.g. LCSS with any matchable query point, or any incomplete
+// reference path under Hausdorff/Frechet/DTW/ERP), LBoSub returns 0
+// and the traversal decays to bound-free leaf enumeration — every
+// leaf is refined exactly, so answers remain oracle-exact, just
+// without pruning. The admissibility of LBoSub is property-tested
+// against the brute-force best segment in internal/dist, and the
+// refined modes are differential-tested against internal/oracle for
+// all measures, all three layouts, and mid-mutation interleavings
+// (refine_differential_test.go). The time-window clip is itself a
+// contiguous segment, so the same argument covers windowed scoring,
+// and trajectories without timestamps never match a windowed query.
+//
 // The bounds stay admissible under mutation without being touched:
 // deleting a member only loosens a leaf's precomputed Dmax/HR/length
 // bounds (they still lower-bound every remaining member, tombstones

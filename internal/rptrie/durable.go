@@ -55,6 +55,7 @@ type innerIndex interface {
 	DeltaLen() int
 	Len() int
 	SizeBytes() int
+	Config() Config
 	Search(q []geo.Point, k int) []topk.Item
 	SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.Item
 	SearchContext(ctx context.Context, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error)
@@ -102,6 +103,15 @@ type walPayload struct {
 	IDs []int
 	Gen uint64
 }
+
+// walVersion prefixes every WAL record payload written by this build,
+// aligned with the image format's wireVersion (trajectories may carry
+// timestamps from version 2 on; gob's field additivity does the rest).
+// Legacy payloads were bare gob streams with no version byte — those
+// always open with the uvarint byte length of walPayload's type
+// descriptor, several dozen bytes, so a leading byte this small
+// unambiguously marks a versioned record and replay accepts both.
+const walVersion byte = 2
 
 // DurableOptions configures the disk side of a Durable index.
 type DurableOptions struct {
@@ -271,8 +281,15 @@ func recoverIndex(st *storage.Store, dir string, o DurableOptions) (*Durable, er
 // match the recorded one exactly; a mismatch means the image and log
 // diverged and the state cannot be trusted.
 func applyRecord(inner innerIndex, rec storage.WALRecord) error {
+	payload := rec.Payload
+	if len(payload) > 0 && payload[0] <= walVersion {
+		// Versioned record (see walVersion): strip the prefix. Bytes
+		// above walVersion are a legacy bare-gob payload's descriptor
+		// length and decode as-is.
+		payload = payload[1:]
+	}
 	var p walPayload
-	if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&p); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return fmt.Errorf("record %d undecodable: %v", rec.LSN, err)
 	}
 	if p.Gen <= inner.Generation() {
@@ -339,6 +356,7 @@ func restoreSnapshot(inner innerIndex, snap any) {
 // d.mu is held from apply through append).
 func (d *Durable) logMutation(typ byte, p walPayload, prev any) (uint64, error) {
 	var buf bytes.Buffer
+	buf.WriteByte(walVersion)
 	err := gob.NewEncoder(&buf).Encode(&p)
 	var lsn uint64
 	if err == nil {
@@ -559,6 +577,9 @@ func (d *Durable) DeltaLen() int { return d.inner.DeltaLen() }
 
 // Len returns the number of live trajectories.
 func (d *Durable) Len() int { return d.inner.Len() }
+
+// Config returns the wrapped index's build configuration.
+func (d *Durable) Config() Config { return d.inner.Config() }
 
 // SizeBytes reports the wrapped index footprint (the disk store and
 // buffer pool are not index state).

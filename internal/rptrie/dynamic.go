@@ -116,6 +116,9 @@ func stageInsert(d *delta, core map[int32]*geo.Trajectory, trs []*geo.Trajectory
 		if tr == nil || len(tr.Points) == 0 {
 			return nil, errors.New("rptrie: cannot insert an empty trajectory")
 		}
+		if !tr.ValidTimes() {
+			return nil, fmt.Errorf("rptrie: trajectory %d has invalid timestamps", tr.ID)
+		}
 		tid := int32(tr.ID)
 		for _, prev := range trs[:i] {
 			if prev.ID == tr.ID {
@@ -204,6 +207,9 @@ func stageUpsert(d *delta, core map[int32]*geo.Trajectory, trs []*geo.Trajectory
 	for i, tr := range trs {
 		if tr == nil || len(tr.Points) == 0 {
 			return nil, errors.New("rptrie: cannot insert an empty trajectory")
+		}
+		if !tr.ValidTimes() {
+			return nil, fmt.Errorf("rptrie: trajectory %d has invalid timestamps", tr.ID)
 		}
 		for _, prev := range trs[:i] {
 			if prev.ID == tr.ID {

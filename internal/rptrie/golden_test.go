@@ -9,6 +9,7 @@ import (
 
 	"repose/internal/dist"
 	"repose/internal/geo"
+	"repose/internal/topk"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden persist fixtures under testdata/golden")
@@ -216,6 +217,57 @@ func TestGoldenCompressedImage(t *testing.T) {
 			t.Fatalf("fixture radius answer %v, fresh pointer answer %v", gotR, wantR)
 		}
 	}
+}
+
+// TestGoldenLegacyV1Images: version-1 images (written before
+// trajectories could carry timestamps) must keep decoding and answer
+// exactly like the current build of the same state. The *_v1.img
+// fixtures are frozen copies of the last version-1 goldens and are
+// never regenerated.
+func TestGoldenLegacyV1Images(t *testing.T) {
+	tr, q := goldenIndex(t)
+	if err := tr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	load := func(name string) []byte {
+		raw, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+		if err != nil {
+			t.Fatalf("missing frozen v1 fixture: %v", err)
+		}
+		if len(raw) == 0 || raw[0] != 1 {
+			t.Fatalf("%s: expected a version-1 image, got version byte %d", name, raw[0])
+		}
+		return raw
+	}
+	check := func(name string, res []topk.Item, err error) {
+		if err != nil {
+			t.Fatalf("%s: decoding frozen v1 fixture: %v", name, err)
+		}
+		want := tr.Search(q.Points, 2)
+		if len(res) != len(want) {
+			t.Fatalf("%s: v1 image answered %v, fresh build %v", name, res, want)
+		}
+		for i := range res {
+			if res[i] != want[i] {
+				t.Fatalf("%s: v1 image answered %v, fresh build %v", name, res, want)
+			}
+		}
+	}
+	back, err := ReadTrie(bytes.NewReader(load("trie_v1.img")))
+	if err != nil {
+		t.Fatalf("trie_v1.img: %v", err)
+	}
+	check("trie_v1.img", back.Search(q.Points, 2), nil)
+	sback, err := ReadSuccinct(bytes.NewReader(load("succinct_v1.img")))
+	if err != nil {
+		t.Fatalf("succinct_v1.img: %v", err)
+	}
+	check("succinct_v1.img", sback.Search(q.Points, 2), nil)
+	cback, err := ReadCompressed(bytes.NewReader(load("tstat_v1.img")))
+	if err != nil {
+		t.Fatalf("tstat_v1.img: %v", err)
+	}
+	check("tstat_v1.img", cback.Search(q.Points, 2), nil)
 }
 
 // TestWireVersionRejected: images from a different format version must

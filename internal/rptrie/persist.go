@@ -25,10 +25,23 @@ const wireMagic = "RPTRIE1"
 // wireVersion is the single format-version byte every saved image
 // starts with, before the gob stream. Bump it on any change to the
 // wire structs or their encoding so an old decoder rejects a new
-// image (and vice versa) with a version diagnostic instead of a gob
-// misdecode. The golden fixtures under testdata/golden pin the
-// current encoding byte for byte.
-const wireVersion byte = 1
+// image with a version diagnostic instead of a gob misdecode. The
+// golden fixtures under testdata/golden pin the current encoding byte
+// for byte.
+//
+// Version history:
+//
+//	1 — original format.
+//	2 — trajectories may carry per-sample timestamps. The pointer and
+//	    succinct images inherit geo.Trajectory.Times through gob's
+//	    field additivity; the compressed image adds explicit
+//	    HasTimes/TimePlanes fields. Version-1 images keep decoding
+//	    (their trajectories simply have no timestamps), which is why
+//	    readWireVersion accepts a range rather than one byte.
+const (
+	wireVersion    byte = 2
+	wireVersionMin byte = 1 // oldest image this build still reads
+)
 
 // writeWireVersion prefixes a saved image with the format version.
 func writeWireVersion(w io.Writer) error {
@@ -42,8 +55,8 @@ func readWireVersion(r io.Reader) error {
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return fmt.Errorf("rptrie: reading format version: %w", err)
 	}
-	if b[0] != wireVersion {
-		return fmt.Errorf("rptrie: unsupported snapshot format version %d (this build reads %d)", b[0], wireVersion)
+	if b[0] < wireVersionMin || b[0] > wireVersion {
+		return fmt.Errorf("rptrie: unsupported snapshot format version %d (this build reads %d through %d)", b[0], wireVersionMin, wireVersion)
 	}
 	return nil
 }
@@ -209,6 +222,9 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 	}
 	t := &Trie{cfg: cfg}
 	for _, tr := range wt.Trajs {
+		if tr != nil && !tr.ValidTimes() {
+			return nil, fmt.Errorf("rptrie: trajectory %d has invalid timestamps", tr.ID)
+		}
 		st.trajs[int32(tr.ID)] = tr
 	}
 	pos := 0

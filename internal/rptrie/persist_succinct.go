@@ -143,6 +143,9 @@ func ReadSuccinct(r io.Reader) (*Succinct, error) {
 		if tr == nil || len(tr.Points) == 0 {
 			return nil, errors.New("rptrie: empty trajectory in stream")
 		}
+		if !tr.ValidTimes() {
+			return nil, fmt.Errorf("rptrie: trajectory %d has invalid timestamps", tr.ID)
+		}
 		trajs[int32(tr.ID)] = tr
 	}
 	for i, l := range ws.Leaves {

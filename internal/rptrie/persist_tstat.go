@@ -51,6 +51,93 @@ type wireCompressed struct {
 	TrajLens []int32
 	XPlanes  []byte
 	YPlanes  []byte
+
+	// Timestamps (format version 2): HasTimes flags which trajectories
+	// carry per-sample times, and TimePlanes is the XOR-delta
+	// byte-plane payload of their uint64-reinterpreted timestamps, in
+	// trajectory order over the timed subset only. Both nil when no
+	// trajectory is timestamped — version-1 images decode with the
+	// fields absent, which gob leaves nil, so old images read cleanly.
+	HasTimes   []bool
+	TimePlanes []byte
+}
+
+// encodeTimes XOR-deltas the timestamps of every timed trajectory
+// (resetting at each trajectory start) and byte-plane-shuffles the
+// word stream exactly like encodeCoords; timestamps of consecutive
+// samples share high bytes, so the same transform exposes the
+// redundancy to DEFLATE. Returns (nil, nil) when nothing is timed.
+func encodeTimes(trajs []*geo.Trajectory) (has []bool, planes []byte) {
+	total := 0
+	for _, tr := range trajs {
+		total += len(tr.Times)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	has = make([]bool, len(trajs))
+	words := make([]uint64, 0, total)
+	for i, tr := range trajs {
+		if len(tr.Times) == 0 {
+			continue
+		}
+		has[i] = true
+		var prev uint64
+		for _, ts := range tr.Times {
+			b := uint64(ts)
+			words = append(words, b^prev)
+			prev = b
+		}
+	}
+	planes = make([]byte, 8*total)
+	for i, v := range words {
+		for p := 0; p < 8; p++ {
+			planes[(7-p)*total+i] = byte(v >> (8 * uint(p)))
+		}
+	}
+	return has, planes
+}
+
+// decodeTimes inverts encodeTimes onto the trajectories flagged in
+// has, whose point slices must already be sized by TrajLens (each
+// timed trajectory carries one timestamp per point).
+func decodeTimes(has []bool, planes []byte, trajs []*geo.Trajectory) error {
+	if len(has) == 0 {
+		if len(planes) != 0 {
+			return errors.New("rptrie: timestamp payload without presence flags")
+		}
+		return nil
+	}
+	if len(has) != len(trajs) {
+		return fmt.Errorf("rptrie: %d timestamp flags for %d trajectories", len(has), len(trajs))
+	}
+	total := 0
+	for i, tr := range trajs {
+		if has[i] {
+			total += len(tr.Points)
+		}
+	}
+	if len(planes) != 8*total {
+		return fmt.Errorf("rptrie: timestamp payload %d bytes for %d timed points", len(planes), total)
+	}
+	i := 0
+	for ti, tr := range trajs {
+		if !has[ti] {
+			continue
+		}
+		tr.Times = make([]int64, len(tr.Points))
+		var prev uint64
+		for j := range tr.Times {
+			var v uint64
+			for p := 0; p < 8; p++ {
+				v |= uint64(planes[(7-p)*total+i]) << (8 * uint(p))
+			}
+			prev ^= v
+			tr.Times[j] = int64(prev)
+			i++
+		}
+	}
+	return nil
 }
 
 // encodeCoords XOR-deltas one coordinate of every trajectory (resetting
@@ -144,6 +231,7 @@ func (x *Compressed) Save(w io.Writer) error {
 	}
 	wc.XPlanes = encodeCoords(ordered, func(p geo.Point) float64 { return p.X })
 	wc.YPlanes = encodeCoords(ordered, func(p geo.Point) float64 { return p.Y })
+	wc.HasTimes, wc.TimePlanes = encodeTimes(ordered)
 
 	if err := writeWireVersion(w); err != nil {
 		return err
@@ -201,6 +289,14 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 	}
 	if err := decodeCoords(wc.YPlanes, ordered, func(p *geo.Point, v float64) { p.Y = v }); err != nil {
 		return nil, err
+	}
+	if err := decodeTimes(wc.HasTimes, wc.TimePlanes, ordered); err != nil {
+		return nil, err
+	}
+	for _, tr := range ordered {
+		if !tr.ValidTimes() {
+			return nil, fmt.Errorf("rptrie: trajectory %d has invalid timestamps", tr.ID)
+		}
 	}
 	ts, err := buildState(cfg, ordered)
 	if err != nil {

@@ -44,10 +44,11 @@ func (t *Trie) SearchRadiusContext(ctx context.Context, q []geo.Point, radius fl
 	if d := st.delta; d != nil && len(d.dels) > 0 {
 		rq.dels = d.dels
 	}
+	rq.setRefiner(opt.Refiner)
 	if err := rq.err(); err != nil {
 		return nil, err
 	}
-	if t.cfg.Pivots != nil && !t.cfg.DisableLBp && !opt.NoPivots {
+	if t.cfg.Pivots != nil && !t.cfg.DisableLBp && !opt.NoPivots && !rq.subseq {
 		sc.dqp = pivot.AppendDistances(sc.dqp[:0], q, t.cfg.Pivots, t.cfg.Measure, t.cfg.Params, &sc.ds)
 		rq.dqp = sc.dqp
 	}
@@ -59,9 +60,8 @@ func (t *Trie) SearchRadiusContext(ctx context.Context, q []geo.Point, radius fl
 			if rq.cancelled() {
 				return nil, rq.err()
 			}
-			dd := dist.DistanceBoundedScratch(t.cfg.Measure, q, tr.Points, t.cfg.Params, radius, &sc.ds)
-			if dd <= radius && !math.IsInf(dd, 1) {
-				sc.items = append(sc.items, topk.Item{ID: tr.ID, Dist: dd})
+			if it, ok := rq.refineOne(tr, &sc.ds); ok {
+				sc.items = append(sc.items, it)
 			}
 		}
 	}
@@ -88,6 +88,32 @@ type rangeQuery struct {
 	radius  float64
 	dqp     []float64
 	workers int
+	refiner Refiner // nil: default whole-trajectory refinement
+	subseq  bool    // refiner scores segments: use LBoSub, no LBt/LBp
+}
+
+// setRefiner attaches the query's refiner; see searcher.setRefiner.
+func (rq *rangeQuery) setRefiner(r Refiner) {
+	rq.refiner = r
+	rq.subseq = r != nil && r.Subsequence()
+}
+
+// refineOne scores one candidate against the fixed radius and reports
+// whether it is a hit. The returned item is fully populated (matched
+// segment included when a subsequence refiner is active).
+func (rq *rangeQuery) refineOne(tr *geo.Trajectory, s *dist.Scratch) (topk.Item, bool) {
+	if rq.refiner != nil {
+		d, start, end := rq.refiner.Refine(rq.q, tr, rq.radius, s)
+		if d <= rq.radius && !math.IsInf(d, 1) {
+			return topk.Item{ID: tr.ID, Dist: d, Start: start, End: end}, true
+		}
+		return topk.Item{}, false
+	}
+	d := dist.DistanceBoundedScratch(rq.cfg.Measure, rq.q, tr.Points, rq.cfg.Params, rq.radius, s)
+	if d <= rq.radius && !math.IsInf(d, 1) {
+		return topk.Item{ID: tr.ID, Dist: d}, true
+	}
+	return topk.Item{}, false
 }
 
 // walk prunes subtrees whose bound exceeds radius and refines
@@ -104,33 +130,17 @@ func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 	}
 	if n.leaf != nil {
 		lb := 0.0
-		if !rq.cfg.DisableLBt {
+		if rq.subseq {
+			lb = b.LBoSub(dist.NodeMeta{MinLen: n.leaf.minLen, MaxLen: n.leaf.maxLen})
+		} else if !rq.cfg.DisableLBt {
 			lb = b.LBtBounded(dist.LeafMeta{
 				NodeMeta: dist.NodeMeta{MinLen: n.leaf.minLen, MaxLen: n.leaf.maxLen},
 				Dmax:     n.leaf.dmax,
 			}, rq.radius, &rq.sc.ds)
 		}
 		if lb <= rq.radius {
-			if rq.workers > 1 && len(n.leaf.tids) >= minParallelLeaf {
-				if err := rq.refineParallel(n.leaf.tids); err != nil {
-					return err
-				}
-			} else {
-				for _, tid := range n.leaf.tids {
-					if rq.dels != nil {
-						if _, dead := rq.dels[tid]; dead {
-							continue
-						}
-					}
-					if rq.cancelled() {
-						return rq.err()
-					}
-					tr := rq.trajs[tid]
-					d := dist.DistanceBoundedScratch(rq.cfg.Measure, rq.q, tr.Points, rq.cfg.Params, rq.radius, &rq.sc.ds)
-					if d <= rq.radius && !math.IsInf(d, 1) {
-						rq.sc.items = append(rq.sc.items, topk.Item{ID: int(tid), Dist: d})
-					}
-				}
+			if err := rq.refineLeaf(n.leaf.tids); err != nil {
+				return err
 			}
 		}
 	}
@@ -143,7 +153,7 @@ func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 			cb = b.Fork()
 		}
 		cb.ExtendZ(c.z)
-		if cb.LBo(nodeMeta(c)) > rq.radius {
+		if rq.childLB(cb, nodeMeta(c)) > rq.radius {
 			if !last {
 				cb.Release()
 			}
@@ -162,6 +172,37 @@ func (rq *rangeQuery) walk(n *node, b *dist.PathBounder) error {
 
 func nodeMeta(n *node) dist.NodeMeta {
 	return dist.NodeMeta{MinLen: n.minLen, MaxLen: n.maxLen, MaxDepthBelow: n.maxDepthBelow}
+}
+
+// childLB is the subtree pruning bound of the walk: the segment bound
+// under a subsequence refiner, LBo otherwise.
+func (rq *rangeQuery) childLB(b *dist.PathBounder, meta dist.NodeMeta) float64 {
+	if rq.subseq {
+		return b.LBoSub(meta)
+	}
+	return b.LBo(meta)
+}
+
+// refineLeaf refines one surviving leaf's members, parallel when
+// configured and the leaf is fat enough.
+func (rq *rangeQuery) refineLeaf(tids []int32) error {
+	if rq.workers > 1 && len(tids) >= minParallelLeaf {
+		return rq.refineParallel(tids)
+	}
+	for _, tid := range tids {
+		if rq.dels != nil {
+			if _, dead := rq.dels[tid]; dead {
+				continue
+			}
+		}
+		if rq.cancelled() {
+			return rq.err()
+		}
+		if it, ok := rq.refineOne(rq.trajs[tid], &rq.sc.ds); ok {
+			rq.sc.items = append(rq.sc.items, it)
+		}
+	}
+	return nil
 }
 
 // refineParallel fans one fat leaf's exact computations over
@@ -185,11 +226,9 @@ func (rq *rangeQuery) refineParallel(tids []int32) error {
 				return
 			}
 		}
-		tr := rq.trajs[tid]
-		d := dist.DistanceBoundedScratch(rq.cfg.Measure, rq.q, tr.Points, rq.cfg.Params, rq.radius, ws)
-		if d <= rq.radius && !math.IsInf(d, 1) {
+		if it, ok := rq.refineOne(rq.trajs[tid], ws); ok {
 			mu.Lock()
-			sc.items = append(sc.items, topk.Item{ID: int(tid), Dist: d})
+			sc.items = append(sc.items, it)
 			mu.Unlock()
 		}
 	})

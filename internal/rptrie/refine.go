@@ -1,0 +1,120 @@
+package rptrie
+
+import (
+	"math"
+
+	"repose/internal/dist"
+	"repose/internal/geo"
+)
+
+// Refiner is the pluggable leaf-refinement strategy: it scores one
+// candidate trajectory against the query. The best-first traversal,
+// delta scans, and range walk all refine through this interface; the
+// default (whole-trajectory exact distance) is WholeRefiner, and the
+// segment/window modes come from NewRefiner.
+//
+// Contract, mirroring dist.DistanceBounded: Refine returns the exact
+// refined distance whenever it is ≤ threshold, and otherwise may
+// return +Inf. +Inf also marks an ineligible candidate (no window
+// overlap, no segment satisfying the length bounds); such candidates
+// are excluded from results. start/end name the matched half-open
+// sample range [start, end) of tr and are meaningful only for finite
+// distances from subsequence refiners; whole-trajectory refinement
+// reports (0, 0) so results stay byte-identical to the pre-refiner
+// search. A Refiner must be safe for concurrent Refine calls with
+// distinct scratches (the parallel leaf refinement shares one).
+type Refiner interface {
+	Refine(q []geo.Point, tr *geo.Trajectory, threshold float64, s *dist.Scratch) (d float64, start, end int)
+
+	// Subsequence reports whether refined distances may fall below
+	// the whole-trajectory distance (segment-restricted scoring).
+	// When true, the traversal swaps every bound for the segment
+	// bound LBoSub and drops the leaf (LBt) and pivot (LBp) bounds,
+	// which are admissible only against whole trajectories; see
+	// doc.go's segment-admissibility section.
+	Subsequence() bool
+}
+
+// RefineSpec selects a refined query mode. The zero value means
+// whole-trajectory scoring (NewRefiner returns nil for it).
+type RefineSpec struct {
+	// Sub scores the best-matching contiguous segment of each
+	// candidate. MinSeg/MaxSeg bound the segment length in sample
+	// points; MinSeg < 1 means 1, MaxSeg ≤ 0 means unbounded.
+	Sub            bool
+	MinSeg, MaxSeg int
+
+	// Window restricts candidates to trajectories with at least one
+	// sample timestamped inside the closed window [From, To] and
+	// scores only the in-window run (composed with Sub, the segment
+	// sweep runs inside that run). Untimestamped trajectories never
+	// match a windowed query.
+	Window   bool
+	From, To int64
+}
+
+// IsZero reports whether the spec selects plain whole-trajectory
+// scoring.
+func (sp RefineSpec) IsZero() bool { return !sp.Sub && !sp.Window }
+
+// NewRefiner returns the Refiner implementing spec under the given
+// measure, or nil for the zero spec — callers treat a nil Refiner as
+// the built-in whole-trajectory default.
+func NewRefiner(m dist.Measure, p dist.Params, spec RefineSpec) Refiner {
+	if spec.IsZero() {
+		return nil
+	}
+	return &segmentRefiner{m: m, p: p, spec: spec}
+}
+
+// WholeRefiner returns the default refiner: exact whole-trajectory
+// distance, identical in results and allocation behaviour to passing
+// no refiner at all.
+func WholeRefiner(m dist.Measure, p dist.Params) Refiner {
+	return &wholeRefiner{m: m, p: p}
+}
+
+// wholeRefiner is the default implementation: the pre-refactor inline
+// refinement expressed through the interface.
+type wholeRefiner struct {
+	m dist.Measure
+	p dist.Params
+}
+
+func (r *wholeRefiner) Subsequence() bool { return false }
+
+func (r *wholeRefiner) Refine(q []geo.Point, tr *geo.Trajectory, threshold float64, s *dist.Scratch) (float64, int, int) {
+	return dist.DistanceBoundedScratch(r.m, q, tr.Points, r.p, threshold, s), 0, 0
+}
+
+// segmentRefiner implements the Sub and Window modes (and their
+// composition). Both score a contiguous segment of the candidate, so
+// Subsequence is true for either.
+type segmentRefiner struct {
+	m    dist.Measure
+	p    dist.Params
+	spec RefineSpec
+}
+
+func (r *segmentRefiner) Subsequence() bool { return true }
+
+func (r *segmentRefiner) Refine(q []geo.Point, tr *geo.Trajectory, threshold float64, s *dist.Scratch) (float64, int, int) {
+	pts := tr.Points
+	off := 0
+	if r.spec.Window {
+		lo, hi := tr.TimeWindow(r.spec.From, r.spec.To)
+		if lo == hi {
+			return math.Inf(1), 0, 0
+		}
+		pts = pts[lo:hi]
+		off = lo
+	}
+	if !r.spec.Sub {
+		return dist.DistanceBoundedScratch(r.m, q, pts, r.p, threshold, s), off, off + len(pts)
+	}
+	d, st, en := dist.SubDistanceBoundedScratch(r.m, q, pts, r.p, r.spec.MinSeg, r.spec.MaxSeg, threshold, s)
+	if math.IsInf(d, 1) {
+		return d, 0, 0
+	}
+	return d, off + st, off + en
+}

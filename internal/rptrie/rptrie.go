@@ -154,6 +154,9 @@ func buildState(cfg Config, ds []*geo.Trajectory) (*trieState, error) {
 		if len(tr.Points) == 0 {
 			return nil, fmt.Errorf("rptrie: trajectory %d is empty", tr.ID)
 		}
+		if !tr.ValidTimes() {
+			return nil, fmt.Errorf("rptrie: trajectory %d has invalid timestamps", tr.ID)
+		}
 		tid := int32(tr.ID)
 		if _, dup := b.st.trajs[tid]; dup {
 			return nil, fmt.Errorf("rptrie: duplicate trajectory id %d", tr.ID)

@@ -39,6 +39,11 @@ type SearchOptions struct {
 	// points support, so scatter layers can account refinement work
 	// per partition without a second search.
 	Stats *SearchStats
+
+	// Refiner replaces the default whole-trajectory exact-distance
+	// leaf refinement (nil keeps it). A subsequence refiner switches
+	// the traversal to the segment bounds; see Refiner.
+	Refiner Refiner
 }
 
 // ctxCheckMask throttles context polling: deadlines are checked every
@@ -213,6 +218,33 @@ func (t *Trie) SearchAppend(dst []topk.Item, q []geo.Point, k int) []topk.Item {
 	return out
 }
 
+// SearchAppendContext is SearchAppend honoring per-query options and
+// a context — the allocation-measured form of SearchContext. With a
+// dst of sufficient capacity and the default (nil or whole-trajectory)
+// refiner the delta-empty query is allocation-free in steady state,
+// which CI asserts alongside the option-less path.
+func (t *Trie) SearchAppendContext(ctx context.Context, dst []topk.Item, q []geo.Point, k int, opt SearchOptions) ([]topk.Item, error) {
+	st := t.state()
+	if opt.MinGen > st.gen {
+		return dst, ErrStale
+	}
+	sc := t.pool.get()
+	defer t.pool.put(sc)
+	s := searcher{
+		cfg: t.cfg, trajs: st.trajs, sc: sc,
+		ctxPoller:     ctxPoller{ctx: ctx},
+		noPivots:      opt.NoPivots,
+		refineWorkers: opt.RefineWorkers,
+	}
+	s.setDelta(st.delta)
+	s.setRefiner(opt.Refiner)
+	out, stats, err := s.run(ptrNode{st.root}, q, k, dst)
+	if opt.Stats != nil {
+		*opt.Stats = stats
+	}
+	return out, err
+}
+
 // SearchWithStats is Search, also reporting traversal statistics.
 func (t *Trie) SearchWithStats(q []geo.Point, k int) ([]topk.Item, SearchStats) {
 	st := t.state()
@@ -242,6 +274,7 @@ func (t *Trie) SearchContext(ctx context.Context, q []geo.Point, k int, opt Sear
 		refineWorkers: opt.RefineWorkers,
 	}
 	s.setDelta(st.delta)
+	s.setRefiner(opt.Refiner)
 	res, stats, err := s.run(ptrNode{st.root}, q, k, nil)
 	if opt.Stats != nil {
 		*opt.Stats = stats
@@ -278,6 +311,7 @@ func (t *Trie) BoundContext(ctx context.Context, q []geo.Point, opt SearchOption
 		noPivots:  opt.NoPivots,
 	}
 	s.setDelta(st.delta)
+	s.setRefiner(opt.Refiner)
 	return s.bound(ptrNode{st.root}, q)
 }
 
@@ -314,7 +348,7 @@ func (s *searcher) bound(root searchNode, q []geo.Point) (float64, error) {
 	sc := s.sc
 	sc.res.Reset(1)
 	var dqp []float64
-	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots {
+	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots && !s.subseq {
 		sc.dqp = pivot.AppendDistances(sc.dqp[:0], q, s.cfg.Pivots, s.cfg.Measure, s.cfg.Params, &sc.ds)
 		dqp = sc.dqp
 	}
@@ -348,7 +382,18 @@ type searcher struct {
 	dels          map[int32]struct{} // tombstones filtered at refinement
 	noPivots      bool
 	refineWorkers int
+	refiner       Refiner // nil: default whole-trajectory refinement
+	subseq        bool    // refiner scores segments: use LBoSub, no LBt/LBp
 	sc            *searchScratch
+}
+
+// setRefiner attaches a query's refiner. A nil refiner keeps the
+// built-in whole-trajectory refinement on the allocation-free inline
+// path; a subsequence refiner additionally switches every traversal
+// bound to the segment bound.
+func (s *searcher) setRefiner(r Refiner) {
+	s.refiner = r
+	s.subseq = r != nil && r.Subsequence()
 }
 
 // setDelta attaches a snapshot's overlay. Empty components stay nil so
@@ -390,7 +435,7 @@ func (s *searcher) run(root searchNode, q []geo.Point, k int, dst []topk.Item) (
 	}
 
 	var dqp []float64
-	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots {
+	if s.cfg.Pivots != nil && !s.cfg.DisableLBp && !s.noPivots && !s.subseq {
 		sc.dqp = pivot.AppendDistances(sc.dqp[:0], q, s.cfg.Pivots, s.cfg.Measure, s.cfg.Params, &sc.ds)
 		dqp = sc.dqp
 	}
@@ -436,7 +481,11 @@ func (s *searcher) expand(n searchNode, b *dist.PathBounder, pq *entryQueue, res
 
 	if lv, ok := n.leafView(); ok {
 		lb := lbp
-		if !s.cfg.DisableLBt {
+		if s.subseq {
+			// Segment scoring: only the segment bound is admissible
+			// (the leaf path is complete by construction).
+			lb = b.LBoSub(dist.NodeMeta{MinLen: lv.minLen, MaxLen: lv.maxLen})
+		} else if !s.cfg.DisableLBt {
 			meta := dist.LeafMeta{
 				NodeMeta: dist.NodeMeta{MinLen: lv.minLen, MaxLen: lv.maxLen},
 				Dmax:     lv.dmax,
@@ -466,11 +515,16 @@ func (s *searcher) expand(n searchNode, b *dist.PathBounder, pq *entryQueue, res
 		}
 		cb.ExtendZ(ce.z)
 
-		clbp := ce.n.pivotLB(dqp)
-		if clbp < lbp {
-			clbp = lbp
+		var lb float64
+		if s.subseq {
+			lb = cb.LBoSub(ce.n.meta())
+		} else {
+			clbp := ce.n.pivotLB(dqp)
+			if clbp < lbp {
+				clbp = lbp
+			}
+			lb = math.Max(cb.LBo(ce.n.meta()), clbp)
 		}
-		lb := math.Max(cb.LBo(ce.n.meta()), clbp)
 		if lb < results.Threshold() {
 			pq.push(entry{lb: lb, n: ce.n, b: cb})
 			stats.EntriesPushed++
@@ -493,6 +547,11 @@ func (s *searcher) scanDelta(q []geo.Point, results *topk.Heap, stats *SearchSta
 			return s.err()
 		}
 		stats.ExactComputations++
+		if s.refiner != nil {
+			d, start, end := s.refiner.Refine(q, tr, results.Threshold(), &s.sc.ds)
+			results.PushItem(topk.Item{ID: tr.ID, Dist: d, Start: start, End: end})
+			continue
+		}
 		d := dist.DistanceBoundedScratch(s.cfg.Measure, q, tr.Points, s.cfg.Params, results.Threshold(), &s.sc.ds)
 		results.Push(tr.ID, d)
 	}
@@ -518,6 +577,11 @@ func (s *searcher) refine(lv leafView, q []geo.Point, results *topk.Heap, stats 
 		}
 		tr := s.trajs[tid]
 		stats.ExactComputations++
+		if s.refiner != nil {
+			d, start, end := s.refiner.Refine(q, tr, results.Threshold(), &s.sc.ds)
+			results.PushItem(topk.Item{ID: int(tid), Dist: d, Start: start, End: end})
+			continue
+		}
 		d := dist.DistanceBoundedScratch(s.cfg.Measure, q, tr.Points, s.cfg.Params, results.Threshold(), &s.sc.ds)
 		results.Push(int(tid), d)
 	}
@@ -538,6 +602,7 @@ func (s *searcher) refineParallel(lv leafView, q []geo.Point, results *topk.Heap
 		ctx:     s.ctx,
 		measure: s.cfg.Measure,
 		params:  s.cfg.Params,
+		refiner: s.refiner,
 		trajs:   s.trajs,
 		dels:    s.dels,
 		tids:    lv.tids,
@@ -554,6 +619,7 @@ type parallelRefine struct {
 	ctx     context.Context
 	measure dist.Measure
 	params  dist.Params
+	refiner Refiner // nil: default whole-trajectory refinement
 	trajs   map[int32]*geo.Trajectory
 	dels    map[int32]struct{} // tombstoned members to skip
 	tids    []int32
@@ -583,10 +649,21 @@ func refineLeafParallel(pr parallelRefine) (int, error) {
 			}
 		}
 		tr := pr.trajs[tid]
-		d := dist.DistanceBoundedScratch(pr.measure, pr.q, tr.Points, pr.params, thr.Load(), ws)
+		var it topk.Item
+		if pr.refiner != nil {
+			d, start, end := pr.refiner.Refine(pr.q, tr, thr.Load(), ws)
+			it = topk.Item{ID: int(tid), Dist: d, Start: start, End: end}
+		} else {
+			d := dist.DistanceBoundedScratch(pr.measure, pr.q, tr.Points, pr.params, thr.Load(), ws)
+			it = topk.Item{ID: int(tid), Dist: d}
+		}
 		computed.Add(1)
 		mu.Lock()
-		pr.results.Push(int(tid), d)
+		if pr.refiner != nil {
+			pr.results.PushItem(it)
+		} else {
+			pr.results.Push(it.ID, it.Dist)
+		}
 		thr.Store(pr.results.Threshold())
 		mu.Unlock()
 	})

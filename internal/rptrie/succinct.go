@@ -374,6 +374,7 @@ func (s *Succinct) SearchContext(ctx context.Context, q []geo.Point, k int, opt 
 		refineWorkers: opt.RefineWorkers,
 	}
 	sr.setDelta(st.delta)
+	sr.setRefiner(opt.Refiner)
 	res, stats, err := sr.run(st.core.rootRef(), q, k, nil)
 	if opt.Stats != nil {
 		*opt.Stats = stats
@@ -396,6 +397,7 @@ func (s *Succinct) BoundContext(ctx context.Context, q []geo.Point, opt SearchOp
 		noPivots:  opt.NoPivots,
 	}
 	sr.setDelta(st.delta)
+	sr.setRefiner(opt.Refiner)
 	return sr.bound(st.core.rootRef(), q)
 }
 
@@ -510,6 +512,10 @@ func (s *Succinct) NumLeaves() int { return s.state().core.numLeafs }
 
 // Len returns the number of live indexed trajectories.
 func (s *Succinct) Len() int { return s.state().live() }
+
+// Config returns the build configuration inherited from the source
+// trie.
+func (s *Succinct) Config() Config { return s.cfg }
 
 // Trajectory returns the live indexed trajectory with the given id, or
 // nil when the id is unknown or tombstoned.

@@ -370,6 +370,10 @@ func (x *Compressed) NumLeaves() int { return x.state().core.numLeafs }
 // Len returns the number of live indexed trajectories.
 func (x *Compressed) Len() int { return x.state().live() }
 
+// Config returns the build configuration inherited from the source
+// trie.
+func (x *Compressed) Config() Config { return x.cfg }
+
 // Trajectory returns the live indexed trajectory with the given id,
 // or nil when the id is unknown or tombstoned.
 func (x *Compressed) Trajectory(id int) *geo.Trajectory {

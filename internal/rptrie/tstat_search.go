@@ -2,7 +2,6 @@ package rptrie
 
 import (
 	"context"
-	"math"
 
 	"repose/internal/dist"
 	"repose/internal/geo"
@@ -142,6 +141,7 @@ func (x *Compressed) SearchContext(ctx context.Context, q []geo.Point, k int, op
 		refineWorkers: opt.RefineWorkers,
 	}
 	sr.setDelta(st.delta)
+	sr.setRefiner(opt.Refiner)
 	res, stats, err := sr.run(st.core.rootRef(sc), q, k, nil)
 	if opt.Stats != nil {
 		*opt.Stats = stats
@@ -164,6 +164,7 @@ func (x *Compressed) BoundContext(ctx context.Context, q []geo.Point, opt Search
 		noPivots:  opt.NoPivots,
 	}
 	sr.setDelta(st.delta)
+	sr.setRefiner(opt.Refiner)
 	return sr.bound(st.core.rootRef(sc), q)
 }
 
@@ -203,10 +204,11 @@ func (x *Compressed) SearchRadiusContext(ctx context.Context, q []geo.Point, rad
 	if d := st.delta; d != nil && len(d.dels) > 0 {
 		rq.dels = d.dels
 	}
+	rq.setRefiner(opt.Refiner)
 	if err := rq.err(); err != nil {
 		return nil, err
 	}
-	if x.cfg.Pivots != nil && !x.cfg.DisableLBp && !opt.NoPivots {
+	if x.cfg.Pivots != nil && !x.cfg.DisableLBp && !opt.NoPivots && !rq.subseq {
 		sc.dqp = pivot.AppendDistances(sc.dqp[:0], q, x.cfg.Pivots, x.cfg.Measure, x.cfg.Params, &sc.ds)
 		rq.dqp = sc.dqp
 	}
@@ -218,9 +220,8 @@ func (x *Compressed) SearchRadiusContext(ctx context.Context, q []geo.Point, rad
 			if rq.cancelled() {
 				return nil, rq.err()
 			}
-			dd := dist.DistanceBoundedScratch(x.cfg.Measure, q, tr.Points, x.cfg.Params, radius, &sc.ds)
-			if dd <= radius && !math.IsInf(dd, 1) {
-				sc.items = append(sc.items, topk.Item{ID: tr.ID, Dist: dd})
+			if it, ok := rq.refineOne(tr, &sc.ds); ok {
+				sc.items = append(sc.items, it)
 			}
 		}
 	}
@@ -247,7 +248,12 @@ func (rq *rangeQuery) walkCompressed(c *cmpCore, v int, b *dist.PathBounder) err
 	}
 	if li := c.terminalIndex(v); li >= 0 {
 		lb := 0.0
-		if !rq.cfg.DisableLBt {
+		if rq.subseq {
+			lb = b.LBoSub(dist.NodeMeta{
+				MinLen: int(c.leafMinLen.get(li)),
+				MaxLen: int(c.leafMaxLen.get(li)),
+			})
+		} else if !rq.cfg.DisableLBt {
 			lb = b.LBtBounded(dist.LeafMeta{
 				NodeMeta: dist.NodeMeta{
 					MinLen: int(c.leafMinLen.get(li)),
@@ -257,27 +263,8 @@ func (rq *rangeQuery) walkCompressed(c *cmpCore, v int, b *dist.PathBounder) err
 			}, rq.radius, &rq.sc.ds)
 		}
 		if lb <= rq.radius {
-			tids := c.leafTids[c.leafOff[li]:c.leafOff[li+1]]
-			if rq.workers > 1 && len(tids) >= minParallelLeaf {
-				if err := rq.refineParallel(tids); err != nil {
-					return err
-				}
-			} else {
-				for _, tid := range tids {
-					if rq.dels != nil {
-						if _, dead := rq.dels[tid]; dead {
-							continue
-						}
-					}
-					if rq.cancelled() {
-						return rq.err()
-					}
-					tr := rq.trajs[tid]
-					d := dist.DistanceBoundedScratch(rq.cfg.Measure, rq.q, tr.Points, rq.cfg.Params, rq.radius, &rq.sc.ds)
-					if d <= rq.radius && !math.IsInf(d, 1) {
-						rq.sc.items = append(rq.sc.items, topk.Item{ID: int(tid), Dist: d})
-					}
-				}
+			if err := rq.refineLeaf(c.leafTids[c.leafOff[li]:c.leafOff[li+1]]); err != nil {
+				return err
 			}
 		}
 	}
@@ -297,7 +284,7 @@ func (rq *rangeQuery) walkCompressed(c *cmpCore, v int, b *dist.PathBounder) err
 			MaxLen:        int(c.maxLen.get(u)),
 			MaxDepthBelow: int(c.maxDepth.get(u)),
 		}
-		if cb.LBo(meta) > rq.radius {
+		if rq.childLB(cb, meta) > rq.radius {
 			if !last {
 				cb.Release()
 			}

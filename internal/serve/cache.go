@@ -31,17 +31,31 @@ func fnv64(h uint64, v uint64) uint64 {
 }
 
 // signature hashes a query's identity: kind, k, radius (raw float
-// bits), and every point's raw coordinate bits. Two textually
-// different requests naming the same point sequence collide on
-// purpose; genuinely different queries are additionally guarded by
-// the exact comparison in query.equal, so a 64-bit hash collision
-// degrades to a cache miss or an uncoalesced execution, never a
-// wrong answer.
-func signature(kind byte, k int, radius float64, pts []repose.Point) uint64 {
-	h := fnvByte(uint64(fnvOffset), kind)
-	h = fnv64(h, uint64(k))
-	h = fnv64(h, math.Float64bits(radius))
-	for _, p := range pts {
+// bits), the refined-mode dimensions (subtrajectory flag and segment
+// bounds, time-window flag and endpoints — two queries differing only
+// in mode must never share a cache entry), and every point's raw
+// coordinate bits. Two textually different requests naming the same
+// point sequence collide on purpose; genuinely different queries are
+// additionally guarded by the exact comparison in query.equal, so a
+// 64-bit hash collision degrades to a cache miss or an uncoalesced
+// execution, never a wrong answer.
+func (q *query) signature() uint64 {
+	h := fnvByte(uint64(fnvOffset), q.kind)
+	h = fnv64(h, uint64(q.k))
+	h = fnv64(h, math.Float64bits(q.radius))
+	var mode byte
+	if q.sub {
+		mode |= 1
+	}
+	if q.window {
+		mode |= 2
+	}
+	h = fnvByte(h, mode)
+	h = fnv64(h, uint64(q.minSeg))
+	h = fnv64(h, uint64(q.maxSeg))
+	h = fnv64(h, uint64(q.from))
+	h = fnv64(h, uint64(q.to))
+	for _, p := range q.pts {
 		h = fnv64(h, math.Float64bits(p.X))
 		h = fnv64(h, math.Float64bits(p.Y))
 	}
@@ -67,11 +81,26 @@ type query struct {
 	k      int
 	radius float64
 	pts    []repose.Point
+
+	// Refined-mode dimensions; part of the identity (see signature).
+	sub            bool
+	minSeg, maxSeg int
+	window         bool
+	from, to       int64
 }
 
 func (q query) equal(o query) bool {
 	return q.sig == o.sig && q.kind == o.kind && q.k == o.k &&
-		q.radius == o.radius && slices.Equal(q.pts, o.pts)
+		q.radius == o.radius &&
+		q.sub == o.sub && q.minSeg == o.minSeg && q.maxSeg == o.maxSeg &&
+		q.window == o.window && q.from == o.from && q.to == o.to &&
+		slices.Equal(q.pts, o.pts)
+}
+
+// batchable reports whether the query may ride the top-k
+// micro-batcher: only plain whole-trajectory top-k queries do.
+func (q query) batchable() bool {
+	return q.kind == kindTopK && !q.sub && !q.window
 }
 
 // cacheEntry is one cached answer: the query, the generation vector

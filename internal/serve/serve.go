@@ -20,6 +20,7 @@ import (
 // to an interface so tests can substitute instrumented fakes.
 type Backend interface {
 	Search(ctx context.Context, q *repose.Trajectory, k int, opts ...repose.QueryOption) ([]repose.Result, error)
+	SearchSub(ctx context.Context, q *repose.Trajectory, k int, opts ...repose.QueryOption) ([]repose.Result, error)
 	SearchRadius(ctx context.Context, q *repose.Trajectory, radius float64, opts ...repose.QueryOption) ([]repose.Result, error)
 	SearchBatch(ctx context.Context, qs []*repose.Trajectory, k int, opts ...repose.QueryOption) ([][]repose.Result, error)
 	Generations() []uint64
@@ -211,19 +212,41 @@ func (s *Server) enter() (leave func(), ok bool) {
 
 // Request/response wire shapes.
 
+// timeWindowJSON restricts a query to trajectories with a sample
+// timestamped inside the closed window [From, To]; only the in-window
+// run is scored. See repose.WithTimeWindow.
+type timeWindowJSON struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
+}
+
 type searchRequest struct {
 	Points [][2]float64 `json:"points"`
 	K      int          `json:"k"`
+	// Sub switches to subtrajectory search: each candidate is scored
+	// by its best-matching contiguous segment, and results carry the
+	// matched [start, end) sample range. MinSeg/MaxSeg bound the
+	// segment length (0 = unbounded).
+	Sub    bool `json:"sub"`
+	MinSeg int  `json:"min_seg"`
+	MaxSeg int  `json:"max_seg"`
+	// Window, when present, time-restricts the query.
+	Window *timeWindowJSON `json:"window"`
 }
 
 type radiusRequest struct {
-	Points [][2]float64 `json:"points"`
-	Radius float64      `json:"radius"`
+	Points [][2]float64    `json:"points"`
+	Radius float64         `json:"radius"`
+	Window *timeWindowJSON `json:"window"`
 }
 
 type resultJSON struct {
 	ID       int     `json:"id"`
 	Distance float64 `json:"distance"`
+	// Start/End name the matched half-open sample range of a
+	// subtrajectory hit; omitted for whole-trajectory answers.
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
 }
 
 type answerJSON struct {
@@ -317,13 +340,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	q := query{kind: kindTopK, k: req.K, pts: pts}
-	q.sig = signature(q.kind, q.k, 0, pts)
+	q := query{kind: kindTopK, k: req.K, pts: pts, sub: req.Sub, minSeg: req.MinSeg, maxSeg: req.MaxSeg}
+	if req.Window != nil {
+		q.window, q.from, q.to = true, req.Window.From, req.Window.To
+	}
+	q.sig = q.signature()
 	s.answer(w, r, q, start, &s.m.searchLatency, func(ctx context.Context) ([]repose.Result, error) {
-		if s.batch != nil {
+		// Refined queries run solo: the micro-batcher coalesces only
+		// plain whole-trajectory top-k work.
+		if s.batch != nil && q.batchable() {
 			return s.batch.search(ctx, pts, req.K)
 		}
-		return s.be.Search(ctx, &repose.Trajectory{Points: pts}, req.K)
+		tr := &repose.Trajectory{Points: pts}
+		var opts []repose.QueryOption
+		if q.window {
+			opts = append(opts, repose.WithTimeWindow(q.from, q.to))
+		}
+		if q.sub {
+			opts = append(opts, repose.WithSegmentLength(q.minSeg, q.maxSeg))
+			return s.be.SearchSub(ctx, tr, req.K, opts...)
+		}
+		return s.be.Search(ctx, tr, req.K, opts...)
 	})
 }
 
@@ -352,9 +389,16 @@ func (s *Server) handleRadius(w http.ResponseWriter, r *http.Request) {
 	}
 
 	q := query{kind: kindRadius, radius: req.Radius, pts: pts}
-	q.sig = signature(q.kind, 0, q.radius, pts)
+	if req.Window != nil {
+		q.window, q.from, q.to = true, req.Window.From, req.Window.To
+	}
+	q.sig = q.signature()
 	s.answer(w, r, q, start, &s.m.radiusLatency, func(ctx context.Context) ([]repose.Result, error) {
-		return s.be.SearchRadius(ctx, &repose.Trajectory{Points: pts}, req.Radius)
+		var opts []repose.QueryOption
+		if q.window {
+			opts = append(opts, repose.WithTimeWindow(q.from, q.to))
+		}
+		return s.be.SearchRadius(ctx, &repose.Trajectory{Points: pts}, req.Radius, opts...)
 	})
 }
 
@@ -409,7 +453,7 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, q query, start t
 	// Execute on the server's base context so a leader's client
 	// disconnecting cannot kill work its followers share.
 	ctx := s.baseCtx
-	if s.batch == nil || q.kind != kindTopK {
+	if s.batch == nil || !q.batchable() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
@@ -433,7 +477,7 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, q query, start t
 func (s *Server) respond(w http.ResponseWriter, items []repose.Result, gens []uint64, cached, coalesced bool) {
 	res := make([]resultJSON, len(items))
 	for i, it := range items {
-		res[i] = resultJSON{ID: it.ID, Distance: it.Dist}
+		res[i] = resultJSON{ID: it.ID, Distance: it.Dist, Start: it.Start, End: it.End}
 	}
 	writeJSON(w, http.StatusOK, answerJSON{
 		Results:     res,

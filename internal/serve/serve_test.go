@@ -24,6 +24,7 @@ type fakeBackend struct {
 	healthy []repose.WorkerHealth
 
 	searchCalls atomic.Int64
+	subCalls    atomic.Int64
 	radiusCalls atomic.Int64
 	batchCalls  atomic.Int64
 
@@ -55,6 +56,18 @@ func (f *fakeBackend) Search(ctx context.Context, q *repose.Trajectory, k int, o
 		}
 	}
 	return f.result(q), nil
+}
+
+func (f *fakeBackend) SearchSub(ctx context.Context, q *repose.Trajectory, k int, opts ...repose.QueryOption) ([]repose.Result, error) {
+	f.subCalls.Add(1)
+	f.entered <- struct{}{}
+	// Segment answers carry a matched range, unlike whole-trajectory
+	// ones — lets tests assert the start/end passthrough.
+	res := f.result(q)
+	for i := range res {
+		res[i].Start, res[i].End = 1, 3
+	}
+	return res, nil
 }
 
 func (f *fakeBackend) SearchRadius(ctx context.Context, q *repose.Trajectory, radius float64, opts ...repose.QueryOption) ([]repose.Result, error) {
@@ -336,6 +349,105 @@ func TestCacheHitAndInvalidation(t *testing.T) {
 	}
 	if got := be.searchCalls.Load(); got != 2 {
 		t.Errorf("engine calls after invalidation = %d, want 2", got)
+	}
+}
+
+// postJSON posts an arbitrary request body to path and decodes the
+// answer; refined-query tests build bodies searchReq can't express.
+func postJSON(ts *httptest.Server, path string, body map[string]any) (*http.Response, answerJSON, error) {
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, answerJSON{}, err
+	}
+	defer resp.Body.Close()
+	var ans answerJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+			return resp, ans, err
+		}
+	}
+	return resp, ans, nil
+}
+
+// TestRefinedRoutingAndCacheKey pins the gateway's handling of the
+// refined query modes: a sub request routes to Backend.SearchSub and
+// its matched [start, end) range survives into the JSON answer; the
+// cache keys on every refined dimension (same points under a
+// different mode or window must miss, an identical refined repeat
+// must hit); and a windowed radius request still reaches
+// SearchRadius.
+func TestRefinedRoutingAndCacheKey(t *testing.T) {
+	be := newFakeBackend()
+	cfg := bareConfig()
+	cfg.CacheEntries = 64
+	_, ts := newTestServer(t, be, cfg)
+
+	pts := [][2]float64{{1, 0}, {1, 1}, {1, 2}}
+
+	// Plain top-k first: occupies a cache entry for these points.
+	if _, ans, err := postJSON(ts, "/search", map[string]any{"points": pts, "k": 2}); err != nil {
+		t.Fatal(err)
+	} else if ans.Cached {
+		t.Error("first plain request reported cached")
+	}
+
+	// Same points as a subtrajectory query: must miss the plain
+	// entry, route to SearchSub, and carry the matched range through.
+	_, sub, err := postJSON(ts, "/search", map[string]any{"points": pts, "k": 2, "sub": true, "min_seg": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Cached {
+		t.Error("sub request hit the plain query's cache entry")
+	}
+	if got := be.subCalls.Load(); got != 1 {
+		t.Errorf("SearchSub calls = %d, want 1", got)
+	}
+	if len(sub.Results) == 0 || sub.Results[0].Start != 1 || sub.Results[0].End != 3 {
+		t.Errorf("sub results %v missing matched range [1, 3)", sub.Results)
+	}
+
+	// Identical refined repeat: served from cache, no new engine call.
+	if _, again, err := postJSON(ts, "/search", map[string]any{"points": pts, "k": 2, "sub": true, "min_seg": 2}); err != nil {
+		t.Fatal(err)
+	} else if !again.Cached {
+		t.Error("identical sub repeat not served from cache")
+	}
+	if got := be.subCalls.Load(); got != 1 {
+		t.Errorf("SearchSub calls after cached repeat = %d, want 1", got)
+	}
+
+	// Varying any refined dimension is a different query: a changed
+	// segment bound, a time window, and a shifted window each miss.
+	for _, body := range []map[string]any{
+		{"points": pts, "k": 2, "sub": true, "min_seg": 3},
+		{"points": pts, "k": 2, "sub": true, "min_seg": 2, "window": map[string]int64{"from": 100, "to": 200}},
+		{"points": pts, "k": 2, "sub": true, "min_seg": 2, "window": map[string]int64{"from": 100, "to": 300}},
+		{"points": pts, "k": 2, "window": map[string]int64{"from": 100, "to": 200}},
+	} {
+		if _, ans, err := postJSON(ts, "/search", body); err != nil {
+			t.Fatal(err)
+		} else if ans.Cached {
+			t.Errorf("request %v hit another mode's cache entry", body)
+		}
+	}
+	// The windowed-but-not-sub variant is whole-trajectory: Search,
+	// not SearchSub, with the window carried in options.
+	if sub, whole := be.subCalls.Load(), be.searchCalls.Load(); sub != 4 || whole != 2 {
+		t.Errorf("calls = (sub %d, whole %d), want (4, 2)", sub, whole)
+	}
+
+	// Windowed radius passes through to SearchRadius.
+	if _, ans, err := postJSON(ts, "/radius", map[string]any{
+		"points": pts, "radius": 0.5, "window": map[string]int64{"from": 100, "to": 200},
+	}); err != nil {
+		t.Fatal(err)
+	} else if ans.Cached {
+		t.Error("first windowed radius request reported cached")
+	}
+	if got := be.radiusCalls.Load(); got != 1 {
+		t.Errorf("SearchRadius calls = %d, want 1", got)
 	}
 }
 

@@ -5,10 +5,14 @@ import (
 	"slices"
 )
 
-// Item is one candidate result.
+// Item is one candidate result. Start and End are meaningful only for
+// refined query modes (subtrajectory and time-windowed search): they
+// name the matched half-open sample range [Start, End) of the
+// trajectory. Whole-trajectory searches leave them zero.
 type Item struct {
-	ID   int
-	Dist float64
+	ID         int
+	Dist       float64
+	Start, End int
 }
 
 // less orders items by (Dist, ID); the heap keeps the *worst* item at
@@ -70,6 +74,28 @@ func (h *Heap) Push(id int, dist float64) bool {
 		return false
 	}
 	it := Item{ID: id, Dist: dist}
+	if len(h.items) < h.k {
+		h.items = append(h.items, it)
+		h.up(len(h.items) - 1)
+		return true
+	}
+	if !less(it, h.items[0]) {
+		return false
+	}
+	h.items[0] = it
+	h.down(0)
+	return true
+}
+
+// PushItem offers a fully-populated item — retaining its matched
+// segment — and reports whether it was retained. NaN distances are
+// rejected, and so are +Inf ones: the refined query modes return +Inf
+// for candidates with no eligible segment or no window overlap, which
+// must not surface as results even while the heap is not yet full.
+func (h *Heap) PushItem(it Item) bool {
+	if math.IsNaN(it.Dist) || math.IsInf(it.Dist, 1) {
+		return false
+	}
 	if len(h.items) < h.k {
 		h.items = append(h.items, it)
 		h.up(len(h.items) - 1)
@@ -154,7 +180,7 @@ func Merge(k int, lists ...[]Item) []Item {
 	h := New(k)
 	for _, l := range lists {
 		for _, it := range l {
-			h.Push(it.ID, it.Dist)
+			h.PushItem(it)
 		}
 	}
 	return h.Results()

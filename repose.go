@@ -607,6 +607,30 @@ func (x *Index) Search(ctx context.Context, q *Trajectory, k int, opts ...QueryO
 	return items, translate(err)
 }
 
+// SearchSub returns the k trajectories whose best-matching contiguous
+// segment is most similar to q — subtrajectory search. Each Result's
+// [Start, End) names the matched half-open sample range of that
+// trajectory; distances are exact segment distances under the index's
+// measure. Compose with WithSegmentLength to bound the segment size
+// and WithTimeWindow to restrict matching to a time window. Refined
+// queries require an RP-Trie layout (any of the three); baseline
+// algorithms reject them.
+func (x *Index) SearchSub(ctx context.Context, q *Trajectory, k int, opts ...QueryOption) ([]Result, error) {
+	if err := x.check(points(q)); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	qc := applyQueryOptions(opts)
+	qc.sub = true
+	items, rep, err := x.eng.exec().Search(ctx, q.Points, k, x.clusterOptions(qc))
+	if qc.report != nil {
+		*qc.report = rep
+	}
+	return items, translate(err)
+}
+
 // SearchRadius returns every indexed trajectory within the given
 // distance of q, ascending by (distance, id) — the range-query
 // counterpart of Search. Succinct indexes return
